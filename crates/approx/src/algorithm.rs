@@ -1,0 +1,318 @@
+//! The three-phase approximation algorithm (Section 2.2).
+
+use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_core::placement::Placement;
+use dmn_core::radii::RadiusTable;
+use dmn_facility::{FlInstance, LocalSearchConfig, Solver};
+use dmn_graph::{Metric, NodeId};
+use rayon::prelude::*;
+
+/// Which UFL solver backs phase 1. Theorem 7's constant depends on the
+/// solver's factor `f` only through Lemma 9, so all of these are valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlSolverKind {
+    /// Add/drop/swap local search (default; 5 + ε).
+    #[default]
+    LocalSearch,
+    /// Mettu–Plaxton radius greedy (3; fastest at scale).
+    MettuPlaxton,
+    /// Jain–Vazirani primal–dual (3).
+    JainVazirani,
+    /// Density greedy (log-factor worst case, strong in practice).
+    Greedy,
+    /// Exact brute force (tiny instances; turns phase 1 optimal).
+    Exact,
+}
+
+impl FlSolverKind {
+    fn as_solver(self) -> Solver {
+        match self {
+            FlSolverKind::LocalSearch => Solver::LocalSearch,
+            FlSolverKind::MettuPlaxton => Solver::MettuPlaxton,
+            FlSolverKind::JainVazirani => Solver::JainVazirani,
+            FlSolverKind::Greedy => Solver::Greedy,
+            FlSolverKind::Exact => Solver::Exact,
+        }
+    }
+}
+
+/// Configuration of the approximation algorithm.
+///
+/// The defaults are the paper's constants; they are exposed for the
+/// ablation experiments (changing them voids the Lemma-8 guarantee).
+#[derive(Debug, Clone)]
+pub struct ApproxConfig {
+    /// Phase-1 facility location solver.
+    pub fl_solver: FlSolverKind,
+    /// Phase-2 threshold: add a copy at `v` when the nearest copy is
+    /// farther than `storage_add_factor * rs(v)`. Paper value: 5.
+    pub storage_add_factor: f64,
+    /// Phase-3 threshold: delete a copy at `u` when a surviving copy `v`
+    /// satisfies `ct(u, v) <= write_prune_factor * rw(u)`. Paper value: 4.
+    pub write_prune_factor: f64,
+    /// Skip phase 2 (ablation).
+    pub skip_phase2: bool,
+    /// Skip phase 3 (ablation).
+    pub skip_phase3: bool,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            fl_solver: FlSolverKind::default(),
+            storage_add_factor: 5.0,
+            write_prune_factor: 4.0,
+            skip_phase2: false,
+            skip_phase3: false,
+        }
+    }
+}
+
+/// Copy sets after each phase, for the phase-ablation experiment (E8).
+#[derive(Debug, Clone)]
+pub struct PhaseTrace {
+    /// Copies after phase 1 (facility location).
+    pub after_phase1: Vec<NodeId>,
+    /// Copies after phase 2 (radius add).
+    pub after_phase2: Vec<NodeId>,
+    /// Copies after phase 3 (radius prune) — the final placement.
+    pub after_phase3: Vec<NodeId>,
+}
+
+/// Places one object; returns the final copy set.
+///
+/// # Panics
+/// Panics when the workload has no requests or every node has infinite
+/// storage cost.
+pub fn place_object(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+) -> Vec<NodeId> {
+    place_object_traced(metric, storage_cost, workload, cfg).after_phase3
+}
+
+/// Places one object keeping the per-phase copy sets.
+pub fn place_object_traced(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+) -> PhaseTrace {
+    workload.validate().expect("invalid workload");
+    let n = metric.len();
+    let masses = workload.request_masses();
+    let w_total = workload.total_writes();
+
+    // Phase 1: facility location on the related problem (writes as reads).
+    let fl = FlInstance::new(metric, storage_cost.to_vec(), masses.clone());
+    let sol = match cfg.fl_solver {
+        // Local search with default thresholds; other solvers need no knobs.
+        FlSolverKind::LocalSearch => {
+            dmn_facility::local_search(&fl, &LocalSearchConfig::default())
+        }
+        other => other.as_solver().solve(&fl),
+    };
+    let after_phase1 = sol.open.clone();
+    let mut copies = sol.open;
+    debug_assert!(!copies.is_empty());
+
+    // Radii (Section 2.1) — fixed for phases 2 and 3.
+    let radii = RadiusTable::compute(metric, &masses, w_total, storage_cost);
+
+    // Phase 2: while a node is farther than 5·rs(v) from every copy, store
+    // a copy at v. (Order does not matter for the guarantee; we scan
+    // round-robin until stable.)
+    if !cfg.skip_phase2 {
+        loop {
+            let mut added = false;
+            for v in 0..n {
+                if copies.binary_search(&v).is_ok() {
+                    continue;
+                }
+                let rs = radii.storage_radius[v];
+                if !rs.is_finite() {
+                    continue; // storage at v can never pay off
+                }
+                let (_, d) = metric.nearest_in(v, &copies).expect("non-empty");
+                if d > cfg.storage_add_factor * rs {
+                    let pos = copies.binary_search(&v).unwrap_err();
+                    copies.insert(pos, v);
+                    added = true;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+    }
+    let after_phase2 = copies.clone();
+
+    // Phase 3: scan copy holders in ascending write radius; the current
+    // node keeps its copy and deletes every other copy u with
+    // ct(u, v) <= 4·rw(u).
+    if !cfg.skip_phase3 && w_total > 0.0 {
+        let mut order: Vec<NodeId> = copies.clone();
+        order.sort_by(|&a, &b| {
+            radii.write_radius[a]
+                .partial_cmp(&radii.write_radius[b])
+                .expect("radii are not NaN")
+                .then(a.cmp(&b))
+        });
+        let mut alive: Vec<bool> = vec![true; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for (k, &u) in order.iter().enumerate() {
+                if k != i && alive[k] {
+                    let ru = radii.write_radius[u];
+                    if metric.dist(u, v) <= cfg.write_prune_factor * ru {
+                        alive[k] = false;
+                    }
+                }
+            }
+        }
+        copies = order
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| alive[k])
+            .map(|(_, &v)| v)
+            .collect();
+        copies.sort_unstable();
+    }
+    assert!(!copies.is_empty(), "pruning never deletes the scanned survivor");
+
+    PhaseTrace { after_phase1, after_phase2, after_phase3: copies }
+}
+
+/// Places every object of an instance (objects are independent, so they are
+/// placed in parallel).
+pub fn place_all(instance: &Instance, cfg: &ApproxConfig) -> Placement {
+    let metric = instance.metric();
+    let sets: Vec<Vec<NodeId>> = instance
+        .objects
+        .par_iter()
+        .map(|w| place_object(metric, &instance.storage_cost, w, cfg))
+        .collect();
+    Placement::from_copy_sets(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_core::cost::{evaluate_object, UpdatePolicy};
+    use dmn_graph::dijkstra::apsp;
+    use dmn_graph::generators;
+
+    fn uniform_reads(n: usize) -> ObjectWorkload {
+        let mut w = ObjectWorkload::new(n);
+        for v in 0..n {
+            w.reads[v] = 1.0;
+        }
+        w
+    }
+
+    #[test]
+    fn free_storage_replicates_widely() {
+        let g = generators::path(6, |_| 1.0);
+        let m = apsp(&g);
+        let w = uniform_reads(6);
+        let copies = place_object(&m, &[0.0; 6], &w, &ApproxConfig::default());
+        // Free storage + read-only: a copy at every requesting node is
+        // optimal and phase 2 enforces it.
+        assert_eq!(copies, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn expensive_storage_collapses_to_few_copies() {
+        let g = generators::path(8, |_| 1.0);
+        let m = apsp(&g);
+        let w = uniform_reads(8);
+        let copies = place_object(&m, &[1000.0; 8], &w, &ApproxConfig::default());
+        assert!(copies.len() <= 2, "copies: {copies:?}");
+    }
+
+    #[test]
+    fn heavy_writes_prune_replicas() {
+        let g = generators::path(8, |_| 1.0);
+        let m = apsp(&g);
+        let mut w = uniform_reads(8);
+        w.writes[0] = 100.0; // massive write traffic
+        let cheap = place_object(&m, &[0.5; 8], &w, &ApproxConfig::default());
+        // With pruning disabled, cheap storage would replicate; writes must
+        // shrink the copy set.
+        let no_prune = place_object(
+            &m,
+            &[0.5; 8],
+            &w,
+            &ApproxConfig { skip_phase3: true, ..ApproxConfig::default() },
+        );
+        assert!(cheap.len() <= no_prune.len(), "{cheap:?} vs {no_prune:?}");
+        assert!(cheap.len() <= 2, "heavy writes: {cheap:?}");
+    }
+
+    #[test]
+    fn phases_trace_is_consistent() {
+        let g = generators::grid(3, 3, |_, _| 1.0);
+        let m = apsp(&g);
+        let mut w = uniform_reads(9);
+        w.writes[4] = 3.0;
+        let tr = place_object_traced(&m, &[2.0; 9], &w, &ApproxConfig::default());
+        assert!(!tr.after_phase1.is_empty());
+        // Phase 2 only adds.
+        for c in &tr.after_phase1 {
+            assert!(tr.after_phase2.contains(c));
+        }
+        // Phase 3 only deletes.
+        for c in &tr.after_phase3 {
+            assert!(tr.after_phase2.contains(c));
+        }
+    }
+
+    #[test]
+    fn respects_forbidden_nodes() {
+        let g = generators::path(4, |_| 1.0);
+        let m = apsp(&g);
+        let w = uniform_reads(4);
+        let mut cs = vec![1.0; 4];
+        cs[1] = f64::INFINITY;
+        cs[2] = f64::INFINITY;
+        let copies = place_object(&m, &cs, &w, &ApproxConfig::default());
+        assert!(!copies.contains(&1) && !copies.contains(&2), "{copies:?}");
+    }
+
+    #[test]
+    fn place_all_handles_multiple_objects() {
+        let g = generators::grid(3, 3, |_, _| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(3.0).build();
+        inst.push_object(uniform_reads(9));
+        let mut w2 = ObjectWorkload::new(9);
+        w2.writes[0] = 5.0;
+        w2.reads[8] = 1.0;
+        inst.push_object(w2);
+        let p = place_all(&inst, &ApproxConfig::default());
+        assert_eq!(p.num_objects(), 2);
+        p.validate(9).unwrap();
+        let c0 = evaluate_object(
+            inst.metric(),
+            &inst.storage_cost,
+            &inst.objects[0],
+            p.copies(0),
+            UpdatePolicy::MstMulticast,
+        );
+        assert!(c0.total().is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let g = generators::grid(3, 4, |u, v| ((u + v) % 3 + 1) as f64);
+        let m = apsp(&g);
+        let mut w = uniform_reads(12);
+        w.writes[7] = 2.5;
+        let a = place_object(&m, &[4.0; 12], &w, &ApproxConfig::default());
+        let b = place_object(&m, &[4.0; 12], &w, &ApproxConfig::default());
+        assert_eq!(a, b);
+    }
+}

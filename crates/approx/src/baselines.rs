@@ -1,0 +1,182 @@
+//! Baseline placement strategies the experiments compare against.
+//!
+//! None of these carries the paper's guarantee; they bracket the algorithm
+//! from below (trivial strategies) and above (direct local search on the
+//! true objective, a strong but guarantee-free heuristic).
+
+use dmn_core::cost::{evaluate_object, UpdatePolicy};
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::{Metric, NodeId};
+use rand::Rng;
+
+/// A copy on every node that is allowed to hold one (finite storage cost).
+pub fn full_replication(storage_cost: &[f64]) -> Vec<NodeId> {
+    (0..storage_cost.len())
+        .filter(|&v| storage_cost[v].is_finite())
+        .collect()
+}
+
+/// The single node minimizing the true total cost (exact 1-copy optimum,
+/// a weighted 1-median including write traffic).
+pub fn best_single_node(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> Vec<NodeId> {
+    let best = (0..metric.len())
+        .filter(|&v| storage_cost[v].is_finite())
+        .min_by(|&a, &b| {
+            let ca = evaluate_object(metric, storage_cost, workload, &[a], UpdatePolicy::MstMulticast)
+                .total();
+            let cb = evaluate_object(metric, storage_cost, workload, &[b], UpdatePolicy::MstMulticast)
+                .total();
+            ca.partial_cmp(&cb).expect("costs are not NaN")
+        })
+        .expect("at least one allowed node");
+    vec![best]
+}
+
+/// `k` distinct random allowed nodes (baseline for "how much does placement
+/// intelligence matter at equal replication degree").
+pub fn random_k(storage_cost: &[f64], k: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let allowed: Vec<NodeId> = (0..storage_cost.len())
+        .filter(|&v| storage_cost[v].is_finite())
+        .collect();
+    assert!(!allowed.is_empty());
+    let k = k.clamp(1, allowed.len());
+    let mut picked = Vec::with_capacity(k);
+    let mut pool = allowed;
+    for _ in 0..k {
+        let i = rng.random_range(0..pool.len());
+        picked.push(pool.swap_remove(i));
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Add/drop/swap local search directly on the true data-management
+/// objective (including MST-multicast update cost). No approximation
+/// guarantee — the update cost is not submodular in the copy set — but a
+/// strong practical upper-bound reference.
+pub fn greedy_local(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> Vec<NodeId> {
+    let n = metric.len();
+    let allowed: Vec<NodeId> = (0..n).filter(|&v| storage_cost[v].is_finite()).collect();
+    let cost_of = |set: &[NodeId]| -> f64 {
+        evaluate_object(metric, storage_cost, workload, set, UpdatePolicy::MstMulticast).total()
+    };
+    let mut current = best_single_node(metric, storage_cost, workload);
+    let mut cost = cost_of(&current);
+    loop {
+        let mut best: Option<(Vec<NodeId>, f64)> = None;
+        let consider = |cand: Vec<NodeId>, best: &mut Option<(Vec<NodeId>, f64)>| {
+            let c = cost_of(&cand);
+            if c + 1e-9 < cost && best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                *best = Some((cand, c));
+            }
+        };
+        for &v in &allowed {
+            if current.binary_search(&v).is_err() {
+                let mut cand = current.clone();
+                let pos = cand.binary_search(&v).unwrap_err();
+                cand.insert(pos, v);
+                consider(cand, &mut best);
+            }
+        }
+        if current.len() > 1 {
+            for i in 0..current.len() {
+                let mut cand = current.clone();
+                cand.remove(i);
+                consider(cand, &mut best);
+            }
+        }
+        for i in 0..current.len() {
+            for &v in &allowed {
+                if current.binary_search(&v).is_err() {
+                    let mut cand = current.clone();
+                    cand[i] = v;
+                    cand.sort_unstable();
+                    consider(cand, &mut best);
+                }
+            }
+        }
+        match best {
+            Some((cand, c)) => {
+                current = cand;
+                cost = c;
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line_workload() -> (Metric, Vec<f64>, ObjectWorkload) {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0, 10.0, 11.0]);
+        let cs = vec![2.0; 5];
+        let mut w = ObjectWorkload::new(5);
+        for v in 0..5 {
+            w.reads[v] = 1.0;
+        }
+        (m, cs, w)
+    }
+
+    #[test]
+    fn full_replication_skips_forbidden() {
+        let mut cs = vec![1.0; 4];
+        cs[2] = f64::INFINITY;
+        assert_eq!(full_replication(&cs), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn best_single_is_a_median() {
+        let (m, cs, w) = line_workload();
+        let b = best_single_node(&m, &cs, &w);
+        // Node 2 minimizes total read distance on this line.
+        assert_eq!(b, vec![2]);
+    }
+
+    #[test]
+    fn random_k_is_deterministic_per_seed() {
+        let cs = vec![1.0; 10];
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(random_k(&cs, 3, &mut r1), random_k(&cs, 3, &mut r2));
+        let picked = random_k(&cs, 100, &mut r1);
+        assert_eq!(picked.len(), 10, "k clamps to the allowed count");
+    }
+
+    #[test]
+    fn greedy_local_improves_on_single_copy_for_read_heavy() {
+        let (m, cs, w) = line_workload();
+        let single = best_single_node(&m, &cs, &w);
+        let local = greedy_local(&m, &cs, &w);
+        let c_single =
+            evaluate_object(&m, &cs, &w, &single, UpdatePolicy::MstMulticast).total();
+        let c_local = evaluate_object(&m, &cs, &w, &local, UpdatePolicy::MstMulticast).total();
+        assert!(c_local <= c_single + 1e-9);
+        // Two clusters -> two copies is strictly better here.
+        assert!(local.len() >= 2, "local: {local:?}");
+    }
+
+    #[test]
+    fn greedy_local_keeps_single_copy_under_heavy_writes() {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let cs = vec![0.5; 3];
+        let mut w = ObjectWorkload::new(3);
+        w.reads[0] = 1.0;
+        w.reads[2] = 1.0;
+        w.writes[1] = 50.0;
+        let local = greedy_local(&m, &cs, &w);
+        assert_eq!(local.len(), 1, "heavy writes forbid replication: {local:?}");
+    }
+}

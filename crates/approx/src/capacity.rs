@@ -1,0 +1,215 @@
+//! Memory capacity constraints (related-work extension).
+//!
+//! The paper's model has unbounded memory modules; the capacitated variant
+//! — each node may hold at most `cap(v)` copies across all objects — is
+//! studied by Baev & Rajaraman and Meyer auf der Heide et al. (the paper's
+//! references 3, 11, 12). This module provides a repair step: given
+//! any placement (e.g. from the unconstrained algorithm), it resolves
+//! over-full nodes greedily by moving or dropping the copy whose repair is
+//! cheapest, never leaving an object copyless.
+//!
+//! This is a heuristic (the capacitated problem has no constant-factor
+//! combinatorial algorithm in this style); experiments should report the
+//! before/after cost so the capacity penalty is visible.
+
+use dmn_core::cost::{evaluate_object, UpdatePolicy};
+use dmn_core::instance::Instance;
+use dmn_core::placement::Placement;
+use dmn_graph::NodeId;
+
+/// Error cases of [`enforce_capacities`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapacityError {
+    /// Total capacity cannot hold one copy per object.
+    Infeasible {
+        /// Sum of capacities.
+        total_capacity: usize,
+        /// Number of objects needing at least one copy.
+        objects: usize,
+    },
+}
+
+/// Makes `placement` respect per-node copy capacities, greedily minimizing
+/// the total-cost increase (MST-multicast policy). Returns the repaired
+/// placement.
+///
+/// Strategy: while some node is over capacity, consider for each of its
+/// copies (a) dropping it (if the object keeps another copy) and (b)
+/// moving it to any node with free capacity; apply the cheapest repair.
+///
+/// # Errors
+/// [`CapacityError::Infeasible`] when `sum(cap) < number of objects`.
+pub fn enforce_capacities(
+    instance: &Instance,
+    placement: &Placement,
+    cap: &[usize],
+) -> Result<Placement, CapacityError> {
+    let n = instance.num_nodes();
+    assert_eq!(cap.len(), n, "capacity vector length mismatch");
+    let objects = instance.num_objects();
+    let total: usize = cap.iter().sum();
+    if total < objects {
+        return Err(CapacityError::Infeasible { total_capacity: total, objects });
+    }
+    let metric = instance.metric();
+    let mut out = placement.clone();
+
+    // Current load per node.
+    let mut load = vec![0usize; n];
+    for x in 0..objects {
+        for &v in out.copies(x) {
+            load[v] += 1;
+        }
+    }
+
+    let cost_of = |x: usize, copies: &[NodeId]| -> f64 {
+        evaluate_object(
+            metric,
+            &instance.storage_cost,
+            &instance.objects[x],
+            copies,
+            UpdatePolicy::MstMulticast,
+        )
+        .total()
+    };
+
+    loop {
+        let Some(over) = (0..n).find(|&v| load[v] > cap[v]) else {
+            return Ok(out);
+        };
+        // Cheapest repair among all copies on the over-full node.
+        let mut best: Option<(f64, usize, Option<NodeId>)> = None; // (delta, object, target)
+        for x in 0..objects {
+            if !out.has_copy(x, over) {
+                continue;
+            }
+            let current = out.copies(x).to_vec();
+            let base = cost_of(x, &current);
+            let without: Vec<NodeId> = current.iter().copied().filter(|&v| v != over).collect();
+            // (a) drop.
+            if !without.is_empty() {
+                let delta = cost_of(x, &without) - base;
+                if best.as_ref().is_none_or(|b| delta < b.0) {
+                    best = Some((delta, x, None));
+                }
+            }
+            // (b) move to a node with slack (and no copy of x yet).
+            for u in 0..n {
+                if u != over
+                    && load[u] < cap[u]
+                    && instance.storage_cost[u].is_finite()
+                    && !out.has_copy(x, u)
+                {
+                    let mut moved = without.clone();
+                    let pos = moved.binary_search(&u).unwrap_err();
+                    moved.insert(pos, u);
+                    let delta = cost_of(x, &moved) - base;
+                    if best.as_ref().is_none_or(|b| delta < b.0) {
+                        best = Some((delta, x, Some(u)));
+                    }
+                }
+            }
+        }
+        let (_, x, target) = best.expect(
+            "an over-full node always admits a repair when total capacity suffices",
+        );
+        out.remove_copy(x, over);
+        load[over] -= 1;
+        if let Some(u) = target {
+            out.add_copy(x, u);
+            load[u] += 1;
+        }
+    }
+}
+
+/// True when `placement` respects the capacities.
+pub fn respects_capacities(placement: &Placement, cap: &[usize]) -> bool {
+    let mut load = vec![0usize; cap.len()];
+    for x in 0..placement.num_objects() {
+        for &v in placement.copies(x) {
+            load[v] += 1;
+        }
+    }
+    load.iter().zip(cap).all(|(l, c)| l <= c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{place_all, ApproxConfig};
+    use dmn_core::instance::ObjectWorkload;
+    use dmn_graph::generators;
+
+    fn instance_with_objects(k: usize) -> Instance {
+        let g = generators::path(4, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(0.1).build();
+        for i in 0..k {
+            let mut w = ObjectWorkload::new(4);
+            w.reads[i % 4] = 3.0;
+            w.reads[(i + 1) % 4] = 1.0;
+            inst.push_object(w);
+        }
+        inst
+    }
+
+    #[test]
+    fn already_feasible_is_untouched() {
+        let inst = instance_with_objects(2);
+        let p = Placement::from_copy_sets(vec![vec![0], vec![1]]);
+        let out = enforce_capacities(&inst, &p, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn overloaded_node_is_relieved() {
+        let inst = instance_with_objects(3);
+        // Everything piled on node 0, capacity 1 there.
+        let p = Placement::from_copy_sets(vec![vec![0], vec![0], vec![0]]);
+        let out = enforce_capacities(&inst, &p, &[1, 2, 2, 2]).unwrap();
+        assert!(respects_capacities(&out, &[1, 2, 2, 2]));
+        out.validate(4).unwrap();
+    }
+
+    #[test]
+    fn drops_redundant_copies_before_moving_when_cheaper() {
+        let inst = instance_with_objects(1);
+        // Object has copies everywhere; node 0 over capacity 0.
+        let p = Placement::from_copy_sets(vec![vec![0, 1, 2, 3]]);
+        let out = enforce_capacities(&inst, &p, &[0, 1, 1, 1]).unwrap();
+        assert!(!out.has_copy(0, 0));
+        assert!(respects_capacities(&out, &[0, 1, 1, 1]));
+    }
+
+    #[test]
+    fn infeasible_capacity_reported() {
+        let inst = instance_with_objects(3);
+        let p = Placement::from_copy_sets(vec![vec![0], vec![1], vec![2]]);
+        let err = enforce_capacities(&inst, &p, &[1, 1, 0, 0]).unwrap_err();
+        assert_eq!(err, CapacityError::Infeasible { total_capacity: 2, objects: 3 });
+    }
+
+    #[test]
+    fn pipeline_with_algorithm_output() {
+        let g = generators::grid(3, 3, |_, _| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(0.5).build();
+        for i in 0..4 {
+            let mut w = ObjectWorkload::new(9);
+            for v in 0..9 {
+                w.reads[v] = ((v + i) % 3) as f64;
+            }
+            w.writes[i] = 1.0;
+            inst.push_object(w);
+        }
+        let p = place_all(&inst, &ApproxConfig::default());
+        let cap = vec![1usize; 9];
+        let out = enforce_capacities(&inst, &p, &cap).unwrap();
+        assert!(respects_capacities(&out, &cap));
+        out.validate(9).unwrap();
+        // Capacity can only cost us: the repaired placement is valid but
+        // possibly pricier.
+        let before = dmn_core::cost::evaluate(&inst, &p, UpdatePolicy::MstMulticast).total();
+        let after = dmn_core::cost::evaluate(&inst, &out, UpdatePolicy::MstMulticast).total();
+        assert!(after.is_finite() && after > 0.0);
+        let _ = before;
+    }
+}

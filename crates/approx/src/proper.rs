@@ -1,0 +1,181 @@
+//! Properness verification (Section 2.1 / Lemma 8).
+//!
+//! A placement is *proper* when
+//!
+//! 1. every node `v` has a copy within `k1 · max(rw(v), rs(v))`, and
+//! 2. any two copy holders `u`, `v` are at least
+//!    `2·k2 · max(rw(u), rw(v))` apart.
+//!
+//! Lemma 8 shows the algorithm's output satisfies these with `k1 = 29` and
+//! `k2 = 2` (i.e. pairwise separation `4 · max(rw(u), rw(v))`). Because the
+//! whole approximation guarantee (Theorem 3) rests on properness, the test
+//! suite and experiment E3 verify it on every produced placement.
+
+use dmn_core::radii::RadiusTable;
+use dmn_graph::{Metric, NodeId};
+
+/// Paper constant `k1` established by Lemma 8.
+pub const K1: f64 = 29.0;
+/// Paper constant `k2` established by Lemma 8.
+pub const K2: f64 = 2.0;
+
+/// A violation of one of the two properness conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProperViolation {
+    /// Node `v` has no copy within `k1 · max(rw, rs)`.
+    TooFarFromCopy {
+        /// The under-served node.
+        v: NodeId,
+        /// Distance to its nearest copy.
+        nearest: f64,
+        /// The allowed radius `k1 · max(rw(v), rs(v))`.
+        allowed: f64,
+    },
+    /// Copy holders `u` and `v` are closer than `2·k2·max(rw(u), rw(v))`.
+    CopiesTooClose {
+        /// First copy holder.
+        u: NodeId,
+        /// Second copy holder.
+        v: NodeId,
+        /// Their distance.
+        dist: f64,
+        /// The required separation.
+        required: f64,
+    },
+}
+
+/// Outcome of a properness check.
+#[derive(Debug, Clone)]
+pub struct ProperReport {
+    /// All violations found (empty = proper).
+    pub violations: Vec<ProperViolation>,
+}
+
+impl ProperReport {
+    /// True when no condition is violated.
+    pub fn is_proper(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks the two properness conditions with constants `k1`, `k2`.
+///
+/// Nodes whose radii are infinite (storage can never pay off near them)
+/// impose no proximity requirement, mirroring the paper's radius
+/// definitions.
+pub fn check_proper(
+    metric: &Metric,
+    radii: &RadiusTable,
+    copies: &[NodeId],
+    k1: f64,
+    k2: f64,
+) -> ProperReport {
+    let mut violations = Vec::new();
+    let n = metric.len();
+    for v in 0..n {
+        let allowed = k1 * radii.max_radius(v);
+        if !allowed.is_finite() {
+            continue;
+        }
+        let (_, nearest) = metric.nearest_in(v, copies).expect("non-empty copies");
+        if nearest > allowed + 1e-9 {
+            violations.push(ProperViolation::TooFarFromCopy { v, nearest, allowed });
+        }
+    }
+    for (i, &u) in copies.iter().enumerate() {
+        for &v in &copies[i + 1..] {
+            let required = 2.0 * k2 * radii.write_radius[u].max(radii.write_radius[v]);
+            let dist = metric.dist(u, v);
+            if dist + 1e-9 < required {
+                violations.push(ProperViolation::CopiesTooClose { u, v, dist, required });
+            }
+        }
+    }
+    ProperReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{place_object, ApproxConfig};
+    use dmn_core::instance::ObjectWorkload;
+    use dmn_core::radii::RadiusTable;
+    use dmn_graph::dijkstra::apsp;
+    use dmn_graph::generators;
+
+    fn radii_for(
+        metric: &Metric,
+        w: &ObjectWorkload,
+        cs: &[f64],
+    ) -> RadiusTable {
+        RadiusTable::compute(metric, &w.request_masses(), w.total_writes(), cs)
+    }
+
+    #[test]
+    fn algorithm_output_is_proper_on_grids() {
+        let g = generators::grid(4, 4, |_, _| 1.0);
+        let m = apsp(&g);
+        for (cs_scale, write_mass) in [(0.5, 0.0), (2.0, 1.0), (8.0, 10.0), (50.0, 3.0)] {
+            let mut w = ObjectWorkload::new(16);
+            for v in 0..16 {
+                w.reads[v] = 1.0;
+            }
+            w.writes[5] = write_mass;
+            let cs = vec![cs_scale; 16];
+            let copies = place_object(&m, &cs, &w, &ApproxConfig::default());
+            let radii = radii_for(&m, &w, &cs);
+            let report = check_proper(&m, &radii, &copies, K1, K2);
+            assert!(
+                report.is_proper(),
+                "cs={cs_scale} wm={write_mass}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn detects_far_node_violation() {
+        let m = Metric::from_line(&[0.0, 1.0, 100.0]);
+        let mut w = ObjectWorkload::new(3);
+        w.reads[0] = 1.0;
+        w.reads[2] = 1.0;
+        w.writes[2] = 1.0;
+        let cs = vec![0.1; 3];
+        let radii = radii_for(&m, &w, &cs);
+        // Copy only at node 0: node 2 sits 100 away with tiny radii.
+        let report = check_proper(&m, &radii, &[0], K1, K2);
+        assert!(!report.is_proper());
+        assert!(matches!(
+            report.violations[0],
+            ProperViolation::TooFarFromCopy { v: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_close_copies_violation() {
+        let m = Metric::from_line(&[0.0, 1.0, 50.0]);
+        let mut w = ObjectWorkload::new(3);
+        // All write mass far away: rw of nodes 0/1 is large.
+        w.writes[2] = 4.0;
+        w.reads[0] = 0.5;
+        let cs = vec![1.0; 3];
+        let radii = radii_for(&m, &w, &cs);
+        let report = check_proper(&m, &radii, &[0, 1], K1, K2);
+        assert!(report
+            .violations
+            .iter()
+            .any(|x| matches!(x, ProperViolation::CopiesTooClose { .. })));
+    }
+
+    #[test]
+    fn infinite_radius_nodes_are_exempt() {
+        let m = Metric::from_line(&[0.0, 1000.0]);
+        let mut w = ObjectWorkload::new(2);
+        w.reads[0] = 1.0; // node 1 has no requests near it
+        let cs = vec![1e12; 2]; // storage never pays off
+        let radii = radii_for(&m, &w, &cs);
+        assert!(radii.storage_radius[1].is_infinite());
+        let report = check_proper(&m, &radii, &[0], K1, K2);
+        assert!(report.is_proper());
+    }
+}

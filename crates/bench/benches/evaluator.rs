@@ -1,0 +1,41 @@
+//! Cost-evaluator benchmarks: the inner loop of every experiment and of
+//! the local-search baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmn_core::cost::{evaluate_object, UpdatePolicy};
+use dmn_core::instance::ObjectWorkload;
+use dmn_core::radii::RadiusTable;
+use dmn_graph::dijkstra::apsp;
+use dmn_graph::generators;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let n = 400usize;
+    let mut r = ChaCha8Rng::seed_from_u64(21);
+    let g = generators::random_geometric(n, 0.12, 10.0, &mut r);
+    let metric = apsp(&g);
+    let cs: Vec<f64> = (0..n).map(|_| r.random_range(1.0..6.0)).collect();
+    let mut w = ObjectWorkload::new(n);
+    for v in 0..n {
+        w.reads[v] = r.random_range(0..4) as f64;
+        if r.random_bool(0.2) {
+            w.writes[v] = r.random_range(0..3) as f64;
+        }
+    }
+    let copies: Vec<usize> = (0..n).step_by(23).collect();
+
+    c.bench_function("evaluate_mst_multicast_400", |b| {
+        b.iter(|| evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::MstMulticast))
+    });
+    c.bench_function("evaluate_unicast_star_400", |b| {
+        b.iter(|| evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::UnicastStar))
+    });
+    let masses = w.request_masses();
+    c.bench_function("radius_table_400", |b| {
+        b.iter(|| RadiusTable::compute(&metric, &masses, w.total_writes(), &cs))
+    });
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Facility-location solver benchmarks (phase 1 of the algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmn_facility::{FlInstance, Solver};
+use dmn_graph::dijkstra::apsp;
+use dmn_graph::generators;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ufl_solvers");
+    group.sample_size(10);
+    for &n in &[50usize, 120] {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let g = generators::random_geometric(n, 0.25, 10.0, &mut r);
+        let metric = apsp(&g);
+        let open: Vec<f64> = (0..n).map(|_| r.random_range(1.0..8.0)).collect();
+        let demand: Vec<f64> = (0..n).map(|_| r.random_range(0.0..3.0)).collect();
+        let inst = FlInstance::new(&metric, open, demand);
+        for solver in Solver::all_polynomial() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{solver:?}"), n),
+                &inst,
+                |b, inst| b.iter(|| solver.solve(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Scaling of the tree algorithms (Theorem 13 — `O(n · diam · log deg)`;
+//! criterion companion to experiment E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::generators;
+use dmn_graph::tree::RootedTree;
+use dmn_tree::{optimal_tree_general, optimal_tree_read_only};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn workload(n: usize, writes: bool, seed: u64) -> ObjectWorkload {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = ObjectWorkload::new(n);
+    for v in 0..n {
+        w.reads[v] = r.random_range(1..4) as f64;
+        if writes && r.random_bool(0.2) {
+            w.writes[v] = r.random_range(1..3) as f64;
+        }
+    }
+    w
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_optimal");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        for (shape, g) in [
+            ("binary", generators::kary_tree(n, 2, |_| 1.0)),
+            ("star", generators::star(n, |_| 1.0)),
+            (
+                "random",
+                generators::prufer_tree(n, (1.0, 4.0), &mut ChaCha8Rng::seed_from_u64(13)),
+            ),
+        ] {
+            let tree = RootedTree::from_graph(&g, 0);
+            let cs = vec![3.0; n];
+            let w_ro = workload(n, false, 1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("read_only_{shape}"), n),
+                &n,
+                |b, _| b.iter(|| optimal_tree_read_only(&tree, &cs, &w_ro)),
+            );
+            let w_g = workload(n, true, 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("general_{shape}"), n),
+                &n,
+                |b, _| b.iter(|| optimal_tree_general(&tree, &cs, &w_g)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Experiment harness entry point.
+//!
+//! ```text
+//! cargo run --release -p dmn-bench --bin experiments -- all
+//! cargo run --release -p dmn-bench --bin experiments -- e2 e4
+//! ```
+//!
+//! Reports print to stdout and are persisted as JSON under `results/`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <e1..e10 | all>...");
+        std::process::exit(2);
+    }
+    for id in &args {
+        for report in dmn_bench::experiments::run(id) {
+            report.emit();
+        }
+    }
+}

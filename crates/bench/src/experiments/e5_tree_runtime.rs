@@ -1,0 +1,93 @@
+//! E5 — Theorem 13: running time `O(|X| · |V| · diam(T) · log(deg(T)))`.
+//!
+//! We time the read-only tuple algorithm on tree shapes that stress the
+//! bound differently — paths (diam = n), balanced binary trees
+//! (diam = log n), stars (diam = 2, deg = n) and uniform random trees —
+//! and report the time normalized by `n · diam · log2(deg)`. A roughly
+//! constant normalized column means the implementation matches the bound;
+//! the fitted growth exponent of the raw time doubles as a sanity check.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::bfs::tree_hop_diameter;
+use dmn_graph::generators;
+use dmn_graph::tree::RootedTree;
+use dmn_graph::Graph;
+use dmn_tree::{optimal_tree_general, optimal_tree_read_only};
+use rand::Rng;
+
+use super::{rng, time};
+use crate::report::{Report, Table};
+
+fn workload(n: usize, writes: bool, r: &mut impl Rng) -> ObjectWorkload {
+    let mut w = ObjectWorkload::new(n);
+    for v in 0..n {
+        w.reads[v] = r.random_range(1..5) as f64;
+        if writes && r.random_bool(0.2) {
+            w.writes[v] = r.random_range(1..4) as f64;
+        }
+    }
+    w
+}
+
+fn shape(name: &str, n: usize, r: &mut impl Rng) -> Graph {
+    match name {
+        "path" => generators::path(n, |_| 1.0),
+        "binary" => generators::kary_tree(n, 2, |_| 1.0),
+        "star" => generators::star(n, |_| 1.0),
+        "random" => generators::prufer_tree(n, (1.0, 4.0), r),
+        _ => unreachable!(),
+    }
+}
+
+/// Runs E5 and returns its report.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "E5",
+        "Theorem 13: O(n · diam · log deg) per object on trees",
+    );
+    let mut table = Table::new(
+        "read-only tuple algorithm runtime by tree shape",
+        &["shape", "n", "diam", "deg", "time (ms)", "ns / (n·diam·log2 deg)", "general (ms)"],
+    );
+    let mut r = rng(5_000);
+    for shape_name in ["path", "binary", "star", "random"] {
+        let mut prev: Option<(usize, f64)> = None;
+        let mut exponent = String::new();
+        for &n in &[256usize, 512, 1024, 2048] {
+            // Paths are the quadratic worst case; cap them lower.
+            if shape_name == "path" && n > 1024 {
+                continue;
+            }
+            let g = shape(shape_name, n, &mut r);
+            let tree = RootedTree::from_graph(&g, 0);
+            let diam = tree_hop_diameter(&g).max(1);
+            let deg = g.max_degree().max(2);
+            let w = workload(n, false, &mut r);
+            let cs: Vec<f64> = (0..n).map(|_| 3.0).collect();
+            let (_, secs) = time(|| optimal_tree_read_only(&tree, &cs, &w));
+            let wg = workload(n, true, &mut r);
+            let (_, gsecs) = time(|| optimal_tree_general(&tree, &cs, &wg));
+            let norm = secs * 1e9 / (n as f64 * diam as f64 * (deg as f64).log2().max(1.0));
+            if let Some((pn, pt)) = prev {
+                let e = (secs / pt).ln() / (n as f64 / pn as f64).ln();
+                exponent = format!("{e:.2}");
+            }
+            prev = Some((n, secs));
+            table.row(vec![
+                shape_name.to_string(),
+                n.to_string(),
+                diam.to_string(),
+                deg.to_string(),
+                format!("{:.2}", secs * 1e3),
+                format!("{norm:.1}"),
+                format!("{:.2}", gsecs * 1e3),
+            ]);
+        }
+        report.finding(format!(
+            "{shape_name}: last observed growth exponent in n = {exponent} \
+             (bound predicts 2.0 for paths, ~1.0 for bounded-diameter shapes)"
+        ));
+    }
+    report.table(table);
+    report
+}

@@ -1,0 +1,101 @@
+//! E6 — model behaviour: writes penalize replication.
+//!
+//! The cost model's qualitative promise (Sections 1.1 and 3.2): as the
+//! write share of an object grows, the optimal number of copies falls —
+//! replication helps reads but multiplies update traffic. We sweep the
+//! write fraction on a mesh (approximation algorithm + baselines) and on a
+//! tree (exact general DP) and report cost and replication degree,
+//! including where each strategy's crossover against FullReplication and
+//! BestSingleNode falls.
+
+use dmn_approx::baselines;
+use dmn_approx::{place_object, ApproxConfig};
+use dmn_core::cost::{evaluate_object, UpdatePolicy};
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::dijkstra::apsp;
+use dmn_graph::generators;
+use dmn_graph::tree::RootedTree;
+use dmn_tree::optimal_tree_general;
+
+use super::rng;
+use crate::report::{fmt, Report, Table};
+
+/// Runs E6 and returns its report.
+pub fn run() -> Report {
+    let mut report = Report::new("E6", "Writes penalize replication (copy-count crossover)");
+
+    // Mesh: approximation algorithm vs baselines.
+    let g = generators::grid(6, 6, |_, _| 1.0);
+    let n = 36;
+    let metric = apsp(&g);
+    let cs = vec![3.0; n];
+    let cfg = ApproxConfig::default();
+    let mut t = Table::new(
+        "6x6 mesh, total request mass 72: cost (copies) per strategy",
+        &["write frac", "approx", "greedy-local", "best-single", "full-repl"],
+    );
+    let mut crossover_noted = false;
+    let mut prev_copies = usize::MAX;
+    for &wf in &[0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
+        let mut w = ObjectWorkload::new(n);
+        for v in 0..n {
+            w.reads[v] = 2.0 * (1.0 - wf);
+            w.writes[v] = 2.0 * wf;
+        }
+        let cell = |copies: &[usize]| -> String {
+            let c = evaluate_object(&metric, &cs, &w, copies, UpdatePolicy::MstMulticast);
+            format!("{} ({})", fmt(c.total()), copies.len())
+        };
+        let approx = place_object(&metric, &cs, &w, &cfg);
+        let local = baselines::greedy_local(&metric, &cs, &w);
+        let single = baselines::best_single_node(&metric, &cs, &w);
+        let full = baselines::full_replication(&cs);
+        if !crossover_noted && approx.len() <= 1 && prev_copies > 1 && wf > 0.0 {
+            report.finding(format!(
+                "approximation collapses to a single copy at write fraction ~{wf}"
+            ));
+            crossover_noted = true;
+        }
+        prev_copies = approx.len();
+        t.row(vec![
+            format!("{wf:.1}"),
+            cell(&approx),
+            cell(&local),
+            cell(&single),
+            cell(&full),
+        ]);
+    }
+    report.table(t);
+
+    // Tree: exact optimum from the general DP.
+    let mut r = rng(6_000);
+    let tg = generators::prufer_tree(60, (1.0, 5.0), &mut r);
+    let tree = RootedTree::from_graph(&tg, 0);
+    let tcs = vec![2.0; 60];
+    let mut t2 = Table::new(
+        "random 60-node tree: exact optimal copies vs write fraction",
+        &["write frac", "optimal cost", "optimal copies"],
+    );
+    let mut copy_counts = Vec::new();
+    for &wf in &[0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
+        let mut w = ObjectWorkload::new(60);
+        for v in 0..60 {
+            w.reads[v] = 1.0 - wf;
+            w.writes[v] = wf;
+        }
+        let sol = optimal_tree_general(&tree, &tcs, &w);
+        copy_counts.push(sol.copies.len());
+        t2.row(vec![format!("{wf:.1}"), fmt(sol.cost), sol.copies.len().to_string()]);
+    }
+    report.table(t2);
+    assert!(
+        copy_counts.windows(2).all(|p| p[0] >= p[1]),
+        "copy count must fall monotonically with write share on symmetric workloads: {copy_counts:?}"
+    );
+    report.finding(format!(
+        "exact tree optimum drops from {} to {} copies as the write share rises 0 -> 0.8",
+        copy_counts.first().unwrap(),
+        copy_counts.last().unwrap()
+    ));
+    report
+}

@@ -1,0 +1,159 @@
+//! Plain-text tables and JSON result sinks for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A rendered result table with a caption.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption (what claim is being measured).
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given caption and headers.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.caption);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:<w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// A full experiment report: named tables plus free-form notes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. "E2".
+    pub id: String,
+    /// One-line description of the paper claim under measurement.
+    pub claim: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Headline findings (printed and serialized).
+    pub findings: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, claim: &str) -> Self {
+        Report { id: id.into(), claim: claim.into(), tables: Vec::new(), findings: Vec::new() }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    /// Adds a headline finding.
+    pub fn finding(&mut self, f: impl Into<String>) {
+        self.findings.push(f.into());
+    }
+
+    /// Prints to stdout and persists JSON under `results/`.
+    pub fn emit(&self) {
+        println!("\n=== {} — {} ===", self.id, self.claim);
+        for t in &self.tables {
+            println!("\n{}", t.render());
+        }
+        for f in &self.findings {
+            println!("* {f}");
+        }
+        if let Err(e) = self.persist() {
+            eprintln!("(could not persist {}: {e})", self.id);
+        }
+    }
+
+    fn persist(&self) -> std::io::Result<()> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "metric"]);
+        t.row(vec!["x".into(), "1.5".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("| long-name |"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(4.25159), "4.252");
+        assert_eq!(fmt(42.123), "42.1");
+        assert_eq!(fmt(12345.6), "12346");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Problem instances: a network plus per-object read/write frequencies.
+
+use std::sync::OnceLock;
+
+use dmn_graph::dijkstra::apsp;
+use dmn_graph::{Graph, Metric, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Read and write request frequencies of one shared data object.
+///
+/// Frequencies are non-negative real weights; the paper's natural-number
+/// frequencies are the integral special case. `reads[v]` is `fr(v, x)` and
+/// `writes[v]` is `fw(v, x)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectWorkload {
+    /// Read frequency per node (`fr`).
+    pub reads: Vec<f64>,
+    /// Write frequency per node (`fw`).
+    pub writes: Vec<f64>,
+}
+
+impl ObjectWorkload {
+    /// An object with zero frequencies everywhere on an `n`-node network.
+    pub fn new(n: usize) -> Self {
+        ObjectWorkload { reads: vec![0.0; n], writes: vec![0.0; n] }
+    }
+
+    /// Builds a workload from explicit `(node, frequency)` lists.
+    pub fn from_sparse(
+        n: usize,
+        reads: impl IntoIterator<Item = (NodeId, f64)>,
+        writes: impl IntoIterator<Item = (NodeId, f64)>,
+    ) -> Self {
+        let mut w = ObjectWorkload::new(n);
+        for (v, f) in reads {
+            w.reads[v] += f;
+        }
+        for (v, f) in writes {
+            w.writes[v] += f;
+        }
+        w
+    }
+
+    /// Number of nodes the workload is defined over.
+    pub fn num_nodes(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Total read frequency.
+    pub fn total_reads(&self) -> f64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total write frequency — the paper's `W`.
+    pub fn total_writes(&self) -> f64 {
+        self.writes.iter().sum()
+    }
+
+    /// Total request mass (reads + writes). After the restricted-cost
+    /// split, reads and the write→nearest-copy legs are accounted
+    /// identically, so most of the machinery only needs this combined mass.
+    pub fn total_requests(&self) -> f64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Combined request mass at `v` (`fr(v) + fw(v)`).
+    #[inline]
+    pub fn request_mass(&self, v: NodeId) -> f64 {
+        self.reads[v] + self.writes[v]
+    }
+
+    /// Per-node combined request masses.
+    pub fn request_masses(&self) -> Vec<f64> {
+        (0..self.num_nodes()).map(|v| self.request_mass(v)).collect()
+    }
+
+    /// True when the object is never written.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.iter().all(|&w| w == 0.0)
+    }
+
+    /// Checks frequencies are finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        assert_eq!(self.reads.len(), self.writes.len());
+        for (v, (&r, &w)) in self.reads.iter().zip(&self.writes).enumerate() {
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(format!("read frequency at node {v} is invalid: {r}"));
+            }
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(format!("write frequency at node {v} is invalid: {w}"));
+            }
+        }
+        if self.total_requests() == 0.0 {
+            return Err("object has no requests at all".into());
+        }
+        Ok(())
+    }
+}
+
+/// A static data management instance: network, storage costs, objects.
+#[derive(Debug)]
+pub struct Instance {
+    /// The network; edge weights are the transmission costs `ct`.
+    pub graph: Graph,
+    /// Storage cost `cs(v)` per node.
+    pub storage_cost: Vec<f64>,
+    /// The shared objects with their request frequencies.
+    pub objects: Vec<ObjectWorkload>,
+    metric: OnceLock<Metric>,
+}
+
+impl Instance {
+    /// Starts building an instance over `graph`.
+    pub fn builder(graph: Graph) -> InstanceBuilder {
+        InstanceBuilder { graph, storage_cost: None }
+    }
+
+    /// Number of network nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Appends an object workload.
+    ///
+    /// # Panics
+    /// Panics when the workload is sized for a different network or has
+    /// invalid frequencies.
+    pub fn push_object(&mut self, w: ObjectWorkload) {
+        assert_eq!(w.num_nodes(), self.num_nodes(), "workload size mismatch");
+        w.validate().expect("invalid workload");
+        self.objects.push(w);
+    }
+
+    /// The metric closure `ct(u, v)` of the network, computed on first use
+    /// and cached.
+    pub fn metric(&self) -> &Metric {
+        self.metric.get_or_init(|| apsp(&self.graph))
+    }
+
+    /// Overrides the cached metric (used when a cheaper construction is
+    /// available, e.g. tree distances, or in tests).
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        assert_eq!(metric.len(), self.num_nodes());
+        self.metric = OnceLock::from(metric);
+        self
+    }
+}
+
+/// Builder for [`Instance`].
+pub struct InstanceBuilder {
+    graph: Graph,
+    storage_cost: Option<Vec<f64>>,
+}
+
+impl InstanceBuilder {
+    /// Sets an explicit per-node storage cost vector `cs`.
+    pub fn storage_costs(mut self, cs: Vec<f64>) -> Self {
+        self.storage_cost = Some(cs);
+        self
+    }
+
+    /// Sets the same storage cost on every node.
+    pub fn uniform_storage_cost(mut self, c: f64) -> Self {
+        self.storage_cost = Some(vec![c; self.graph.num_nodes()]);
+        self
+    }
+
+    /// Finishes the instance (no objects yet; add them with
+    /// [`Instance::push_object`]).
+    ///
+    /// # Panics
+    /// Panics when the graph is disconnected, the storage-cost vector has
+    /// the wrong length, or a storage cost is negative/non-finite.
+    /// Storage costs may be `f64::INFINITY` to forbid copies on a node.
+    pub fn build(self) -> Instance {
+        let n = self.graph.num_nodes();
+        assert!(n > 0, "instance needs at least one node");
+        assert!(self.graph.is_connected(), "the network must be connected");
+        let cs = self.storage_cost.unwrap_or_else(|| vec![0.0; n]);
+        assert_eq!(cs.len(), n, "storage cost vector length mismatch");
+        for (v, &c) in cs.iter().enumerate() {
+            assert!(c >= 0.0 && !c.is_nan(), "storage cost at node {v} invalid: {c}");
+        }
+        Instance {
+            graph: self.graph,
+            storage_cost: cs,
+            objects: Vec::new(),
+            metric: OnceLock::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::generators;
+
+    #[test]
+    fn builder_defaults_and_push() {
+        let g = generators::path(4, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(3.0).build();
+        assert_eq!(inst.storage_cost, vec![3.0; 4]);
+        let mut w = ObjectWorkload::new(4);
+        w.reads[0] = 2.0;
+        w.writes[3] = 1.0;
+        inst.push_object(w);
+        assert_eq!(inst.num_objects(), 1);
+        assert_eq!(inst.objects[0].total_requests(), 3.0);
+        assert_eq!(inst.objects[0].total_writes(), 1.0);
+        assert!(!inst.objects[0].is_read_only());
+    }
+
+    #[test]
+    fn metric_is_cached_shortest_paths() {
+        let g = generators::path(3, |i| (i + 1) as f64); // edges 1, 2
+        let inst = Instance::builder(g).build();
+        assert_eq!(inst.metric().dist(0, 2), 3.0);
+        assert_eq!(inst.metric().dist(2, 1), 2.0);
+    }
+
+    #[test]
+    fn sparse_workload_accumulates() {
+        let w = ObjectWorkload::from_sparse(3, [(0, 1.0), (0, 2.0)], [(2, 4.0)]);
+        assert_eq!(w.reads[0], 3.0);
+        assert_eq!(w.writes[2], 4.0);
+        assert_eq!(w.request_mass(0), 3.0);
+        assert_eq!(w.total_requests(), 7.0);
+    }
+
+    #[test]
+    fn workload_validation() {
+        let w = ObjectWorkload::new(3);
+        assert!(w.validate().is_err(), "empty workload rejected");
+        let w = ObjectWorkload::from_sparse(3, [(1, 1.0)], []);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_rejected() {
+        let g = Graph::new(2);
+        Instance::builder(g).build();
+    }
+
+    #[test]
+    fn infinite_storage_cost_allowed() {
+        let g = generators::path(2, |_| 1.0);
+        let inst = Instance::builder(g)
+            .storage_costs(vec![0.0, f64::INFINITY])
+            .build();
+        assert!(inst.storage_cost[1].is_infinite());
+    }
+}

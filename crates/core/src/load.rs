@@ -1,0 +1,210 @@
+//! Per-link loads and congestion of a placement.
+//!
+//! The paper's cost model generalizes the *total communication load* model
+//! and is contrasted with *congestion* minimization (Maggs et al.). This
+//! module materializes per-edge traffic under the MST-multicast policy:
+//!
+//! * reads and write-serve legs route along shortest paths to the nearest
+//!   copy,
+//! * multicast updates route along the metric MST of the copy set, with
+//!   every metric edge expanded to a shortest path in the network.
+//!
+//! Invariant (tested): `Σ_e load(e) · ct(e)` equals the evaluator's
+//! `read + update` cost exactly — the two accountings are independent
+//! implementations of the same model. Congestion here is
+//! `max_e load(e) · ct(e)`; with `ct = 1/bandwidth` this is the classical
+//! `max_e load(e)/bw(e)`.
+
+use dmn_graph::dijkstra::{shortest_paths, ShortestPaths};
+use dmn_graph::mst::metric_mst;
+use dmn_graph::{EdgeId, Graph, NodeId};
+
+use crate::instance::Instance;
+use crate::placement::Placement;
+
+/// Per-edge traffic of a placement (indexed by [`EdgeId`]).
+#[derive(Debug, Clone)]
+pub struct EdgeLoads {
+    /// Units of data crossing each edge.
+    pub load: Vec<f64>,
+}
+
+impl EdgeLoads {
+    /// Total communication load weighted by transmission costs:
+    /// `Σ_e load(e) · ct(e)`.
+    pub fn weighted_total(&self, g: &Graph) -> f64 {
+        self.load
+            .iter()
+            .enumerate()
+            .map(|(e, l)| l * g.edge(e).w)
+            .sum()
+    }
+
+    /// Congestion: the maximum of `load(e) · ct(e)` over all edges
+    /// (`load/bandwidth` when `ct = 1/bandwidth`).
+    pub fn congestion(&self, g: &Graph) -> f64 {
+        self.load
+            .iter()
+            .enumerate()
+            .map(|(e, l)| l * g.edge(e).w)
+            .fold(0.0, f64::max)
+    }
+
+    /// The most loaded edge (by weighted load) and its value.
+    pub fn hottest_edge(&self, g: &Graph) -> Option<(EdgeId, f64)> {
+        (0..self.load.len())
+            .map(|e| (e, self.load[e] * g.edge(e).w))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+    }
+}
+
+/// Computes per-edge loads of a placement under the MST-multicast policy.
+///
+/// `O(n (n + m) log n)` for the shortest-path trees plus `O(requests)`
+/// path walks.
+pub fn edge_loads(instance: &Instance, placement: &Placement) -> EdgeLoads {
+    let g = &instance.graph;
+    let n = g.num_nodes();
+    let metric = instance.metric();
+    let mut load = vec![0.0; g.num_edges()];
+    // Cache shortest-path trees per source on demand.
+    let mut trees: Vec<Option<ShortestPaths>> = (0..n).map(|_| None).collect();
+    let add_path = |trees: &mut Vec<Option<ShortestPaths>>,
+                        load: &mut Vec<f64>,
+                        from: NodeId,
+                        to: NodeId,
+                        amount: f64| {
+        if from == to || amount == 0.0 {
+            return;
+        }
+        let sp = trees[from].get_or_insert_with(|| shortest_paths(g, from));
+        // Walk parents from `to` back to `from`, attributing load.
+        let mut v = to;
+        while let Some(p) = sp.parent[v] {
+            let arc = g
+                .neighbors(v)
+                .iter()
+                .filter(|a| a.to == p)
+                .min_by(|a, b| a.w.partial_cmp(&b.w).expect("no NaN"))
+                .expect("parent edge exists");
+            load[arc.edge] += amount;
+            v = p;
+            if v == from {
+                break;
+            }
+        }
+    };
+
+    for (x, w) in instance.objects.iter().enumerate() {
+        let copies = placement.copies(x);
+        // Reads and write-serve legs to the nearest copy.
+        for v in 0..n {
+            let mass = w.reads[v] + w.writes[v];
+            if mass > 0.0 {
+                let (c, _) = metric.nearest_in(v, copies).expect("non-empty");
+                add_path(&mut trees, &mut load, v, c, mass);
+            }
+        }
+        // Multicast: W units along each metric-MST edge, expanded to paths.
+        let w_total = w.total_writes();
+        if w_total > 0.0 && copies.len() > 1 {
+            for (a, b) in metric_mst(metric, copies) {
+                add_path(&mut trees, &mut load, a, b, w_total);
+            }
+        }
+    }
+    EdgeLoads { load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{evaluate, UpdatePolicy};
+    use crate::instance::ObjectWorkload;
+    use dmn_graph::generators;
+
+    fn path_instance() -> Instance {
+        let g = generators::path(4, |_| 2.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(1.0).build();
+        let mut w = ObjectWorkload::new(4);
+        w.reads[3] = 5.0; // 5 reads from the far end
+        w.writes[0] = 1.0; // 1 write at the copy end
+        inst.push_object(w);
+        inst
+    }
+
+    #[test]
+    fn loads_on_a_path_by_hand() {
+        let inst = path_instance();
+        let p = Placement::from_copy_sets(vec![vec![0]]);
+        let loads = edge_loads(&inst, &p);
+        // Reads: 5 units across all three edges; write at the copy: none.
+        assert_eq!(loads.load, vec![5.0, 5.0, 5.0]);
+        assert_eq!(loads.weighted_total(&inst.graph), 30.0);
+        assert_eq!(loads.congestion(&inst.graph), 10.0);
+    }
+
+    #[test]
+    fn multicast_load_counts_tree_edges() {
+        let inst = path_instance();
+        let p = Placement::from_copy_sets(vec![vec![0, 3]]);
+        let loads = edge_loads(&inst, &p);
+        // Reads at 3 are local; the write at 0 is local for the serve leg
+        // but multicasts 1 unit across the whole path (MST of {0,3}).
+        assert_eq!(loads.load, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_total_matches_evaluator_traffic() {
+        // Independent accountings must agree: sum(load * ct) ==
+        // read + update of the evaluator (MST policy).
+        use dmn_graph::generators::TransitStubParams;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for graph in [
+            generators::grid(3, 4, |u, v| ((u + v) % 3 + 1) as f64),
+            generators::transit_stub(TransitStubParams::default(), &mut rng),
+        ] {
+            let n = graph.num_nodes();
+            let mut inst = Instance::builder(graph).uniform_storage_cost(2.0).build();
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                w.reads[v] = ((v * 3) % 4) as f64;
+                if v % 5 == 0 {
+                    w.writes[v] = 2.0;
+                }
+            }
+            inst.push_object(w);
+            let copies: Vec<usize> = (0..n).step_by(7).collect();
+            let p = Placement::from_copy_sets(vec![copies]);
+            let c = evaluate(&inst, &p, UpdatePolicy::MstMulticast);
+            let loads = edge_loads(&inst, &p);
+            let traffic = c.read + c.update();
+            let weighted = loads.weighted_total(&inst.graph);
+            assert!(
+                (weighted - traffic).abs() < 1e-6 * (1.0 + traffic),
+                "load accounting {weighted} vs evaluator {traffic}"
+            );
+        }
+    }
+
+    #[test]
+    fn hottest_edge_identified() {
+        let inst = path_instance();
+        let p = Placement::from_copy_sets(vec![vec![0]]);
+        let loads = edge_loads(&inst, &p);
+        let (e, v) = loads.hottest_edge(&inst.graph).unwrap();
+        assert!(e < 3);
+        assert_eq!(v, 10.0);
+    }
+
+    #[test]
+    fn replication_reduces_congestion_for_reads() {
+        let inst = path_instance();
+        let single = Placement::from_copy_sets(vec![vec![0]]);
+        let repl = Placement::from_copy_sets(vec![vec![0, 3]]);
+        let c1 = edge_loads(&inst, &single).congestion(&inst.graph);
+        let c2 = edge_loads(&inst, &repl).congestion(&inst.graph);
+        assert!(c2 < c1, "replication should relieve the hot path: {c2} vs {c1}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Placements: one non-empty copy set per object.
+
+use dmn_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A placement of object copies onto nodes.
+///
+/// Copy sets are kept sorted and deduplicated; every object must have at
+/// least one copy for the placement to be *servable* (reads need somewhere
+/// to go).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    copies: Vec<Vec<NodeId>>,
+}
+
+impl Placement {
+    /// A placement with empty copy sets for `num_objects` objects
+    /// (not servable until every object receives a copy).
+    pub fn new(num_objects: usize) -> Self {
+        Placement { copies: vec![Vec::new(); num_objects] }
+    }
+
+    /// Builds a placement from per-object copy lists (sorted + deduped).
+    pub fn from_copy_sets(sets: Vec<Vec<NodeId>>) -> Self {
+        let mut p = Placement::new(sets.len());
+        for (x, set) in sets.into_iter().enumerate() {
+            p.set_copies(x, set);
+        }
+        p
+    }
+
+    /// Number of objects covered.
+    pub fn num_objects(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// The sorted copy set of object `x`.
+    #[inline]
+    pub fn copies(&self, x: usize) -> &[NodeId] {
+        &self.copies[x]
+    }
+
+    /// Replaces the copy set of object `x` (input is sorted and deduped).
+    pub fn set_copies(&mut self, x: usize, mut set: Vec<NodeId>) {
+        set.sort_unstable();
+        set.dedup();
+        self.copies[x] = set;
+    }
+
+    /// Adds one copy of object `x` on node `v` (no-op when present).
+    pub fn add_copy(&mut self, x: usize, v: NodeId) {
+        match self.copies[x].binary_search(&v) {
+            Ok(_) => {}
+            Err(i) => self.copies[x].insert(i, v),
+        }
+    }
+
+    /// Removes the copy of object `x` on `v`; returns whether it existed.
+    pub fn remove_copy(&mut self, x: usize, v: NodeId) -> bool {
+        match self.copies[x].binary_search(&v) {
+            Ok(i) => {
+                self.copies[x].remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True when object `x` has a copy on `v`.
+    pub fn has_copy(&self, x: usize, v: NodeId) -> bool {
+        self.copies[x].binary_search(&v).is_ok()
+    }
+
+    /// Total number of copies across all objects.
+    pub fn total_copies(&self) -> usize {
+        self.copies.iter().map(Vec::len).sum()
+    }
+
+    /// Checks that every object has at least one copy and every node id is
+    /// within `0..n`.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for (x, set) in self.copies.iter().enumerate() {
+            if set.is_empty() {
+                return Err(format!("object {x} has no copies"));
+            }
+            if let Some(&v) = set.iter().find(|&&v| v >= n) {
+                return Err(format!("object {x} has a copy on invalid node {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_sorts_and_dedups() {
+        let mut p = Placement::new(1);
+        p.set_copies(0, vec![3, 1, 3, 2]);
+        assert_eq!(p.copies(0), &[1, 2, 3]);
+        assert_eq!(p.total_copies(), 3);
+    }
+
+    #[test]
+    fn add_remove_has() {
+        let mut p = Placement::new(2);
+        p.add_copy(0, 5);
+        p.add_copy(0, 2);
+        p.add_copy(0, 5);
+        assert_eq!(p.copies(0), &[2, 5]);
+        assert!(p.has_copy(0, 5));
+        assert!(!p.has_copy(1, 5));
+        assert!(p.remove_copy(0, 5));
+        assert!(!p.remove_copy(0, 5));
+        assert_eq!(p.copies(0), &[2]);
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = Placement::new(2);
+        p.add_copy(0, 1);
+        assert!(p.validate(3).is_err(), "object 1 empty");
+        p.add_copy(1, 2);
+        assert!(p.validate(3).is_ok());
+        p.add_copy(1, 9);
+        assert!(p.validate(3).is_err(), "node out of range");
+    }
+
+    #[test]
+    fn from_copy_sets_roundtrip() {
+        let p = Placement::from_copy_sets(vec![vec![2, 0], vec![1]]);
+        assert_eq!(p.copies(0), &[0, 2]);
+        assert_eq!(p.copies(1), &[1]);
+    }
+}

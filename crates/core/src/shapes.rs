@@ -1,0 +1,211 @@
+//! The non-uniform model: objects with individual sizes.
+//!
+//! Section 1.1 assumes uniform object sizes "for simplicity" and notes that
+//! *"all our results hold also in a non-uniform model"*. This module makes
+//! that concrete: an object has a transfer size (bytes moved per request /
+//! update) and a storage size (bytes held per copy). Fees are per byte, so
+//!
+//! * read/update terms scale by `transfer_size`, and
+//! * storage terms scale by `storage_size`.
+//!
+//! The placement problem for a shaped object is *identical* to a uniform
+//! problem with storage costs rescaled by `storage_size / transfer_size`
+//! (and the whole objective multiplied by `transfer_size`) — which is why
+//! every algorithm in the workspace carries over unchanged: rescale, place,
+//! evaluate. [`equivalent_storage_costs`] performs the rescale and
+//! [`evaluate_object_shaped`] prices the result.
+
+use dmn_graph::{Metric, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{evaluate_object, CostBreakdown, UpdatePolicy};
+use crate::instance::ObjectWorkload;
+
+/// Per-object sizes of the non-uniform model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectShape {
+    /// Bytes transmitted when the object is read or updated.
+    pub transfer_size: f64,
+    /// Bytes occupied by one copy.
+    pub storage_size: f64,
+}
+
+impl Default for ObjectShape {
+    fn default() -> Self {
+        ObjectShape { transfer_size: 1.0, storage_size: 1.0 }
+    }
+}
+
+impl ObjectShape {
+    /// A shape with equal transfer and storage size.
+    pub fn uniform(size: f64) -> Self {
+        assert!(size > 0.0 && size.is_finite());
+        ObjectShape { transfer_size: size, storage_size: size }
+    }
+
+    /// Validates the shape.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.transfer_size > 0.0 && self.transfer_size.is_finite()) {
+            return Err(format!("invalid transfer size {}", self.transfer_size));
+        }
+        if !(self.storage_size > 0.0 && self.storage_size.is_finite()) {
+            return Err(format!("invalid storage size {}", self.storage_size));
+        }
+        Ok(())
+    }
+}
+
+/// The uniform-model storage costs that make a uniform placement problem
+/// equivalent to the shaped one (up to the global `transfer_size` factor):
+/// `cs'(v) = cs(v) * storage_size / transfer_size`.
+pub fn equivalent_storage_costs(storage_cost: &[f64], shape: ObjectShape) -> Vec<f64> {
+    shape.validate().expect("valid shape");
+    let f = shape.storage_size / shape.transfer_size;
+    storage_cost.iter().map(|c| c * f).collect()
+}
+
+/// Evaluates a copy set for a shaped object: per-byte fees applied to the
+/// object's actual sizes.
+pub fn evaluate_object_shaped(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    copies: &[NodeId],
+    policy: UpdatePolicy,
+    shape: ObjectShape,
+) -> CostBreakdown {
+    shape.validate().expect("valid shape");
+    let base = evaluate_object(metric, storage_cost, workload, copies, policy);
+    CostBreakdown {
+        storage: base.storage * shape.storage_size,
+        read: base.read * shape.transfer_size,
+        write_serve: base.write_serve * shape.transfer_size,
+        multicast: base.multicast * shape.transfer_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Metric, Vec<f64>, ObjectWorkload) {
+        let m = Metric::from_line(&[0.0, 1.0, 3.0]);
+        let cs = vec![2.0, 5.0, 2.0];
+        let mut w = ObjectWorkload::new(3);
+        w.reads[0] = 2.0;
+        w.writes[2] = 1.0;
+        (m, cs, w)
+    }
+
+    #[test]
+    fn uniform_shape_scales_total_linearly() {
+        let (m, cs, w) = setup();
+        let base = evaluate_object(&m, &cs, &w, &[1], UpdatePolicy::MstMulticast);
+        let shaped = evaluate_object_shaped(
+            &m,
+            &cs,
+            &w,
+            &[1],
+            UpdatePolicy::MstMulticast,
+            ObjectShape::uniform(7.0),
+        );
+        assert!((shaped.total() - 7.0 * base.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_scaling_preserves_the_optimal_placement() {
+        let (m, cs, w) = setup();
+        let best_for = |shape: ObjectShape| -> Vec<usize> {
+            let mut best = (f64::INFINITY, vec![]);
+            for mask in 1usize..8 {
+                let copies: Vec<usize> = (0..3).filter(|v| mask >> v & 1 == 1).collect();
+                let c = evaluate_object_shaped(
+                    &m,
+                    &cs,
+                    &w,
+                    &copies,
+                    UpdatePolicy::MstMulticast,
+                    shape,
+                );
+                if c.total() < best.0 {
+                    best = (c.total(), copies);
+                }
+            }
+            best.1
+        };
+        assert_eq!(best_for(ObjectShape::uniform(1.0)), best_for(ObjectShape::uniform(42.0)));
+    }
+
+    #[test]
+    fn skewed_shape_equals_rescaled_uniform_problem() {
+        let (m, cs, w) = setup();
+        let shape = ObjectShape { transfer_size: 2.0, storage_size: 6.0 };
+        let cs_eq = equivalent_storage_costs(&cs, shape);
+        for mask in 1usize..8 {
+            let copies: Vec<usize> = (0..3).filter(|v| mask >> v & 1 == 1).collect();
+            let shaped = evaluate_object_shaped(
+                &m,
+                &cs,
+                &w,
+                &copies,
+                UpdatePolicy::MstMulticast,
+                shape,
+            );
+            let uniform =
+                evaluate_object(&m, &cs_eq, &w, &copies, UpdatePolicy::MstMulticast);
+            assert!(
+                (shaped.total() - shape.transfer_size * uniform.total()).abs() < 1e-9,
+                "copies {copies:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_storage_objects_replicate_less() {
+        // Same workload, two shapes: storage-heavy objects should hold
+        // fewer copies in their optimal placement.
+        let m = Metric::from_line(&[0.0, 4.0, 8.0, 12.0]);
+        let cs = vec![1.0; 4];
+        let mut w = ObjectWorkload::new(4);
+        for v in 0..4 {
+            w.reads[v] = 1.0;
+        }
+        let count_best = |shape: ObjectShape| -> usize {
+            let mut best = (f64::INFINITY, 0usize);
+            for mask in 1usize..16 {
+                let copies: Vec<usize> = (0..4).filter(|v| mask >> v & 1 == 1).collect();
+                let c = evaluate_object_shaped(
+                    &m,
+                    &cs,
+                    &w,
+                    &copies,
+                    UpdatePolicy::MstMulticast,
+                    shape,
+                )
+                .total();
+                if c < best.0 {
+                    best = (c, copies.len());
+                }
+            }
+            best.1
+        };
+        let light = count_best(ObjectShape { transfer_size: 1.0, storage_size: 1.0 });
+        let heavy = count_best(ObjectShape { transfer_size: 1.0, storage_size: 20.0 });
+        assert!(heavy < light, "heavy {heavy} vs light {light}");
+        assert_eq!(heavy, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid shape")]
+    fn zero_size_rejected() {
+        let (m, cs, w) = setup();
+        evaluate_object_shaped(
+            &m,
+            &cs,
+            &w,
+            &[0],
+            UpdatePolicy::MstMulticast,
+            ObjectShape { transfer_size: 0.0, storage_size: 1.0 },
+        );
+    }
+}

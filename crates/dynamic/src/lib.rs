@@ -1,0 +1,34 @@
+//! Dynamic (online) data management on the paper's cost model.
+//!
+//! The SPAA 2001 paper solves the *static* problem — frequencies are known
+//! up front. Its related-work section frames the *dynamic* setting
+//! (Awerbuch–Bartal–Fiat; Maggs et al.; Meyer auf der Heide et al.), where
+//! requests arrive online and the strategy may replicate, migrate, and
+//! invalidate copies as it serves them. This crate provides that setting on
+//! top of the same cost model so static and dynamic strategies are
+//! comparable number-for-number:
+//!
+//! * [`stream`] — request streams: stationary samples of a static workload
+//!   and non-stationary phase-shifting streams,
+//! * [`strategy`] — online strategies: a count-based replicate/invalidate
+//!   strategy (the classic threshold scheme underlying the competitive
+//!   tree strategies), a fixed-placement strategy, and a static oracle
+//!   wrapper around the paper's approximation algorithm,
+//! * [`sim`] — the accounting simulator: serve costs per request, transfer
+//!   costs for replication/migration, and storage *rent* pro-rated over the
+//!   stream so a copy held for the whole stream costs exactly its static
+//!   `cs(v)`.
+//!
+//! The empirical "competitive ratio" reported by the simulator is the cost
+//! of the online strategy divided by the cost of the static-oracle
+//! placement computed with full knowledge of the stream's frequencies.
+
+pub mod migration;
+pub mod sim;
+pub mod strategy;
+pub mod stream;
+
+pub use migration::MigrationStrategy;
+pub use sim::{simulate, DynamicCost};
+pub use strategy::{CountingStrategy, DynamicStrategy, FixedStrategy, StaticOracle};
+pub use stream::{Request, RequestKind, StreamConfig};

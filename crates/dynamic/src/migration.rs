@@ -1,0 +1,128 @@
+//! Single-copy migration strategy.
+//!
+//! The oldest online scheme in the related work (file *migration*, as
+//! opposed to *allocation*): the object keeps exactly one copy, which
+//! migrates toward request activity. The classic rule — move after the
+//! accumulated remote-request pull from some node exceeds the migration
+//! distance a constant number of times — is constant-competitive against
+//! an adversary for migration costs proportional to distance.
+//!
+//! Compared to [`crate::strategy::CountingStrategy`], migration never
+//! replicates: it is the right shape for write-heavy objects where any
+//! second copy multiplies update traffic.
+
+use dmn_graph::{Metric, NodeId};
+
+use crate::strategy::{DynamicStrategy, Reconfiguration};
+use crate::stream::Request;
+
+/// Migrate-towards-activity strategy with a single copy per object.
+#[derive(Debug, Clone)]
+pub struct MigrationStrategy {
+    /// Pull factor: migrate to a node once its accumulated request mass
+    /// times its distance to the copy exceeds `factor * distance` (i.e.
+    /// after ~`factor` requests from there).
+    factor: f64,
+    /// Accumulated pull per (object, node).
+    pull: Vec<Vec<f64>>,
+}
+
+impl MigrationStrategy {
+    /// Creates the strategy for `num_objects` objects over `n` nodes.
+    /// `factor` is the number of requests from a node that justify moving
+    /// the copy there (classic choice: ~2-3).
+    pub fn new(num_objects: usize, n: usize, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        MigrationStrategy { factor, pull: vec![vec![0.0; n]; num_objects] }
+    }
+}
+
+impl DynamicStrategy for MigrationStrategy {
+    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric)
+        -> Reconfiguration {
+        let mut out = Reconfiguration::default();
+        debug_assert_eq!(copies.len(), 1, "migration keeps a single copy");
+        let home = copies[0];
+        if req.node == home {
+            return out;
+        }
+        let d = metric.dist(req.node, home);
+        if d == 0.0 {
+            return out;
+        }
+        let p = &mut self.pull[req.object][req.node];
+        *p += d;
+        if *p >= self.factor * d {
+            // Migrate: replicate to the puller, drop the old home.
+            self.pull[req.object].iter_mut().for_each(|x| *x = 0.0);
+            out.replicate_to.push(req.node);
+            out.invalidate.push(home);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "migration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, static_cost_on_stream};
+    use crate::stream::RequestKind;
+
+    fn read(node: usize) -> Request {
+        Request { node, object: 0, kind: RequestKind::Read }
+    }
+
+    #[test]
+    fn migrates_after_enough_pull() {
+        let m = Metric::from_line(&[0.0, 10.0]);
+        let mut s = MigrationStrategy::new(1, 2, 3.0);
+        let copies = vec![0];
+        assert!(s.on_request(&read(1), &copies, &m).replicate_to.is_empty());
+        assert!(s.on_request(&read(1), &copies, &m).replicate_to.is_empty());
+        let r = s.on_request(&read(1), &copies, &m);
+        assert_eq!(r.replicate_to, vec![1]);
+        assert_eq!(r.invalidate, vec![0]);
+    }
+
+    #[test]
+    fn local_requests_reset_nothing_but_cost_nothing() {
+        let m = Metric::from_line(&[0.0, 10.0]);
+        let mut s = MigrationStrategy::new(1, 2, 3.0);
+        let r = s.on_request(&read(0), &[0], &m);
+        assert!(r.replicate_to.is_empty() && r.invalidate.is_empty());
+    }
+
+    #[test]
+    fn keeps_exactly_one_copy_through_simulation() {
+        let m = Metric::from_line(&[0.0, 5.0, 10.0]);
+        let cs = vec![1.0; 3];
+        let stream: Vec<Request> = (0..30).map(|i| read(2 - (i % 3 == 0) as usize)).collect();
+        let mut s = MigrationStrategy::new(1, 3, 2.0);
+        let cost = simulate(&m, &cs, &[vec![0]], &stream, &mut s);
+        assert!(cost.total().is_finite());
+        // Storage rent for one copy over the whole stream = cs = 1.
+        assert!((cost.storage - 1.0).abs() < 1e-9, "{}", cost.storage);
+    }
+
+    #[test]
+    fn migration_beats_fixed_for_moved_hotspot() {
+        // All activity at the far end: migrating once beats paying the
+        // distance forever.
+        let m = Metric::from_line(&[0.0, 20.0]);
+        let cs = vec![0.5; 2];
+        let stream: Vec<Request> = (0..100).map(|_| read(1)).collect();
+        let mut s = MigrationStrategy::new(1, 2, 3.0);
+        let dynamic = simulate(&m, &cs, &[vec![0]], &stream, &mut s);
+        let fixed = static_cost_on_stream(&m, &cs, &[vec![0]], &stream);
+        assert!(
+            dynamic.total() < 0.2 * fixed.total(),
+            "dynamic {} vs fixed {}",
+            dynamic.total(),
+            fixed.total()
+        );
+    }
+}

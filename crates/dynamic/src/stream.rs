@@ -1,0 +1,160 @@
+//! Request streams: online sequences of read/write requests.
+
+use dmn_core::instance::ObjectWorkload;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A read request (served by the nearest copy).
+    Read,
+    /// A write request (updates all copies).
+    Write,
+}
+
+/// One online request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuing node (the paper's home `h(r)`).
+    pub node: usize,
+    /// Target object.
+    pub object: usize,
+    /// Read or write.
+    pub kind: RequestKind,
+}
+
+/// Configuration of a sampled request stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of requests to generate.
+    pub length: usize,
+    /// Number of stationary phases; the per-node distribution is rotated
+    /// between phases (1 = stationary).
+    pub phases: usize,
+    /// Node-id rotation applied at each phase change (models interest
+    /// drifting across the network).
+    pub phase_shift: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { length: 1000, phases: 1, phase_shift: 0 }
+    }
+}
+
+/// Samples a request stream whose empirical frequencies follow the given
+/// per-object workloads (weighted by request mass), with optional phase
+/// shifts rotating node identities between phases.
+pub fn sample_stream(
+    workloads: &[ObjectWorkload],
+    cfg: &StreamConfig,
+    rng: &mut impl Rng,
+) -> Vec<Request> {
+    assert!(!workloads.is_empty());
+    let n = workloads[0].num_nodes();
+    // Flatten (object, node, kind) atoms with weights for sampling.
+    let mut atoms: Vec<(usize, usize, RequestKind, f64)> = Vec::new();
+    for (x, w) in workloads.iter().enumerate() {
+        for v in 0..n {
+            if w.reads[v] > 0.0 {
+                atoms.push((x, v, RequestKind::Read, w.reads[v]));
+            }
+            if w.writes[v] > 0.0 {
+                atoms.push((x, v, RequestKind::Write, w.writes[v]));
+            }
+        }
+    }
+    let total: f64 = atoms.iter().map(|a| a.3).sum();
+    assert!(total > 0.0, "workloads have no requests");
+    let mut prefix = Vec::with_capacity(atoms.len());
+    let mut acc = 0.0;
+    for a in &atoms {
+        acc += a.3;
+        prefix.push(acc);
+    }
+    let phase_len = cfg.length.div_ceil(cfg.phases.max(1));
+    let mut out = Vec::with_capacity(cfg.length);
+    for i in 0..cfg.length {
+        let phase = i / phase_len;
+        let shift = (phase * cfg.phase_shift) % n;
+        let t = rng.random_range(0.0..total);
+        let k = prefix.partition_point(|&p| p < t).min(atoms.len() - 1);
+        let (x, v, kind, _) = atoms[k];
+        out.push(Request { node: (v + shift) % n, object: x, kind });
+    }
+    out
+}
+
+/// Empirical per-object workloads of a stream (unit mass per request) —
+/// what a static oracle gets to see.
+pub fn empirical_workloads(
+    stream: &[Request],
+    num_objects: usize,
+    n: usize,
+) -> Vec<ObjectWorkload> {
+    let mut out = vec![ObjectWorkload::new(n); num_objects];
+    for r in stream {
+        match r.kind {
+            RequestKind::Read => out[r.object].reads[r.node] += 1.0,
+            RequestKind::Write => out[r.object].writes[r.node] += 1.0,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn workload() -> Vec<ObjectWorkload> {
+        let mut w = ObjectWorkload::new(4);
+        w.reads[0] = 3.0;
+        w.writes[2] = 1.0;
+        vec![w]
+    }
+
+    #[test]
+    fn stream_matches_distribution_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = sample_stream(&workload(), &StreamConfig { length: 4000, ..Default::default() }, &mut rng);
+        assert_eq!(s.len(), 4000);
+        let reads0 = s.iter().filter(|r| r.node == 0 && r.kind == RequestKind::Read).count();
+        let writes2 = s.iter().filter(|r| r.node == 2 && r.kind == RequestKind::Write).count();
+        let ratio = reads0 as f64 / writes2.max(1) as f64;
+        assert!((2.0..4.5).contains(&ratio), "expected ~3, got {ratio}");
+    }
+
+    #[test]
+    fn phase_shift_rotates_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = StreamConfig { length: 100, phases: 2, phase_shift: 2 };
+        let s = sample_stream(&workload(), &cfg, &mut rng);
+        // First phase: requests at nodes {0, 2}; second phase: {2, 0} + 2 = {2, 0}?
+        // shift 2 maps 0 -> 2 and 2 -> 0 on n = 4.
+        let first: Vec<_> = s[..50].iter().map(|r| r.node).collect();
+        let second: Vec<_> = s[50..].iter().map(|r| r.node).collect();
+        assert!(first.iter().all(|&v| v == 0 || v == 2));
+        assert!(second.iter().all(|&v| v == 2 || v == 0));
+        // Read requests sit at 0 in phase 1 and at 2 in phase 2.
+        assert!(s[..50]
+            .iter()
+            .filter(|r| r.kind == RequestKind::Read)
+            .all(|r| r.node == 0));
+        assert!(s[50..]
+            .iter()
+            .filter(|r| r.kind == RequestKind::Read)
+            .all(|r| r.node == 2));
+    }
+
+    #[test]
+    fn empirical_workload_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = sample_stream(&workload(), &StreamConfig { length: 500, ..Default::default() }, &mut rng);
+        let emp = empirical_workloads(&s, 1, 4);
+        assert_eq!(emp[0].total_requests(), 500.0);
+        assert!(emp[0].reads[0] > emp[0].writes[2]);
+    }
+}

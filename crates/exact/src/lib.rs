@@ -1,0 +1,29 @@
+//! Exact (exponential-time) reference solvers for the static data
+//! management problem on validation-scale instances.
+//!
+//! The problem is NP-hard on general networks, so the paper offers no exact
+//! polynomial algorithm — but measuring the approximation factor of the
+//! Section-2 algorithm (experiment E2) and the Lemma-1 factor-4 bound (E1)
+//! requires ground truth. This crate provides it by enumeration:
+//!
+//! * [`SteinerTable`] — minimum Steiner tree weights for *every* node
+//!   subset at once (one Dreyfus–Wagner sweep, `O(3^n · n)`),
+//! * [`optimal_placement`] — the true optimum: per-write optimal update
+//!   sets (minimum Steiner trees over home + copies),
+//! * [`optimal_restricted`] — the optimal *restricted* placement of
+//!   Lemma 1: one shared multicast tree and at least `W` request mass per
+//!   copy, with the assignment solved as a lower-bounded transportation
+//!   problem (min-cost flow).
+//!
+//! Everything here is exponential in `n`; guard rails refuse instances
+//! beyond ~16 nodes.
+
+// Node ids are dense indices throughout this workspace; looping over
+// `0..n` and indexing by node id is the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+pub mod solver;
+pub mod steiner_table;
+
+pub use solver::{optimal_placement, optimal_restricted, ExactSolution};
+pub use steiner_table::SteinerTable;

@@ -1,0 +1,318 @@
+//! Exhaustive optimal and optimal-restricted placement solvers.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::flow::{min_cost_circulation, ArcSpec};
+use dmn_graph::{Metric, NodeId};
+
+use crate::steiner_table::SteinerTable;
+
+/// Maximum node count for the exhaustive solvers.
+pub const MAX_EXACT_NODES: usize = 16;
+
+/// An exact solution: the optimal copy set and its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// Optimal copy set (sorted).
+    pub copies: Vec<NodeId>,
+    /// Its total cost.
+    pub cost: f64,
+}
+
+/// The true optimum of the static data management problem: enumerates every
+/// non-empty copy set; reads go to the nearest copy, every write uses an
+/// optimal update set (minimum Steiner tree over its home plus all copies).
+///
+/// `O(2^n · n)` after one `O(3^n · n)` Steiner sweep.
+///
+/// # Panics
+/// Panics beyond [`MAX_EXACT_NODES`] nodes.
+pub fn optimal_placement(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> ExactSolution {
+    let n = metric.len();
+    assert!(n <= MAX_EXACT_NODES, "exhaustive solver limited to {MAX_EXACT_NODES} nodes");
+    let table = SteinerTable::new(metric);
+    let readers: Vec<(usize, f64)> = collect(workload.reads.iter());
+    let writers: Vec<(usize, f64)> = collect(workload.writes.iter());
+
+    let mut best_mask = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for mask in 1usize..(1 << n) {
+        let mut cost = 0.0;
+        for v in 0..n {
+            if mask >> v & 1 == 1 {
+                cost += storage_cost[v];
+            }
+        }
+        if cost >= best_cost {
+            continue;
+        }
+        for &(v, f) in &readers {
+            cost += f * nearest_in_mask(metric, v, mask);
+            if cost >= best_cost {
+                break;
+            }
+        }
+        if cost >= best_cost {
+            continue;
+        }
+        for &(v, f) in &writers {
+            cost += f * table.steiner_mask(mask | (1 << v));
+            if cost >= best_cost {
+                break;
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    ExactSolution { copies: mask_to_nodes(best_mask, n), cost: best_cost }
+}
+
+/// The optimal *restricted* placement (Lemma 1): all writes share one
+/// multicast tree (the optimal one — a minimum Steiner tree over the copy
+/// set), and every copy must serve at least `W` request mass. Request
+/// assignment under that constraint is solved exactly as a lower-bounded
+/// transportation problem.
+///
+/// # Panics
+/// Panics beyond [`MAX_EXACT_NODES`] nodes.
+pub fn optimal_restricted(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> ExactSolution {
+    let n = metric.len();
+    assert!(n <= MAX_EXACT_NODES, "exhaustive solver limited to {MAX_EXACT_NODES} nodes");
+    let table = SteinerTable::new(metric);
+    let w_total = workload.total_writes();
+    let requests: Vec<(usize, f64)> = collect(
+        workload
+            .reads
+            .iter()
+            .zip(&workload.writes)
+            .map(|(r, w)| r + w)
+            .collect::<Vec<_>>()
+            .iter(),
+    );
+    let total_mass: f64 = requests.iter().map(|&(_, m)| m).sum();
+
+    let mut best_mask = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for mask in 1usize..(1 << n) {
+        let copies = mask_to_nodes(mask, n);
+        // Infeasible: cannot give W mass to every copy.
+        if w_total * copies.len() as f64 > total_mass + 1e-9 {
+            continue;
+        }
+        let mut cost: f64 = copies.iter().map(|&v| storage_cost[v]).sum();
+        cost += w_total * table.steiner_mask(mask);
+        if cost >= best_cost {
+            continue;
+        }
+        cost += match assignment_cost(metric, &requests, &copies, w_total) {
+            Some(c) => c,
+            None => continue,
+        };
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    assert!(
+        best_cost.is_finite(),
+        "a single copy serving everything is always feasible"
+    );
+    ExactSolution { copies: mask_to_nodes(best_mask, n), cost: best_cost }
+}
+
+/// Cheapest assignment of request mass to copies with at least `w_total`
+/// mass per copy. Fast path: nearest assignment when it is already
+/// feasible; otherwise a min-cost transportation with lower bounds.
+fn assignment_cost(
+    metric: &Metric,
+    requests: &[(usize, f64)],
+    copies: &[NodeId],
+    w_total: f64,
+) -> Option<f64> {
+    // Nearest assignment and per-copy service.
+    let mut served = vec![0.0; copies.len()];
+    let mut nearest_cost = 0.0;
+    for &(v, m) in requests {
+        let (c, d) = metric.nearest_in(v, copies).expect("non-empty");
+        let idx = copies.iter().position(|&x| x == c).unwrap();
+        served[idx] += m;
+        nearest_cost += m * d;
+    }
+    if w_total == 0.0 || served.iter().all(|&s| s + 1e-9 >= w_total) {
+        return Some(nearest_cost);
+    }
+    // Transportation with lower bounds: s -> client (fixed mass),
+    // client -> copy (metric cost), copy -> t (lower bound W), t -> s.
+    let m = requests.len();
+    let k = copies.len();
+    let s = 0usize;
+    let t = 1 + m + k;
+    let mut arcs = Vec::with_capacity(1 + m + m * k + k);
+    for (j, &(_, mass)) in requests.iter().enumerate() {
+        arcs.push(ArcSpec { u: s, v: 1 + j, lower: mass, upper: mass, cost: 0.0 });
+    }
+    for (j, &(v, _)) in requests.iter().enumerate() {
+        for (i, &c) in copies.iter().enumerate() {
+            arcs.push(ArcSpec {
+                u: 1 + j,
+                v: 1 + m + i,
+                lower: 0.0,
+                upper: f64::INFINITY,
+                cost: metric.dist(v, c),
+            });
+        }
+    }
+    for i in 0..k {
+        arcs.push(ArcSpec { u: 1 + m + i, v: t, lower: w_total, upper: f64::INFINITY, cost: 0.0 });
+    }
+    arcs.push(ArcSpec { u: t, v: s, lower: 0.0, upper: f64::INFINITY, cost: 0.0 });
+    min_cost_circulation(t + 1, &arcs).map(|(c, _)| c)
+}
+
+fn collect<'a>(iter: impl Iterator<Item = &'a f64>) -> Vec<(usize, f64)> {
+    iter.enumerate()
+        .filter(|&(_, &f)| f > 0.0)
+        .map(|(v, &f)| (v, f))
+        .collect()
+}
+
+fn nearest_in_mask(metric: &Metric, v: usize, mask: usize) -> f64 {
+    let row = metric.row(v);
+    let mut best = f64::INFINITY;
+    let mut m = mask;
+    while m != 0 {
+        let c = m.trailing_zeros() as usize;
+        if row[c] < best {
+            best = row[c];
+        }
+        m &= m - 1;
+    }
+    best
+}
+
+fn mask_to_nodes(mask: usize, n: usize) -> Vec<NodeId> {
+    (0..n).filter(|&v| mask >> v & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_core::cost::{evaluate_object, UpdatePolicy};
+    use dmn_graph::dijkstra::apsp;
+    use dmn_graph::generators;
+
+    #[test]
+    fn read_only_matches_facility_location() {
+        // With no writes, the problem *is* UFL.
+        let g = generators::path(5, |_| 2.0);
+        let m = apsp(&g);
+        let cs = vec![3.0; 5];
+        let mut w = ObjectWorkload::new(5);
+        for v in 0..5 {
+            w.reads[v] = 1.0;
+        }
+        let sol = optimal_placement(&m, &cs, &w);
+        let check = evaluate_object(&m, &cs, &w, &sol.copies, UpdatePolicy::ExactSteiner);
+        assert!((check.total() - sol.cost).abs() < 1e-9);
+        // UFL exact agreement.
+        let fl = dmn_facility::FlInstance::new(&m, cs.clone(), w.request_masses());
+        let ufl = dmn_facility::exact(&fl);
+        assert!((ufl.cost - sol.cost).abs() < 1e-9);
+        assert_eq!(ufl.open, sol.copies);
+    }
+
+    #[test]
+    fn heavy_writes_force_single_copy() {
+        let g = generators::path(4, |_| 1.0);
+        let m = apsp(&g);
+        let cs = vec![0.1; 4];
+        let mut w = ObjectWorkload::new(4);
+        for v in 0..4 {
+            w.reads[v] = 0.5;
+        }
+        w.writes[1] = 100.0;
+        let sol = optimal_placement(&m, &cs, &w);
+        assert_eq!(sol.copies, vec![1], "writer-local single copy");
+    }
+
+    #[test]
+    fn exact_cost_agrees_with_evaluator() {
+        let g = generators::grid(2, 3, |u, v| ((u + v) % 2 + 1) as f64);
+        let m = apsp(&g);
+        let cs = vec![2.0, 1.0, 3.0, 1.0, 2.0, 1.0];
+        let mut w = ObjectWorkload::new(6);
+        w.reads[0] = 2.0;
+        w.reads[5] = 1.0;
+        w.writes[2] = 1.5;
+        let sol = optimal_placement(&m, &cs, &w);
+        let check = evaluate_object(&m, &cs, &w, &sol.copies, UpdatePolicy::ExactSteiner);
+        assert!((check.total() - sol.cost).abs() < 1e-9);
+        // Optimality: no other subset beats it.
+        for mask in 1usize..(1 << 6) {
+            let copies = mask_to_nodes(mask, 6);
+            let c = evaluate_object(&m, &cs, &w, &copies, UpdatePolicy::ExactSteiner);
+            assert!(c.total() + 1e-9 >= sol.cost, "subset {copies:?} beats opt");
+        }
+    }
+
+    #[test]
+    fn restricted_at_least_optimal_and_within_factor_4() {
+        // Lemma 1 on concrete instances: OPT <= OPT_W <= 4 OPT.
+        let g = generators::grid(2, 3, |_, _| 1.0);
+        let m = apsp(&g);
+        for (cs_val, wmass) in [(0.5, 1.0), (2.0, 4.0), (5.0, 0.5)] {
+            let cs = vec![cs_val; 6];
+            let mut w = ObjectWorkload::new(6);
+            for v in 0..6 {
+                w.reads[v] = 1.0;
+            }
+            w.writes[3] = wmass;
+            let opt = optimal_placement(&m, &cs, &w);
+            let rst = optimal_restricted(&m, &cs, &w);
+            assert!(
+                rst.cost + 1e-9 >= opt.cost,
+                "restricted can't beat unrestricted"
+            );
+            assert!(
+                rst.cost <= 4.0 * opt.cost + 1e-9,
+                "Lemma 1 violated: {} > 4 * {}",
+                rst.cost,
+                opt.cost
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_single_copy_feasible_when_writes_dominate() {
+        // W nearly equals total mass: only 1 copy is feasible.
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let cs = vec![0.0; 3];
+        let mut w = ObjectWorkload::new(3);
+        w.writes[0] = 5.0;
+        w.reads[2] = 1.0;
+        let rst = optimal_restricted(&m, &cs, &w);
+        assert_eq!(rst.copies.len(), 1, "{:?}", rst.copies);
+    }
+
+    #[test]
+    fn restricted_assignment_uses_flow_when_nearest_is_infeasible() {
+        // Two copies, all mass close to copy 0, W forces sharing.
+        let m = Metric::from_line(&[0.0, 0.5, 10.0]);
+        let requests = vec![(0usize, 3.0), (1usize, 3.0)];
+        let copies = vec![0usize, 2usize];
+        // Nearest assignment: copy 2 serves nothing < W = 3.
+        let c = assignment_cost(&m, &requests, &copies, 3.0).expect("feasible");
+        // Optimal constrained: send the node-1 mass (3.0) to copy 2:
+        // 3 * 9.5 = 28.5; node-0 mass stays: 0.
+        assert!((c - 28.5).abs() < 1e-9, "c = {c}");
+    }
+}

@@ -1,0 +1,156 @@
+//! All-subset minimum Steiner tree weights via one Dreyfus–Wagner sweep.
+
+use dmn_graph::Metric;
+
+/// Largest node count the table will accept (`3^n` work, `2^n · n` memory).
+pub const MAX_NODES: usize = 17;
+
+/// Minimum Steiner tree weights for every subset of a small metric.
+///
+/// Internally runs Dreyfus–Wagner with *all* nodes as terminals: the DP
+/// table `dp[S][v]` (cheapest tree spanning subset `S` plus node `v`)
+/// then answers `steiner(T)` for any `T` by splitting off one terminal.
+#[derive(Debug)]
+pub struct SteinerTable {
+    n: usize,
+    /// `dp[S * n + v]` over subsets `S` of nodes `0..n-1` (node `n-1` is
+    /// the DW root and is excluded from masks).
+    dp: Vec<f64>,
+}
+
+impl SteinerTable {
+    /// Builds the table. `O(3^n · n + 2^n · n^2)` time, `O(2^n · n)` memory.
+    ///
+    /// # Panics
+    /// Panics when the metric has more than [`MAX_NODES`] points or fewer
+    /// than 1.
+    pub fn new(metric: &Metric) -> Self {
+        let n = metric.len();
+        assert!((1..=MAX_NODES).contains(&n), "SteinerTable supports 1..={MAX_NODES} nodes");
+        let k = n - 1; // nodes 0..k are mask bits; node k is the root side
+        let full: usize = (1usize << k) - 1;
+        let mut dp = vec![f64::INFINITY; (full + 1) * n];
+        for v in 0..n {
+            dp[v] = 0.0;
+        }
+        for i in 0..k {
+            let s = 1usize << i;
+            for v in 0..n {
+                dp[s * n + v] = metric.dist(i, v);
+            }
+        }
+        for s in 1..=full {
+            if s.count_ones() <= 1 {
+                continue;
+            }
+            let low = s & s.wrapping_neg();
+            let rest = s ^ low;
+            // Merge two sub-trees at v (fix the lowest bit in one side).
+            let mut sub = rest;
+            loop {
+                let a = sub | low;
+                let b = s ^ a;
+                if b != 0 {
+                    for v in 0..n {
+                        let cand = dp[a * n + v] + dp[b * n + v];
+                        if cand < dp[s * n + v] {
+                            dp[s * n + v] = cand;
+                        }
+                    }
+                }
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & rest;
+            }
+            // One metric relaxation round (closed under triangle inequality).
+            let row_start = s * n;
+            let snapshot: Vec<f64> = dp[row_start..row_start + n].to_vec();
+            for v in 0..n {
+                let mut best = snapshot[v];
+                for (u, &su) in snapshot.iter().enumerate() {
+                    let cand = su + metric.dist(u, v);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                dp[row_start + v] = best;
+            }
+        }
+        SteinerTable { n, dp }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table covers no nodes (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Minimum Steiner tree weight connecting the nodes in `mask`
+    /// (bit `v` set = node `v` is a terminal). 0 for at most one terminal.
+    pub fn steiner_mask(&self, mask: usize) -> f64 {
+        debug_assert!(mask < (1usize << self.n));
+        if mask.count_ones() <= 1 {
+            return 0.0;
+        }
+        let root_bit = 1usize << (self.n - 1);
+        if mask & root_bit != 0 {
+            // dp is rooted at node n-1.
+            self.dp[(mask ^ root_bit) * self.n + (self.n - 1)]
+        } else {
+            // Split off the highest terminal as the root side.
+            let v = (usize::BITS - 1 - mask.leading_zeros()) as usize;
+            self.dp[(mask ^ (1usize << v)) * self.n + v]
+        }
+    }
+
+    /// Steiner weight for an explicit terminal list.
+    pub fn steiner(&self, terminals: &[usize]) -> f64 {
+        let mut mask = 0usize;
+        for &t in terminals {
+            mask |= 1 << t;
+        }
+        self.steiner_mask(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::dijkstra::apsp;
+    use dmn_graph::generators;
+    use dmn_graph::steiner::dreyfus_wagner;
+
+    #[test]
+    fn matches_per_call_dreyfus_wagner() {
+        let g = generators::grid(2, 4, |u, v| ((u * 3 + v) % 4 + 1) as f64);
+        let m = apsp(&g);
+        let table = SteinerTable::new(&m);
+        for mask in 0usize..(1 << 8) {
+            let terms: Vec<usize> = (0..8).filter(|&v| mask >> v & 1 == 1).collect();
+            let want = dreyfus_wagner(&m, &terms);
+            let got = table.steiner_mask(mask);
+            assert!(
+                (want - got).abs() < 1e-9,
+                "mask {mask:#b}: want {want}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_center_as_steiner_point() {
+        let g = generators::star(5, |_| 1.0);
+        let m = apsp(&g);
+        let table = SteinerTable::new(&m);
+        // All four leaves: tree through the hub, weight 4.
+        assert!((table.steiner(&[1, 2, 3, 4]) - 4.0).abs() < 1e-9);
+        // Two leaves: path through hub, weight 2.
+        assert!((table.steiner(&[1, 2]) - 2.0).abs() < 1e-9);
+        assert_eq!(table.steiner(&[3]), 0.0);
+        assert_eq!(table.steiner(&[]), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Exhaustive UFL solver for validation-scale instances.
+
+use crate::instance::{FlInstance, FlSolution};
+
+/// Maximum number of allowed facility sites for [`exact`].
+pub const MAX_EXACT_SITES: usize = 22;
+
+/// Finds the optimal facility set by enumerating all non-empty subsets of
+/// allowed sites. `O(2^s · n)` — guard rails at [`MAX_EXACT_SITES`] sites.
+///
+/// # Panics
+/// Panics when more than [`MAX_EXACT_SITES`] sites are allowed.
+pub fn exact(inst: &FlInstance) -> FlSolution {
+    let sites = inst.sites();
+    let s = sites.len();
+    assert!(
+        s <= MAX_EXACT_SITES,
+        "exact UFL limited to {MAX_EXACT_SITES} sites, got {s}"
+    );
+    let clients = inst.clients();
+    let mut best_mask = 1usize;
+    let mut best_cost = f64::INFINITY;
+    for mask in 1usize..(1 << s) {
+        let mut cost = 0.0;
+        for (i, &f) in sites.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                cost += inst.open_cost[f];
+            }
+        }
+        if cost >= best_cost {
+            continue;
+        }
+        for &v in &clients {
+            let row = inst.metric.row(v);
+            let mut nearest = f64::INFINITY;
+            for (i, &f) in sites.iter().enumerate() {
+                if mask >> i & 1 == 1 && row[f] < nearest {
+                    nearest = row[f];
+                }
+            }
+            cost += inst.demand[v] * nearest;
+            if cost >= best_cost {
+                break;
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    let open: Vec<_> = sites
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| best_mask >> i & 1 == 1)
+        .map(|(_, &f)| f)
+        .collect();
+    FlSolution { open, cost: best_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::Metric;
+
+    #[test]
+    fn picks_the_median_for_expensive_facilities() {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let inst = FlInstance::new(&m, vec![50.0; 3], vec![1.0; 3]);
+        let s = exact(&inst);
+        assert_eq!(s.open, vec![1]);
+        assert!((s.cost - 52.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opens_everything_when_free() {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let inst = FlInstance::new(&m, vec![0.0; 3], vec![1.0; 3]);
+        let s = exact(&inst);
+        assert_eq!(s.cost, 0.0);
+        assert_eq!(s.open.len(), 3);
+    }
+
+    #[test]
+    fn respects_forbidden_sites() {
+        let m = Metric::from_line(&[0.0, 1.0]);
+        let inst = FlInstance::new(&m, vec![f64::INFINITY, 2.0], vec![7.0, 0.0]);
+        let s = exact(&inst);
+        assert_eq!(s.open, vec![1]);
+        assert!((s.cost - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beats_or_matches_every_heuristic() {
+        use crate::{greedy::greedy, local_search::{local_search, LocalSearchConfig}, mettu_plaxton::mettu_plaxton};
+        let m = Metric::from_line(&[0.0, 3.0, 5.0, 11.0, 17.0, 18.0]);
+        let inst = FlInstance::new(
+            &m,
+            vec![6.0, 2.0, 9.0, 1.0, 4.0, 6.0],
+            vec![1.0, 2.0, 0.5, 3.0, 1.0, 2.0],
+        );
+        let opt = exact(&inst).cost;
+        for (name, cost) in [
+            ("ls", local_search(&inst, &LocalSearchConfig::default()).cost),
+            ("mp", mettu_plaxton(&inst).cost),
+            ("greedy", greedy(&inst).cost),
+        ] {
+            assert!(cost + 1e-9 >= opt, "{name} beat the optimum?!");
+            assert!(cost <= 5.0 * opt + 1e-9, "{name} too far from optimum");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! UFL instances and solutions.
+
+use dmn_graph::{Metric, NodeId};
+
+/// An uncapacitated facility location instance over the nodes of a metric.
+///
+/// Every node is a potential facility site (possibly with infinite opening
+/// cost, which forbids it) and a potential client (with zero demand when it
+/// issues no requests).
+#[derive(Debug, Clone)]
+pub struct FlInstance<'a> {
+    /// Connection costs.
+    pub metric: &'a Metric,
+    /// Facility opening cost per node; `f64::INFINITY` forbids a site.
+    pub open_cost: Vec<f64>,
+    /// Client demand per node (weight of its requests).
+    pub demand: Vec<f64>,
+}
+
+impl<'a> FlInstance<'a> {
+    /// Creates an instance; lengths must match the metric.
+    pub fn new(metric: &'a Metric, open_cost: Vec<f64>, demand: Vec<f64>) -> Self {
+        assert_eq!(open_cost.len(), metric.len());
+        assert_eq!(demand.len(), metric.len());
+        assert!(
+            open_cost.iter().any(|c| c.is_finite()),
+            "at least one facility site must be allowed"
+        );
+        assert!(demand.iter().all(|&d| d >= 0.0 && d.is_finite()));
+        FlInstance { metric, open_cost, demand }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.metric.len()
+    }
+
+    /// True when the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nodes with positive demand.
+    pub fn clients(&self) -> Vec<NodeId> {
+        (0..self.len()).filter(|&v| self.demand[v] > 0.0).collect()
+    }
+
+    /// Nodes allowed to host a facility.
+    pub fn sites(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&v| self.open_cost[v].is_finite())
+            .collect()
+    }
+
+    /// Total demand.
+    pub fn total_demand(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+
+    /// Demand-weighted connection cost of serving every client from its
+    /// nearest facility in `open`.
+    pub fn connection_cost(&self, open: &[NodeId]) -> f64 {
+        assert!(!open.is_empty());
+        let mut cost = 0.0;
+        for v in 0..self.len() {
+            if self.demand[v] > 0.0 {
+                let (_, d) = self.metric.nearest_in(v, open).expect("non-empty");
+                cost += self.demand[v] * d;
+            }
+        }
+        cost
+    }
+
+    /// Opening cost of `open`.
+    pub fn opening_cost(&self, open: &[NodeId]) -> f64 {
+        open.iter().map(|&f| self.open_cost[f]).sum()
+    }
+
+    /// Total cost (opening + connection) of a facility set.
+    pub fn total_cost(&self, open: &[NodeId]) -> f64 {
+        self.opening_cost(open) + self.connection_cost(open)
+    }
+
+    /// Wraps a facility set into a [`FlSolution`] with its cost.
+    pub fn solution(&self, mut open: Vec<NodeId>) -> FlSolution {
+        open.sort_unstable();
+        open.dedup();
+        let cost = self.total_cost(&open);
+        FlSolution { open, cost }
+    }
+}
+
+/// A UFL solution: the open facilities and the total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlSolution {
+    /// Open facility sites (sorted).
+    pub open: Vec<NodeId>,
+    /// Opening + connection cost.
+    pub cost: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_and_filters() {
+        let m = Metric::from_line(&[0.0, 1.0, 5.0]);
+        let inst = FlInstance::new(&m, vec![2.0, f64::INFINITY, 3.0], vec![1.0, 4.0, 0.0]);
+        assert_eq!(inst.clients(), vec![0, 1]);
+        assert_eq!(inst.sites(), vec![0, 2]);
+        assert_eq!(inst.total_demand(), 5.0);
+        assert_eq!(inst.connection_cost(&[0]), 4.0);
+        assert_eq!(inst.connection_cost(&[2]), 5.0 + 4.0 * 4.0);
+        assert_eq!(inst.total_cost(&[0, 2]), 2.0 + 3.0 + 4.0);
+        let s = inst.solution(vec![2, 0, 0]);
+        assert_eq!(s.open, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one facility")]
+    fn all_sites_forbidden_rejected() {
+        let m = Metric::from_line(&[0.0, 1.0]);
+        FlInstance::new(&m, vec![f64::INFINITY; 2], vec![1.0, 1.0]);
+    }
+}

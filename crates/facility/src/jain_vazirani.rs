@@ -1,0 +1,202 @@
+//! The Jain–Vazirani primal–dual algorithm for UFL (factor 3).
+//!
+//! Phase 1 (dual ascent): every unfrozen client's dual `α_j` grows at unit
+//! rate. Once `α_j` reaches `d(i, j)` the edge is *tight* and the client
+//! starts paying `w_j · (α_j − d(i, j))` toward facility `i`. A facility
+//! whose payments reach its opening cost opens *temporarily*; active
+//! clients with tight edges to a temporarily open facility freeze.
+//!
+//! Phase 2 (pruning): temporarily open facilities conflict when some client
+//! pays both; scanning in opening order, a maximal independent set is kept.
+//!
+//! The implementation is an exact event-driven simulation over the finitely
+//! many tight-edge and fully-paid events, with weighted clients (a client of
+//! demand `w` pays at rate `w`).
+
+use dmn_graph::NodeId;
+
+use crate::instance::{FlInstance, FlSolution};
+
+const TIME_EPS: f64 = 1e-9;
+
+/// Solves UFL with the Jain–Vazirani primal–dual scheme.
+pub fn jain_vazirani(inst: &FlInstance) -> FlSolution {
+    let sites = inst.sites();
+    let clients = inst.clients();
+    assert!(!clients.is_empty(), "no demand to serve");
+    let m = clients.len();
+    let s = sites.len();
+    let dist = |i: usize, j: usize| inst.metric.dist(sites[i], clients[j]);
+    let weight = |j: usize| inst.demand[clients[j]];
+
+    let mut alpha = vec![0.0_f64; m];
+    let mut active = vec![true; m];
+    let mut open_time: Vec<Option<f64>> = vec![None; s];
+    let mut open_order: Vec<usize> = Vec::new();
+    let mut t = 0.0_f64;
+
+    // Payment collected by site i at time `now` given current alphas.
+    let payment = |i: usize, now: f64, alpha: &[f64], active: &[bool]| -> f64 {
+        (0..m)
+            .map(|j| {
+                let a = if active[j] { now } else { alpha[j] };
+                weight(j) * (a - dist(i, j)).max(0.0)
+            })
+            .sum()
+    };
+
+    let max_steps = 4 * (m + 2) * (s + 2);
+    for _ in 0..max_steps {
+        if active.iter().all(|&a| !a) {
+            break;
+        }
+        // Settle zero-time events at the current time first: facilities that
+        // are already fully paid, then clients adjacent to open facilities.
+        let mut progressed = false;
+        for i in 0..s {
+            if open_time[i].is_none()
+                && payment(i, t, &alpha, &active) + TIME_EPS >= inst.open_cost[sites[i]]
+            {
+                open_time[i] = Some(t);
+                open_order.push(i);
+                progressed = true;
+            }
+        }
+        for j in 0..m {
+            if active[j] {
+                let frozen_by = (0..s)
+                    .find(|&i| open_time[i].is_some() && dist(i, j) <= t + TIME_EPS);
+                if frozen_by.is_some() {
+                    active[j] = false;
+                    alpha[j] = t;
+                    progressed = true;
+                }
+            }
+        }
+        if progressed {
+            continue;
+        }
+        // Advance time to the next event.
+        let mut next = f64::INFINITY;
+        // (a) an edge from an active client becomes tight;
+        for j in 0..m {
+            if active[j] {
+                for i in 0..s {
+                    let d = dist(i, j);
+                    if d > t + TIME_EPS {
+                        next = next.min(d);
+                    }
+                }
+            }
+        }
+        // (b) an unopened facility becomes fully paid at current slopes.
+        for i in 0..s {
+            if open_time[i].is_none() {
+                let paid = payment(i, t, &alpha, &active);
+                let slope: f64 = (0..m)
+                    .filter(|&j| active[j] && dist(i, j) <= t + TIME_EPS)
+                    .map(weight)
+                    .sum();
+                if slope > 0.0 {
+                    next = next.min(t + (inst.open_cost[sites[i]] - paid) / slope);
+                }
+            }
+        }
+        assert!(
+            next.is_finite(),
+            "dual ascent stalled with active clients — impossible on a finite metric"
+        );
+        t = next.max(t);
+    }
+    assert!(active.iter().all(|&a| !a), "all clients must freeze");
+
+    // Phase 2: maximal independent set in opening order; conflict = some
+    // client pays both facilities strictly.
+    let pays = |i: usize, j: usize| alpha[j] > dist(i, j) + TIME_EPS;
+    let mut selected: Vec<usize> = Vec::new();
+    for &i in &open_order {
+        let conflict = selected.iter().any(|&k| {
+            (0..m).any(|j| pays(i, j) && pays(k, j))
+        });
+        if !conflict {
+            selected.push(i);
+        }
+    }
+    assert!(!selected.is_empty(), "at least one facility survives pruning");
+    let open: Vec<NodeId> = selected.iter().map(|&i| sites[i]).collect();
+    inst.solution(open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact;
+    use dmn_graph::Metric;
+
+    #[test]
+    fn single_client_single_site() {
+        let m = Metric::from_line(&[0.0, 2.0]);
+        let inst = FlInstance::new(&m, vec![3.0, f64::INFINITY], vec![0.0, 1.0]);
+        let s = jain_vazirani(&inst);
+        assert_eq!(s.open, vec![0]);
+        assert!((s.cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_facility_opens_immediately() {
+        let m = Metric::from_line(&[0.0, 5.0]);
+        let inst = FlInstance::new(&m, vec![0.0, 10.0], vec![1.0, 1.0]);
+        let s = jain_vazirani(&inst);
+        assert!(s.open.contains(&0));
+        assert!(s.cost <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_clusters_two_facilities() {
+        let m = Metric::from_line(&[0.0, 1.0, 100.0, 101.0]);
+        let inst = FlInstance::new(&m, vec![1.0; 4], vec![5.0; 4]);
+        let s = jain_vazirani(&inst);
+        assert!(s.open.iter().any(|&f| f <= 1), "{:?}", s.open);
+        assert!(s.open.iter().any(|&f| f >= 2), "{:?}", s.open);
+        assert!(s.cost <= 3.0 * 12.0 + 1e-9);
+    }
+
+    #[test]
+    fn pruning_prevents_double_payment() {
+        // Three co-located cheap facilities: only one may survive.
+        let m = Metric::from_line(&[0.0, 0.0, 0.0, 1.0]);
+        let inst = FlInstance::new(&m, vec![1.0, 1.0, 1.0, f64::INFINITY], vec![0.0, 0.0, 0.0, 2.0]);
+        let s = jain_vazirani(&inst);
+        assert_eq!(s.open.len(), 1, "{:?}", s.open);
+    }
+
+    #[test]
+    fn within_factor_three_of_exact() {
+        let m = Metric::from_line(&[0.0, 3.0, 5.0, 11.0, 17.0, 18.0]);
+        for (fc, dm) in [
+            (vec![6.0, 2.0, 9.0, 1.0, 4.0, 6.0], vec![1.0, 2.0, 0.5, 3.0, 1.0, 2.0]),
+            (vec![4.0; 6], vec![1.0; 6]),
+            (vec![0.5; 6], vec![2.0, 0.0, 2.0, 0.0, 2.0, 0.0]),
+        ] {
+            let inst = FlInstance::new(&m, fc.clone(), dm.clone());
+            let jv = jain_vazirani(&inst);
+            let opt = exact(&inst);
+            assert!(
+                jv.cost <= 3.0 * opt.cost + 1e-9,
+                "fc={fc:?} dm={dm:?}: jv {} vs opt {}",
+                jv.cost,
+                opt.cost
+            );
+            assert!(jv.cost + 1e-9 >= opt.cost);
+        }
+    }
+
+    #[test]
+    fn weighted_clients_shift_the_opening() {
+        // Heavy client at 0, light at far end; one facility should sit at 0.
+        let m = Metric::from_line(&[0.0, 10.0]);
+        let inst = FlInstance::new(&m, vec![5.0, 5.0], vec![10.0, 0.1]);
+        let s = jain_vazirani(&inst);
+        assert!(s.open.contains(&0), "{:?}", s.open);
+    }
+}

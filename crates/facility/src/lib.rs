@@ -1,0 +1,83 @@
+//! Uncapacitated facility location (UFL) solvers.
+//!
+//! Phase 1 of the paper's approximation algorithm solves the *related
+//! facility location problem*: the data-management instance with every
+//! write treated as a read (update costs neglected). Facility costs are the
+//! storage costs `cs(v)`, clients are the nodes weighted by their request
+//! mass, and connection costs are the metric `ct`. Lemma 9 then bounds the
+//! storage cost of the final placement by `f * (C^OPTW_s + C^OPTW_r)` where
+//! `f` is the approximation factor of whichever UFL solver is plugged in —
+//! so this crate offers several:
+//!
+//! * [`local_search()`](fn@local_search) — add/drop/swap local search (the heuristic analyzed
+//!   in Korupolu–Plaxton–Rajaraman, the paper's reference 8; factor
+//!   5 + ε),
+//! * [`mettu_plaxton()`](fn@mettu_plaxton) — the radius-based greedy of Mettu & Plaxton
+//!   (factor 3), structurally the closest relative of the paper's own
+//!   storage radii,
+//! * [`jain_vazirani()`](fn@jain_vazirani) — the primal–dual algorithm (factor 3),
+//! * [`greedy()`](fn@greedy) — classical density greedy (factor `O(log n)`, strong in
+//!   practice), and
+//! * [`exact()`](fn@exact) — brute force over facility subsets for validation-scale
+//!   instances.
+//!
+//! The paper's own suggestion (LP rounding à la Shmoys–Tardos–Aardal /
+//! Chudak–Shmoys, factor 1.736) needs an LP solver; Theorem 7 only needs
+//! *some* constant factor, which all solvers above provide (see DESIGN.md).
+
+// Node ids are dense indices throughout this workspace; looping over
+// `0..n` and indexing by node id is the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+pub mod exact;
+pub mod greedy;
+pub mod instance;
+pub mod jain_vazirani;
+pub mod local_search;
+pub mod mettu_plaxton;
+
+pub use exact::exact;
+pub use greedy::greedy;
+pub use instance::{FlInstance, FlSolution};
+pub use jain_vazirani::jain_vazirani;
+pub use local_search::{local_search, LocalSearchConfig};
+pub use mettu_plaxton::mettu_plaxton;
+
+/// The available UFL solvers as a value, for configuration plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Solver {
+    /// Add/drop/swap local search (5 + ε approximation).
+    #[default]
+    LocalSearch,
+    /// Mettu–Plaxton radius greedy (3-approximation).
+    MettuPlaxton,
+    /// Jain–Vazirani primal–dual (3-approximation).
+    JainVazirani,
+    /// Density greedy (logarithmic worst case, strong in practice).
+    Greedy,
+    /// Exhaustive search (exact; tiny instances only).
+    Exact,
+}
+
+impl Solver {
+    /// Runs the selected solver.
+    pub fn solve(self, inst: &FlInstance) -> FlSolution {
+        match self {
+            Solver::LocalSearch => local_search(inst, &LocalSearchConfig::default()),
+            Solver::MettuPlaxton => mettu_plaxton(inst),
+            Solver::JainVazirani => jain_vazirani(inst),
+            Solver::Greedy => greedy(inst),
+            Solver::Exact => exact(inst),
+        }
+    }
+
+    /// All practical (polynomial-time) solvers.
+    pub fn all_polynomial() -> [Solver; 4] {
+        [
+            Solver::LocalSearch,
+            Solver::MettuPlaxton,
+            Solver::JainVazirani,
+            Solver::Greedy,
+        ]
+    }
+}

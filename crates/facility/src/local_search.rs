@@ -1,0 +1,162 @@
+//! Add/drop/swap local search for UFL.
+//!
+//! The heuristic analyzed by Korupolu, Plaxton & Rajaraman (SODA 1998, the
+//! paper's reference 8): starting from any solution, repeatedly apply the
+//! best of *add a facility*, *drop a facility*, or *swap one in for one
+//! out* while the improvement is significant. With a relative improvement
+//! threshold `ε`, the number of iterations is polynomial and the result is
+//! a `5 + O(ε)` approximation.
+
+use dmn_graph::NodeId;
+
+use crate::instance::{FlInstance, FlSolution};
+
+/// Tuning knobs for [`local_search`].
+#[derive(Debug, Clone)]
+pub struct LocalSearchConfig {
+    /// A move must improve the current cost by more than
+    /// `min_relative_gain * cost` to be taken (guarantees polynomially many
+    /// iterations).
+    pub min_relative_gain: f64,
+    /// Hard cap on iterations (defense in depth; rarely reached).
+    pub max_iterations: usize,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig { min_relative_gain: 1e-6, max_iterations: 10_000 }
+    }
+}
+
+/// Runs add/drop/swap local search from the best single-facility start.
+pub fn local_search(inst: &FlInstance, cfg: &LocalSearchConfig) -> FlSolution {
+    let sites = inst.sites();
+    let clients = inst.clients();
+    // Start: cheapest single facility.
+    let mut open: Vec<NodeId> = vec![best_single(inst, &sites)];
+    let mut cost = inst.total_cost(&open);
+
+    for _ in 0..cfg.max_iterations {
+        let threshold = cost * (1.0 - cfg.min_relative_gain);
+        let mut best: Option<(Vec<NodeId>, f64)> = None;
+        let consider = |cand: Vec<NodeId>, c: f64, best: &mut Option<(Vec<NodeId>, f64)>| {
+            if c < threshold && best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                *best = Some((cand, c));
+            }
+        };
+        // Adds.
+        for &f in &sites {
+            if open.binary_search(&f).is_err() {
+                let mut cand = open.clone();
+                cand.push(f);
+                cand.sort_unstable();
+                let c = quick_cost(inst, &clients, &cand);
+                consider(cand, c, &mut best);
+            }
+        }
+        // Drops.
+        if open.len() > 1 {
+            for i in 0..open.len() {
+                let mut cand = open.clone();
+                cand.remove(i);
+                let c = quick_cost(inst, &clients, &cand);
+                consider(cand, c, &mut best);
+            }
+        }
+        // Swaps.
+        for i in 0..open.len() {
+            for &f in &sites {
+                if open.binary_search(&f).is_err() {
+                    let mut cand = open.clone();
+                    cand[i] = f;
+                    cand.sort_unstable();
+                    let c = quick_cost(inst, &clients, &cand);
+                    consider(cand, c, &mut best);
+                }
+            }
+        }
+        match best {
+            Some((cand, c)) => {
+                open = cand;
+                cost = c;
+            }
+            None => break,
+        }
+    }
+    FlSolution { open, cost }
+}
+
+fn best_single(inst: &FlInstance, sites: &[NodeId]) -> NodeId {
+    *sites
+        .iter()
+        .min_by(|&&a, &&b| {
+            inst.total_cost(&[a])
+                .partial_cmp(&inst.total_cost(&[b]))
+                .expect("costs are not NaN")
+        })
+        .expect("at least one site")
+}
+
+/// Total cost restricted to the pre-filtered client list (avoids scanning
+/// zero-demand nodes in the hot loop).
+fn quick_cost(inst: &FlInstance, clients: &[NodeId], open: &[NodeId]) -> f64 {
+    let mut c = inst.opening_cost(open);
+    for &v in clients {
+        let (_, d) = inst.metric.nearest_in(v, open).expect("non-empty");
+        c += inst.demand[v] * d;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::Metric;
+
+    #[test]
+    fn opens_both_clusters_when_cheap() {
+        // Two demand clusters far apart; facilities cost 1 — cheaper than
+        // any connection, so everything opens.
+        let m = Metric::from_line(&[0.0, 1.0, 100.0, 101.0]);
+        let inst = FlInstance::new(&m, vec![1.0; 4], vec![5.0, 5.0, 5.0, 5.0]);
+        let s = local_search(&inst, &LocalSearchConfig::default());
+        assert_eq!(s.open, vec![0, 1, 2, 3]);
+        assert!((s.cost - 4.0).abs() < 1e-9, "cost = {}", s.cost);
+        // With pricier facilities, one per cluster is optimal.
+        let inst2 = FlInstance::new(&m, vec![8.0; 4], vec![5.0, 5.0, 5.0, 5.0]);
+        let s2 = local_search(&inst2, &LocalSearchConfig::default());
+        assert_eq!(s2.open.len(), 2, "{:?}", s2.open);
+        assert!(s2.open[0] <= 1 && s2.open[1] >= 2, "one per cluster: {:?}", s2.open);
+        assert!((s2.cost - 26.0).abs() < 1e-9, "cost = {}", s2.cost);
+    }
+
+    #[test]
+    fn single_facility_when_opening_is_expensive() {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let inst = FlInstance::new(&m, vec![100.0; 3], vec![1.0, 1.0, 1.0]);
+        let s = local_search(&inst, &LocalSearchConfig::default());
+        assert_eq!(s.open, vec![1], "median of the line");
+        assert!((s.cost - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_forbidden_sites() {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let inst = FlInstance::new(
+            &m,
+            vec![f64::INFINITY, 1.0, f64::INFINITY],
+            vec![3.0, 0.0, 3.0],
+        );
+        let s = local_search(&inst, &LocalSearchConfig::default());
+        assert_eq!(s.open, vec![1]);
+    }
+
+    #[test]
+    fn zero_cost_facilities_open_everywhere_needed() {
+        let m = Metric::from_line(&[0.0, 10.0, 20.0]);
+        let inst = FlInstance::new(&m, vec![0.0; 3], vec![1.0, 1.0, 1.0]);
+        let s = local_search(&inst, &LocalSearchConfig::default());
+        assert_eq!(s.open, vec![0, 1, 2]);
+        assert_eq!(s.cost, 0.0);
+    }
+}

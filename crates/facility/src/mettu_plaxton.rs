@@ -1,0 +1,134 @@
+//! The Mettu–Plaxton radius-based greedy for UFL (factor 3).
+//!
+//! For every site `v` define the radius `r(v)` at which the ball around `v`
+//! "pays for" the facility: `sum over clients u of demand(u) *
+//! max(0, r - d(u, v)) = open_cost(v)`. Process sites in increasing `r`;
+//! open `v` unless an already-open site `u` lies within `2 * r(v)`.
+//!
+//! The radius construction is the direct ancestor of the paper's *storage
+//! radius* `rs(v)` (Section 2.1) — both measure how far the nearest copy
+//! ought to be for storage to break even — which is why this solver is the
+//! default reference point in the solver-ablation experiment (E9).
+
+use dmn_graph::NodeId;
+
+use crate::instance::{FlInstance, FlSolution};
+
+/// Solves UFL with the Mettu–Plaxton greedy.
+pub fn mettu_plaxton(inst: &FlInstance) -> FlSolution {
+    let sites = inst.sites();
+    let clients = inst.clients();
+    assert!(!clients.is_empty(), "no demand to serve");
+    let mut radii: Vec<(f64, NodeId)> = sites
+        .iter()
+        .map(|&v| (payment_radius(inst, &clients, v), v))
+        .collect();
+    radii.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("radii are not NaN"));
+    let mut open: Vec<NodeId> = Vec::new();
+    for &(r, v) in &radii {
+        let blocked = open
+            .iter()
+            .any(|&u| inst.metric.dist(u, v) <= 2.0 * r + 1e-12);
+        if !blocked {
+            open.push(v);
+        }
+    }
+    inst.solution(open)
+}
+
+/// The radius `r` with `Σ_u demand(u) · (r − d(u, v))⁺ = open_cost(v)`.
+///
+/// The left side is continuous, nondecreasing and piecewise linear in `r`,
+/// starting at 0, so the crossing is found by scanning the clients in
+/// distance order.
+fn payment_radius(inst: &FlInstance, clients: &[NodeId], v: NodeId) -> f64 {
+    let fcost = inst.open_cost[v];
+    if fcost == 0.0 {
+        return 0.0;
+    }
+    let mut by_dist: Vec<(f64, f64)> = clients
+        .iter()
+        .map(|&u| (inst.metric.dist(u, v), inst.demand[u]))
+        .collect();
+    by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    // Between breakpoints d_k and d_{k+1}, pay(r) grows with slope = total
+    // demand within d_k.
+    let mut slope = 0.0;
+    let mut paid = 0.0;
+    let mut last_d = 0.0;
+    for &(d, w) in &by_dist {
+        let at_d = paid + slope * (d - last_d);
+        if at_d >= fcost {
+            return last_d + (fcost - paid) / slope;
+        }
+        paid = at_d;
+        slope += w;
+        last_d = d;
+    }
+    // Beyond the farthest client the slope is the full demand.
+    debug_assert!(slope > 0.0);
+    last_d + (fcost - paid) / slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::Metric;
+
+    #[test]
+    fn radius_matches_hand_computation() {
+        // Clients at distances 0 (w=2) and 3 (w=1) from v=0; f = 5.
+        // pay(r) = 2r for r <= 3, then 2*3 + 3(r-3): crossing 5 at r = 2.5.
+        let m = Metric::from_line(&[0.0, 3.0]);
+        let inst = FlInstance::new(&m, vec![5.0, f64::INFINITY], vec![2.0, 1.0]);
+        let r = payment_radius(&inst, &[0, 1], 0);
+        assert!((r - 2.5).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn radius_beyond_farthest_client() {
+        // One client of weight 1 at distance 1; f = 10 -> r = 10 + ... :
+        // pay(r) = (r - 1) for r >= 1, crossing at r = 11.
+        let m = Metric::from_line(&[0.0, 1.0]);
+        let inst = FlInstance::new(&m, vec![10.0, f64::INFINITY], vec![0.0, 1.0]);
+        let r = payment_radius(&inst, &[1], 0);
+        assert!((r - 11.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn separated_clusters_get_their_own_facility() {
+        let m = Metric::from_line(&[0.0, 1.0, 200.0, 201.0]);
+        let inst = FlInstance::new(&m, vec![1.0; 4], vec![5.0; 4]);
+        let s = mettu_plaxton(&inst);
+        assert!(s.open.iter().any(|&f| f <= 1));
+        assert!(s.open.iter().any(|&f| f >= 2));
+    }
+
+    #[test]
+    fn expensive_facilities_collapse_to_one() {
+        let m = Metric::from_line(&[0.0, 1.0, 2.0]);
+        let inst = FlInstance::new(&m, vec![1000.0; 3], vec![1.0; 3]);
+        let s = mettu_plaxton(&inst);
+        assert_eq!(s.open.len(), 1);
+    }
+
+    #[test]
+    fn within_three_times_exact_on_small_instances() {
+        use crate::exact::exact;
+        let m = Metric::from_line(&[0.0, 2.0, 3.0, 9.0, 10.0, 30.0]);
+        for (fc, dm) in [
+            (vec![4.0; 6], vec![1.0; 6]),
+            (vec![1.0, 9.0, 1.0, 9.0, 1.0, 9.0], vec![2.0, 0.0, 1.0, 3.0, 0.5, 1.0]),
+        ] {
+            let inst = FlInstance::new(&m, fc, dm);
+            let mp = mettu_plaxton(&inst);
+            let opt = exact(&inst);
+            assert!(
+                mp.cost <= 3.0 * opt.cost + 1e-9,
+                "mp {} vs opt {}",
+                mp.cost,
+                opt.cost
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Breadth-first search and hop-count (unweighted) measures.
+//!
+//! Theorem 13's running time is stated in terms of the *unweighted* diameter
+//! `diam(T)` — the maximum number of edges on a path — which BFS computes.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Hop distances (number of edges) from `source`; `usize::MAX` marks
+/// unreachable nodes.
+pub fn hop_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    dist[source] = 0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        for a in g.neighbors(v) {
+            if dist[a.to] == usize::MAX {
+                dist[a.to] = dist[v] + 1;
+                q.push_back(a.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Unweighted diameter `diam(G)`: the maximum hop distance between any two
+/// nodes. `O(n (n + m))` by running BFS from every node.
+///
+/// # Panics
+/// Panics when the graph is disconnected.
+pub fn hop_diameter(g: &Graph) -> usize {
+    let mut best = 0;
+    for v in 0..g.num_nodes() {
+        let d = hop_distances(g, v);
+        for &x in &d {
+            assert!(x != usize::MAX, "hop_diameter requires a connected graph");
+            best = best.max(x);
+        }
+    }
+    best
+}
+
+/// Unweighted diameter of a tree in `O(n)` via double BFS.
+///
+/// # Panics
+/// Panics when `g` is not a tree.
+pub fn tree_hop_diameter(g: &Graph) -> usize {
+    assert!(g.is_tree(), "tree_hop_diameter requires a tree");
+    if g.num_nodes() <= 1 {
+        return 0;
+    }
+    let d0 = hop_distances(g, 0);
+    let far = (0..g.num_nodes()).max_by_key(|&v| d0[v]).unwrap();
+    let d1 = hop_distances(g, far);
+    d1.into_iter().max().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = generators::path(5, |_| 3.0); // weights irrelevant to hops
+        let d = hop_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn diameters_agree_on_trees() {
+        let g = generators::kary_tree(15, 2, |_| 1.0);
+        assert_eq!(hop_diameter(&g), tree_hop_diameter(&g));
+    }
+
+    #[test]
+    fn star_has_diameter_two() {
+        let g = generators::star(6, |_| 1.0);
+        assert_eq!(hop_diameter(&g), 2);
+        assert_eq!(tree_hop_diameter(&g), 2);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let g = generators::ring(6, |_| 1.0);
+        assert_eq!(hop_diameter(&g), 3);
+    }
+}

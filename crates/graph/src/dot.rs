@@ -1,0 +1,119 @@
+//! Graphviz DOT export for networks and placements.
+//!
+//! Debugging placement algorithms is much easier when you can *see* the
+//! placement; `to_dot` renders the network with copy holders highlighted
+//! and edge costs as labels. Output is deterministic (stable node and edge
+//! order) so snapshots can be asserted in tests.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, NodeId};
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Nodes to highlight (e.g. copy holders); rendered filled.
+    pub highlight: Vec<NodeId>,
+    /// Extra per-node labels (e.g. request mass), appended to the id.
+    pub node_labels: Vec<String>,
+    /// Graph name.
+    pub name: String,
+}
+
+/// Renders the graph in Graphviz DOT format.
+pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let name = if opts.name.is_empty() { "dmn" } else { &opts.name };
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    let mut highlighted = vec![false; g.num_nodes()];
+    for &v in &opts.highlight {
+        if v < g.num_nodes() {
+            highlighted[v] = true;
+        }
+    }
+    for v in 0..g.num_nodes() {
+        let label = match opts.node_labels.get(v) {
+            Some(extra) if !extra.is_empty() => format!("{v}\\n{extra}"),
+            _ => format!("{v}"),
+        };
+        if highlighted[v] {
+            let _ = writeln!(
+                out,
+                "  n{v} [label=\"{label}\" style=filled fillcolor=gold];"
+            );
+        } else {
+            let _ = writeln!(out, "  n{v} [label=\"{label}\"];");
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", e.u, e.v, trim_num(e.w));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Formats an edge weight without trailing zeros.
+fn trim_num(x: f64) -> String {
+    if (x.fract()).abs() < 1e-12 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_nodes_edges_and_highlights() {
+        let g = generators::path(3, |i| i as f64 + 0.5);
+        let dot = to_dot(
+            &g,
+            &DotOptions { highlight: vec![1], name: "demo".into(), ..Default::default() },
+        );
+        assert!(dot.starts_with("graph demo {"));
+        assert!(dot.contains("n1 [label=\"1\" style=filled fillcolor=gold];"));
+        assert!(dot.contains("n0 -- n1 [label=\"0.50\"];"));
+        assert!(dot.contains("n1 -- n2 [label=\"1.50\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn integer_weights_render_clean() {
+        let g = generators::path(2, |_| 3.0);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("[label=\"3\"]"), "{dot}");
+    }
+
+    #[test]
+    fn node_labels_appended() {
+        let g = generators::path(2, |_| 1.0);
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                node_labels: vec!["r=2".into(), String::new()],
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("n0 [label=\"0\\nr=2\"];"));
+        assert!(dot.contains("n1 [label=\"1\"];"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = generators::grid(2, 2, |_, _| 1.0);
+        let a = to_dot(&g, &DotOptions::default());
+        let b = to_dot(&g, &DotOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_highlight_ignored() {
+        let g = generators::path(2, |_| 1.0);
+        let dot = to_dot(&g, &DotOptions { highlight: vec![99], ..Default::default() });
+        assert!(!dot.contains("gold"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+//!
+//! Used by Kruskal's MST and by the generators when stitching random graphs
+//! into connected ones.
+
+/// Union–find over `0..n` with near-constant amortized operations.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of the set containing `x` (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns true when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements in the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Number of disjoint sets remaining.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = DisjointSets::new(5);
+        assert_eq!(d.num_components(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0));
+        assert_eq!(d.num_components(), 3);
+        assert!(d.connected(0, 1));
+        assert!(!d.connected(0, 2));
+        assert!(d.union(1, 2));
+        assert!(d.connected(0, 3));
+        assert_eq!(d.set_size(3), 4);
+        assert_eq!(d.set_size(4), 1);
+        assert_eq!(d.num_components(), 2);
+    }
+
+    #[test]
+    fn exhaustive_transitivity() {
+        let mut d = DisjointSets::new(8);
+        d.union(0, 4);
+        d.union(4, 6);
+        d.union(1, 3);
+        for (a, b, want) in [(0, 6, true), (1, 3, true), (0, 1, false), (7, 7, true)] {
+            assert_eq!(d.connected(a, b), want, "({a},{b})");
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Network topology generators.
+//!
+//! Covers the topology families the data-management literature evaluates on:
+//! paths/rings/stars/grids (meshes, as in Maggs et al.), trees of various
+//! shapes for the Section-3 algorithms, random geometric and Erdős–Rényi
+//! graphs as generic "arbitrary networks", and Internet-like clustered
+//! *transit–stub* networks matching the paper's content-provider motivation.
+//!
+//! All generators take explicit weight functions or an explicit RNG so that
+//! every experiment is reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dsu::DisjointSets;
+use crate::graph::{Graph, NodeId};
+
+/// Path `0 - 1 - ... - n-1`; `weight(i)` is the cost of edge `(i, i+1)`.
+pub fn path(n: usize, weight: impl Fn(usize) -> f64) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(i, i + 1, weight(i));
+    }
+    g
+}
+
+/// Cycle over `n >= 3` nodes; `weight(i)` is the cost of edge `(i, (i+1) % n)`.
+pub fn ring(n: usize, weight: impl Fn(usize) -> f64) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n, weight(i));
+    }
+    g
+}
+
+/// Star with center 0 and leaves `1..n`; `weight(leaf)` is the spoke cost.
+pub fn star(n: usize, weight: impl Fn(usize) -> f64) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(n);
+    for leaf in 1..n {
+        g.add_edge(0, leaf, weight(leaf));
+    }
+    g
+}
+
+/// Complete graph; `weight(u, v)` gives each edge cost.
+pub fn complete(n: usize, weight: impl Fn(usize, usize) -> f64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v, weight(u, v));
+        }
+    }
+    g
+}
+
+/// `rows x cols` grid (2-dimensional mesh). Node `(r, c)` has id
+/// `r * cols + c`; `weight(u, v)` gives each edge cost.
+pub fn grid(rows: usize, cols: usize, weight: impl Fn(NodeId, NodeId) -> f64) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1, weight(v, v + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols, weight(v, v + cols));
+            }
+        }
+    }
+    g
+}
+
+/// Complete `k`-ary tree with `n` nodes: node `i >= 1` hangs below
+/// `(i - 1) / k`. `weight(child)` is the cost of the edge to the parent.
+pub fn kary_tree(n: usize, k: usize, weight: impl Fn(usize) -> f64) -> Graph {
+    assert!(k >= 1);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge((i - 1) / k, i, weight(i));
+    }
+    g
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs` leaves.
+/// Total nodes: `spine * (1 + legs)`. Spine edges cost `spine_w`, leg edges
+/// cost `leg_w`.
+pub fn caterpillar(spine: usize, legs: usize, spine_w: f64, leg_w: f64) -> Graph {
+    let n = spine * (1 + legs);
+    let mut g = Graph::new(n);
+    for s in 0..spine {
+        if s + 1 < spine {
+            g.add_edge(s, s + 1, spine_w);
+        }
+        for l in 0..legs {
+            g.add_edge(s, spine + s * legs + l, leg_w);
+        }
+    }
+    g
+}
+
+/// Random recursive tree: node `i >= 1` attaches to a uniformly random
+/// earlier node. Edge weights drawn uniformly from `w_range`.
+pub fn random_tree(n: usize, w_range: (f64, f64), rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let p = rng.random_range(0..i);
+        g.add_edge(p, i, rng.random_range(w_range.0..=w_range.1));
+    }
+    g
+}
+
+/// Uniformly random labelled tree via a Prüfer sequence. Edge weights drawn
+/// uniformly from `w_range`.
+pub fn prufer_tree(n: usize, w_range: (f64, f64), rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(0, 1, rng.random_range(w_range.0..=w_range.1));
+        return g;
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &seq {
+        degree[v] += 1;
+    }
+    // Standard linear-time decode with a pointer and a "leaf" cursor.
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &v in &seq {
+        g.add_edge(leaf, v, rng.random_range(w_range.0..=w_range.1));
+        degree[v] -= 1;
+        if degree[v] == 1 && v < ptr {
+            leaf = v;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    g.add_edge(leaf, n - 1, rng.random_range(w_range.0..=w_range.1));
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` with uniform edge weights from `w_range`, made
+/// connected by adding a random spanning-tree edge between any two leftover
+/// components (weights from the same range).
+pub fn gnp_connected(n: usize, p: f64, w_range: (f64, f64), rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v, rng.random_range(w_range.0..=w_range.1));
+            }
+        }
+    }
+    connect_components(&mut g, w_range, rng);
+    g
+}
+
+/// Random geometric graph: `n` points in the unit square, edges between
+/// pairs closer than `radius` with weight = Euclidean distance (times
+/// `scale`). Made connected by stitching nearest pairs across components.
+pub fn random_geometric(n: usize, radius: f64, scale: f64, rng: &mut impl Rng) -> Graph {
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = dist2d(pts[u], pts[v]);
+            if d <= radius {
+                g.add_edge(u, v, d * scale);
+            }
+        }
+    }
+    // Stitch components with the geometrically nearest cross pair so the
+    // metric stays faithful to the embedding.
+    let mut dsu = DisjointSets::new(n);
+    for e in g.edges().to_vec() {
+        dsu.union(e.u, e.v);
+    }
+    while dsu.num_components() > 1 {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if dsu.find(u) != dsu.find(v) {
+                    let d = dist2d(pts[u], pts[v]);
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((u, v, d));
+                    }
+                }
+            }
+        }
+        let (u, v, d) = best.expect("more than one component implies a cross pair");
+        g.add_edge(u, v, d * scale);
+        dsu.union(u, v);
+    }
+    g
+}
+
+/// Parameters for [`transit_stub`] Internet-like clustered networks.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitStubParams {
+    /// Number of transit (backbone) nodes.
+    pub transits: usize,
+    /// Stub clusters attached to each transit node.
+    pub stubs_per_transit: usize,
+    /// Nodes per stub cluster.
+    pub nodes_per_stub: usize,
+    /// Cost of backbone edges (expensive, wide-area).
+    pub transit_edge_cost: f64,
+    /// Cost of the uplink from a stub cluster to its transit node.
+    pub uplink_cost: f64,
+    /// Cost of edges inside a stub cluster (cheap, local).
+    pub stub_edge_cost: f64,
+    /// Probability of an extra intra-stub edge beyond the spanning path.
+    pub stub_extra_edge_p: f64,
+}
+
+impl Default for TransitStubParams {
+    fn default() -> Self {
+        TransitStubParams {
+            transits: 4,
+            stubs_per_transit: 3,
+            nodes_per_stub: 8,
+            transit_edge_cost: 20.0,
+            uplink_cost: 8.0,
+            stub_edge_cost: 1.0,
+            stub_extra_edge_p: 0.3,
+        }
+    }
+}
+
+/// Internet-like clustered network: a ring of transit nodes, each with
+/// several stub clusters of cheaply connected nodes (wide-area links are
+/// expensive, local links cheap). This mirrors the "content provider on a
+/// commercial network" scenario of the paper's introduction and the
+/// Internet-like clustered networks of Maggs et al.
+///
+/// Node layout: transit nodes first (`0..transits`), then stub nodes grouped
+/// by cluster.
+pub fn transit_stub(p: TransitStubParams, rng: &mut impl Rng) -> Graph {
+    let n = p.transits + p.transits * p.stubs_per_transit * p.nodes_per_stub;
+    let mut g = Graph::new(n);
+    // Backbone ring (plus one chord when there are >= 4 transits).
+    for t in 0..p.transits {
+        if p.transits > 1 {
+            g.try_add_edge(t, (t + 1) % p.transits, p.transit_edge_cost);
+        }
+    }
+    if p.transits >= 4 {
+        g.try_add_edge(0, p.transits / 2, p.transit_edge_cost * 1.5);
+    }
+    let mut next = p.transits;
+    for t in 0..p.transits {
+        for _ in 0..p.stubs_per_transit {
+            let base = next;
+            next += p.nodes_per_stub;
+            // Spanning path inside the stub plus random extra local edges.
+            for i in base..next {
+                if i + 1 < next {
+                    g.add_edge(i, i + 1, p.stub_edge_cost);
+                }
+            }
+            for i in base..next {
+                for j in (i + 2)..next {
+                    if rng.random_bool(p.stub_extra_edge_p.clamp(0.0, 1.0)) {
+                        g.try_add_edge(i, j, p.stub_edge_cost * 1.5);
+                    }
+                }
+            }
+            // Uplink from a random stub node to the transit node.
+            let gw = rng.random_range(base..next);
+            g.add_edge(t, gw, p.uplink_cost);
+        }
+    }
+    g
+}
+
+/// Adds uniformly weighted edges between components until connected,
+/// choosing random representatives. No-op on connected graphs.
+pub fn connect_components(g: &mut Graph, w_range: (f64, f64), rng: &mut impl Rng) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return;
+    }
+    let mut dsu = DisjointSets::new(n);
+    for e in g.edges().to_vec() {
+        dsu.union(e.u, e.v);
+    }
+    let mut nodes: Vec<usize> = (0..n).collect();
+    nodes.shuffle(rng);
+    let anchor = nodes[0];
+    for &v in &nodes[1..] {
+        if dsu.find(v) != dsu.find(anchor) {
+            g.add_edge(anchor, v, rng.random_range(w_range.0..=w_range.1));
+            dsu.union(anchor, v);
+        }
+    }
+}
+
+fn dist2d(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fixed_topologies_shapes() {
+        assert_eq!(path(5, |_| 1.0).num_edges(), 4);
+        assert_eq!(ring(5, |_| 1.0).num_edges(), 5);
+        assert_eq!(star(5, |_| 1.0).num_edges(), 4);
+        assert_eq!(complete(5, |_, _| 1.0).num_edges(), 10);
+        assert_eq!(grid(3, 4, |_, _| 1.0).num_edges(), 3 * 3 + 2 * 4);
+        assert!(path(5, |_| 1.0).is_tree());
+        assert!(star(5, |_| 1.0).is_tree());
+        assert!(!ring(5, |_| 1.0).is_tree());
+    }
+
+    #[test]
+    fn kary_trees_are_trees() {
+        for (n, k) in [(1, 2), (7, 2), (13, 3), (40, 5)] {
+            let g = kary_tree(n, k, |i| i as f64 + 1.0);
+            assert!(g.is_tree(), "n={n} k={k}");
+            assert!(g.max_degree() <= k + 1);
+        }
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2, 3.0, 1.0);
+        assert_eq!(g.num_nodes(), 12);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(0), 3); // spine end: 1 spine + 2 legs
+        assert_eq!(g.degree(1), 4); // inner spine: 2 spine + 2 legs
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut r = rng(7);
+        for n in [1, 2, 3, 10, 57] {
+            assert!(random_tree(n, (1.0, 2.0), &mut r).is_tree(), "random n={n}");
+            assert!(prufer_tree(n, (1.0, 2.0), &mut r).is_tree(), "prufer n={n}");
+        }
+    }
+
+    #[test]
+    fn prufer_trees_vary() {
+        let mut r = rng(42);
+        let a = prufer_tree(12, (1.0, 1.0), &mut r);
+        let b = prufer_tree(12, (1.0, 1.0), &mut r);
+        // Two consecutive samples almost surely differ in edge structure.
+        let ea: Vec<_> = a.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
+        let eb: Vec<_> = b.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn gnp_is_connected() {
+        let mut r = rng(3);
+        for p in [0.0, 0.05, 0.5] {
+            let g = gnp_connected(30, p, (1.0, 5.0), &mut r);
+            assert!(g.is_connected(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn geometric_is_connected_with_euclidean_weights() {
+        let mut r = rng(11);
+        let g = random_geometric(40, 0.2, 10.0, &mut r);
+        assert!(g.is_connected());
+        for e in g.edges() {
+            assert!(e.w >= 0.0 && e.w <= 10.0 * 1.5);
+        }
+    }
+
+    #[test]
+    fn transit_stub_structure() {
+        let mut r = rng(5);
+        let p = TransitStubParams::default();
+        let g = transit_stub(p, &mut r);
+        assert_eq!(
+            g.num_nodes(),
+            p.transits + p.transits * p.stubs_per_transit * p.nodes_per_stub
+        );
+        assert!(g.is_connected());
+        // Backbone edges must be the expensive ones.
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let g1 = gnp_connected(20, 0.2, (1.0, 9.0), &mut rng(99));
+        let g2 = gnp_connected(20, 0.2, (1.0, 9.0), &mut rng(99));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (a, b) in g1.edges().iter().zip(g2.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.w, b.w);
+        }
+    }
+}

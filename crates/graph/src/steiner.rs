@@ -1,0 +1,179 @@
+//! Steiner trees in metric spaces.
+//!
+//! Write requests in the model are charged for a tree connecting the home
+//! node with every copy. The *optimal* update set is a minimum Steiner tree;
+//! the paper's achievable policy is the metric-MST over the terminals, which
+//! Claim 2 shows costs at most twice the Steiner optimum. We provide
+//!
+//! * [`dreyfus_wagner`] — exact minimum Steiner tree weight, exponential in
+//!   the number of terminals (fine for validation-scale instances), and
+//! * [`steiner_2approx_weight`] — the metric-MST upper bound.
+
+use crate::graph::NodeId;
+use crate::metric::Metric;
+use crate::mst::metric_mst_weight;
+
+/// Exact minimum Steiner tree weight connecting `terminals` in `metric`,
+/// allowing any node of the metric as a Steiner point.
+///
+/// Classic Dreyfus–Wagner dynamic program over terminal subsets:
+/// `dp[S][v]` is the cheapest tree spanning terminal subset `S` plus node
+/// `v`. Complexity `O(3^t n + 2^t n^2)` for `t` terminals and `n` nodes, so
+/// keep `t <= ~14` and `n` small. Duplicated terminals are deduplicated.
+///
+/// Returns 0 for zero or one distinct terminal.
+///
+/// # Panics
+/// Panics when more than 20 distinct terminals are supplied (the subset
+/// table would be enormous — use [`steiner_2approx_weight`] instead).
+pub fn dreyfus_wagner(metric: &Metric, terminals: &[NodeId]) -> f64 {
+    let mut ts: Vec<NodeId> = terminals.to_vec();
+    ts.sort_unstable();
+    ts.dedup();
+    let t = ts.len();
+    if t <= 1 {
+        return 0.0;
+    }
+    if t == 2 {
+        return metric.dist(ts[0], ts[1]);
+    }
+    assert!(t <= 20, "dreyfus_wagner: too many terminals ({t})");
+    let n = metric.len();
+
+    // Root the DP at the last terminal; subsets range over the first t-1.
+    let root = ts[t - 1];
+    let k = t - 1;
+    let full: usize = (1 << k) - 1;
+    // dp[s * n + v]: cheapest tree spanning {terminals in s} ∪ {v}.
+    let mut dp = vec![f64::INFINITY; (full + 1) * n];
+    for v in 0..n {
+        dp[v] = 0.0; // empty subset: tree is just {v}, weight 0
+    }
+    for (i, &ti) in ts.iter().take(k).enumerate() {
+        let s = 1usize << i;
+        for v in 0..n {
+            dp[s * n + v] = metric.dist(ti, v);
+        }
+    }
+    for s in 1..=full {
+        if s.count_ones() <= 1 {
+            continue;
+        }
+        // Merge step: split s into two non-empty subsets joined at v.
+        // Iterate proper non-empty submasks; fix the lowest bit into `sub`
+        // to halve the work.
+        let low = s & s.wrapping_neg();
+        let rest = s ^ low;
+        let mut sub = rest;
+        loop {
+            let a = sub | low;
+            let b = s ^ a;
+            if b != 0 {
+                for v in 0..n {
+                    let cand = dp[a * n + v] + dp[b * n + v];
+                    let slot = &mut dp[s * n + v];
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        // Relax step: dp[s][v] = min_u dp[s][u] + d(u, v). With the full
+        // metric available this closes under single "grow an arm" moves,
+        // which (by metric completeness) is equivalent to the Dijkstra
+        // relaxation in the graph formulation.
+        // One round suffices because d is a metric: min_u (dp[u] + d(u,v))
+        // composed with itself gains nothing thanks to the triangle
+        // inequality.
+        let row = &mut dp[s * n..(s + 1) * n];
+        let snapshot: Vec<f64> = row.to_vec();
+        for v in 0..n {
+            let mut best = snapshot[v];
+            for u in 0..n {
+                let cand = snapshot[u] + metric.dist(u, v);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            row[v] = best;
+        }
+    }
+    dp[full * n + root]
+}
+
+/// Metric-MST 2-approximation of the minimum Steiner tree connecting
+/// `terminals`: the weight of the minimum spanning tree of the complete
+/// graph on the terminals under `metric`.
+///
+/// Guarantee: `steiner_opt <= result <= 2 * steiner_opt` (the paper's
+/// Claim 2 sharpens this to `2 * opt - longest path` when a path is known).
+pub fn steiner_2approx_weight(metric: &Metric, terminals: &[NodeId]) -> f64 {
+    let mut ts: Vec<NodeId> = terminals.to_vec();
+    ts.sort_unstable();
+    ts.dedup();
+    metric_mst_weight(metric, &ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::apsp;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    /// Star graph: center 0, leaves 1..=3 at distance 1. Steiner tree of the
+    /// three leaves uses the center: weight 3. Metric MST: 2 + 2 = 4.
+    #[test]
+    fn star_terminals_use_steiner_point() {
+        let g = generators::star(4, |_| 1.0);
+        let m = apsp(&g);
+        let exact = dreyfus_wagner(&m, &[1, 2, 3]);
+        let approx = steiner_2approx_weight(&m, &[1, 2, 3]);
+        assert!((exact - 3.0).abs() < 1e-9, "exact = {exact}");
+        assert!((approx - 4.0).abs() < 1e-9, "approx = {approx}");
+        assert!(approx <= 2.0 * exact + 1e-9);
+    }
+
+    #[test]
+    fn trivial_terminal_sets() {
+        let m = Metric::from_line(&[0.0, 2.0, 5.0]);
+        assert_eq!(dreyfus_wagner(&m, &[]), 0.0);
+        assert_eq!(dreyfus_wagner(&m, &[1]), 0.0);
+        assert_eq!(dreyfus_wagner(&m, &[1, 1]), 0.0);
+        assert_eq!(dreyfus_wagner(&m, &[0, 2]), 5.0);
+    }
+
+    #[test]
+    fn line_terminals_span_interval() {
+        let m = Metric::from_line(&[0.0, 1.0, 3.0, 7.0]);
+        // Steiner tree of {0,1,3} on a line spans [0, 7].
+        assert!((dreyfus_wagner(&m, &[0, 1, 3]) - 7.0).abs() < 1e-9);
+        assert!((steiner_2approx_weight(&m, &[0, 1, 3]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_exact_at_most_approx() {
+        let g = generators::grid(3, 3, |u, v| ((u * 7 + v) % 4 + 1) as f64);
+        let m = apsp(&g);
+        for terms in [vec![0, 8], vec![0, 2, 6, 8], vec![1, 3, 5, 7], vec![0, 4, 8]] {
+            let exact = dreyfus_wagner(&m, &terms);
+            let approx = steiner_2approx_weight(&m, &terms);
+            assert!(exact <= approx + 1e-9, "{terms:?}: {exact} > {approx}");
+            assert!(approx <= 2.0 * exact + 1e-9, "{terms:?}");
+        }
+    }
+
+    #[test]
+    fn steiner_tree_on_tree_is_spanning_subtree() {
+        // On a tree metric, the Steiner tree of a terminal set is the union
+        // of pairwise paths; for terminals {leaves of a path} it is the path.
+        let g = Graph::from_edges(5, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 5.0)]);
+        let m = apsp(&g);
+        assert!((dreyfus_wagner(&m, &[0, 4]) - 11.0).abs() < 1e-9);
+        assert!((dreyfus_wagner(&m, &[0, 2, 4]) - 11.0).abs() < 1e-9);
+    }
+}

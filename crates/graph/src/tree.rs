@@ -1,0 +1,438 @@
+//! Rooted trees, tree metrics, LCA, and the balanced binarization used by
+//! the paper's tree algorithm.
+//!
+//! Theorem 13 computes optimal placements on arbitrary trees by *simulating*
+//! them on binary trees with `O(|T|)` nodes and diameter
+//! `O(diam(T) * log(deg(T)))`: a node with `k > 2` children is expanded into
+//! a balanced binary gadget of virtual nodes joined by zero-cost edges.
+//! Virtual nodes can neither hold copies nor issue requests.
+
+use crate::graph::{Graph, NodeId};
+use crate::metric::Metric;
+
+/// A rooted tree with parent pointers, children lists, and weighted depths.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    /// The root node.
+    pub root: NodeId,
+    /// `parent[v]` is `None` exactly for the root.
+    pub parent: Vec<Option<NodeId>>,
+    /// Weight of the edge to the parent (`0.0` for the root).
+    pub parent_weight: Vec<f64>,
+    /// Children of each node, in discovery order.
+    pub children: Vec<Vec<NodeId>>,
+    /// Weighted distance from the root.
+    pub depth_cost: Vec<f64>,
+    /// Number of edges from the root.
+    pub depth_hops: Vec<usize>,
+    /// Nodes in post-order (every node appears after all its children).
+    pub post_order: Vec<NodeId>,
+    up: Vec<Vec<NodeId>>, // binary-lifting table for LCA
+}
+
+impl RootedTree {
+    /// Roots the tree graph `g` at `root`.
+    ///
+    /// # Panics
+    /// Panics when `g` is not a tree.
+    pub fn from_graph(g: &Graph, root: NodeId) -> Self {
+        assert!(g.is_tree(), "RootedTree::from_graph requires a tree");
+        let n = g.num_nodes();
+        let mut parent = vec![None; n];
+        let mut parent_weight = vec![0.0; n];
+        let mut children = vec![Vec::new(); n];
+        let mut depth_cost = vec![0.0; n];
+        let mut depth_hops = vec![0usize; n];
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack = vec![root];
+        visited[root] = true;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for a in g.neighbors(v) {
+                if !visited[a.to] {
+                    visited[a.to] = true;
+                    parent[a.to] = Some(v);
+                    parent_weight[a.to] = a.w;
+                    depth_cost[a.to] = depth_cost[v] + a.w;
+                    depth_hops[a.to] = depth_hops[v] + 1;
+                    children[v].push(a.to);
+                    stack.push(a.to);
+                }
+            }
+        }
+        let mut post_order = order;
+        post_order.reverse(); // reverse of DFS-preorder-with-stack is a valid post-order
+        let mut t = RootedTree {
+            root,
+            parent,
+            parent_weight,
+            children,
+            depth_cost,
+            depth_hops,
+            post_order,
+            up: Vec::new(),
+        };
+        t.build_lca();
+        t
+    }
+
+    /// Builds a rooted tree directly from parent arrays (used by
+    /// binarization). `parent[root]` must be `None`; all other nodes must
+    /// reach the root.
+    pub fn from_parents(root: NodeId, parent: Vec<Option<NodeId>>, parent_weight: Vec<f64>) -> Self {
+        let n = parent.len();
+        assert_eq!(parent_weight.len(), n);
+        assert!(parent[root].is_none(), "root must have no parent");
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                children[p].push(v);
+            }
+        }
+        // Topological order from the root (children after parents), then
+        // reverse for post-order.
+        let mut depth_cost = vec![0.0; n];
+        let mut depth_hops = vec![0usize; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in &children[v] {
+                depth_cost[c] = depth_cost[v] + parent_weight[c];
+                depth_hops[c] = depth_hops[v] + 1;
+                stack.push(c);
+            }
+        }
+        assert_eq!(order.len(), n, "parent arrays must form a single tree");
+        order.reverse();
+        let mut t = RootedTree {
+            root,
+            parent,
+            parent_weight,
+            children,
+            depth_cost,
+            depth_hops,
+            post_order: order,
+            up: Vec::new(),
+        };
+        t.build_lca();
+        t
+    }
+
+    fn build_lca(&mut self) {
+        let n = self.parent.len();
+        let levels = usize::BITS as usize - n.max(2).leading_zeros() as usize;
+        let mut up = vec![vec![self.root; n]; levels];
+        for v in 0..n {
+            up[0][v] = self.parent[v].unwrap_or(self.root);
+        }
+        for k in 1..levels {
+            for v in 0..n {
+                up[k][v] = up[k - 1][up[k - 1][v]];
+            }
+        }
+        self.up = up;
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has no nodes (never for trees built by this crate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, mut u: NodeId, mut v: NodeId) -> NodeId {
+        if self.depth_hops[u] < self.depth_hops[v] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let diff = self.depth_hops[u] - self.depth_hops[v];
+        for k in 0..self.up.len() {
+            if (diff >> k) & 1 == 1 {
+                u = self.up[k][u];
+            }
+        }
+        if u == v {
+            return u;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][u] != self.up[k][v] {
+                u = self.up[k][u];
+                v = self.up[k][v];
+            }
+        }
+        self.parent[u].expect("u is not the root here")
+    }
+
+    /// Weighted tree distance between `u` and `v`.
+    pub fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        let a = self.lca(u, v);
+        self.depth_cost[u] + self.depth_cost[v] - 2.0 * self.depth_cost[a]
+    }
+
+    /// Subtree sizes (`|T_v|` in the paper), indexed by node.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.len()];
+        for &v in &self.post_order {
+            if let Some(p) = self.parent[v] {
+                size[p] += size[v];
+            }
+        }
+        size
+    }
+
+    /// Nodes of the subtree rooted at `v` (preorder).
+    pub fn subtree_nodes(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children[u].iter().copied());
+        }
+        out
+    }
+
+    /// Dense metric of tree distances; `O(n^2)` — intended for
+    /// validation-scale trees.
+    pub fn metric(&self) -> Metric {
+        let n = self.len();
+        let mut d = vec![0.0; n * n];
+        for u in 0..n {
+            // BFS/DFS accumulation is O(n) per source on a tree.
+            let mut stack = vec![(u, usize::MAX)];
+            while let Some((v, from)) = stack.pop() {
+                let base = d[u * n + v];
+                let mut relax = |w: NodeId, cost: f64| {
+                    d[u * n + w] = base + cost;
+                };
+                if let Some(p) = self.parent[v] {
+                    if p != from {
+                        relax(p, self.parent_weight[v]);
+                        stack.push((p, v));
+                    }
+                }
+                for &c in &self.children[v] {
+                    if c != from {
+                        relax(c, self.parent_weight[c]);
+                        stack.push((c, v));
+                    }
+                }
+            }
+        }
+        Metric::from_matrix(n, d)
+    }
+
+    /// Maximum number of children over all nodes.
+    pub fn max_children(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Result of [`binarize`]: a binary tree simulating the original.
+#[derive(Debug, Clone)]
+pub struct Binarized {
+    /// The binary tree. Nodes `0..n_orig` are the original nodes (same ids);
+    /// nodes `n_orig..` are virtual.
+    pub tree: RootedTree,
+    /// For each node of the binary tree, the original node it represents
+    /// (`None` for virtual nodes).
+    pub orig_of: Vec<Option<NodeId>>,
+}
+
+impl Binarized {
+    /// Number of original nodes.
+    pub fn num_original(&self) -> usize {
+        self.orig_of.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// True when `v` is a virtual (gadget) node.
+    pub fn is_virtual(&self, v: NodeId) -> bool {
+        self.orig_of[v].is_none()
+    }
+}
+
+/// Expands every node with more than two children into a balanced binary
+/// gadget of virtual nodes connected by zero-cost edges.
+///
+/// Properties (matching Theorem 13's simulation):
+/// * every node of the result has at most 2 children,
+/// * original pairwise distances are preserved exactly,
+/// * the number of nodes is `O(n)` and the hop diameter grows by at most a
+///   `log2(deg)` factor.
+pub fn binarize(t: &RootedTree) -> Binarized {
+    let n = t.len();
+    let mut parent: Vec<Option<NodeId>> = (0..n).map(|v| t.parent[v]).collect();
+    let mut parent_weight: Vec<f64> = t.parent_weight.clone();
+    let mut orig_of: Vec<Option<NodeId>> = (0..n).map(Some).collect();
+
+    // Re-hang children lists through balanced virtual gadgets.
+    for v in 0..n {
+        let kids = t.children[v].clone();
+        if kids.len() <= 2 {
+            continue;
+        }
+        // Recursive balanced split; `attach` hangs a slice of children below
+        // `anchor` using at most two subtrees.
+        fn attach(
+            anchor: NodeId,
+            kids: &[NodeId],
+            parent: &mut Vec<Option<NodeId>>,
+            parent_weight: &mut Vec<f64>,
+            orig_of: &mut Vec<Option<NodeId>>,
+        ) {
+            match kids.len() {
+                0 => {}
+                1 => {
+                    parent[kids[0]] = Some(anchor);
+                }
+                2 => {
+                    parent[kids[0]] = Some(anchor);
+                    parent[kids[1]] = Some(anchor);
+                }
+                _ => {
+                    // Two virtual children, each taking half the kids.
+                    let mid = kids.len() / 2;
+                    for half in [&kids[..mid], &kids[mid..]] {
+                        if half.len() == 1 {
+                            parent[half[0]] = Some(anchor);
+                        } else {
+                            let virt = parent.len();
+                            parent.push(Some(anchor));
+                            parent_weight.push(0.0);
+                            orig_of.push(None);
+                            attach(virt, half, parent, parent_weight, orig_of);
+                        }
+                    }
+                }
+            }
+        }
+        attach(v, &kids, &mut parent, &mut parent_weight, &mut orig_of);
+    }
+    let tree = RootedTree::from_parents(t.root, parent, parent_weight);
+    Binarized { tree, orig_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn sample_tree() -> RootedTree {
+        // 0 -(1)- 1 ; 0 -(2)- 2 ; 1 -(3)- 3 ; 1 -(4)- 4 ; 2 -(5)- 5
+        let g = Graph::from_edges(
+            6,
+            [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (1, 4, 4.0), (2, 5, 5.0)],
+        );
+        RootedTree::from_graph(&g, 0)
+    }
+
+    #[test]
+    fn parents_and_depths() {
+        let t = sample_tree();
+        assert_eq!(t.parent[0], None);
+        assert_eq!(t.parent[3], Some(1));
+        assert_eq!(t.depth_cost[3], 4.0);
+        assert_eq!(t.depth_cost[5], 7.0);
+        assert_eq!(t.depth_hops[5], 2);
+    }
+
+    #[test]
+    fn post_order_is_children_first() {
+        let t = sample_tree();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, &v) in t.post_order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for v in 0..6 {
+            if let Some(p) = t.parent[v] {
+                assert!(pos[v] < pos[p], "child {v} must precede parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_and_distances() {
+        let t = sample_tree();
+        assert_eq!(t.lca(3, 4), 1);
+        assert_eq!(t.lca(3, 5), 0);
+        assert_eq!(t.lca(0, 4), 0);
+        assert_eq!(t.dist(3, 4), 7.0);
+        assert_eq!(t.dist(3, 5), 11.0);
+        assert_eq!(t.dist(2, 2), 0.0);
+    }
+
+    #[test]
+    fn metric_matches_pairwise_dist() {
+        let t = sample_tree();
+        let m = t.metric();
+        m.check_axioms(1e-9).unwrap();
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((m.dist(u, v) - t.dist(u, v)).abs() < 1e-9, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_and_nodes() {
+        let t = sample_tree();
+        let s = t.subtree_sizes();
+        assert_eq!(s[0], 6);
+        assert_eq!(s[1], 3);
+        assert_eq!(s[2], 2);
+        assert_eq!(s[3], 1);
+        let mut nodes = t.subtree_nodes(1);
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn binarize_star_preserves_distances() {
+        let g = generators::star(10, |l| l as f64);
+        let t = RootedTree::from_graph(&g, 0);
+        let b = binarize(&t);
+        assert!(b.tree.max_children() <= 2);
+        for u in 0..10 {
+            for v in 0..10 {
+                assert!(
+                    (b.tree.dist(u, v) - t.dist(u, v)).abs() < 1e-9,
+                    "distance ({u},{v}) changed"
+                );
+            }
+        }
+        // Virtual nodes are zero-distance from the hub.
+        for v in 10..b.tree.len() {
+            assert!(b.is_virtual(v));
+            assert_eq!(b.tree.dist(0, v), 0.0);
+        }
+    }
+
+    #[test]
+    fn binarize_depth_growth_is_logarithmic() {
+        // Star with 64 leaves: gadget depth should be about log2(64) = 6.
+        let g = generators::star(65, |_| 1.0);
+        let t = RootedTree::from_graph(&g, 0);
+        let b = binarize(&t);
+        let max_hops = (0..b.tree.len()).map(|v| b.tree.depth_hops[v]).max().unwrap();
+        assert!(max_hops <= 8, "hops = {max_hops}");
+        assert!(b.tree.len() < 2 * 65, "node count must stay linear");
+    }
+
+    #[test]
+    fn binarize_keeps_binary_trees_unchanged() {
+        let g = generators::kary_tree(15, 2, |_| 1.0);
+        let t = RootedTree::from_graph(&g, 0);
+        let b = binarize(&t);
+        assert_eq!(b.tree.len(), 15);
+        assert_eq!(b.num_original(), 15);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the graph substrate.
+
+use dmn_graph::bfs::{hop_diameter, tree_hop_diameter};
+use dmn_graph::dijkstra::{apsp, shortest_paths};
+use dmn_graph::generators;
+use dmn_graph::mst::{kruskal, prim};
+use dmn_graph::steiner::{dreyfus_wagner, steiner_2approx_weight};
+use dmn_graph::tree::{binarize, RootedTree};
+use dmn_graph::DisjointSets;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kruskal and Prim agree on total MST weight for connected graphs.
+    #[test]
+    fn mst_algorithms_agree(n in 3usize..25, seed in any::<u64>()) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.3, (1.0, 9.0), &mut r);
+        let k = kruskal(&g);
+        let p = prim(&g);
+        prop_assert!((k.weight - p.weight).abs() < 1e-9);
+        prop_assert_eq!(k.edges.len(), n - 1);
+        prop_assert_eq!(p.edges.len(), n - 1);
+    }
+
+    /// The metric closure of every generator family satisfies the axioms.
+    #[test]
+    fn generators_yield_metrics(n in 3usize..16, seed in any::<u64>(), family in 0usize..4) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = match family {
+            0 => generators::gnp_connected(n, 0.4, (1.0, 5.0), &mut r),
+            1 => generators::random_geometric(n, 0.4, 5.0, &mut r),
+            2 => generators::prufer_tree(n, (1.0, 5.0), &mut r),
+            _ => generators::ring(n.max(3), |i| (i % 3 + 1) as f64),
+        };
+        let m = apsp(&g);
+        prop_assert!(m.check_axioms(1e-9).is_ok());
+    }
+
+    /// Exact Steiner weight is sandwiched by the metric-MST 2-approximation:
+    /// `exact <= approx <= 2 * exact`.
+    #[test]
+    fn steiner_sandwich(seed in any::<u64>(), k in 2usize..6) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp_connected(10, 0.35, (1.0, 7.0), &mut r);
+        let m = apsp(&g);
+        let terms: Vec<usize> = (0..k.min(10)).map(|i| (i * 7 + seed as usize) % 10).collect();
+        let exact = dreyfus_wagner(&m, &terms);
+        let approx = steiner_2approx_weight(&m, &terms);
+        prop_assert!(exact <= approx + 1e-9);
+        prop_assert!(approx <= 2.0 * exact + 1e-9);
+    }
+
+    /// Steiner weight is monotone under adding terminals.
+    #[test]
+    fn steiner_monotone_in_terminals(seed in any::<u64>()) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp_connected(9, 0.4, (1.0, 5.0), &mut r);
+        let m = apsp(&g);
+        let small = vec![0usize, 3];
+        let large = vec![0usize, 3, 6, 8];
+        prop_assert!(dreyfus_wagner(&m, &small) <= dreyfus_wagner(&m, &large) + 1e-9);
+    }
+
+    /// Dijkstra distances obey per-edge relaxation: d(v) <= d(u) + w(u,v).
+    #[test]
+    fn dijkstra_relaxation_fixpoint(n in 3usize..20, seed in any::<u64>()) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.3, (1.0, 9.0), &mut r);
+        let sp = shortest_paths(&g, 0);
+        for e in g.edges() {
+            prop_assert!(sp.dist[e.v] <= sp.dist[e.u] + e.w + 1e-9);
+            prop_assert!(sp.dist[e.u] <= sp.dist[e.v] + e.w + 1e-9);
+        }
+    }
+
+    /// Binarization preserves all pairwise distances between original nodes
+    /// and keeps the node count linear.
+    #[test]
+    fn binarization_is_distance_preserving(n in 2usize..30, seed in any::<u64>()) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::prufer_tree(n, (0.0, 6.0), &mut r);
+        let t = RootedTree::from_graph(&g, 0);
+        let b = binarize(&t);
+        prop_assert!(b.tree.max_children() <= 2);
+        prop_assert!(b.tree.len() <= 2 * n);
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert!((b.tree.dist(u, v) - t.dist(u, v)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// DSU matches a naive reachability model under random unions.
+    #[test]
+    fn dsu_matches_model(ops in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        let mut dsu = DisjointSets::new(12);
+        let mut model: Vec<usize> = (0..12).collect(); // representative by min
+        for (a, b) in ops {
+            dsu.union(a, b);
+            let (ra, rb) = (model[a], model[b]);
+            if ra != rb {
+                for m in model.iter_mut() {
+                    if *m == rb { *m = ra; }
+                }
+            }
+        }
+        for x in 0..12 {
+            for y in 0..12 {
+                prop_assert_eq!(dsu.connected(x, y), model[x] == model[y]);
+            }
+        }
+    }
+
+    /// Tree double-BFS diameter equals the generic all-pairs hop diameter.
+    #[test]
+    fn tree_diameter_agrees(n in 2usize..40, seed in any::<u64>()) {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::prufer_tree(n, (1.0, 2.0), &mut r);
+        prop_assert_eq!(tree_hop_diameter(&g), hop_diameter(&g));
+    }
+}

@@ -1,0 +1,95 @@
+//! Exhaustive ground truth for small trees.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::tree::RootedTree;
+
+use crate::{tree_cost, TreeSolution};
+
+/// Maximum tree size accepted by [`brute_force_tree`].
+pub const MAX_BRUTE_NODES: usize = 20;
+
+/// Optimal placement by enumerating every non-empty copy set over nodes
+/// with finite storage cost. `O(2^n · n)` — ground truth for the DP and
+/// tuple algorithms.
+///
+/// # Panics
+/// Panics beyond [`MAX_BRUTE_NODES`] nodes or when no node may hold a copy.
+pub fn brute_force_tree(
+    tree: &RootedTree,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> TreeSolution {
+    let n = tree.len();
+    assert!(n <= MAX_BRUTE_NODES, "brute force limited to {MAX_BRUTE_NODES} nodes");
+    let allowed: Vec<usize> = (0..n).filter(|&v| storage_cost[v].is_finite()).collect();
+    assert!(!allowed.is_empty(), "no node may hold a copy");
+    let k = allowed.len();
+    let mut best_cost = f64::INFINITY;
+    let mut best: Vec<usize> = Vec::new();
+    let mut copies = Vec::with_capacity(k);
+    for mask in 1usize..(1 << k) {
+        copies.clear();
+        copies.extend(
+            allowed
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v),
+        );
+        let c = tree_cost(tree, storage_cost, workload, &copies);
+        if c < best_cost {
+            best_cost = c;
+            best = copies.clone();
+        }
+    }
+    TreeSolution { copies: best, cost: best_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::Graph;
+
+    fn star3() -> RootedTree {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
+        RootedTree::from_graph(&g, 0)
+    }
+
+    #[test]
+    fn read_only_cheap_storage_replicates() {
+        let t = star3();
+        let cs = vec![0.5; 4];
+        let mut w = ObjectWorkload::new(4);
+        for v in 1..4 {
+            w.reads[v] = 1.0;
+        }
+        let sol = brute_force_tree(&t, &cs, &w);
+        assert_eq!(sol.copies, vec![1, 2, 3]);
+        assert!((sol.cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_writes_single_copy_at_writer() {
+        let t = star3();
+        let cs = vec![0.5; 4];
+        let mut w = ObjectWorkload::new(4);
+        for v in 1..4 {
+            w.reads[v] = 1.0;
+        }
+        w.writes[1] = 10.0;
+        let sol = brute_force_tree(&t, &cs, &w);
+        // Copies beyond the writer's own node multiply update traffic.
+        assert!(sol.copies.contains(&1), "{:?}", sol.copies);
+    }
+
+    #[test]
+    fn forbidden_nodes_excluded() {
+        let t = star3();
+        let cs = vec![f64::INFINITY, 0.5, 0.5, 0.5];
+        let mut w = ObjectWorkload::new(4);
+        w.reads[0] = 5.0;
+        let sol = brute_force_tree(&t, &cs, &w);
+        assert!(!sol.copies.contains(&0));
+        assert_eq!(sol.copies.len(), 1, "one copy at any leaf: {:?}", sol.copies);
+    }
+}

@@ -1,0 +1,294 @@
+//! Reference dynamic program for the read-only case on arbitrary trees.
+//!
+//! An intentionally different formulation from the paper's tuple algorithm
+//! (see [`crate::tuples`]), used to cross-validate it at sizes brute force
+//! cannot reach: the classical "candidate nearest copy" DP
+//! (à la Tamir's tree-location DPs).
+//!
+//! State: `dp[v][j]` = minimum cost of the subtree part of `T_v` under the
+//! promise that the copy nearest to `v` in the final placement is node `j`
+//! (opened inside the accounting of whichever subtree contains it; reads at
+//! `v` pay `d(v, j)`). For a child `u`, either the same `j` remains nearest
+//! (then recursively `dp[u][j]`) or `u` has a closer copy `j'` inside `T_u`
+//! (`d(u, j') <= d(u, j)`, prefix minima over sorted candidate distances).
+//! If `j` lies inside `T_u`, the child *must* inherit it — that is what
+//! guarantees `j` is actually opened.
+//!
+//! `O(n^2 log n)`; read-only workloads only.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::tree::RootedTree;
+use dmn_graph::Metric;
+
+use crate::TreeSolution;
+
+/// Optimal read-only placement via the candidate-nearest-copy DP.
+///
+/// # Panics
+/// Panics when the workload contains writes (use
+/// [`crate::optimal_tree_general`]) or when no node may hold a copy.
+pub fn optimal_tree_dp(
+    tree: &RootedTree,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> TreeSolution {
+    assert!(
+        workload.is_read_only(),
+        "optimal_tree_dp handles the read-only case; use optimal_tree_general for writes"
+    );
+    let n = tree.len();
+    let metric: Metric = tree.metric();
+    let allowed: Vec<bool> = storage_cost.iter().map(|c| c.is_finite()).collect();
+    assert!(allowed.iter().any(|&a| a), "no node may hold a copy");
+
+    // Subtree membership: in_subtree[v] = sorted node list of T_v.
+    // (O(n^2) memory; this is a validation-scale reference.)
+    let mut subtree: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &v in &tree.post_order {
+        let mut nodes = vec![v];
+        for &c in &tree.children[v] {
+            nodes.extend_from_slice(&subtree[c]);
+        }
+        nodes.sort_unstable();
+        subtree[v] = nodes;
+    }
+    let in_subtree = |v: usize, j: usize| subtree[v].binary_search(&j).is_ok();
+
+    // dp[v][j]; candidates j are allowed nodes only.
+    let mut dp = vec![vec![f64::INFINITY; n]; n];
+    // For each node u: candidates inside T_u sorted by d(u, j'), with prefix
+    // minima of dp[u][j'] — filled after dp[u] is computed.
+    let mut sorted_inside: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
+    let mut prefix_min: Vec<Vec<f64>> = vec![Vec::new(); n];
+
+    for &v in &tree.post_order {
+        for j in 0..n {
+            if !allowed[j] {
+                continue;
+            }
+            let mut cost = workload.reads[v] * metric.dist(v, j);
+            if j == v {
+                cost += storage_cost[v];
+            }
+            for &u in &tree.children[v] {
+                let contrib = if in_subtree(u, j) {
+                    dp[u][j]
+                } else {
+                    // Same j, or a closer copy j' inside T_u.
+                    let mut best = dp[u][j];
+                    let radius = metric.dist(u, j);
+                    let su = &sorted_inside[u];
+                    // Last candidate with d(u, j') <= radius.
+                    let k = su.partition_point(|&(d, _)| d <= radius + 1e-12);
+                    if k > 0 {
+                        best = best.min(prefix_min[u][k - 1]);
+                    }
+                    best
+                };
+                cost += contrib;
+                if !cost.is_finite() {
+                    break;
+                }
+            }
+            dp[v][j] = cost;
+        }
+        // Build the sorted-candidate index for v.
+        let mut inside: Vec<(f64, usize)> = subtree[v]
+            .iter()
+            .filter(|&&j| allowed[j])
+            .map(|&j| (metric.dist(v, j), j))
+            .collect();
+        inside.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let mut pm = Vec::with_capacity(inside.len());
+        let mut acc = f64::INFINITY;
+        for &(_, j) in &inside {
+            acc = acc.min(dp[v][j]);
+            pm.push(acc);
+        }
+        sorted_inside[v] = inside;
+        prefix_min[v] = pm;
+    }
+
+    let root = tree.root;
+    let (best_j, best_cost) = (0..n)
+        .filter(|&j| allowed[j])
+        .map(|j| (j, dp[root][j]))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("an allowed candidate exists");
+
+    // Reconstruct the copy set by replaying the argmin decisions.
+    let mut copies = Vec::new();
+    reconstruct(
+        tree,
+        &metric,
+        storage_cost,
+        workload,
+        &dp,
+        &sorted_inside,
+        &prefix_min,
+        &subtree,
+        root,
+        best_j,
+        &mut copies,
+    );
+    copies.sort_unstable();
+    copies.dedup();
+    TreeSolution { copies, cost: best_cost }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reconstruct(
+    tree: &RootedTree,
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    dp: &[Vec<f64>],
+    sorted_inside: &[Vec<(f64, usize)>],
+    prefix_min: &[Vec<f64>],
+    subtree: &[Vec<usize>],
+    v: usize,
+    j: usize,
+    out: &mut Vec<usize>,
+) {
+    if j == v {
+        out.push(v);
+    }
+    let _ = (storage_cost, workload);
+    for &u in &tree.children[v] {
+        let in_sub = subtree[u].binary_search(&j).is_ok();
+        let next_j = if in_sub {
+            j
+        } else {
+            // Recompute the argmin the DP took.
+            let radius = metric.dist(u, j);
+            let su = &sorted_inside[u];
+            let k = su.partition_point(|&(d, _)| d <= radius + 1e-12);
+            let alt = if k > 0 { prefix_min[u][k - 1] } else { f64::INFINITY };
+            if alt < dp[u][j] {
+                // Find a concrete j' achieving the prefix minimum.
+                su[..k]
+                    .iter()
+                    .map(|&(_, jj)| jj)
+                    .min_by(|&a, &b| dp[u][a].partial_cmp(&dp[u][b]).expect("no NaN"))
+                    .expect("k > 0")
+            } else {
+                j
+            }
+        };
+        reconstruct(
+            tree,
+            metric,
+            storage_cost,
+            workload,
+            dp,
+            sorted_inside,
+            prefix_min,
+            subtree,
+            u,
+            next_j,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_tree;
+    use crate::tree_cost;
+    use dmn_graph::generators;
+    use dmn_graph::Graph;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_against_brute(tree: &RootedTree, cs: &[f64], w: &ObjectWorkload) {
+        let dp = optimal_tree_dp(tree, cs, w);
+        let bf = brute_force_tree(tree, cs, w);
+        assert!(
+            (dp.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost),
+            "dp {} vs brute {} (copies {:?} vs {:?})",
+            dp.cost,
+            bf.cost,
+            dp.copies,
+            bf.copies
+        );
+        // The reconstructed set must realize the claimed cost.
+        let realized = tree_cost(tree, cs, w, &dp.copies);
+        assert!(
+            (realized - dp.cost).abs() < 1e-6 * (1.0 + dp.cost),
+            "reconstruction mismatch: {} vs {}",
+            realized,
+            dp.cost
+        );
+    }
+
+    #[test]
+    fn matches_brute_on_fixed_trees() {
+        let g = Graph::from_edges(
+            6,
+            [(0, 1, 2.0), (0, 2, 1.0), (1, 3, 3.0), (1, 4, 1.0), (2, 5, 4.0)],
+        );
+        let t = RootedTree::from_graph(&g, 0);
+        let cs = vec![3.0, 1.0, 2.0, 5.0, 1.0, 2.0];
+        let mut w = ObjectWorkload::new(6);
+        w.reads = vec![1.0, 0.0, 2.0, 1.0, 3.0, 1.0];
+        check_against_brute(&t, &cs, &w);
+    }
+
+    #[test]
+    fn matches_brute_on_random_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        for trial in 0..60 {
+            let n = rng.random_range(2..=11);
+            let g = generators::prufer_tree(n, (1.0, 5.0), &mut rng);
+            let t = RootedTree::from_graph(&g, rng.random_range(0..n));
+            let cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..8.0)).collect();
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                if rng.random_bool(0.7) {
+                    w.reads[v] = rng.random_range(0..5) as f64;
+                }
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[0] = 1.0;
+            }
+            check_against_brute(&t, &cs, &w);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn handles_forbidden_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.random_range(3..=10);
+            let g = generators::random_tree(n, (1.0, 4.0), &mut rng);
+            let t = RootedTree::from_graph(&g, 0);
+            let mut cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..6.0)).collect();
+            // Forbid a random strict subset.
+            for v in 0..n - 1 {
+                if rng.random_bool(0.3) {
+                    cs[v] = f64::INFINITY;
+                }
+            }
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                w.reads[v] = rng.random_range(0..4) as f64;
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[n - 1] = 1.0;
+            }
+            check_against_brute(&t, &cs, &w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn rejects_writes() {
+        let g = generators::path(3, |_| 1.0);
+        let t = RootedTree::from_graph(&g, 0);
+        let mut w = ObjectWorkload::new(3);
+        w.writes[0] = 1.0;
+        optimal_tree_dp(&t, &[1.0; 3], &w);
+    }
+}

@@ -1,0 +1,236 @@
+//! Lower envelopes of cost lines `y = cost + r_out · D`.
+//!
+//! The paper's *export tuples* `(C_P, |R_P|, I_P)` (Claim 16) are exactly
+//! the pieces of the lower envelope of the lines `C_P + |R_P| · D` over the
+//! outside-copy distance `D ∈ [0, ∞)`: the optimality interval `I_P` is the
+//! stretch of `D` where the piece is minimal. This module builds, shifts,
+//! evaluates and combines such envelopes.
+
+/// One line of an envelope, carrying a provenance tag `P` used for
+/// placement reconstruction.
+#[derive(Debug, Clone)]
+pub struct Line<P> {
+    /// Cost at `D = 0`.
+    pub cost: f64,
+    /// Number (mass) of outgoing requests — the slope in `D`.
+    pub r_out: f64,
+    /// Reconstruction tag.
+    pub prov: P,
+}
+
+/// A lower envelope: pieces in order of increasing `D`, with
+/// `breaks[i]` = the `D` where piece `i+1` takes over from piece `i`.
+/// Slopes strictly decrease along the pieces.
+#[derive(Debug, Clone)]
+pub struct Envelope<P> {
+    /// The surviving lines in piece order.
+    pub lines: Vec<Line<P>>,
+    /// Breakpoints between consecutive pieces (`lines.len() - 1` of them).
+    pub breaks: Vec<f64>,
+}
+
+impl<P: Clone> Envelope<P> {
+    /// An empty envelope (no placements available).
+    pub fn empty() -> Self {
+        Envelope { lines: Vec::new(), breaks: Vec::new() }
+    }
+
+    /// Builds the lower envelope of `lines` over `D ∈ [0, ∞)`.
+    /// Lines that are nowhere minimal are dropped (the paper's deletion of
+    /// tuples whose optimality interval is empty).
+    pub fn build(mut lines: Vec<Line<P>>) -> Self {
+        lines.retain(|l| l.cost.is_finite());
+        // Sort by slope descending (small-D pieces first), cost ascending.
+        lines.sort_by(|a, b| {
+            b.r_out
+                .partial_cmp(&a.r_out)
+                .expect("no NaN")
+                .then(a.cost.partial_cmp(&b.cost).expect("no NaN"))
+        });
+        let mut kept: Vec<Line<P>> = Vec::with_capacity(lines.len());
+        let mut breaks: Vec<f64> = Vec::new();
+        for l in lines {
+            loop {
+                match kept.last() {
+                    None => {
+                        kept.push(l);
+                        break;
+                    }
+                    Some(last) => {
+                        if (l.r_out - last.r_out).abs() < 1e-15 {
+                            // Same slope: the sort already put the cheaper
+                            // first; drop the newcomer.
+                            break;
+                        }
+                        // l.r_out < last.r_out here.
+                        if l.cost <= last.cost {
+                            // Cheaper and flatter: the last line is nowhere
+                            // minimal.
+                            kept.pop();
+                            breaks.pop();
+                            continue;
+                        }
+                        let x = (l.cost - last.cost) / (last.r_out - l.r_out);
+                        if let Some(&bx) = breaks.last() {
+                            if x <= bx {
+                                kept.pop();
+                                breaks.pop();
+                                continue;
+                            }
+                        }
+                        breaks.push(x);
+                        kept.push(l);
+                        break;
+                    }
+                }
+            }
+        }
+        Envelope { lines: kept, breaks }
+    }
+
+    /// True when no line is available.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Evaluates the envelope at distance `D >= 0`; returns
+    /// `(value, piece index)`. `None` on an empty envelope.
+    pub fn eval(&self, d: f64) -> Option<(f64, usize)> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        let i = self.breaks.partition_point(|&b| b < d);
+        let l = &self.lines[i];
+        Some((l.cost + l.r_out * d, i))
+    }
+
+    /// Shifts the domain by `delta` (the paper's interval shift by
+    /// `-ct(e)`): the new envelope at `D` equals the old at `D + delta`,
+    /// with an extra per-unit surcharge `extra_cost` added to every line.
+    /// Produces plain lines ready for recombination.
+    pub fn shifted_lines(&self, delta: f64, extra_cost: f64) -> Vec<Line<P>> {
+        self.lines
+            .iter()
+            .map(|l| Line {
+                cost: l.cost + l.r_out * delta + extra_cost,
+                r_out: l.r_out,
+                prov: l.prov.clone(),
+            })
+            .collect()
+    }
+
+    /// Piecewise sum with another envelope: enumerates the `D`-intervals
+    /// where a pair of pieces is jointly active and emits the summed line,
+    /// combining provenance with `merge`. Both inputs must be non-empty.
+    pub fn sum_with<Q: Clone, R>(
+        &self,
+        other: &Envelope<Q>,
+        mut merge: impl FnMut(&P, &Q) -> R,
+    ) -> Vec<Line<R>> {
+        assert!(!self.is_empty() && !other.is_empty());
+        let mut out = Vec::with_capacity(self.lines.len() + other.lines.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let a = &self.lines[i];
+            let b = &other.lines[j];
+            out.push(Line {
+                cost: a.cost + b.cost,
+                r_out: a.r_out + b.r_out,
+                prov: merge(&a.prov, &b.prov),
+            });
+            // Advance whichever piece ends first.
+            let ea = self.breaks.get(i).copied().unwrap_or(f64::INFINITY);
+            let eb = other.breaks.get(j).copied().unwrap_or(f64::INFINITY);
+            if ea.is_infinite() && eb.is_infinite() {
+                break;
+            }
+            if ea <= eb {
+                i += 1;
+            }
+            if eb <= ea {
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(lines: &[(f64, f64)]) -> Envelope<usize> {
+        Envelope::build(
+            lines
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, r))| Line { cost: c, r_out: r, prov: i })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn basic_envelope_two_lines() {
+        // Cheap steep line vs expensive flat line: crossover at D = 2.
+        let e = env(&[(0.0, 3.0), (6.0, 0.0)]);
+        assert_eq!(e.lines.len(), 2);
+        assert_eq!(e.breaks, vec![2.0]);
+        assert_eq!(e.eval(1.0), Some((3.0, 0)));
+        assert_eq!(e.eval(2.5), Some((6.0, 1)));
+        assert_eq!(e.eval(2.0), Some((6.0, 0))); // boundary: first piece closes at 2
+    }
+
+    #[test]
+    fn dominated_lines_are_dropped() {
+        // (5, 2) is everywhere above max(min of others).
+        let e = env(&[(0.0, 3.0), (5.0, 2.0), (6.0, 0.0)]);
+        // Line 1 never wins: at D=2 line0 gives 6, line1 gives 9; crossover
+        // line0/line1 at D=5 where line2 already gives 6 < 15.
+        assert_eq!(e.lines.len(), 2);
+        assert!(e.lines.iter().all(|l| l.prov != 1));
+    }
+
+    #[test]
+    fn equal_slopes_keep_cheapest() {
+        let e = env(&[(4.0, 1.0), (2.0, 1.0), (9.0, 0.0)]);
+        assert_eq!(e.lines[0].cost, 2.0);
+        assert_eq!(e.lines[0].prov, 1);
+    }
+
+    #[test]
+    fn shift_moves_the_domain() {
+        let e = env(&[(0.0, 3.0), (6.0, 0.0)]);
+        let shifted = Envelope::build(e.shifted_lines(1.0, 0.5));
+        // At D = 1 the original at D = 2 (=6) + 0.5 = 6.5 from either piece.
+        let (v, _) = shifted.eval(1.0).unwrap();
+        assert!((v - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_matches_pointwise_addition() {
+        let a = env(&[(0.0, 3.0), (6.0, 0.0)]);
+        let b = env(&[(1.0, 2.0), (4.0, 1.0), (10.0, 0.0)]);
+        let s = Envelope::build(a.sum_with(&b, |x, y| (*x, *y)));
+        for d in [0.0, 0.5, 1.9, 2.0, 3.0, 5.9, 6.0, 7.5, 100.0] {
+            let want = a.eval(d).unwrap().0 + b.eval(d).unwrap().0;
+            let got = s.eval(d).unwrap().0;
+            assert!((want - got).abs() < 1e-9, "d={d}: {want} vs {got}");
+        }
+    }
+
+    #[test]
+    fn empty_envelope_behaviour() {
+        let e: Envelope<usize> = Envelope::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), None);
+        let only_inf = Envelope::build(vec![Line { cost: f64::INFINITY, r_out: 0.0, prov: 7usize }]);
+        assert!(only_inf.is_empty());
+    }
+
+    #[test]
+    fn single_line_envelope() {
+        let e = env(&[(3.0, 1.5)]);
+        assert_eq!(e.eval(2.0), Some((6.0, 0)));
+        assert!(e.breaks.is_empty());
+    }
+}

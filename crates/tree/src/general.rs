@@ -1,0 +1,541 @@
+//! The general tree algorithm: reads **and** writes (Section 3.2).
+//!
+//! On a tree the optimal update set of a write at `h` is the spanning
+//! subtree of `{h} ∪ copies`, so the write cost decomposes over edges: an
+//! edge `e = (x, parent)` carries
+//!
+//! * `W` when copies exist below and above `e`,
+//! * `W − W_below(e)` when copies exist only below, and
+//! * `W_below(e)` when copies exist only above,
+//!
+//! with `W_below(e)` the write mass in the subtree under `e`. Whether
+//! "above" holds for edges near the subtree root depends on the placement
+//! *outside* the subtree — exactly the paper's `cost^0_W` / `cost^1_W`
+//! conditioning. The sufficient set per subtree therefore keeps
+//!
+//! * `imp0` — import placements assuming **no** copy outside (`I^R`),
+//! * `imp1` — import placements assuming a copy outside (`J^R`),
+//! * `exp` — the export envelope over the outside-copy distance `D`
+//!   (`E^D`, all lines contain at least one copy), and
+//! * the unique **empty** placement (`E_v`), kept as a separate line so its
+//!   different edge-traffic class composes correctly.
+//!
+//! The read-only algorithm ([`crate::tuples`]) is the special case `W = 0`.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::tree::{binarize, RootedTree};
+use dmn_graph::NodeId;
+
+use crate::envelope::{Envelope, Line};
+use crate::TreeSolution;
+
+/// Table an entry reference points into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Imp0,
+    Imp1,
+    Exp,
+}
+
+/// Reconstruction tag.
+#[derive(Debug, Clone)]
+enum Prov {
+    /// No copies in this part (empty child placement).
+    None,
+    /// A copy at this node.
+    Copy(NodeId),
+    /// The placement behind a concrete table entry.
+    Ref(NodeId, Kind, usize),
+    /// Union of two parts.
+    Join(Box<Prov>, Box<Prov>),
+}
+
+impl Prov {
+    fn join(a: Prov, b: Prov) -> Prov {
+        Prov::Join(Box::new(a), Box::new(b))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Imp {
+    dist: f64,
+    cost: f64,
+    prov: Prov,
+}
+
+#[derive(Debug)]
+struct GTables {
+    imp0: Vec<Imp>,
+    imp1: Vec<Imp>,
+    exp: Envelope<Prov>,
+    /// Empty placement: `empty_cost + empty_r * D` when the nearest copy
+    /// above the subtree root sits at distance `D`.
+    empty_cost: f64,
+    empty_r: f64,
+}
+
+/// Optimal placement for arbitrary read/write workloads on a tree, via the
+/// sufficient-set dynamic program of Section 3.2.
+///
+/// # Panics
+/// Panics when no node may hold a copy.
+pub fn optimal_tree_general(
+    tree: &RootedTree,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> TreeSolution {
+    assert!(
+        storage_cost.iter().any(|c| c.is_finite()),
+        "no node may hold a copy"
+    );
+    let n_orig = tree.len();
+    let bin = binarize(tree);
+    let bt = &bin.tree;
+    let nb = bt.len();
+    let cs = |v: usize| if v < n_orig { storage_cost[v] } else { f64::INFINITY };
+    let fr = |v: usize| if v < n_orig { workload.reads[v] } else { 0.0 };
+    let fw = |v: usize| if v < n_orig { workload.writes[v] } else { 0.0 };
+    let w_total = workload.total_writes();
+
+    // Write mass below each binarized node (inclusive).
+    let mut w_below = vec![0.0_f64; nb];
+    for &v in &bt.post_order {
+        w_below[v] += fw(v);
+        if let Some(p) = bt.parent[v] {
+            w_below[p] += w_below[v];
+        }
+    }
+
+    let mut tables: Vec<Option<GTables>> = (0..nb).map(|_| None).collect();
+    for &v in &bt.post_order {
+        let children: Vec<(usize, f64)> = bt.children[v]
+            .iter()
+            .map(|&c| (c, bt.parent_weight[c]))
+            .collect();
+        let t = build_tables(v, &children, cs(v), fr(v), w_total, &w_below, &tables);
+        tables[v] = Some(t);
+    }
+
+    let root = bt.root;
+    let rt = tables[root].as_ref().expect("root processed");
+    let (idx, cost) = rt
+        .imp0
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
+        .map(|(i, e)| (i, e.cost))
+        .expect("a copy can be placed somewhere");
+
+    let mut copies = Vec::new();
+    collect_copies(&tables, root, Kind::Imp0, idx, &mut copies);
+    copies.sort_unstable();
+    copies.dedup();
+    debug_assert!(copies.iter().all(|&c| c < n_orig));
+    TreeSolution { copies, cost }
+}
+
+/// Best way for child `x` (edge weight `wx`) to serve itself given the
+/// nearest copy above the edge at distance `dv` from the parent: either its
+/// non-empty export envelope (edge carries all `W` writes) or its empty
+/// placement (edge carries only the writes from below).
+fn child_export_at(
+    x: usize,
+    wx: f64,
+    dv: f64,
+    w_total: f64,
+    w_below: &[f64],
+    t: &GTables,
+) -> (f64, Prov) {
+    let empty_val = t.empty_cost + t.empty_r * (dv + wx) + w_below[x] * wx;
+    match t.exp.eval(dv + wx) {
+        Some((val, li)) => {
+            let with_copies = val + w_total * wx;
+            if with_copies <= empty_val {
+                (with_copies, Prov::Ref(x, Kind::Exp, li))
+            } else {
+                (empty_val, Prov::None)
+            }
+        }
+        None => (empty_val, Prov::None),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tables(
+    v: usize,
+    children: &[(usize, f64)],
+    cs_v: f64,
+    fr_v: f64,
+    w_total: f64,
+    w_below: &[f64],
+    tables: &[Option<GTables>],
+) -> GTables {
+    let child = |x: usize| tables[x].as_ref().expect("children processed first");
+
+    // ---- Empty placement (E_v): reads exit, writes below each edge rise.
+    let mut empty_cost = 0.0;
+    let mut empty_r = fr_v;
+    for &(x, wx) in children {
+        let t = child(x);
+        empty_cost += t.empty_cost + t.empty_r * wx + w_below[x] * wx;
+        empty_r += t.empty_r;
+    }
+
+    // ---- Import tables.
+    let mut imp0: Vec<Imp> = Vec::new();
+    let mut imp1: Vec<Imp> = Vec::new();
+
+    // Candidate: copy at v. A copy at v shields the subtree from the
+    // outside condition, so the entry is identical for imp0 and imp1.
+    if cs_v.is_finite() {
+        let mut cost = cs_v;
+        let mut prov = Prov::Copy(v);
+        for &(x, wx) in children {
+            let (val, p) = child_export_at(x, wx, 0.0, w_total, w_below, child(x));
+            cost += val;
+            prov = Prov::join(prov, p);
+        }
+        imp0.push(Imp { dist: 0.0, cost, prov: prov.clone() });
+        imp1.push(Imp { dist: 0.0, cost, prov });
+    }
+
+    // Candidate: nearest copy inside child x at entry distance δ.
+    for (slot, &(x, wx)) in children.iter().enumerate() {
+        let other = children.iter().enumerate().find(|&(s, _)| s != slot);
+        let tx = child(x);
+
+        // imp1: a copy exists outside T_v, so every edge sees copies above.
+        for (i, e) in tx.imp1.iter().enumerate() {
+            let dist = e.dist + wx;
+            let mut cost = e.cost + w_total * wx + fr_v * dist;
+            let mut prov = Prov::Ref(x, Kind::Imp1, i);
+            if let Some((_, &(y, wy))) = other {
+                let (val, p) = child_export_at(y, wy, dist, w_total, w_below, child(y));
+                cost += val;
+                prov = Prov::join(prov, p);
+            }
+            imp1.push(Imp { dist, cost, prov });
+        }
+
+        // imp0: no copy outside T_v.
+        match other {
+            None => {
+                // Single child: all copies sit in T_x; the edge carries the
+                // writes from everywhere else down into T_x.
+                for (i, e) in tx.imp0.iter().enumerate() {
+                    let dist = e.dist + wx;
+                    let cost = e.cost + (w_total - w_below[x]) * wx + fr_v * dist;
+                    imp0.push(Imp { dist, cost, prov: Prov::Ref(x, Kind::Imp0, i) });
+                }
+            }
+            Some((_, &(y, wy))) => {
+                let ty = child(y);
+                // Variant: sibling holds copies too -> x sees a copy
+                // outside T_x (use imp1_x), both edges carry W.
+                if !ty.exp.is_empty() {
+                    for (i, e) in tx.imp1.iter().enumerate() {
+                        let dist = e.dist + wx;
+                        if let Some((val, li)) = ty.exp.eval(dist + wy) {
+                            let cost = e.cost
+                                + w_total * wx
+                                + fr_v * dist
+                                + val
+                                + w_total * wy;
+                            imp0.push(Imp {
+                                dist,
+                                cost,
+                                prov: Prov::join(
+                                    Prov::Ref(x, Kind::Imp1, i),
+                                    Prov::Ref(y, Kind::Exp, li),
+                                ),
+                            });
+                        }
+                    }
+                }
+                // Variant: sibling empty -> all copies in T_x (use imp0_x);
+                // edge (x,v) carries the outside writes down, edge (y,v)
+                // lifts the sibling's writes.
+                for (i, e) in tx.imp0.iter().enumerate() {
+                    let dist = e.dist + wx;
+                    let sibling = ty.empty_cost + ty.empty_r * (dist + wy) + w_below[y] * wy;
+                    let cost =
+                        e.cost + (w_total - w_below[x]) * wx + fr_v * dist + sibling;
+                    imp0.push(Imp {
+                        dist,
+                        cost,
+                        prov: Prov::join(Prov::Ref(x, Kind::Imp0, i), Prov::None),
+                    });
+                }
+            }
+        }
+    }
+    prune_imports(&mut imp0);
+    prune_imports(&mut imp1);
+
+    // ---- Export envelope (non-empty placements, outside copy exists).
+    let mut lines: Vec<Line<Prov>> = Vec::new();
+    match children {
+        [] => {}
+        [(x, wx)] => {
+            let tx = child(*x);
+            for l in &tx.exp.lines {
+                lines.push(Line {
+                    cost: l.cost + l.r_out * wx + w_total * wx,
+                    r_out: l.r_out + fr_v,
+                    prov: l.prov.clone(),
+                });
+            }
+        }
+        [(a, wa), (b, wb)] => {
+            let ta = child(*a);
+            let tb = child(*b);
+            let ea = Envelope::build(ta.exp.shifted_lines(*wa, w_total * wa));
+            let eb = Envelope::build(tb.exp.shifted_lines(*wb, w_total * wb));
+            // Both children non-empty.
+            if !ea.is_empty() && !eb.is_empty() {
+                for mut l in ea.sum_with(&eb, |pa, pb| Prov::join(pa.clone(), pb.clone())) {
+                    l.r_out += fr_v;
+                    lines.push(l);
+                }
+            }
+            // One child non-empty, the other empty.
+            let empty_line = |t: &GTables, w: f64, wb_x: f64| -> (f64, f64) {
+                (t.empty_cost + t.empty_r * w + wb_x * w, t.empty_r)
+            };
+            let (ceb, reb) = empty_line(tb, *wb, w_below[*b]);
+            for l in &ea.lines {
+                lines.push(Line {
+                    cost: l.cost + ceb,
+                    r_out: l.r_out + reb + fr_v,
+                    prov: Prov::join(l.prov.clone(), Prov::None),
+                });
+            }
+            let (cea, rea) = empty_line(ta, *wa, w_below[*a]);
+            for l in &eb.lines {
+                lines.push(Line {
+                    cost: l.cost + cea,
+                    r_out: l.r_out + rea + fr_v,
+                    prov: Prov::join(Prov::None, l.prov.clone()),
+                });
+            }
+        }
+        _ => unreachable!("binarized trees have at most two children"),
+    }
+    // Self-contained under an outside copy: the cheapest imp1 entry.
+    if let Some((i, e)) = imp1
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
+    {
+        lines.push(Line { cost: e.cost, r_out: 0.0, prov: Prov::Ref(v, Kind::Imp1, i) });
+    }
+    let exp = Envelope::build(lines);
+
+    GTables { imp0, imp1, exp, empty_cost, empty_r }
+}
+
+fn prune_imports(imports: &mut Vec<Imp>) {
+    imports.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("no NaN")
+            .then(a.cost.partial_cmp(&b.cost).expect("no NaN"))
+    });
+    let mut kept: Vec<Imp> = Vec::with_capacity(imports.len());
+    for e in imports.drain(..) {
+        if !e.cost.is_finite() {
+            continue;
+        }
+        if kept.last().is_none_or(|k| e.cost < k.cost - 1e-15) {
+            kept.push(e);
+        }
+    }
+    *imports = kept;
+}
+
+fn collect_copies(
+    tables: &[Option<GTables>],
+    node: NodeId,
+    kind: Kind,
+    idx: usize,
+    out: &mut Vec<NodeId>,
+) {
+    let t = tables[node].as_ref().expect("table exists");
+    let prov = match kind {
+        Kind::Imp0 => &t.imp0[idx].prov,
+        Kind::Imp1 => &t.imp1[idx].prov,
+        Kind::Exp => &t.exp.lines[idx].prov,
+    };
+    collect_prov(tables, prov, out);
+}
+
+fn collect_prov(tables: &[Option<GTables>], prov: &Prov, out: &mut Vec<NodeId>) {
+    match prov {
+        Prov::None => {}
+        Prov::Copy(c) => out.push(*c),
+        Prov::Ref(node, kind, idx) => collect_copies(tables, *node, *kind, *idx, out),
+        Prov::Join(a, b) => {
+            collect_prov(tables, a, out);
+            collect_prov(tables, b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_tree;
+    use crate::dp::optimal_tree_dp;
+    use crate::tree_cost;
+    use crate::tuples::optimal_tree_read_only;
+    use dmn_graph::generators;
+    use dmn_graph::Graph;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_vs_brute(tree: &RootedTree, cs: &[f64], w: &ObjectWorkload) {
+        let gen = optimal_tree_general(tree, cs, w);
+        let bf = brute_force_tree(tree, cs, w);
+        assert!(
+            (gen.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost),
+            "general {} vs brute {} (copies {:?} vs {:?})",
+            gen.cost,
+            bf.cost,
+            gen.copies,
+            bf.copies
+        );
+        let realized = tree_cost(tree, cs, w, &gen.copies);
+        assert!(
+            (realized - gen.cost).abs() < 1e-6 * (1.0 + gen.cost),
+            "reconstruction: claimed {} realizes {} ({:?})",
+            gen.cost,
+            realized,
+            gen.copies
+        );
+    }
+
+    #[test]
+    fn single_writer_prefers_local_copy() {
+        let g = generators::path(5, |_| 1.0);
+        let t = RootedTree::from_graph(&g, 0);
+        let cs = vec![0.5; 5];
+        let mut w = ObjectWorkload::new(5);
+        w.writes[2] = 10.0;
+        w.reads[0] = 1.0;
+        w.reads[4] = 1.0;
+        check_vs_brute(&t, &cs, &w);
+        let sol = optimal_tree_general(&t, &cs, &w);
+        assert!(sol.copies.contains(&2), "{:?}", sol.copies);
+    }
+
+    #[test]
+    fn matches_brute_on_fixed_trees() {
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1, 2.0),
+                (0, 2, 1.0),
+                (1, 3, 3.0),
+                (1, 4, 1.0),
+                (2, 5, 4.0),
+                (2, 6, 2.0),
+            ],
+        );
+        let t = RootedTree::from_graph(&g, 0);
+        let cs = vec![3.0, 1.0, 2.0, 5.0, 1.0, 2.0, 4.0];
+        let mut w = ObjectWorkload::new(7);
+        w.reads = vec![1.0, 0.0, 2.0, 1.0, 3.0, 1.0, 0.5];
+        w.writes = vec![0.0, 1.0, 0.0, 0.5, 0.0, 2.0, 0.0];
+        check_vs_brute(&t, &cs, &w);
+    }
+
+    #[test]
+    fn matches_brute_on_random_trees_with_writes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        for _ in 0..80 {
+            let n = rng.random_range(2..=12);
+            let g = generators::prufer_tree(n, (1.0, 6.0), &mut rng);
+            let t = RootedTree::from_graph(&g, rng.random_range(0..n));
+            let mut cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..8.0)).collect();
+            if rng.random_bool(0.3) {
+                let v = rng.random_range(0..n);
+                if (0..n).any(|u| u != v && cs[u].is_finite()) {
+                    cs[v] = f64::INFINITY;
+                }
+            }
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                if rng.random_bool(0.7) {
+                    w.reads[v] = rng.random_range(0..5) as f64;
+                }
+                if rng.random_bool(0.4) {
+                    w.writes[v] = rng.random_range(0..4) as f64;
+                }
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[0] = 1.0;
+            }
+            check_vs_brute(&t, &cs, &w);
+        }
+    }
+
+    #[test]
+    fn reduces_to_read_only_algorithms_when_no_writes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..30 {
+            let n = rng.random_range(2..=30);
+            let g = generators::prufer_tree(n, (1.0, 5.0), &mut rng);
+            let t = RootedTree::from_graph(&g, 0);
+            let cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..8.0)).collect();
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                w.reads[v] = rng.random_range(0..4) as f64;
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[0] = 1.0;
+            }
+            let gen = optimal_tree_general(&t, &cs, &w);
+            let ro = optimal_tree_read_only(&t, &cs, &w);
+            let dp = optimal_tree_dp(&t, &cs, &w);
+            assert!((gen.cost - ro.cost).abs() < 1e-6 * (1.0 + ro.cost));
+            assert!((gen.cost - dp.cost).abs() < 1e-6 * (1.0 + dp.cost));
+        }
+    }
+
+    #[test]
+    fn high_degree_trees_with_writes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let star = generators::star(12, |l| (l % 4 + 1) as f64);
+        let t = RootedTree::from_graph(&star, 0);
+        for _ in 0..10 {
+            let cs: Vec<f64> = (0..12).map(|_| rng.random_range(0.2..5.0)).collect();
+            let mut w = ObjectWorkload::new(12);
+            for v in 0..12 {
+                w.reads[v] = rng.random_range(0..4) as f64;
+                if rng.random_bool(0.3) {
+                    w.writes[v] = rng.random_range(0..3) as f64;
+                }
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[1] = 1.0;
+            }
+            check_vs_brute(&t, &cs, &w);
+        }
+    }
+
+    #[test]
+    fn write_heavy_workload_collapses_replicas() {
+        let g = generators::path(9, |_| 1.0);
+        let t = RootedTree::from_graph(&g, 4);
+        let cs = vec![0.1; 9];
+        let mut w = ObjectWorkload::new(9);
+        for v in 0..9 {
+            w.reads[v] = 1.0;
+            w.writes[v] = 5.0;
+        }
+        let sol = optimal_tree_general(&t, &cs, &w);
+        // Every extra copy forces nearly all write traffic across more
+        // edges; the optimum keeps few copies.
+        assert!(sol.copies.len() <= 2, "{:?}", sol.copies);
+    }
+}

@@ -1,0 +1,193 @@
+//! Optimal static data management on trees (Section 3 of the paper).
+//!
+//! On a tree the problem is polynomial: the paper gives an
+//! `O(|X| · |V| · diam(T) · log(deg(T)))` dynamic program based on
+//! *sufficient sets* of subtree placements encoded as import/export tuples
+//! (read-only case, Section 3.1) and its extension with write costs
+//! (Section 3.2).
+//!
+//! The crate layers three solvers, each validating the next:
+//!
+//! * [`brute`] — exponential enumeration with exact tree-Steiner write
+//!   costs (ground truth for small trees),
+//! * [`dp`] — a clean polynomial reference DP over (node, nearest-copy)
+//!   states handling reads and writes on arbitrary trees,
+//! * [`tuples`] — the paper's tuple algorithm for the read-only case with
+//!   binarization, meeting the Theorem-13 complexity, and
+//! * [`general`] — the Section-3.2 general case (families `E^D`, `I^R`,
+//!   `J^R`, `Ev` under the `cost^0_W`/`cost^1_W` conditioning).
+
+// Node ids are dense indices throughout this workspace; looping over
+// `0..n` and indexing by node id is the domain idiom.
+#![allow(clippy::needless_range_loop)]
+
+pub mod brute;
+pub mod dp;
+pub mod envelope;
+pub mod general;
+pub mod tuples;
+
+pub use brute::brute_force_tree;
+pub use dp::optimal_tree_dp;
+pub use general::optimal_tree_general;
+pub use tuples::optimal_tree_read_only;
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::tree::RootedTree;
+use dmn_graph::NodeId;
+
+/// A tree placement solution: copy set and exact total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSolution {
+    /// The chosen copy set (sorted).
+    pub copies: Vec<NodeId>,
+    /// Its exact total cost (storage + read + tree-Steiner write updates).
+    pub cost: f64,
+}
+
+/// Exact cost of a copy set on a tree under the paper's tree semantics:
+/// reads go to the nearest copy; a write at `h` pays the minimal subtree
+/// spanning `{h} ∪ copies` (on a tree the optimal update set is exactly the
+/// spanning subtree, so policy and optimum coincide).
+///
+/// `O(n)` per write home after `O(n)` preparation, `O(n^2)` worst case.
+pub fn tree_cost(
+    tree: &RootedTree,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    copies: &[NodeId],
+) -> f64 {
+    assert!(!copies.is_empty());
+    let n = tree.len();
+    let mut is_copy = vec![false; n];
+    for &c in copies {
+        is_copy[c] = true;
+    }
+    let mut cost: f64 = copies.iter().map(|&c| storage_cost[c]).sum();
+
+    // copies_below[v]: number of copies in the subtree rooted at v.
+    let mut copies_below = vec![0usize; n];
+    // write_below[v]: write mass in the subtree rooted at v.
+    let mut write_below = vec![0.0_f64; n];
+    for &v in &tree.post_order {
+        if is_copy[v] {
+            copies_below[v] += 1;
+        }
+        write_below[v] += workload.writes[v];
+        if let Some(p) = tree.parent[v] {
+            copies_below[p] += copies_below[v];
+            write_below[p] += write_below[v];
+        }
+    }
+    let total_copies = copies.len();
+    let w_total = workload.total_writes();
+
+    // Per-edge write traffic (edge = (v, parent(v))):
+    //   copies below & above  -> every write crosses:            W
+    //   copies only below     -> writes from above cross:        W - W_below
+    //   copies only above     -> writes from below cross:        W_below
+    for v in 0..n {
+        if tree.parent[v].is_none() {
+            continue;
+        }
+        let below = copies_below[v];
+        let above = total_copies - below;
+        let traffic = if below > 0 && above > 0 {
+            w_total
+        } else if below > 0 {
+            w_total - write_below[v]
+        } else {
+            write_below[v]
+        };
+        cost += traffic * tree.parent_weight[v];
+    }
+
+    // Reads (and nothing else) pay nearest-copy distance; the write legs are
+    // already inside the spanning-subtree accounting above.
+    let nearest = nearest_copy_distances(tree, &is_copy);
+    for v in 0..n {
+        cost += workload.reads[v] * nearest[v];
+    }
+    cost
+}
+
+/// Distance from every node to its nearest copy, `O(n)` two-pass tree DP.
+pub fn nearest_copy_distances(tree: &RootedTree, is_copy: &[bool]) -> Vec<f64> {
+    let n = tree.len();
+    let mut down = vec![f64::INFINITY; n]; // nearest copy within the subtree
+    for &v in &tree.post_order {
+        if is_copy[v] {
+            down[v] = 0.0;
+        }
+        if let Some(p) = tree.parent[v] {
+            let cand = down[v] + tree.parent_weight[v];
+            if cand < down[p] {
+                down[p] = cand;
+            }
+        }
+    }
+    let mut best = down.clone();
+    // Pre-order pass: nearest copy through the parent.
+    for &v in tree.post_order.iter().rev() {
+        if let Some(p) = tree.parent[v] {
+            let cand = best[p] + tree.parent_weight[v];
+            if cand < best[v] {
+                best[v] = cand;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::Graph;
+
+    fn path_tree() -> RootedTree {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]);
+        RootedTree::from_graph(&g, 0)
+    }
+
+    #[test]
+    fn nearest_distances_both_directions() {
+        let t = path_tree();
+        let mut is_copy = vec![false; 4];
+        is_copy[2] = true;
+        let d = nearest_copy_distances(&t, &is_copy);
+        assert_eq!(d, vec![3.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn tree_cost_single_copy() {
+        let t = path_tree();
+        let cs = vec![10.0; 4];
+        let mut w = ObjectWorkload::new(4);
+        w.reads[0] = 1.0;
+        w.writes[3] = 2.0;
+        // Copy at 1: storage 10, read 1*1, writes 2*(4+2)=12 along path 3->1.
+        assert_eq!(tree_cost(&t, &cs, &w, &[1]), 10.0 + 1.0 + 12.0);
+    }
+
+    #[test]
+    fn tree_cost_two_copies_shares_update_subtree() {
+        let t = path_tree();
+        let cs = vec![1.0; 4];
+        let mut w = ObjectWorkload::new(4);
+        w.writes[0] = 1.0;
+        // Copies at 1 and 3: a write at 0 spans edges (0,1),(1,2),(2,3):
+        // cost 1 + 2 + 4 = 7, storage 2.
+        assert_eq!(tree_cost(&t, &cs, &w, &[1, 3]), 2.0 + 7.0);
+    }
+
+    #[test]
+    fn writer_between_copies_pays_spanning_subtree_not_star() {
+        let g = Graph::from_edges(3, [(0, 1, 5.0), (1, 2, 3.0)]);
+        let t = RootedTree::from_graph(&g, 1);
+        let cs = vec![0.0; 3];
+        let mut w = ObjectWorkload::new(3);
+        w.writes[1] = 1.0;
+        // Copies at both leaves; writer at center: subtree = both edges = 8.
+        assert_eq!(tree_cost(&t, &cs, &w, &[0, 2]), 8.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The paper's read-only tuple algorithm (Section 3.1, Theorem 13).
+//!
+//! For every subtree `T_v` a *sufficient set* of placements is maintained:
+//!
+//! * **import tuples** `(cost, copy-distance, node)` — for each candidate
+//!   node `u ∈ T_v`, the best placement whose copy nearest to `v` sits at
+//!   `u` (Claim 15); kept sorted by distance and Pareto-pruned, and
+//! * **export tuples** `(cost, #outgoing, optimality interval)` — the lower
+//!   envelope over the outside-copy distance `D` (Claim 16), represented by
+//!   [`Envelope`].
+//!
+//! Arbitrary trees are *simulated on binary trees* via the balanced
+//! zero-cost binarization of [`dmn_graph::tree::binarize`] (virtual nodes
+//! cannot hold copies and issue no requests), which multiplies the diameter
+//! by at most `log2(deg)` — exactly the Theorem 13 bound
+//! `O(|V| · diam(T) · log(deg(T)))` per object.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_graph::tree::{binarize, RootedTree};
+use dmn_graph::NodeId;
+
+use crate::envelope::{Envelope, Line};
+use crate::TreeSolution;
+
+/// Which table of a child an entry was combined from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Imp,
+    Exp,
+}
+
+/// Reconstruction tag: how an entry's placement is assembled.
+#[derive(Debug, Clone)]
+enum Prov {
+    /// No copies in this part.
+    None,
+    /// A copy at this node.
+    Copy(NodeId),
+    /// The placement of a concrete entry in a node's final table.
+    Ref(NodeId, Kind, usize),
+    /// The union of two parts.
+    Join(Box<Prov>, Box<Prov>),
+}
+
+impl Prov {
+    fn join(a: Prov, b: Prov) -> Prov {
+        Prov::Join(Box::new(a), Box::new(b))
+    }
+}
+
+/// An import tuple: best placement on the subtree with the nearest copy at
+/// distance `dist` from the subtree root.
+#[derive(Debug, Clone)]
+struct Imp {
+    dist: f64,
+    cost: f64,
+    prov: Prov,
+}
+
+#[derive(Debug)]
+struct Tables {
+    imports: Vec<Imp>,
+    exports: Envelope<Prov>,
+}
+
+/// Optimal read-only placement via the paper's tuple dynamic program.
+///
+/// # Panics
+/// Panics when the workload contains writes (use
+/// [`crate::optimal_tree_general`]) or no node may hold a copy.
+pub fn optimal_tree_read_only(
+    tree: &RootedTree,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+) -> TreeSolution {
+    assert!(
+        workload.is_read_only(),
+        "optimal_tree_read_only handles fw = 0; use optimal_tree_general for writes"
+    );
+    assert!(
+        storage_cost.iter().any(|c| c.is_finite()),
+        "no node may hold a copy"
+    );
+    let n_orig = tree.len();
+    let bin = binarize(tree);
+    let bt = &bin.tree;
+    let nb = bt.len();
+    // Extend cost/frequency vectors to virtual nodes.
+    let cs = |v: usize| -> f64 {
+        if v < n_orig {
+            storage_cost[v]
+        } else {
+            f64::INFINITY
+        }
+    };
+    let fr = |v: usize| -> f64 {
+        if v < n_orig {
+            workload.reads[v]
+        } else {
+            0.0
+        }
+    };
+
+    let mut tables: Vec<Option<Tables>> = (0..nb).map(|_| None).collect();
+    for &v in &bt.post_order {
+        let children: Vec<(usize, f64)> = bt.children[v]
+            .iter()
+            .map(|&c| (c, bt.parent_weight[c]))
+            .collect();
+        let t = build_tables(v, &children, cs(v), fr(v), &tables);
+        tables[v] = Some(t);
+    }
+
+    let root_tables = tables[bt.root].as_ref().expect("root processed");
+    let best = root_tables
+        .imports
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
+        .map(|(i, e)| (i, e.cost))
+        .expect("a copy can be placed somewhere");
+
+    let mut copies = Vec::new();
+    collect_copies(&tables, bt.root, Kind::Imp, best.0, &mut copies);
+    copies.sort_unstable();
+    copies.dedup();
+    debug_assert!(copies.iter().all(|&c| c < n_orig), "virtual nodes hold no copies");
+    TreeSolution { copies, cost: best.1 }
+}
+
+/// Builds the sufficient-set tables of node `v` from its children's.
+fn build_tables(
+    v: usize,
+    children: &[(usize, f64)],
+    cs_v: f64,
+    fr_v: f64,
+    tables: &[Option<Tables>],
+) -> Tables {
+    let child = |x: usize| tables[x].as_ref().expect("children processed first");
+
+    // ---- Import tuples (Claim 15) ----
+    let mut imports: Vec<Imp> = Vec::new();
+    // Candidate: copy at v itself. Children fully export towards v (their
+    // nearest outside copy sits at distance w_x).
+    if cs_v.is_finite() {
+        let mut cost = cs_v;
+        let mut prov = Prov::Copy(v);
+        let mut ok = true;
+        for &(x, wx) in children {
+            match child(x).exports.eval(wx) {
+                Some((val, li)) => {
+                    cost += val;
+                    prov = Prov::join(prov, Prov::Ref(x, Kind::Exp, li));
+                }
+                None => ok = false,
+            }
+        }
+        if ok {
+            imports.push(Imp { dist: 0.0, cost, prov });
+        }
+    }
+    // Candidate: nearest copy inside child x; the sibling (if any) exports
+    // towards it at distance (dist + w_sibling).
+    for (slot, &(x, wx)) in children.iter().enumerate() {
+        let other = children.iter().enumerate().find(|&(s, _)| s != slot);
+        for (i, e) in child(x).imports.iter().enumerate() {
+            let dist = e.dist + wx;
+            let mut cost = e.cost + fr_v * dist;
+            let mut prov = Prov::Ref(x, Kind::Imp, i);
+            if let Some((_, &(y, wy))) = other {
+                match child(y).exports.eval(dist + wy) {
+                    Some((val, li)) => {
+                        cost += val;
+                        prov = Prov::join(prov, Prov::Ref(y, Kind::Exp, li));
+                    }
+                    None => continue,
+                }
+            }
+            imports.push(Imp { dist, cost, prov });
+        }
+    }
+    prune_imports(&mut imports);
+
+    // ---- Export tuples (Claim 16) ----
+    // Children see the outside copy at distance D + w_x: shift envelopes.
+    let mut lines: Vec<Line<Prov>> = match children {
+        [] => vec![Line { cost: 0.0, r_out: fr_v, prov: Prov::None }],
+        [(x, wx)] => {
+            let shifted = Envelope::build(child(*x).exports.shifted_lines(*wx, 0.0));
+            shifted
+                .lines
+                .into_iter()
+                .map(|l| Line { cost: l.cost, r_out: l.r_out + fr_v, prov: l.prov })
+                .collect()
+        }
+        [(a, wa), (b, wb)] => {
+            let ea = Envelope::build(child(*a).exports.shifted_lines(*wa, 0.0));
+            let eb = Envelope::build(child(*b).exports.shifted_lines(*wb, 0.0));
+            if ea.is_empty() || eb.is_empty() {
+                Vec::new()
+            } else {
+                ea.sum_with(&eb, |pa, pb| Prov::join(pa.clone(), pb.clone()))
+                    .into_iter()
+                    .map(|mut l| {
+                        l.r_out += fr_v;
+                        l
+                    })
+                    .collect()
+            }
+        }
+        _ => unreachable!("binarized trees have at most two children"),
+    };
+    // Self-contained placement: the cheapest import, exporting nothing
+    // (the paper's E^∞ = I^0 tuple).
+    if let Some((i, e)) = imports
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
+    {
+        lines.push(Line { cost: e.cost, r_out: 0.0, prov: Prov::Ref(v, Kind::Imp, i) });
+    }
+    let exports = Envelope::build(lines);
+    Tables { imports, exports }
+}
+
+/// Keeps import tuples sorted by distance with strictly decreasing cost.
+fn prune_imports(imports: &mut Vec<Imp>) {
+    imports.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("no NaN")
+            .then(a.cost.partial_cmp(&b.cost).expect("no NaN"))
+    });
+    let mut kept: Vec<Imp> = Vec::with_capacity(imports.len());
+    for e in imports.drain(..) {
+        if !e.cost.is_finite() {
+            continue;
+        }
+        if kept.last().is_none_or(|k| e.cost < k.cost - 1e-15) {
+            kept.push(e);
+        }
+    }
+    *imports = kept;
+}
+
+/// Walks provenance from a table entry, collecting copy locations.
+fn collect_copies(
+    tables: &[Option<Tables>],
+    node: NodeId,
+    kind: Kind,
+    idx: usize,
+    out: &mut Vec<NodeId>,
+) {
+    let t = tables[node].as_ref().expect("table exists");
+    let prov = match kind {
+        Kind::Imp => &t.imports[idx].prov,
+        Kind::Exp => &t.exports.lines[idx].prov,
+    };
+    collect_prov(tables, prov, out);
+}
+
+fn collect_prov(tables: &[Option<Tables>], prov: &Prov, out: &mut Vec<NodeId>) {
+    match prov {
+        Prov::None => {}
+        Prov::Copy(c) => out.push(*c),
+        Prov::Ref(node, kind, idx) => collect_copies(tables, *node, *kind, *idx, out),
+        Prov::Join(a, b) => {
+            collect_prov(tables, a, out);
+            collect_prov(tables, b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_tree;
+    use crate::dp::optimal_tree_dp;
+    use crate::tree_cost;
+    use dmn_graph::generators;
+    use dmn_graph::Graph;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn check(tree: &RootedTree, cs: &[f64], w: &ObjectWorkload) {
+        let tp = optimal_tree_read_only(tree, cs, w);
+        let dp = optimal_tree_dp(tree, cs, w);
+        assert!(
+            (tp.cost - dp.cost).abs() < 1e-6 * (1.0 + dp.cost),
+            "tuple {} vs dp {} (copies {:?} vs {:?})",
+            tp.cost,
+            dp.cost,
+            tp.copies,
+            dp.copies
+        );
+        let realized = tree_cost(tree, cs, w, &tp.copies);
+        assert!(
+            (realized - tp.cost).abs() < 1e-6 * (1.0 + tp.cost),
+            "reconstruction: claimed {} realizes {}",
+            tp.cost,
+            realized
+        );
+    }
+
+    #[test]
+    fn matches_brute_on_a_small_star() {
+        let g = generators::star(5, |l| l as f64);
+        let t = RootedTree::from_graph(&g, 0);
+        let cs = vec![2.0; 5];
+        let mut w = ObjectWorkload::new(5);
+        for v in 1..5 {
+            w.reads[v] = 1.0;
+        }
+        let tp = optimal_tree_read_only(&t, &cs, &w);
+        let bf = brute_force_tree(&t, &cs, &w);
+        assert!((tp.cost - bf.cost).abs() < 1e-9, "{} vs {}", tp.cost, bf.cost);
+    }
+
+    #[test]
+    fn matches_dp_on_fixed_tree() {
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1, 2.0),
+                (0, 2, 1.0),
+                (1, 3, 3.0),
+                (1, 4, 1.0),
+                (2, 5, 4.0),
+                (2, 6, 2.0),
+            ],
+        );
+        let t = RootedTree::from_graph(&g, 0);
+        let cs = vec![3.0, 1.0, 2.0, 5.0, 1.0, 2.0, 4.0];
+        let mut w = ObjectWorkload::new(7);
+        w.reads = vec![1.0, 0.0, 2.0, 1.0, 3.0, 1.0, 0.5];
+        check(&t, &cs, &w);
+    }
+
+    #[test]
+    fn matches_dp_on_random_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..60 {
+            let n = rng.random_range(2..=24);
+            let g = generators::prufer_tree(n, (1.0, 6.0), &mut rng);
+            let t = RootedTree::from_graph(&g, rng.random_range(0..n));
+            let cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..10.0)).collect();
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                if rng.random_bool(0.8) {
+                    w.reads[v] = rng.random_range(0..5) as f64;
+                }
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[0] = 1.0;
+            }
+            check(&t, &cs, &w);
+        }
+    }
+
+    #[test]
+    fn high_degree_trees_exercise_binarization() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Stars and caterpillars have nodes of high degree.
+        let star = generators::star(20, |l| (l % 5 + 1) as f64);
+        let cat = generators::caterpillar(4, 4, 2.0, 1.0);
+        for g in [star, cat] {
+            let n = g.num_nodes();
+            let t = RootedTree::from_graph(&g, 0);
+            let cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..6.0)).collect();
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                w.reads[v] = rng.random_range(0..4) as f64;
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[0] = 1.0;
+            }
+            check(&t, &cs, &w);
+        }
+    }
+
+    #[test]
+    fn forbidden_nodes_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..30 {
+            let n = rng.random_range(3..=15);
+            let g = generators::random_tree(n, (1.0, 4.0), &mut rng);
+            let t = RootedTree::from_graph(&g, 0);
+            let mut cs: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..6.0)).collect();
+            for v in 1..n {
+                if rng.random_bool(0.4) {
+                    cs[v] = f64::INFINITY;
+                }
+            }
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                w.reads[v] = rng.random_range(0..3) as f64;
+            }
+            if w.total_requests() == 0.0 {
+                w.reads[0] = 1.0;
+            }
+            let tp = optimal_tree_read_only(&t, &cs, &w);
+            assert!(tp.copies.iter().all(|&c| cs[c].is_finite()));
+            check(&t, &cs, &w);
+        }
+    }
+}

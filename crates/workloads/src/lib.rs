@@ -1,0 +1,13 @@
+//! Workload and scenario generators for data-management experiments.
+//!
+//! The paper's model consumes read/write frequencies per node-object pair;
+//! this crate produces them reproducibly (every generator takes an explicit
+//! RNG) in the shapes the motivation section describes: WWW pages with
+//! skewed popularity, distributed-file-system files with hotspot writers,
+//! and cache lines with mixed sharing.
+
+pub mod scenario;
+pub mod workload;
+
+pub use scenario::{Scenario, ScenarioResult, TopologyKind};
+pub use workload::{WorkloadGen, WorkloadParams};

@@ -1,0 +1,175 @@
+//! Named, serializable experiment scenarios: topology + storage costs +
+//! workload parameters, buildable into a full [`Instance`] from a seed.
+
+use dmn_core::instance::Instance;
+use dmn_graph::generators::{self, TransitStubParams};
+use dmn_graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::workload::{WorkloadGen, WorkloadParams};
+
+/// Topology families the experiments run on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Path with unit edge costs.
+    Path,
+    /// Ring with unit edge costs.
+    Ring,
+    /// `rows x cols` mesh with unit edge costs.
+    Grid {
+        /// Rows of the mesh.
+        rows: usize,
+        /// Columns of the mesh.
+        cols: usize,
+    },
+    /// Uniformly random tree with edge costs from `[1, 10]`.
+    RandomTree,
+    /// Random geometric graph (radius 0.3, scale 10).
+    Geometric,
+    /// Connected Erdős–Rényi with `p = 2 ln n / n`-ish density.
+    Gnp,
+    /// Internet-like transit–stub network (expensive backbone, cheap stubs).
+    TransitStub,
+}
+
+/// A reproducible experiment scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Number of nodes (approximate for structured topologies; exact
+    /// node count comes from the generated graph).
+    pub nodes: usize,
+    /// Uniform storage cost per node.
+    pub storage_cost: f64,
+    /// Workload parameters.
+    pub workload: WorkloadParams,
+    /// RNG seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Builds the network for this scenario.
+    pub fn build_graph(&self) -> Graph {
+        let n = self.nodes.max(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        match self.topology {
+            TopologyKind::Path => generators::path(n, |_| 1.0),
+            TopologyKind::Ring => generators::ring(n, |_| 1.0),
+            TopologyKind::Grid { rows, cols } => generators::grid(rows, cols, |_, _| 1.0),
+            TopologyKind::RandomTree => generators::prufer_tree(n, (1.0, 10.0), &mut rng),
+            TopologyKind::Geometric => generators::random_geometric(n, 0.3, 10.0, &mut rng),
+            TopologyKind::Gnp => {
+                let p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
+                generators::gnp_connected(n, p, (1.0, 10.0), &mut rng)
+            }
+            TopologyKind::TransitStub => {
+                // Scale the stub size to approximate the requested count.
+                let per = (n / 12).max(2);
+                let params = TransitStubParams {
+                    transits: 4,
+                    stubs_per_transit: 3,
+                    nodes_per_stub: per,
+                    ..TransitStubParams::default()
+                };
+                generators::transit_stub(params, &mut rng)
+            }
+        }
+    }
+
+    /// Builds the full instance: graph, storage costs, generated objects.
+    pub fn build_instance(&self) -> Instance {
+        let graph = self.build_graph();
+        let n = graph.num_nodes();
+        let mut inst = Instance::builder(graph)
+            .uniform_storage_cost(self.storage_cost)
+            .build();
+        let gen = WorkloadGen::new(n, self.workload.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
+        for w in gen.generate(&mut rng) {
+            inst.push_object(w);
+        }
+        inst
+    }
+}
+
+/// A serializable (scenario, strategy) result row for reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Total cost.
+    pub total_cost: f64,
+    /// Storage component.
+    pub storage: f64,
+    /// Read component.
+    pub read: f64,
+    /// Update component (write serve + multicast).
+    pub update: f64,
+    /// Total number of copies placed.
+    pub copies: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(topology: TopologyKind, nodes: usize) -> Scenario {
+        Scenario {
+            name: "test".into(),
+            topology,
+            nodes,
+            storage_cost: 5.0,
+            workload: WorkloadParams { num_objects: 2, ..Default::default() },
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn all_topologies_build_connected_instances() {
+        for t in [
+            TopologyKind::Path,
+            TopologyKind::Ring,
+            TopologyKind::Grid { rows: 4, cols: 5 },
+            TopologyKind::RandomTree,
+            TopologyKind::Geometric,
+            TopologyKind::Gnp,
+            TopologyKind::TransitStub,
+        ] {
+            let s = scenario(t, 24);
+            let inst = s.build_instance();
+            assert!(inst.graph.is_connected(), "{t:?}");
+            assert_eq!(inst.num_objects(), 2, "{t:?}");
+            for o in &inst.objects {
+                assert!(o.validate().is_ok(), "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_is_reproducible() {
+        let s = scenario(TopologyKind::Gnp, 20);
+        let a = s.build_instance();
+        let b = s.build_instance();
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.objects, b.objects);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.nodes, s.nodes);
+        let a = s.build_instance();
+        let b = back.build_instance();
+        assert_eq!(a.objects, b.objects);
+    }
+}

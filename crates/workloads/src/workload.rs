@@ -1,0 +1,207 @@
+//! Request-frequency generators.
+
+use dmn_core::instance::ObjectWorkload;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic workload generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of objects.
+    pub num_objects: usize,
+    /// Total request mass per object before popularity scaling.
+    pub base_mass: f64,
+    /// Zipf exponent for object popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Fraction of requests that are writes, per object (0..=1).
+    pub write_fraction: f64,
+    /// Fraction of nodes that issue requests at all (hotspot model); the
+    /// rest stay silent. 1.0 = everyone participates.
+    pub active_fraction: f64,
+    /// Concentration: each object picks a random "home region" node and
+    /// request mass decays as `locality^hops`-style weights with distance
+    /// rank. 0.0 = uniform across active nodes.
+    pub locality: f64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            num_objects: 8,
+            base_mass: 100.0,
+            zipf_exponent: 0.8,
+            write_fraction: 0.2,
+            active_fraction: 1.0,
+            locality: 0.0,
+        }
+    }
+}
+
+/// Generator producing [`ObjectWorkload`]s over an `n`-node network.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    n: usize,
+    params: WorkloadParams,
+}
+
+impl WorkloadGen {
+    /// Creates a generator for `n` nodes.
+    pub fn new(n: usize, params: WorkloadParams) -> Self {
+        assert!(n > 0);
+        assert!((0.0..=1.0).contains(&params.write_fraction));
+        assert!((0.0..=1.0).contains(&params.active_fraction));
+        assert!(params.locality >= 0.0 && params.locality < 1.0);
+        WorkloadGen { n, params }
+    }
+
+    /// Generates all objects. Object `x` receives total mass
+    /// `base_mass / (x + 1)^zipf`, split into reads and writes by
+    /// `write_fraction`, distributed over the active nodes (optionally
+    /// concentrated around a random per-object home node).
+    pub fn generate(&self, rng: &mut impl Rng) -> Vec<ObjectWorkload> {
+        (0..self.params.num_objects)
+            .map(|x| self.generate_one(x, rng))
+            .collect()
+    }
+
+    /// Generates the `x`-th object only.
+    pub fn generate_one(&self, x: usize, rng: &mut impl Rng) -> ObjectWorkload {
+        let p = &self.params;
+        let mass = p.base_mass / ((x + 1) as f64).powf(p.zipf_exponent);
+        let mut active: Vec<usize> = (0..self.n)
+            .filter(|_| rng.random_bool(p.active_fraction.clamp(1e-12, 1.0)))
+            .collect();
+        if active.is_empty() {
+            active.push(rng.random_range(0..self.n));
+        }
+        // Node shares: uniform or geometric decay from a random home.
+        let shares: Vec<f64> = if p.locality == 0.0 {
+            vec![1.0; active.len()]
+        } else {
+            let home_idx = rng.random_range(0..active.len());
+            (0..active.len())
+                .map(|i| {
+                    let rank = (i as i64 - home_idx as i64).unsigned_abs() as f64;
+                    (1.0 - p.locality).powf(rank.min(40.0)).max(1e-12)
+                })
+                .collect()
+        };
+        let total_share: f64 = shares.iter().sum();
+        let mut w = ObjectWorkload::new(self.n);
+        for (&v, &s) in active.iter().zip(&shares) {
+            let node_mass = mass * s / total_share;
+            w.reads[v] += node_mass * (1.0 - p.write_fraction);
+            w.writes[v] += node_mass * p.write_fraction;
+        }
+        // Guarantee a non-empty workload even at extreme parameters.
+        if w.total_requests() == 0.0 {
+            w.reads[active[0]] = 1.0;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn masses_follow_zipf() {
+        let gen = WorkloadGen::new(
+            10,
+            WorkloadParams { num_objects: 4, zipf_exponent: 1.0, ..Default::default() },
+        );
+        let objs = gen.generate(&mut rng(1));
+        assert_eq!(objs.len(), 4);
+        let m0 = objs[0].total_requests();
+        let m1 = objs[1].total_requests();
+        let m3 = objs[3].total_requests();
+        assert!((m0 / m1 - 2.0).abs() < 1e-9, "zipf ratio");
+        assert!((m0 / m3 - 4.0).abs() < 1e-9, "zipf ratio");
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let gen = WorkloadGen::new(
+            6,
+            WorkloadParams { write_fraction: 0.25, num_objects: 1, ..Default::default() },
+        );
+        let o = &gen.generate(&mut rng(2))[0];
+        let frac = o.total_writes() / o.total_requests();
+        assert!((frac - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_only_at_zero_write_fraction() {
+        let gen = WorkloadGen::new(
+            6,
+            WorkloadParams { write_fraction: 0.0, num_objects: 2, ..Default::default() },
+        );
+        for o in gen.generate(&mut rng(3)) {
+            assert!(o.is_read_only());
+            assert!(o.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn hotspot_restricts_active_nodes() {
+        let gen = WorkloadGen::new(
+            100,
+            WorkloadParams { active_fraction: 0.1, num_objects: 1, ..Default::default() },
+        );
+        let o = &gen.generate(&mut rng(4))[0];
+        let active = (0..100).filter(|&v| o.request_mass(v) > 0.0).count();
+        assert!(active < 30, "roughly 10% of 100 nodes, got {active}");
+        assert!(active >= 1);
+    }
+
+    #[test]
+    fn locality_concentrates_mass() {
+        let gen = WorkloadGen::new(
+            50,
+            WorkloadParams { locality: 0.8, num_objects: 1, ..Default::default() },
+        );
+        let o = &gen.generate(&mut rng(5))[0];
+        let mut masses: Vec<f64> = (0..50).map(|v| o.request_mass(v)).collect();
+        masses.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top5: f64 = masses[..5].iter().sum();
+        assert!(
+            top5 > 0.6 * o.total_requests(),
+            "top-5 nodes should dominate, got {top5} of {}",
+            o.total_requests()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = WorkloadGen::new(20, WorkloadParams::default());
+        let a = gen.generate(&mut rng(7));
+        let b = gen.generate(&mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workloads_are_always_valid() {
+        for seed in 0..20 {
+            let gen = WorkloadGen::new(
+                15,
+                WorkloadParams {
+                    num_objects: 3,
+                    active_fraction: 0.05,
+                    locality: 0.9,
+                    write_fraction: 1.0,
+                    ..Default::default()
+                },
+            );
+            for o in gen.generate(&mut rng(seed)) {
+                assert!(o.validate().is_ok(), "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Content-provider scenario from the paper's introduction: WWW pages on a
+//! commercial Internet-like network.
+//!
+//! A provider rents bandwidth (fee per transmitted byte per link) and
+//! storage (fee per stored byte per server). Pages have Zipf popularity
+//! and a small write share (content updates). We compare the paper's
+//! algorithm against baselines on a transit–stub topology.
+//!
+//! ```text
+//! cargo run --release --example cdn_placement
+//! ```
+
+use dmn::approx::baselines;
+use dmn::prelude::*;
+use dmn_graph::generators::{transit_stub, TransitStubParams};
+use dmn_workloads::{WorkloadGen, WorkloadParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2001);
+    // 4 backbone POPs, 3 regional clusters each, 10 servers per cluster.
+    let graph = transit_stub(
+        TransitStubParams {
+            transits: 4,
+            stubs_per_transit: 3,
+            nodes_per_stub: 10,
+            transit_edge_cost: 20.0,
+            uplink_cost: 8.0,
+            stub_edge_cost: 1.0,
+            stub_extra_edge_p: 0.3,
+        },
+        &mut rng,
+    );
+    let n = graph.num_nodes();
+    // Backbone routers store nothing; edge servers charge 5 per page.
+    let storage: Vec<f64> = (0..n)
+        .map(|v| if v < 4 { f64::INFINITY } else { 5.0 })
+        .collect();
+    let mut instance = Instance::builder(graph).storage_costs(storage).build();
+
+    // 12 pages, Zipf-popular, 10% of requests are content updates.
+    let gen = WorkloadGen::new(
+        n,
+        WorkloadParams {
+            num_objects: 12,
+            base_mass: 300.0,
+            zipf_exponent: 0.9,
+            write_fraction: 0.1,
+            active_fraction: 0.8,
+            locality: 0.2,
+        },
+    );
+    for w in gen.generate(&mut rng) {
+        instance.push_object(w);
+    }
+
+    println!("network: {n} nodes (4 backbone + 12 clusters), 12 pages\n");
+    println!("{:<22} {:>12} {:>12} {:>12} {:>12} {:>8}", "strategy", "storage", "read", "update", "TOTAL", "copies");
+
+    // The paper's algorithm.
+    let placement = place_all(&instance, &ApproxConfig::default());
+    report("krick-racke-westermann", &instance, &placement);
+
+    // Baselines, object by object.
+    let metric = instance.metric();
+    let mut single = Placement::new(instance.num_objects());
+    let mut full = Placement::new(instance.num_objects());
+    let mut local = Placement::new(instance.num_objects());
+    for (x, w) in instance.objects.iter().enumerate() {
+        single.set_copies(x, baselines::best_single_node(metric, &instance.storage_cost, w));
+        full.set_copies(x, baselines::full_replication(&instance.storage_cost));
+        local.set_copies(x, baselines::greedy_local(metric, &instance.storage_cost, w));
+    }
+    report("best-single-node", &instance, &single);
+    report("full-replication", &instance, &full);
+    report("greedy-local-search", &instance, &local);
+
+    println!(
+        "\npopular pages get replicated near every cluster; unpopular ones live on \
+         one edge server near their readers."
+    );
+    for x in [0, 11] {
+        println!("page {x:>2}: {} copies", placement.copies(x).len());
+    }
+}
+
+fn report(name: &str, instance: &Instance, placement: &Placement) {
+    let c = evaluate(instance, placement, UpdatePolicy::MstMulticast);
+    println!(
+        "{:<22} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+        name,
+        c.storage,
+        c.read,
+        c.update(),
+        c.total(),
+        placement.total_copies()
+    );
+}

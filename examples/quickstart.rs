@@ -1,0 +1,53 @@
+//! Quickstart: place one shared object on a small mesh and inspect costs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dmn::prelude::*;
+
+fn main() {
+    // A 4x4 mesh: every link charges 1 per transmitted object, every
+    // memory module charges 5 per stored object.
+    let graph = dmn::graph::generators::grid(4, 4, |_, _| 1.0);
+    let mut instance = Instance::builder(graph).uniform_storage_cost(5.0).build();
+
+    // One object: every node reads once per accounting period; node 5
+    // writes once.
+    let mut object = ObjectWorkload::new(16);
+    for v in 0..16 {
+        object.reads[v] = 1.0;
+    }
+    object.writes[5] = 1.0;
+    instance.push_object(object);
+
+    // The SPAA 2001 constant-factor approximation.
+    let placement = place_all(&instance, &ApproxConfig::default());
+    let cost = evaluate(&instance, &placement, UpdatePolicy::MstMulticast);
+
+    println!("copies placed at nodes: {:?}", placement.copies(0));
+    println!("storage cost : {:>8.2}", cost.storage);
+    println!("read cost    : {:>8.2}", cost.read);
+    println!("update cost  : {:>8.2}", cost.update());
+    println!("total cost   : {:>8.2}", cost.total());
+
+    // Compare against the two trivial strategies.
+    let n = instance.num_nodes();
+    let single = dmn::approx::baselines::best_single_node(
+        instance.metric(),
+        &instance.storage_cost,
+        &instance.objects[0],
+    );
+    let full = dmn::approx::baselines::full_replication(&instance.storage_cost);
+    for (name, copies) in [("best single node", single), ("full replication", full)] {
+        let c = dmn::core::cost::evaluate_object(
+            instance.metric(),
+            &instance.storage_cost,
+            &instance.objects[0],
+            &copies,
+            UpdatePolicy::MstMulticast,
+        );
+        println!("{name:<17}: total {:>8.2} with {} copies", c.total(), copies.len());
+    }
+    let _ = n;
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full placement pipeline from
+//! scenario generation through placement to cost evaluation, exercised
+//! end to end through the `dmn` facade.
+
+use dmn::approx::baselines;
+use dmn::prelude::*;
+use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+
+fn scenario(topology: TopologyKind, nodes: usize, write_fraction: f64, seed: u64) -> Scenario {
+    Scenario {
+        name: "it".into(),
+        topology,
+        nodes,
+        storage_cost: 4.0,
+        workload: WorkloadParams {
+            num_objects: 3,
+            base_mass: 90.0,
+            write_fraction,
+            ..Default::default()
+        },
+        seed,
+    }
+}
+
+#[test]
+fn pipeline_runs_on_every_topology() {
+    for topology in [
+        TopologyKind::Path,
+        TopologyKind::Ring,
+        TopologyKind::Grid { rows: 5, cols: 5 },
+        TopologyKind::RandomTree,
+        TopologyKind::Geometric,
+        TopologyKind::Gnp,
+        TopologyKind::TransitStub,
+    ] {
+        let instance = scenario(topology, 25, 0.2, 3).build_instance();
+        let placement = place_all(&instance, &ApproxConfig::default());
+        placement.validate(instance.num_nodes()).unwrap();
+        let cost = evaluate(&instance, &placement, UpdatePolicy::MstMulticast);
+        assert!(cost.total().is_finite() && cost.total() > 0.0, "{topology:?}");
+        // The star policy shares the storage/read components and is finite.
+        let star = evaluate(&instance, &placement, UpdatePolicy::UnicastStar);
+        assert!(star.total().is_finite(), "{topology:?}");
+        assert!((star.storage - cost.storage).abs() < 1e-9);
+        assert!((star.read - cost.read).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn approximation_never_loses_badly_to_baselines() {
+    // The constant-factor guarantee is against OPT; baselines upper-bound
+    // OPT, so the algorithm must stay within a modest factor of the best
+    // baseline on every scenario.
+    for (seed, wf) in [(1u64, 0.1), (2, 0.4), (3, 0.8)] {
+        let instance = scenario(TopologyKind::Geometric, 30, wf, seed).build_instance();
+        let metric = instance.metric();
+        let krw = place_all(&instance, &ApproxConfig::default());
+        let krw_cost = evaluate(&instance, &krw, UpdatePolicy::MstMulticast).total();
+
+        let mut best_baseline = f64::INFINITY;
+        let mut single = Placement::new(instance.num_objects());
+        let mut full = Placement::new(instance.num_objects());
+        let mut local = Placement::new(instance.num_objects());
+        for (x, w) in instance.objects.iter().enumerate() {
+            single.set_copies(
+                x,
+                baselines::best_single_node(metric, &instance.storage_cost, w),
+            );
+            full.set_copies(x, baselines::full_replication(&instance.storage_cost));
+            local.set_copies(x, baselines::greedy_local(metric, &instance.storage_cost, w));
+        }
+        for p in [&single, &full, &local] {
+            best_baseline =
+                best_baseline.min(evaluate(&instance, p, UpdatePolicy::MstMulticast).total());
+        }
+        assert!(
+            krw_cost <= 4.0 * best_baseline + 1e-9,
+            "seed {seed} wf {wf}: approx {krw_cost} vs best baseline {best_baseline}"
+        );
+    }
+}
+
+#[test]
+fn tree_instances_solved_exactly_beat_or_match_the_approximation() {
+    use dmn::graph::tree::RootedTree;
+    use dmn::tree::{optimal_tree_general, tree_cost};
+
+    let instance = scenario(TopologyKind::RandomTree, 40, 0.3, 9).build_instance();
+    let tree = RootedTree::from_graph(&instance.graph, 0);
+    let metric = instance.metric();
+    let cfg = ApproxConfig::default();
+    for w in &instance.objects {
+        let exact = optimal_tree_general(&tree, &instance.storage_cost, w);
+        let approx_copies =
+            dmn::approx::place_object(metric, &instance.storage_cost, w, &cfg);
+        let approx_cost = tree_cost(&tree, &instance.storage_cost, w, &approx_copies);
+        assert!(
+            exact.cost <= approx_cost + 1e-9,
+            "exact {} must not exceed approx {}",
+            exact.cost,
+            approx_cost
+        );
+        // The tree-exact cost also lower-bounds any evaluator policy cost.
+        let policy =
+            evaluate_object_cost(metric, &instance.storage_cost, w, &approx_copies);
+        assert!(exact.cost <= policy + 1e-9);
+    }
+}
+
+fn evaluate_object_cost(
+    metric: &dmn::graph::Metric,
+    cs: &[f64],
+    w: &dmn::core::instance::ObjectWorkload,
+    copies: &[usize],
+) -> f64 {
+    dmn::core::cost::evaluate_object(metric, cs, w, copies, UpdatePolicy::MstMulticast).total()
+}
+
+#[test]
+fn parallel_and_sequential_placement_agree() {
+    let instance = scenario(TopologyKind::Gnp, 24, 0.3, 11).build_instance();
+    let metric = instance.metric();
+    let cfg = ApproxConfig::default();
+    let parallel = place_all(&instance, &cfg);
+    for (x, w) in instance.objects.iter().enumerate() {
+        let sequential = dmn::approx::place_object(metric, &instance.storage_cost, w, &cfg);
+        assert_eq!(parallel.copies(x), &sequential[..], "object {x}");
+    }
+}
+
+#[test]
+fn placement_serde_roundtrip() {
+    let instance = scenario(TopologyKind::Grid { rows: 4, cols: 4 }, 16, 0.2, 5).build_instance();
+    let placement = place_all(&instance, &ApproxConfig::default());
+    let json = serde_json::to_string(&placement).unwrap();
+    let back: Placement = serde_json::from_str(&json).unwrap();
+    assert_eq!(placement, back);
+    let a = evaluate(&instance, &placement, UpdatePolicy::MstMulticast).total();
+    let b = evaluate(&instance, &back, UpdatePolicy::MstMulticast).total();
+    assert_eq!(a, b);
+}
