@@ -1,11 +1,11 @@
 //! The three-phase approximation algorithm (Section 2.2).
 
 use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_core::parallel::par_map;
 use dmn_core::placement::Placement;
 use dmn_core::radii::RadiusTable;
 use dmn_facility::{FlInstance, LocalSearchConfig, Solver};
 use dmn_graph::{Metric, NodeId};
-use rayon::prelude::*;
 
 /// Which UFL solver backs phase 1. Theorem 7's constant depends on the
 /// solver's factor `f` only through Lemma 9, so all of these are valid.
@@ -79,6 +79,31 @@ pub struct PhaseTrace {
     pub after_phase3: Vec<NodeId>,
 }
 
+/// Per-phase wall-clock seconds of one [`place_object`] run.
+///
+/// The radius-table construction is attributed to phase 2 (it exists for
+/// the radius phases).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Phase 1: facility location on the related instance.
+    pub facility: f64,
+    /// Phase 2: radius computation + radius-driven copy addition.
+    pub radius_add: f64,
+    /// Phase 3: radius-driven pruning.
+    pub radius_prune: f64,
+}
+
+impl PhaseTimings {
+    /// Component-wise sum.
+    pub fn add(&self, o: &PhaseTimings) -> PhaseTimings {
+        PhaseTimings {
+            facility: self.facility + o.facility,
+            radius_add: self.radius_add + o.radius_add,
+            radius_prune: self.radius_prune + o.radius_prune,
+        }
+    }
+}
+
 /// Places one object; returns the final copy set.
 ///
 /// # Panics
@@ -100,6 +125,19 @@ pub fn place_object_traced(
     workload: &ObjectWorkload,
     cfg: &ApproxConfig,
 ) -> PhaseTrace {
+    place_object_instrumented(metric, storage_cost, workload, cfg).0
+}
+
+/// Places one object keeping per-phase copy sets *and* wall-clock timings
+/// (the instrumentation behind `SolveReport` phase breakdowns).
+pub fn place_object_instrumented(
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+) -> (PhaseTrace, PhaseTimings) {
+    let mut timings = PhaseTimings::default();
+    let clock = std::time::Instant::now();
     workload.validate().expect("invalid workload");
     let n = metric.len();
     let masses = workload.request_masses();
@@ -109,14 +147,14 @@ pub fn place_object_traced(
     let fl = FlInstance::new(metric, storage_cost.to_vec(), masses.clone());
     let sol = match cfg.fl_solver {
         // Local search with default thresholds; other solvers need no knobs.
-        FlSolverKind::LocalSearch => {
-            dmn_facility::local_search(&fl, &LocalSearchConfig::default())
-        }
+        FlSolverKind::LocalSearch => dmn_facility::local_search(&fl, &LocalSearchConfig::default()),
         other => other.as_solver().solve(&fl),
     };
     let after_phase1 = sol.open.clone();
     let mut copies = sol.open;
     debug_assert!(!copies.is_empty());
+    timings.facility = clock.elapsed().as_secs_f64();
+    let clock = std::time::Instant::now();
 
     // Radii (Section 2.1) — fixed for phases 2 and 3.
     let radii = RadiusTable::compute(metric, &masses, w_total, storage_cost);
@@ -148,6 +186,8 @@ pub fn place_object_traced(
         }
     }
     let after_phase2 = copies.clone();
+    timings.radius_add = clock.elapsed().as_secs_f64();
+    let clock = std::time::Instant::now();
 
     // Phase 3: scan copy holders in ascending write radius; the current
     // node keeps its copy and deletes every other copy u with
@@ -182,20 +222,29 @@ pub fn place_object_traced(
             .collect();
         copies.sort_unstable();
     }
-    assert!(!copies.is_empty(), "pruning never deletes the scanned survivor");
+    assert!(
+        !copies.is_empty(),
+        "pruning never deletes the scanned survivor"
+    );
+    timings.radius_prune = clock.elapsed().as_secs_f64();
 
-    PhaseTrace { after_phase1, after_phase2, after_phase3: copies }
+    (
+        PhaseTrace {
+            after_phase1,
+            after_phase2,
+            after_phase3: copies,
+        },
+        timings,
+    )
 }
 
 /// Places every object of an instance (objects are independent, so they are
 /// placed in parallel).
 pub fn place_all(instance: &Instance, cfg: &ApproxConfig) -> Placement {
     let metric = instance.metric();
-    let sets: Vec<Vec<NodeId>> = instance
-        .objects
-        .par_iter()
-        .map(|w| place_object(metric, &instance.storage_cost, w, cfg))
-        .collect();
+    let sets: Vec<Vec<NodeId>> = par_map(&instance.objects, |w| {
+        place_object(metric, &instance.storage_cost, w, cfg)
+    });
     Placement::from_copy_sets(sets)
 }
 
@@ -247,7 +296,10 @@ mod tests {
             &m,
             &[0.5; 8],
             &w,
-            &ApproxConfig { skip_phase3: true, ..ApproxConfig::default() },
+            &ApproxConfig {
+                skip_phase3: true,
+                ..ApproxConfig::default()
+            },
         );
         assert!(cheap.len() <= no_prune.len(), "{cheap:?} vs {no_prune:?}");
         assert!(cheap.len() <= 2, "heavy writes: {cheap:?}");

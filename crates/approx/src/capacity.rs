@@ -49,7 +49,10 @@ pub fn enforce_capacities(
     let objects = instance.num_objects();
     let total: usize = cap.iter().sum();
     if total < objects {
-        return Err(CapacityError::Infeasible { total_capacity: total, objects });
+        return Err(CapacityError::Infeasible {
+            total_capacity: total,
+            objects,
+        });
     }
     let metric = instance.metric();
     let mut out = placement.clone();
@@ -110,9 +113,8 @@ pub fn enforce_capacities(
                 }
             }
         }
-        let (_, x, target) = best.expect(
-            "an over-full node always admits a repair when total capacity suffices",
-        );
+        let (_, x, target) =
+            best.expect("an over-full node always admits a repair when total capacity suffices");
         out.remove_copy(x, over);
         load[over] -= 1;
         if let Some(u) = target {
@@ -185,7 +187,13 @@ mod tests {
         let inst = instance_with_objects(3);
         let p = Placement::from_copy_sets(vec![vec![0], vec![1], vec![2]]);
         let err = enforce_capacities(&inst, &p, &[1, 1, 0, 0]).unwrap_err();
-        assert_eq!(err, CapacityError::Infeasible { total_capacity: 2, objects: 3 });
+        assert_eq!(
+            err,
+            CapacityError::Infeasible {
+                total_capacity: 2,
+                objects: 3
+            }
+        );
     }
 
     #[test]

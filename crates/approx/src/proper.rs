@@ -79,7 +79,11 @@ pub fn check_proper(
         }
         let (_, nearest) = metric.nearest_in(v, copies).expect("non-empty copies");
         if nearest > allowed + 1e-9 {
-            violations.push(ProperViolation::TooFarFromCopy { v, nearest, allowed });
+            violations.push(ProperViolation::TooFarFromCopy {
+                v,
+                nearest,
+                allowed,
+            });
         }
     }
     for (i, &u) in copies.iter().enumerate() {
@@ -87,7 +91,12 @@ pub fn check_proper(
             let required = 2.0 * k2 * radii.write_radius[u].max(radii.write_radius[v]);
             let dist = metric.dist(u, v);
             if dist + 1e-9 < required {
-                violations.push(ProperViolation::CopiesTooClose { u, v, dist, required });
+                violations.push(ProperViolation::CopiesTooClose {
+                    u,
+                    v,
+                    dist,
+                    required,
+                });
             }
         }
     }
@@ -103,11 +112,7 @@ mod tests {
     use dmn_graph::dijkstra::apsp;
     use dmn_graph::generators;
 
-    fn radii_for(
-        metric: &Metric,
-        w: &ObjectWorkload,
-        cs: &[f64],
-    ) -> RadiusTable {
+    fn radii_for(metric: &Metric, w: &ObjectWorkload, cs: &[f64]) -> RadiusTable {
         RadiusTable::compute(metric, &w.request_masses(), w.total_writes(), cs)
     }
 

@@ -15,8 +15,7 @@ fn bench_place(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[128usize, 256, 512] {
         let radius = (8.0 / n as f64).sqrt();
-        let g =
-            generators::random_geometric(n, radius, 10.0, &mut ChaCha8Rng::seed_from_u64(11));
+        let g = generators::random_geometric(n, radius, 10.0, &mut ChaCha8Rng::seed_from_u64(11));
         let metric = apsp(&g);
         let mut w = ObjectWorkload::new(n);
         for v in 0..n {
@@ -24,7 +23,10 @@ fn bench_place(c: &mut Criterion) {
         }
         w.writes[0] = n as f64 * 0.05;
         let cs: Vec<f64> = (0..n).map(|v| 3.0 + (v % 3) as f64).collect();
-        let cfg = ApproxConfig { fl_solver: FlSolverKind::MettuPlaxton, ..Default::default() };
+        let cfg = ApproxConfig {
+            fl_solver: FlSolverKind::MettuPlaxton,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| place_object(&metric, &cs, &w, &cfg))
         });

@@ -59,7 +59,13 @@ fn bench_flow(c: &mut Criterion) {
     let t = 1 + clients + copies;
     for j in 0..clients {
         let mass = r.random_range(1..5) as f64;
-        arcs.push(ArcSpec { u: s, v: 1 + j, lower: mass, upper: mass, cost: 0.0 });
+        arcs.push(ArcSpec {
+            u: s,
+            v: 1 + j,
+            lower: mass,
+            upper: mass,
+            cost: 0.0,
+        });
         for i in 0..copies {
             arcs.push(ArcSpec {
                 u: 1 + j,
@@ -79,7 +85,13 @@ fn bench_flow(c: &mut Criterion) {
             cost: 0.0,
         });
     }
-    arcs.push(ArcSpec { u: t, v: s, lower: 0.0, upper: f64::INFINITY, cost: 0.0 });
+    arcs.push(ArcSpec {
+        u: t,
+        v: s,
+        lower: 0.0,
+        upper: f64::INFINITY,
+        cost: 0.0,
+    });
     c.bench_function("min_cost_circulation_40x8", |b| {
         b.iter(|| min_cost_circulation(t + 1, &arcs).expect("feasible"))
     });

@@ -3,19 +3,121 @@
 //! ```text
 //! cargo run --release -p dmn-bench --bin experiments -- all
 //! cargo run --release -p dmn-bench --bin experiments -- e2 e4
+//! cargo run --release -p dmn-bench --bin experiments -- --solver approx
+//! cargo run --release -p dmn-bench --bin experiments -- --solver tree-dp --nodes 64
+//! cargo run --release -p dmn-bench --bin experiments -- --solver list
 //! ```
 //!
 //! Reports print to stdout and are persisted as JSON under `results/`.
+//! With `--solver <name>` any solver registered in `dmn-solve` is run on a
+//! standard scenario suite and its `SolveReport`s (placements, cost
+//! breakdowns, per-phase timings) are printed.
+
+use dmn_solve::{solvers, SolveRequest};
+use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <e1..e12 | all>...\n       experiments --solver <name | list> \
+         [--nodes N] [--objects K] [--seed S]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <e1..e10 | all>...");
-        std::process::exit(2);
+        usage();
+    }
+    if args[0] == "--solver" {
+        run_solver_bench(&args[1..]);
+        return;
     }
     for id in &args {
         for report in dmn_bench::experiments::run(id) {
             report.emit();
+        }
+    }
+}
+
+/// Benchmarks one registered solver across the standard scenario suite.
+fn run_solver_bench(args: &[String]) {
+    let mut name = None;
+    let mut nodes = 36usize;
+    let mut objects = 4usize;
+    let mut seed = 7u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {what}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--nodes" => nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--objects" => objects = value("--objects").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            other if name.is_none() => name = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(name) = name else { usage() };
+
+    if name == "list" {
+        println!("{:<18} description", "name");
+        for s in solvers::all() {
+            println!("{:<18} {}", s.name(), s.description());
+        }
+        return;
+    }
+    let Some(solver) = solvers::by_name(&name) else {
+        eprintln!(
+            "unknown solver '{name}' (registered: {})",
+            solvers::names().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    // Grid dims chosen so rows * cols >= nodes stays comparable to the
+    // other topologies (rather than silently truncating to a square).
+    let rows = nodes.max(4).isqrt();
+    let cols = nodes.max(4).div_ceil(rows);
+    let suite = [
+        ("grid", TopologyKind::Grid { rows, cols }),
+        ("random-tree", TopologyKind::RandomTree),
+        ("gnp", TopologyKind::Gnp),
+        ("transit-stub", TopologyKind::TransitStub),
+    ];
+    let req = SolveRequest::new().seed(seed);
+    println!("solver: {} — {}\n", solver.name(), solver.description());
+    for (label, topology) in suite {
+        let scenario = Scenario {
+            name: label.into(),
+            topology,
+            nodes,
+            storage_cost: 4.0,
+            workload: WorkloadParams {
+                num_objects: objects,
+                base_mass: 120.0,
+                write_fraction: 0.2,
+                ..Default::default()
+            },
+            seed,
+        };
+        let instance = scenario.build_instance();
+        match solver.supports(&instance) {
+            Ok(()) => {
+                let report = solver.solve(&instance, &req);
+                println!("== scenario {label} ({} nodes) ==", instance.num_nodes());
+                print!("{report}");
+                println!();
+            }
+            Err(why) => {
+                println!("== scenario {label}: skipped ({why}) ==\n");
+            }
         }
     }
 }

@@ -18,7 +18,13 @@ pub fn run() -> Report {
     let mut report = Report::new("E10", "Theorem 7: polynomial running time at scale");
     let mut table = Table::new(
         "runtime on random geometric networks (1 object, uniform reads + hotspot writes)",
-        &["n", "apsp (ms)", "place mettu-plaxton (ms)", "place local-search (ms)", "exponent (MP)"],
+        &[
+            "n",
+            "apsp (ms)",
+            "place mettu-plaxton (ms)",
+            "place local-search (ms)",
+            "exponent (MP)",
+        ],
     );
     let mut prev: Option<(usize, f64)> = None;
     for &n in &[128usize, 256, 512, 1024] {
@@ -31,9 +37,15 @@ pub fn run() -> Report {
         }
         w.writes[0] = (n as f64) * 0.05;
         let cs: Vec<f64> = (0..n).map(|v| 3.0 + (v % 3) as f64).collect();
-        let mp_cfg = ApproxConfig { fl_solver: FlSolverKind::MettuPlaxton, ..Default::default() };
+        let mp_cfg = ApproxConfig {
+            fl_solver: FlSolverKind::MettuPlaxton,
+            ..Default::default()
+        };
         let (_, mp_s) = time(|| place_object(&metric, &cs, &w, &mp_cfg));
-        let ls_cfg = ApproxConfig { fl_solver: FlSolverKind::LocalSearch, ..Default::default() };
+        let ls_cfg = ApproxConfig {
+            fl_solver: FlSolverKind::LocalSearch,
+            ..Default::default()
+        };
         // Local search is the slowest; skip it at the largest size.
         let ls_ms = if n <= 512 {
             let (_, ls_s) = time(|| place_object(&metric, &cs, &w, &ls_cfg));

@@ -36,10 +36,18 @@ pub fn run() -> Report {
 
     let mut table = Table::new(
         "empirical competitive ratio (cost / static-oracle cost), 10 streams each",
-        &["stream", "write frac", "counting", "migration", "fixed-single"],
+        &[
+            "stream",
+            "write frac",
+            "counting",
+            "migration",
+            "fixed-single",
+        ],
     );
-    for (label, phases, shift) in [("stationary", 1usize, 0usize), ("shifting (4 phases)", 4, n / 3)]
-    {
+    for (label, phases, shift) in [
+        ("stationary", 1usize, 0usize),
+        ("shifting (4 phases)", 4, n / 3),
+    ] {
         for &wf in &[0.05, 0.4] {
             let mut ratios_counting = Vec::new();
             let mut ratios_migration = Vec::new();
@@ -58,7 +66,11 @@ pub fn run() -> Report {
                 let workloads = gen.generate(&mut rng(11_100 + seed));
                 let stream = sample_stream(
                     &workloads,
-                    &StreamConfig { length: 2_000, phases, phase_shift: shift },
+                    &StreamConfig {
+                        length: 2_000,
+                        phases,
+                        phase_shift: shift,
+                    },
                     &mut rng(11_200 + seed),
                 );
                 // Oracle sees the realized stream frequencies.

@@ -15,7 +15,6 @@
 use dmn_approx::{enforce_capacities, place_all, respects_capacities, ApproxConfig};
 use dmn_core::cost::{evaluate, UpdatePolicy};
 use dmn_core::load::edge_loads;
-use dmn_core::placement::Placement;
 use dmn_core::shapes::{equivalent_storage_costs, evaluate_object_shaped, ObjectShape};
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 
@@ -33,7 +32,10 @@ pub fn run() -> Report {
         let mut r = rng(12_000 + seed);
         let n = 5 + (seed % 4) as usize;
         let (metric, cs, w) = small_instance(n, 1.0, 0.3, &mut r);
-        let shape = ObjectShape { transfer_size: 2.0, storage_size: 7.0 };
+        let shape = ObjectShape {
+            transfer_size: 2.0,
+            storage_size: 7.0,
+        };
         // Optimal under the shaped objective by brute force.
         let mut best = f64::INFINITY;
         for mask in 1usize..(1 << n) {
@@ -51,14 +53,8 @@ pub fn run() -> Report {
         // Uniform machinery on the rescaled instance.
         let cs_eq = equivalent_storage_costs(&cs, shape);
         let copies = dmn_approx::place_object(&metric, &cs_eq, &w, &ApproxConfig::default());
-        let shaped = evaluate_object_shaped(
-            &metric,
-            &cs,
-            &w,
-            &copies,
-            UpdatePolicy::MstMulticast,
-            shape,
-        );
+        let shaped =
+            evaluate_object_shaped(&metric, &cs, &w, &copies, UpdatePolicy::MstMulticast, shape);
         worst = worst.max(shaped.total() / best);
     }
     let mut t1 = Table::new(
@@ -92,7 +88,12 @@ pub fn run() -> Report {
     let base_cost = evaluate(&instance, &unconstrained, UpdatePolicy::MstMulticast).total();
     let mut t2 = Table::new(
         "5x5 mesh, 10 objects: capacity repair penalty",
-        &["cap per node", "copies", "total cost", "penalty vs unconstrained"],
+        &[
+            "cap per node",
+            "copies",
+            "total cost",
+            "penalty vs unconstrained",
+        ],
     );
     for cap_per_node in [10usize, 3, 2, 1] {
         let cap = vec![cap_per_node; instance.num_nodes()];
@@ -119,14 +120,7 @@ pub fn run() -> Report {
         "congestion (max weighted link load) by strategy",
         &["strategy", "total cost", "congestion"],
     );
-    let metric = instance.metric();
-    let mut single = Placement::new(instance.num_objects());
-    for (x, w) in instance.objects.iter().enumerate() {
-        single.set_copies(
-            x,
-            dmn_approx::baselines::best_single_node(metric, &instance.storage_cost, w),
-        );
-    }
+    let single = dmn_approx::baselines::best_single_node(&instance);
     for (name, p) in [("krw-approx", &unconstrained), ("best-single", &single)] {
         let cost = evaluate(&instance, p, UpdatePolicy::MstMulticast).total();
         let cong = edge_loads(&instance, p).congestion(&instance.graph);

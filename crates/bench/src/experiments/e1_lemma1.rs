@@ -18,7 +18,13 @@ pub fn run() -> Report {
     let mut report = Report::new("E1", "Lemma 1: C^OPT_W <= 4 C^OPT");
     let mut table = Table::new(
         "restricted-vs-optimal ratio by write share (60 seeds each, n in 5..=9)",
-        &["write share", "mean ratio", "max ratio", "paper bound", "constructive max"],
+        &[
+            "write share",
+            "mean ratio",
+            "max ratio",
+            "paper bound",
+            "constructive max",
+        ],
     );
 
     let mut worst_overall: f64 = 0.0;

@@ -37,25 +37,22 @@ pub fn run() -> Report {
     for &write_share in &[0.0, 0.3, 0.7] {
         for &cs_scale in &[0.5, 2.0, 8.0] {
             // Seeds are independent: sweep them on the parallel runner.
-            let ratios = crate::runner::par_sweep(
-                &crate::runner::seed_range(0, 40),
-                |seed| {
-                    let mut r = rng(2_000 + seed);
-                    let n = 6 + (seed % 5) as usize;
-                    let (metric, cs, w) = small_instance(n, cs_scale, write_share, &mut r);
-                    let opt = optimal_placement(&metric, &cs, &w);
-                    let copies = place_object(&metric, &cs, &w, &cfg);
-                    let achievable =
-                        evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::MstMulticast);
-                    let quality =
-                        evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::ExactSteiner);
-                    assert!(quality.total() + 1e-9 >= opt.cost, "beat the optimum?!");
-                    (
-                        achievable.total() / opt.cost.max(1e-12),
-                        quality.total() / opt.cost.max(1e-12),
-                    )
-                },
-            );
+            let ratios = crate::runner::par_sweep(&crate::runner::seed_range(0, 40), |seed| {
+                let mut r = rng(2_000 + seed);
+                let n = 6 + (seed % 5) as usize;
+                let (metric, cs, w) = small_instance(n, cs_scale, write_share, &mut r);
+                let opt = optimal_placement(&metric, &cs, &w);
+                let copies = place_object(&metric, &cs, &w, &cfg);
+                let achievable =
+                    evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::MstMulticast);
+                let quality =
+                    evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::ExactSteiner);
+                assert!(quality.total() + 1e-9 >= opt.cost, "beat the optimum?!");
+                (
+                    achievable.total() / opt.cost.max(1e-12),
+                    quality.total() / opt.cost.max(1e-12),
+                )
+            });
             let policy_ratios: Vec<f64> = ratios.iter().map(|r| r.0).collect();
             let placement_ratios: Vec<f64> = ratios.iter().map(|r| r.1).collect();
             worst = worst.max(max(&policy_ratios));

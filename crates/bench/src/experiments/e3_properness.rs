@@ -22,18 +22,38 @@ pub fn run() -> Report {
     let mut report = Report::new("E3", "Lemma 8: output is proper (k1 = 29, k2 = 2)");
     let mut table = Table::new(
         "properness check on large networks (4 objects each)",
-        &["topology", "n", "violations", "tightest proximity", "tightest separation"],
+        &[
+            "topology",
+            "n",
+            "violations",
+            "tightest proximity",
+            "tightest separation",
+        ],
     );
-    let cfg = ApproxConfig { fl_solver: FlSolverKind::MettuPlaxton, ..ApproxConfig::default() };
+    let cfg = ApproxConfig {
+        fl_solver: FlSolverKind::MettuPlaxton,
+        ..ApproxConfig::default()
+    };
 
     let mut total_viol = 0usize;
     for (name, graph) in [
-        ("geometric-200", generators::random_geometric(200, 0.15, 10.0, &mut rng(31))),
-        ("geometric-500", generators::random_geometric(500, 0.1, 10.0, &mut rng(32))),
+        (
+            "geometric-200",
+            generators::random_geometric(200, 0.15, 10.0, &mut rng(31)),
+        ),
+        (
+            "geometric-500",
+            generators::random_geometric(500, 0.1, 10.0, &mut rng(32)),
+        ),
         (
             "transit-stub-244",
             generators::transit_stub(
-                TransitStubParams { transits: 4, stubs_per_transit: 3, nodes_per_stub: 20, ..Default::default() },
+                TransitStubParams {
+                    transits: 4,
+                    stubs_per_transit: 3,
+                    nodes_per_stub: 20,
+                    ..Default::default()
+                },
                 &mut rng(33),
             ),
         ),
@@ -42,7 +62,11 @@ pub fn run() -> Report {
         let metric = apsp(&graph);
         let gen = WorkloadGen::new(
             n,
-            WorkloadParams { num_objects: 4, write_fraction: 0.25, ..Default::default() },
+            WorkloadParams {
+                num_objects: 4,
+                write_fraction: 0.25,
+                ..Default::default()
+            },
         );
         let objects = gen.generate(&mut rng(34));
         let cs: Vec<f64> = (0..n).map(|v| 2.0 + (v % 5) as f64).collect();
@@ -52,12 +76,7 @@ pub fn run() -> Report {
         let mut violations = 0usize;
         for w in &objects {
             let copies = place_object(&metric, &cs, w, &cfg);
-            let radii = RadiusTable::compute(
-                &metric,
-                &w.request_masses(),
-                w.total_writes(),
-                &cs,
-            );
+            let radii = RadiusTable::compute(&metric, &w.request_masses(), w.total_writes(), &cs);
             let rep = check_proper(&metric, &radii, &copies, K1, K2);
             violations += rep.violations.len();
             for v in 0..n {
@@ -72,11 +91,9 @@ pub fn run() -> Report {
             }
             for (i, &u) in copies.iter().enumerate() {
                 for &v2 in &copies[i + 1..] {
-                    let required =
-                        2.0 * K2 * radii.write_radius[u].max(radii.write_radius[v2]);
+                    let required = 2.0 * K2 * radii.write_radius[u].max(radii.write_radius[v2]);
                     if required > 0.0 {
-                        separation_margin =
-                            separation_margin.min(metric.dist(u, v2) / required);
+                        separation_margin = separation_margin.min(metric.dist(u, v2) / required);
                     }
                 }
             }
@@ -86,8 +103,16 @@ pub fn run() -> Report {
             name.to_string(),
             n.to_string(),
             violations.to_string(),
-            if proximity_margin.is_finite() { fmt(proximity_margin) } else { "-".into() },
-            if separation_margin.is_finite() { fmt(separation_margin) } else { "-".into() },
+            if proximity_margin.is_finite() {
+                fmt(proximity_margin)
+            } else {
+                "-".into()
+            },
+            if separation_margin.is_finite() {
+                fmt(separation_margin)
+            } else {
+                "-".into()
+            },
         ]);
     }
     report.table(table);

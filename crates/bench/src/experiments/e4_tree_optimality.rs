@@ -86,8 +86,15 @@ pub fn run() -> Report {
             let dp = optimal_tree_dp(&tree, &cs, &w);
             diffs.push((tp.cost - dp.cost).abs() / (1.0 + dp.cost));
         }
-        t2.row(vec![n.to_string(), "5".into(), format!("{:.2e}", max(&diffs))]);
-        assert!(max(&diffs) < 1e-6, "tuple vs reference DP mismatch at n={n}");
+        t2.row(vec![
+            n.to_string(),
+            "5".into(),
+            format!("{:.2e}", max(&diffs)),
+        ]);
+        assert!(
+            max(&diffs) < 1e-6,
+            "tuple vs reference DP mismatch at n={n}"
+        );
     }
     report.table(t2);
 
@@ -114,7 +121,11 @@ pub fn run() -> Report {
             let tp = optimal_tree_read_only(&tree, &cs, &w);
             diffs.push((gen.cost - tp.cost).abs() / (1.0 + tp.cost));
         }
-        t3.row(vec![n.to_string(), "5".into(), format!("{:.2e}", max(&diffs))]);
+        t3.row(vec![
+            n.to_string(),
+            "5".into(),
+            format!("{:.2e}", max(&diffs)),
+        ]);
     }
     report.table(t3);
     report.finding(format!(

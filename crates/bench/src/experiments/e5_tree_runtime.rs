@@ -47,7 +47,15 @@ pub fn run() -> Report {
     );
     let mut table = Table::new(
         "read-only tuple algorithm runtime by tree shape",
-        &["shape", "n", "diam", "deg", "time (ms)", "ns / (n·diam·log2 deg)", "general (ms)"],
+        &[
+            "shape",
+            "n",
+            "diam",
+            "deg",
+            "time (ms)",
+            "ns / (n·diam·log2 deg)",
+            "general (ms)",
+        ],
     );
     let mut r = rng(5_000);
     for shape_name in ["path", "binary", "star", "random"] {

@@ -32,7 +32,13 @@ pub fn run() -> Report {
     let cfg = ApproxConfig::default();
     let mut t = Table::new(
         "6x6 mesh, total request mass 72: cost (copies) per strategy",
-        &["write frac", "approx", "greedy-local", "best-single", "full-repl"],
+        &[
+            "write frac",
+            "approx",
+            "greedy-local",
+            "best-single",
+            "full-repl",
+        ],
     );
     let mut crossover_noted = false;
     let mut prev_copies = usize::MAX;
@@ -47,9 +53,9 @@ pub fn run() -> Report {
             format!("{} ({})", fmt(c.total()), copies.len())
         };
         let approx = place_object(&metric, &cs, &w, &cfg);
-        let local = baselines::greedy_local(&metric, &cs, &w);
-        let single = baselines::best_single_node(&metric, &cs, &w);
-        let full = baselines::full_replication(&cs);
+        let local = baselines::greedy_local_object(&metric, &cs, &w);
+        let single = baselines::best_single_object(&metric, &cs, &w);
+        let full = baselines::full_replication_object(&cs);
         if !crossover_noted && approx.len() <= 1 && prev_copies > 1 && wf > 0.0 {
             report.finding(format!(
                 "approximation collapses to a single copy at write fraction ~{wf}"
@@ -85,7 +91,11 @@ pub fn run() -> Report {
         }
         let sol = optimal_tree_general(&tree, &tcs, &w);
         copy_counts.push(sol.copies.len());
-        t2.row(vec![format!("{wf:.1}"), fmt(sol.cost), sol.copies.len().to_string()]);
+        t2.row(vec![
+            format!("{wf:.1}"),
+            fmt(sol.cost),
+            sol.copies.len().to_string(),
+        ]);
     }
     report.table(t2);
     assert!(

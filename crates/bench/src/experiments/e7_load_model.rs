@@ -99,7 +99,11 @@ pub fn run() -> Report {
                 ratios.push(c.total() / opt.cost);
             }
         }
-        t.row(vec![format!("{ws:.1}"), fmt(mean(&ratios)), fmt(max(&ratios))]);
+        t.row(vec![
+            format!("{ws:.1}"),
+            fmt(mean(&ratios)),
+            fmt(max(&ratios)),
+        ]);
     }
     report.table(t);
     report.finding(

@@ -20,7 +20,12 @@ use crate::report::{fmt, Report, Table};
 pub fn run() -> Report {
     let mut report = Report::new("E8", "Phase ablation: what each phase contributes");
     let g = generators::transit_stub(
-        TransitStubParams { transits: 4, stubs_per_transit: 2, nodes_per_stub: 12, ..Default::default() },
+        TransitStubParams {
+            transits: 4,
+            stubs_per_transit: 2,
+            nodes_per_stub: 12,
+            ..Default::default()
+        },
         &mut rng(8_000),
     );
     let n = g.num_nodes();
@@ -29,12 +34,25 @@ pub fn run() -> Report {
 
     let mut table = Table::new(
         format!("transit-stub n = {n}: cost decomposition after each phase"),
-        &["write frac", "stage", "copies", "storage", "read", "update", "total"],
+        &[
+            "write frac",
+            "stage",
+            "copies",
+            "storage",
+            "read",
+            "update",
+            "total",
+        ],
     );
     for &wf in &[0.05, 0.3, 0.7] {
         let gen = WorkloadGen::new(
             n,
-            WorkloadParams { num_objects: 1, write_fraction: wf, base_mass: 200.0, ..Default::default() },
+            WorkloadParams {
+                num_objects: 1,
+                write_fraction: wf,
+                base_mass: 200.0,
+                ..Default::default()
+            },
         );
         let w = &gen.generate(&mut rng(8_100))[0];
         let trace = place_object_traced(&metric, &cs, w, &ApproxConfig::default());

@@ -33,7 +33,11 @@ pub fn run() -> Report {
     let cs: Vec<f64> = (0..n).map(|v| 2.0 + (v % 4) as f64).collect();
     let gen = WorkloadGen::new(
         n,
-        WorkloadParams { num_objects: 6, write_fraction: 0.25, ..Default::default() },
+        WorkloadParams {
+            num_objects: 6,
+            write_fraction: 0.25,
+            ..Default::default()
+        },
     );
     let objects = gen.generate(&mut rng(9_001));
 
@@ -42,7 +46,10 @@ pub fn run() -> Report {
         &["solver", "total cost", "copies", "time (ms)"],
     );
     for (kind, name) in SOLVERS {
-        let cfg = ApproxConfig { fl_solver: kind, ..ApproxConfig::default() };
+        let cfg = ApproxConfig {
+            fl_solver: kind,
+            ..ApproxConfig::default()
+        };
         let (result, secs) = time(|| {
             let mut total = 0.0;
             let mut copies = 0usize;
@@ -68,7 +75,10 @@ pub fn run() -> Report {
         &["solver", "mean ratio", "max ratio"],
     );
     for (kind, name) in SOLVERS {
-        let cfg = ApproxConfig { fl_solver: kind, ..ApproxConfig::default() };
+        let cfg = ApproxConfig {
+            fl_solver: kind,
+            ..ApproxConfig::default()
+        };
         let mut ratios = Vec::new();
         for seed in 0..30u64 {
             let mut r = rng(9_100 + seed);
@@ -79,7 +89,11 @@ pub fn run() -> Report {
             let c = evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::MstMulticast);
             ratios.push(c.total() / opt.cost.max(1e-12));
         }
-        t2.row(vec![name.to_string(), fmt(mean(&ratios)), fmt(max(&ratios))]);
+        t2.row(vec![
+            name.to_string(),
+            fmt(mean(&ratios)),
+            fmt(max(&ratios)),
+        ]);
     }
     report.table(t2);
     report.finding(

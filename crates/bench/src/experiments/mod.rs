@@ -4,6 +4,9 @@
 //! a [`crate::Report`]. The `experiments` binary dispatches on experiment
 //! ids (`e1`..`e10`, `all`).
 
+pub mod e10_approx_runtime;
+pub mod e11_dynamic;
+pub mod e12_extensions;
 pub mod e1_lemma1;
 pub mod e2_approx_ratio;
 pub mod e3_properness;
@@ -13,9 +16,6 @@ pub mod e6_write_sweep;
 pub mod e7_load_model;
 pub mod e8_phase_ablation;
 pub mod e9_fl_ablation;
-pub mod e10_approx_runtime;
-pub mod e11_dynamic;
-pub mod e12_extensions;
 
 use dmn_core::instance::ObjectWorkload;
 use dmn_graph::dijkstra::apsp;
@@ -75,7 +75,9 @@ pub fn small_instance(
     let p = 0.4;
     let g = generators::gnp_connected(n, p, (1.0, 6.0), r);
     let metric = apsp(&g);
-    let cs: Vec<f64> = (0..n).map(|_| cs_scale * r.random_range(1..=4) as f64).collect();
+    let cs: Vec<f64> = (0..n)
+        .map(|_| cs_scale * r.random_range(1..=4) as f64)
+        .collect();
     let mut w = ObjectWorkload::new(n);
     for v in 0..n {
         if r.random_bool(0.8) {

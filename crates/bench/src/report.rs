@@ -4,10 +4,10 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use dmn_json::Json;
 
 /// A rendered result table with a caption.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption (what claim is being measured).
     pub caption: String,
@@ -64,7 +64,7 @@ impl Table {
 }
 
 /// A full experiment report: named tables plus free-form notes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id, e.g. "E2".
     pub id: String,
@@ -79,7 +79,12 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(id: &str, claim: &str) -> Self {
-        Report { id: id.into(), claim: claim.into(), tables: Vec::new(), findings: Vec::new() }
+        Report {
+            id: id.into(),
+            claim: claim.into(),
+            tables: Vec::new(),
+            findings: Vec::new(),
+        }
     }
 
     /// Adds a table.
@@ -110,7 +115,27 @@ impl Report {
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id.to_lowercase()));
-        fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+        fs::write(path, self.to_json().to_string_pretty())
+    }
+
+    /// Encodes the report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let strings = |xs: &[String]| Json::arr(xs.iter().map(|s| Json::Str(s.clone())));
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("claim", Json::Str(self.claim.clone())),
+            (
+                "tables",
+                Json::arr(self.tables.iter().map(|t| {
+                    Json::obj([
+                        ("caption", Json::Str(t.caption.clone())),
+                        ("headers", strings(&t.headers)),
+                        ("rows", Json::arr(t.rows.iter().map(|r| strings(r)))),
+                    ])
+                })),
+            ),
+            ("findings", strings(&self.findings)),
+        ])
     }
 }
 

@@ -1,12 +1,12 @@
 //! Deterministic parallel sweep runner.
 //!
 //! Experiments repeat a closure over many seeds; the work items are
-//! independent, so they run on crossbeam scoped threads with a
-//! parking_lot-guarded result sink. Results are returned **in seed order**
+//! independent, so they run through the shared order-preserving thread
+//! pool in [`dmn_core::parallel`]. Results are returned **in seed order**
 //! regardless of completion order, so parallel and sequential runs of an
 //! experiment produce byte-identical reports.
 
-use parking_lot::Mutex;
+use dmn_core::parallel::par_map;
 
 /// Runs `f(seed)` for every seed in `seeds` in parallel and returns the
 /// results in input order. Falls back to sequential execution for tiny
@@ -16,32 +16,7 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(seeds.len().max(1));
-    if threads <= 1 || seeds.len() <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= seeds.len() {
-                    break;
-                }
-                let out = f(seeds[i]);
-                *slots[i].lock() = Some(out);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
-        .collect()
+    par_map(seeds, |&s| f(s))
 }
 
 /// Convenience: seeds `base..base + count`.

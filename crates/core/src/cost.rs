@@ -25,13 +25,12 @@
 use dmn_graph::mst::metric_mst_weight;
 use dmn_graph::steiner::dreyfus_wagner;
 use dmn_graph::{Metric, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::instance::{Instance, ObjectWorkload};
 use crate::placement::Placement;
 
 /// How write updates are routed to the copies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdatePolicy {
     /// Home → nearest copy, then multicast along the metric MST of the
     /// copy set (the paper's strategy; within 2x of optimal updates).
@@ -48,7 +47,7 @@ pub enum UpdatePolicy {
 /// `write_serve` is the home→nearest-copy leg of writes, which the paper's
 /// restricted-cost accounting folds into the read cost; keeping it separate
 /// lets experiments report both views.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostBreakdown {
     /// Sum of `cs(v)` over copies.
     pub storage: f64,
@@ -172,8 +171,8 @@ pub fn evaluate(instance: &Instance, placement: &Placement, policy: UpdatePolicy
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmn_graph::generators;
     use dmn_graph::dijkstra::apsp;
+    use dmn_graph::generators;
 
     /// Path 0-1-2 with unit edges; cs = 5 everywhere.
     fn setup() -> (Metric, Vec<f64>, ObjectWorkload) {

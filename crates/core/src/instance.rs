@@ -4,14 +4,13 @@ use std::sync::OnceLock;
 
 use dmn_graph::dijkstra::apsp;
 use dmn_graph::{Graph, Metric, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Read and write request frequencies of one shared data object.
 ///
 /// Frequencies are non-negative real weights; the paper's natural-number
 /// frequencies are the integral special case. `reads[v]` is `fr(v, x)` and
 /// `writes[v]` is `fw(v, x)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObjectWorkload {
     /// Read frequency per node (`fr`).
     pub reads: Vec<f64>,
@@ -22,7 +21,10 @@ pub struct ObjectWorkload {
 impl ObjectWorkload {
     /// An object with zero frequencies everywhere on an `n`-node network.
     pub fn new(n: usize) -> Self {
-        ObjectWorkload { reads: vec![0.0; n], writes: vec![0.0; n] }
+        ObjectWorkload {
+            reads: vec![0.0; n],
+            writes: vec![0.0; n],
+        }
     }
 
     /// Builds a workload from explicit `(node, frequency)` lists.
@@ -71,7 +73,9 @@ impl ObjectWorkload {
 
     /// Per-node combined request masses.
     pub fn request_masses(&self) -> Vec<f64> {
-        (0..self.num_nodes()).map(|v| self.request_mass(v)).collect()
+        (0..self.num_nodes())
+            .map(|v| self.request_mass(v))
+            .collect()
     }
 
     /// True when the object is never written.
@@ -112,7 +116,10 @@ pub struct Instance {
 impl Instance {
     /// Starts building an instance over `graph`.
     pub fn builder(graph: Graph) -> InstanceBuilder {
-        InstanceBuilder { graph, storage_cost: None }
+        InstanceBuilder {
+            graph,
+            storage_cost: None,
+        }
     }
 
     /// Number of network nodes.
@@ -184,7 +191,10 @@ impl InstanceBuilder {
         let cs = self.storage_cost.unwrap_or_else(|| vec![0.0; n]);
         assert_eq!(cs.len(), n, "storage cost vector length mismatch");
         for (v, &c) in cs.iter().enumerate() {
-            assert!(c >= 0.0 && !c.is_nan(), "storage cost at node {v} invalid: {c}");
+            assert!(
+                c >= 0.0 && !c.is_nan(),
+                "storage cost at node {v} invalid: {c}"
+            );
         }
         Instance {
             graph: self.graph,

@@ -22,6 +22,7 @@
 pub mod cost;
 pub mod instance;
 pub mod load;
+pub mod parallel;
 pub mod placement;
 pub mod radii;
 pub mod restricted;

@@ -70,10 +70,10 @@ pub fn edge_loads(instance: &Instance, placement: &Placement) -> EdgeLoads {
     // Cache shortest-path trees per source on demand.
     let mut trees: Vec<Option<ShortestPaths>> = (0..n).map(|_| None).collect();
     let add_path = |trees: &mut Vec<Option<ShortestPaths>>,
-                        load: &mut Vec<f64>,
-                        from: NodeId,
-                        to: NodeId,
-                        amount: f64| {
+                    load: &mut Vec<f64>,
+                    from: NodeId,
+                    to: NodeId,
+                    amount: f64| {
         if from == to || amount == 0.0 {
             return;
         }
@@ -205,6 +205,9 @@ mod tests {
         let repl = Placement::from_copy_sets(vec![vec![0, 3]]);
         let c1 = edge_loads(&inst, &single).congestion(&inst.graph);
         let c2 = edge_loads(&inst, &repl).congestion(&inst.graph);
-        assert!(c2 < c1, "replication should relieve the hot path: {c2} vs {c1}");
+        assert!(
+            c2 < c1,
+            "replication should relieve the hot path: {c2} vs {c1}"
+        );
     }
 }

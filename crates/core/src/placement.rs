@@ -1,14 +1,14 @@
 //! Placements: one non-empty copy set per object.
 
 use dmn_graph::NodeId;
-use serde::{Deserialize, Serialize};
+use dmn_json::Json;
 
 /// A placement of object copies onto nodes.
 ///
 /// Copy sets are kept sorted and deduplicated; every object must have at
 /// least one copy for the placement to be *servable* (reads need somewhere
 /// to go).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     copies: Vec<Vec<NodeId>>,
 }
@@ -17,7 +17,9 @@ impl Placement {
     /// A placement with empty copy sets for `num_objects` objects
     /// (not servable until every object receives a copy).
     pub fn new(num_objects: usize) -> Self {
-        Placement { copies: vec![Vec::new(); num_objects] }
+        Placement {
+            copies: vec![Vec::new(); num_objects],
+        }
     }
 
     /// Builds a placement from per-object copy lists (sorted + deduped).
@@ -74,6 +76,45 @@ impl Placement {
     /// Total number of copies across all objects.
     pub fn total_copies(&self) -> usize {
         self.copies.iter().map(Vec::len).sum()
+    }
+
+    /// Encodes the placement as a JSON document
+    /// (`{"copies": [[...], ...]}`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "copies",
+            Json::arr(
+                self.copies
+                    .iter()
+                    .map(|set| Json::arr(set.iter().map(|&v| Json::Num(v as f64)))),
+            ),
+        )])
+    }
+
+    /// Decodes a placement from [`Placement::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a message when the document does not have the expected shape.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let sets = json
+            .get("copies")
+            .and_then(Json::as_arr)
+            .ok_or("placement JSON needs a \"copies\" array")?;
+        let mut copies = Vec::with_capacity(sets.len());
+        for (x, set) in sets.iter().enumerate() {
+            let nodes = set
+                .as_arr()
+                .ok_or_else(|| format!("object {x}: not an array"))?;
+            let mut parsed = Vec::with_capacity(nodes.len());
+            for v in nodes {
+                parsed.push(
+                    v.as_usize()
+                        .ok_or_else(|| format!("object {x}: bad node id"))?,
+                );
+            }
+            copies.push(parsed);
+        }
+        Ok(Placement::from_copy_sets(copies))
     }
 
     /// Checks that every object has at least one copy and every node id is
@@ -133,5 +174,14 @@ mod tests {
         let p = Placement::from_copy_sets(vec![vec![2, 0], vec![1]]);
         assert_eq!(p.copies(0), &[0, 2]);
         assert_eq!(p.copies(1), &[1]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = Placement::from_copy_sets(vec![vec![2, 0], vec![1], vec![5, 7, 9]]);
+        let text = p.to_json().to_string_compact();
+        let back = Placement::from_json(&dmn_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert!(Placement::from_json(&dmn_json::parse("{}").unwrap()).is_err());
     }
 }

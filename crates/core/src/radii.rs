@@ -54,7 +54,11 @@ impl DistanceProfile {
             cum_mass.push(m_acc);
             cum_cost.push(c_acc);
         }
-        DistanceProfile { entries, cum_mass, cum_cost }
+        DistanceProfile {
+            entries,
+            cum_mass,
+            cum_cost,
+        }
     }
 
     /// Total request mass in the profile.
@@ -128,7 +132,11 @@ impl DistanceProfile {
         let d_lo = self.avg_dist(zs - 1.0);
         let d_hi = self.avg_dist(zs.min(total)); // g(zs) may interpolate past the last request
         let lo_bound = d_lo.max(cs / zs);
-        let hi_bound = if zs > 1.0 { d_hi.min(cs / (zs - 1.0)) } else { d_hi };
+        let hi_bound = if zs > 1.0 {
+            d_hi.min(cs / (zs - 1.0))
+        } else {
+            d_hi
+        };
         let rs = if hi_bound > lo_bound {
             0.5 * (lo_bound + hi_bound)
         } else {
@@ -178,7 +186,11 @@ impl RadiusTable {
             storage_number[v] = zs;
             storage_radius[v] = rs;
         }
-        RadiusTable { write_radius, storage_radius, storage_number }
+        RadiusTable {
+            write_radius,
+            storage_radius,
+            storage_number,
+        }
     }
 
     /// `max(rw(v), rs(v))` — the paper's proximity requirement for proper

@@ -53,7 +53,10 @@ pub fn restrict_placement(
         c
     };
     if w_total == 0.0 || alive.len() == 1 {
-        return Restricted { copies: alive, deleted: Vec::new() };
+        return Restricted {
+            copies: alive,
+            deleted: Vec::new(),
+        };
     }
 
     // Tree distance from the root along the *original* MST (fixed for the
@@ -78,8 +81,14 @@ pub fn restrict_placement(
             .enumerate()
             .filter(|&(i, _)| served[i] + 1e-9 < w_total)
             .max_by(|a, b| {
-                let da = original.binary_search(a.1).map(|i| tree_dist[i]).unwrap_or(0.0);
-                let db = original.binary_search(b.1).map(|i| tree_dist[i]).unwrap_or(0.0);
+                let da = original
+                    .binary_search(a.1)
+                    .map(|i| tree_dist[i])
+                    .unwrap_or(0.0);
+                let db = original
+                    .binary_search(b.1)
+                    .map(|i| tree_dist[i])
+                    .unwrap_or(0.0);
                 da.partial_cmp(&db).expect("distances are not NaN")
             })
             .map(|(i, _)| i);
@@ -94,7 +103,10 @@ pub fn restrict_placement(
             }
         }
     }
-    Restricted { copies: alive, deleted }
+    Restricted {
+        copies: alive,
+        deleted,
+    }
 }
 
 /// Distances from the root (first node) to every node along the metric MST
@@ -160,7 +172,7 @@ mod tests {
         let mut w = ObjectWorkload::new(4);
         w.reads[0] = 5.0;
         w.writes[1] = 3.0; // W = 3
-        // Copy on 3 can only attract... nothing (all requests closer to 0).
+                           // Copy on 3 can only attract... nothing (all requests closer to 0).
         let r = restrict_placement(&metric, &w, &[0, 3]);
         assert_eq!(r.copies, vec![0]);
         assert_eq!(r.deleted, vec![3]);
@@ -205,7 +217,11 @@ mod tests {
         let input = vec![0, 1, 3, 4];
         let before = evaluate_object(&metric, &cs, &w, &input, UpdatePolicy::MstMulticast);
         let r = restrict_placement(&metric, &w, &input);
-        assert!(is_restricted(&metric, &w, &r.copies), "copies: {:?}", r.copies);
+        assert!(
+            is_restricted(&metric, &w, &r.copies),
+            "copies: {:?}",
+            r.copies
+        );
         let after = evaluate_object(&metric, &cs, &w, &r.copies, UpdatePolicy::MstMulticast);
         // Deleting copies never increases storage; reassignments are paid
         // for by at most the input's update cost (proof of Lemma 1).

@@ -16,13 +16,12 @@
 //! [`evaluate_object_shaped`] prices the result.
 
 use dmn_graph::{Metric, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::cost::{evaluate_object, CostBreakdown, UpdatePolicy};
 use crate::instance::ObjectWorkload;
 
 /// Per-object sizes of the non-uniform model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectShape {
     /// Bytes transmitted when the object is read or updated.
     pub transfer_size: f64,
@@ -32,7 +31,10 @@ pub struct ObjectShape {
 
 impl Default for ObjectShape {
     fn default() -> Self {
-        ObjectShape { transfer_size: 1.0, storage_size: 1.0 }
+        ObjectShape {
+            transfer_size: 1.0,
+            storage_size: 1.0,
+        }
     }
 }
 
@@ -40,7 +42,10 @@ impl ObjectShape {
     /// A shape with equal transfer and storage size.
     pub fn uniform(size: f64) -> Self {
         assert!(size > 0.0 && size.is_finite());
-        ObjectShape { transfer_size: size, storage_size: size }
+        ObjectShape {
+            transfer_size: size,
+            storage_size: size,
+        }
     }
 
     /// Validates the shape.
@@ -119,40 +124,33 @@ mod tests {
             let mut best = (f64::INFINITY, vec![]);
             for mask in 1usize..8 {
                 let copies: Vec<usize> = (0..3).filter(|v| mask >> v & 1 == 1).collect();
-                let c = evaluate_object_shaped(
-                    &m,
-                    &cs,
-                    &w,
-                    &copies,
-                    UpdatePolicy::MstMulticast,
-                    shape,
-                );
+                let c =
+                    evaluate_object_shaped(&m, &cs, &w, &copies, UpdatePolicy::MstMulticast, shape);
                 if c.total() < best.0 {
                     best = (c.total(), copies);
                 }
             }
             best.1
         };
-        assert_eq!(best_for(ObjectShape::uniform(1.0)), best_for(ObjectShape::uniform(42.0)));
+        assert_eq!(
+            best_for(ObjectShape::uniform(1.0)),
+            best_for(ObjectShape::uniform(42.0))
+        );
     }
 
     #[test]
     fn skewed_shape_equals_rescaled_uniform_problem() {
         let (m, cs, w) = setup();
-        let shape = ObjectShape { transfer_size: 2.0, storage_size: 6.0 };
+        let shape = ObjectShape {
+            transfer_size: 2.0,
+            storage_size: 6.0,
+        };
         let cs_eq = equivalent_storage_costs(&cs, shape);
         for mask in 1usize..8 {
             let copies: Vec<usize> = (0..3).filter(|v| mask >> v & 1 == 1).collect();
-            let shaped = evaluate_object_shaped(
-                &m,
-                &cs,
-                &w,
-                &copies,
-                UpdatePolicy::MstMulticast,
-                shape,
-            );
-            let uniform =
-                evaluate_object(&m, &cs_eq, &w, &copies, UpdatePolicy::MstMulticast);
+            let shaped =
+                evaluate_object_shaped(&m, &cs, &w, &copies, UpdatePolicy::MstMulticast, shape);
+            let uniform = evaluate_object(&m, &cs_eq, &w, &copies, UpdatePolicy::MstMulticast);
             assert!(
                 (shaped.total() - shape.transfer_size * uniform.total()).abs() < 1e-9,
                 "copies {copies:?}"
@@ -174,23 +172,23 @@ mod tests {
             let mut best = (f64::INFINITY, 0usize);
             for mask in 1usize..16 {
                 let copies: Vec<usize> = (0..4).filter(|v| mask >> v & 1 == 1).collect();
-                let c = evaluate_object_shaped(
-                    &m,
-                    &cs,
-                    &w,
-                    &copies,
-                    UpdatePolicy::MstMulticast,
-                    shape,
-                )
-                .total();
+                let c =
+                    evaluate_object_shaped(&m, &cs, &w, &copies, UpdatePolicy::MstMulticast, shape)
+                        .total();
                 if c < best.0 {
                     best = (c, copies.len());
                 }
             }
             best.1
         };
-        let light = count_best(ObjectShape { transfer_size: 1.0, storage_size: 1.0 });
-        let heavy = count_best(ObjectShape { transfer_size: 1.0, storage_size: 20.0 });
+        let light = count_best(ObjectShape {
+            transfer_size: 1.0,
+            storage_size: 1.0,
+        });
+        let heavy = count_best(ObjectShape {
+            transfer_size: 1.0,
+            storage_size: 20.0,
+        });
         assert!(heavy < light, "heavy {heavy} vs light {light}");
         assert_eq!(heavy, 1);
     }
@@ -205,7 +203,10 @@ mod tests {
             &w,
             &[0],
             UpdatePolicy::MstMulticast,
-            ObjectShape { transfer_size: 0.0, storage_size: 1.0 },
+            ObjectShape {
+                transfer_size: 0.0,
+                storage_size: 1.0,
+            },
         );
     }
 }

@@ -33,13 +33,15 @@ impl MigrationStrategy {
     /// the copy there (classic choice: ~2-3).
     pub fn new(num_objects: usize, n: usize, factor: f64) -> Self {
         assert!(factor > 0.0);
-        MigrationStrategy { factor, pull: vec![vec![0.0; n]; num_objects] }
+        MigrationStrategy {
+            factor,
+            pull: vec![vec![0.0; n]; num_objects],
+        }
     }
 }
 
 impl DynamicStrategy for MigrationStrategy {
-    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric)
-        -> Reconfiguration {
+    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric) -> Reconfiguration {
         let mut out = Reconfiguration::default();
         debug_assert_eq!(copies.len(), 1, "migration keeps a single copy");
         let home = copies[0];
@@ -73,7 +75,11 @@ mod tests {
     use crate::stream::RequestKind;
 
     fn read(node: usize) -> Request {
-        Request { node, object: 0, kind: RequestKind::Read }
+        Request {
+            node,
+            object: 0,
+            kind: RequestKind::Read,
+        }
     }
 
     #[test]

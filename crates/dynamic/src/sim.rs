@@ -14,13 +14,12 @@
 use dmn_core::instance::ObjectWorkload;
 use dmn_graph::mst::metric_mst_weight;
 use dmn_graph::{Metric, NodeId};
-use serde::Serialize;
 
 use crate::strategy::DynamicStrategy;
 use crate::stream::{Request, RequestKind};
 
 /// Cost decomposition of a simulated run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DynamicCost {
     /// Read service cost.
     pub read: f64,
@@ -82,7 +81,11 @@ pub fn simulate(
                 set.remove(pos);
             }
         }
-        assert!(!set.is_empty(), "strategy dropped the last copy of object {}", req.object);
+        assert!(
+            !set.is_empty(),
+            "strategy dropped the last copy of object {}",
+            req.object
+        );
 
         // Serve.
         let (_, d) = metric.nearest_in(req.node, set).expect("non-empty");
@@ -137,8 +140,16 @@ mod tests {
         let cs = vec![4.0; 4];
         // One object with one copy at node 0; stream: read@3, write@1.
         let stream = vec![
-            Request { node: 3, object: 0, kind: RequestKind::Read },
-            Request { node: 1, object: 0, kind: RequestKind::Write },
+            Request {
+                node: 3,
+                object: 0,
+                kind: RequestKind::Read,
+            },
+            Request {
+                node: 1,
+                object: 0,
+                kind: RequestKind::Write,
+            },
         ];
         let mut fixed = FixedStrategy;
         let c = simulate(&m, &cs, &[vec![0]], &stream, &mut fixed);
@@ -154,7 +165,11 @@ mod tests {
     fn counting_strategy_replicates_and_pays_transfer() {
         let m = line_metric();
         let cs = vec![0.1; 4];
-        let read3 = Request { node: 3, object: 0, kind: RequestKind::Read };
+        let read3 = Request {
+            node: 3,
+            object: 0,
+            kind: RequestKind::Read,
+        };
         let stream = vec![read3; 5];
         let mut s = CountingStrategy::new(1, 4, 2.0);
         let c = simulate(&m, &cs, &[vec![0]], &stream, &mut s);
@@ -172,7 +187,14 @@ mod tests {
         w.reads[2] = 5.0;
         w.reads[3] = 5.0;
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let stream = sample_stream(&[w], &StreamConfig { length: 400, ..Default::default() }, &mut rng);
+        let stream = sample_stream(
+            &[w],
+            &StreamConfig {
+                length: 400,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let mut counting = CountingStrategy::new(1, 4, 3.0);
         let dynamic = simulate(&m, &cs, &[vec![0]], &stream, &mut counting);
         let fixed = static_cost_on_stream(&m, &cs, &[vec![0]], &stream);
@@ -193,14 +215,24 @@ mod tests {
         w.reads[3] = 4.0;
         w.writes[1] = 1.0;
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let stream = sample_stream(&[w], &StreamConfig { length: 600, ..Default::default() }, &mut rng);
+        let stream = sample_stream(
+            &[w],
+            &StreamConfig {
+                length: 600,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let emp = stream_workloads(&stream, 1, 4);
         let oracle = StaticOracle::place(&m, &cs, &emp);
         let oracle_cost = static_cost_on_stream(&m, &cs, &oracle, &stream);
         let mut counting = CountingStrategy::new(1, 4, 3.0);
         let dynamic = simulate(&m, &cs, &[vec![0]], &stream, &mut counting);
         let ratio = dynamic.total() / oracle_cost.total();
-        assert!(ratio < 4.0, "empirical competitive ratio too large: {ratio}");
+        assert!(
+            ratio < 4.0,
+            "empirical competitive ratio too large: {ratio}"
+        );
     }
 
     #[test]

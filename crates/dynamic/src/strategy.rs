@@ -25,8 +25,7 @@ pub struct Reconfiguration {
 pub trait DynamicStrategy {
     /// Called per request before serving; returns the reconfiguration to
     /// apply. `copies` is the current copy set of the requested object.
-    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric)
-        -> Reconfiguration;
+    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric) -> Reconfiguration;
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -67,13 +66,15 @@ impl CountingStrategy {
     /// Creates the strategy for `num_objects` objects over `n` nodes.
     pub fn new(num_objects: usize, n: usize, threshold: f64) -> Self {
         assert!(threshold > 0.0);
-        CountingStrategy { threshold, counters: vec![vec![0.0; n]; num_objects] }
+        CountingStrategy {
+            threshold,
+            counters: vec![vec![0.0; n]; num_objects],
+        }
     }
 }
 
 impl DynamicStrategy for CountingStrategy {
-    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric)
-        -> Reconfiguration {
+    fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric) -> Reconfiguration {
         let mut out = Reconfiguration::default();
         match req.kind {
             RequestKind::Read => {
@@ -132,7 +133,9 @@ impl StaticOracle {
                     let v = (0..storage_cost.len())
                         .filter(|&v| storage_cost[v].is_finite())
                         .min_by(|&a, &b| {
-                            storage_cost[a].partial_cmp(&storage_cost[b]).expect("no NaN")
+                            storage_cost[a]
+                                .partial_cmp(&storage_cost[b])
+                                .expect("no NaN")
                         })
                         .expect("an allowed node exists");
                     vec![v]
@@ -154,6 +157,46 @@ impl DynamicStrategy for StaticOracle {
     }
 }
 
+/// The oracle is also a [`dmn_solve::Solver`]: on a static [`Instance`] it
+/// simply runs the approximation algorithm under the request's knobs, so
+/// dynamic-vs-static comparisons can flow through the same registry-style
+/// pipeline as every other engine.
+impl dmn_solve::Solver for StaticOracle {
+    fn name(&self) -> &'static str {
+        "static-oracle"
+    }
+
+    fn description(&self) -> &'static str {
+        "offline oracle: the Section-2 approximation fed full-knowledge frequencies \
+         (reference for empirical competitive ratios)"
+    }
+
+    fn solve(
+        &self,
+        instance: &dmn_core::instance::Instance,
+        req: &dmn_solve::SolveRequest,
+    ) -> dmn_solve::SolveReport {
+        let started = std::time::Instant::now();
+        let cfg = req.approx_config();
+        let placement = dmn_approx::place_all(instance, &cfg);
+        let phases = vec![dmn_solve::PhaseStat::new(
+            "oracle-placement",
+            started.elapsed().as_secs_f64(),
+            format!("{} copies", placement.total_copies()),
+        )];
+        dmn_solve::SolveReport::build(
+            dmn_solve::Solver::name(self),
+            instance,
+            req,
+            placement,
+            phases,
+            None,
+            vec![],
+            started,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,7 +205,11 @@ mod tests {
     fn counting_replicates_after_threshold_reads() {
         let m = Metric::from_line(&[0.0, 5.0]);
         let mut s = CountingStrategy::new(1, 2, 3.0);
-        let read = Request { node: 1, object: 0, kind: RequestKind::Read };
+        let read = Request {
+            node: 1,
+            object: 0,
+            kind: RequestKind::Read,
+        };
         let copies = vec![0];
         assert!(s.on_request(&read, &copies, &m).replicate_to.is_empty());
         assert!(s.on_request(&read, &copies, &m).replicate_to.is_empty());
@@ -174,7 +221,11 @@ mod tests {
     fn counting_write_invalidates_to_single_copy() {
         let m = Metric::from_line(&[0.0, 1.0, 9.0]);
         let mut s = CountingStrategy::new(1, 3, 2.0);
-        let write = Request { node: 2, object: 0, kind: RequestKind::Write };
+        let write = Request {
+            node: 2,
+            object: 0,
+            kind: RequestKind::Write,
+        };
         let r = s.on_request(&write, &[0, 1], &m);
         // Keeps node 1 (nearest to writer 2), drops node 0.
         assert_eq!(r.invalidate, vec![0]);
@@ -185,8 +236,16 @@ mod tests {
     fn counting_write_resets_read_progress() {
         let m = Metric::from_line(&[0.0, 5.0]);
         let mut s = CountingStrategy::new(1, 2, 2.0);
-        let read = Request { node: 1, object: 0, kind: RequestKind::Read };
-        let write = Request { node: 0, object: 0, kind: RequestKind::Write };
+        let read = Request {
+            node: 1,
+            object: 0,
+            kind: RequestKind::Read,
+        };
+        let write = Request {
+            node: 0,
+            object: 0,
+            kind: RequestKind::Write,
+        };
         let copies = vec![0];
         s.on_request(&read, &copies, &m);
         s.on_request(&write, &copies, &m);
@@ -196,10 +255,34 @@ mod tests {
     }
 
     #[test]
+    fn static_oracle_solver_matches_place_all() {
+        use dmn_core::instance::{Instance, ObjectWorkload};
+        use dmn_solve::{SolveRequest, Solver as _};
+
+        let g = dmn_graph::generators::grid(3, 3, |_, _| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(2.0).build();
+        let mut w = ObjectWorkload::new(9);
+        for v in 0..9 {
+            w.reads[v] = 1.0;
+        }
+        w.writes[4] = 2.0;
+        inst.push_object(w);
+        let report = StaticOracle.solve(&inst, &SolveRequest::new());
+        let direct = dmn_approx::place_all(&inst, &dmn_approx::ApproxConfig::default());
+        assert_eq!(report.placement, direct);
+        assert_eq!(report.solver, "static-oracle");
+        assert!(report.cost.total() > 0.0);
+    }
+
+    #[test]
     fn local_reads_do_not_count() {
         let m = Metric::from_line(&[0.0, 5.0]);
         let mut s = CountingStrategy::new(1, 2, 1.0);
-        let read = Request { node: 0, object: 0, kind: RequestKind::Read };
+        let read = Request {
+            node: 0,
+            object: 0,
+            kind: RequestKind::Read,
+        };
         let r = s.on_request(&read, &[0], &m);
         assert!(r.replicate_to.is_empty() && r.invalidate.is_empty());
     }

@@ -2,10 +2,9 @@
 
 use dmn_core::instance::ObjectWorkload;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestKind {
     /// A read request (served by the nearest copy).
     Read,
@@ -14,7 +13,7 @@ pub enum RequestKind {
 }
 
 /// One online request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Issuing node (the paper's home `h(r)`).
     pub node: usize,
@@ -25,7 +24,7 @@ pub struct Request {
 }
 
 /// Configuration of a sampled request stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StreamConfig {
     /// Number of requests to generate.
     pub length: usize,
@@ -39,7 +38,11 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { length: 1000, phases: 1, phase_shift: 0 }
+        StreamConfig {
+            length: 1000,
+            phases: 1,
+            phase_shift: 0,
+        }
     }
 }
 
@@ -81,7 +84,11 @@ pub fn sample_stream(
         let t = rng.random_range(0.0..total);
         let k = prefix.partition_point(|&p| p < t).min(atoms.len() - 1);
         let (x, v, kind, _) = atoms[k];
-        out.push(Request { node: (v + shift) % n, object: x, kind });
+        out.push(Request {
+            node: (v + shift) % n,
+            object: x,
+            kind,
+        });
     }
     out
 }
@@ -119,10 +126,23 @@ mod tests {
     #[test]
     fn stream_matches_distribution_roughly() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let s = sample_stream(&workload(), &StreamConfig { length: 4000, ..Default::default() }, &mut rng);
+        let s = sample_stream(
+            &workload(),
+            &StreamConfig {
+                length: 4000,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(s.len(), 4000);
-        let reads0 = s.iter().filter(|r| r.node == 0 && r.kind == RequestKind::Read).count();
-        let writes2 = s.iter().filter(|r| r.node == 2 && r.kind == RequestKind::Write).count();
+        let reads0 = s
+            .iter()
+            .filter(|r| r.node == 0 && r.kind == RequestKind::Read)
+            .count();
+        let writes2 = s
+            .iter()
+            .filter(|r| r.node == 2 && r.kind == RequestKind::Write)
+            .count();
         let ratio = reads0 as f64 / writes2.max(1) as f64;
         assert!((2.0..4.5).contains(&ratio), "expected ~3, got {ratio}");
     }
@@ -130,7 +150,11 @@ mod tests {
     #[test]
     fn phase_shift_rotates_nodes() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let cfg = StreamConfig { length: 100, phases: 2, phase_shift: 2 };
+        let cfg = StreamConfig {
+            length: 100,
+            phases: 2,
+            phase_shift: 2,
+        };
         let s = sample_stream(&workload(), &cfg, &mut rng);
         // First phase: requests at nodes {0, 2}; second phase: {2, 0} + 2 = {2, 0}?
         // shift 2 maps 0 -> 2 and 2 -> 0 on n = 4.
@@ -152,7 +176,14 @@ mod tests {
     #[test]
     fn empirical_workload_roundtrip() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let s = sample_stream(&workload(), &StreamConfig { length: 500, ..Default::default() }, &mut rng);
+        let s = sample_stream(
+            &workload(),
+            &StreamConfig {
+                length: 500,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let emp = empirical_workloads(&s, 1, 4);
         assert_eq!(emp[0].total_requests(), 500.0);
         assert!(emp[0].reads[0] > emp[0].writes[2]);

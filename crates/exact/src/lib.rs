@@ -25,5 +25,5 @@
 pub mod solver;
 pub mod steiner_table;
 
-pub use solver::{optimal_placement, optimal_restricted, ExactSolution};
+pub use solver::{optimal_placement, optimal_restricted, ExactSolution, MAX_EXACT_NODES};
 pub use steiner_table::SteinerTable;

@@ -32,7 +32,10 @@ pub fn optimal_placement(
     workload: &ObjectWorkload,
 ) -> ExactSolution {
     let n = metric.len();
-    assert!(n <= MAX_EXACT_NODES, "exhaustive solver limited to {MAX_EXACT_NODES} nodes");
+    assert!(
+        n <= MAX_EXACT_NODES,
+        "exhaustive solver limited to {MAX_EXACT_NODES} nodes"
+    );
     let table = SteinerTable::new(metric);
     let readers: Vec<(usize, f64)> = collect(workload.reads.iter());
     let writers: Vec<(usize, f64)> = collect(workload.writes.iter());
@@ -69,7 +72,10 @@ pub fn optimal_placement(
             best_mask = mask;
         }
     }
-    ExactSolution { copies: mask_to_nodes(best_mask, n), cost: best_cost }
+    ExactSolution {
+        copies: mask_to_nodes(best_mask, n),
+        cost: best_cost,
+    }
 }
 
 /// The optimal *restricted* placement (Lemma 1): all writes share one
@@ -86,7 +92,10 @@ pub fn optimal_restricted(
     workload: &ObjectWorkload,
 ) -> ExactSolution {
     let n = metric.len();
-    assert!(n <= MAX_EXACT_NODES, "exhaustive solver limited to {MAX_EXACT_NODES} nodes");
+    assert!(
+        n <= MAX_EXACT_NODES,
+        "exhaustive solver limited to {MAX_EXACT_NODES} nodes"
+    );
     let table = SteinerTable::new(metric);
     let w_total = workload.total_writes();
     let requests: Vec<(usize, f64)> = collect(
@@ -126,7 +135,10 @@ pub fn optimal_restricted(
         best_cost.is_finite(),
         "a single copy serving everything is always feasible"
     );
-    ExactSolution { copies: mask_to_nodes(best_mask, n), cost: best_cost }
+    ExactSolution {
+        copies: mask_to_nodes(best_mask, n),
+        cost: best_cost,
+    }
 }
 
 /// Cheapest assignment of request mass to copies with at least `w_total`
@@ -158,7 +170,13 @@ fn assignment_cost(
     let t = 1 + m + k;
     let mut arcs = Vec::with_capacity(1 + m + m * k + k);
     for (j, &(_, mass)) in requests.iter().enumerate() {
-        arcs.push(ArcSpec { u: s, v: 1 + j, lower: mass, upper: mass, cost: 0.0 });
+        arcs.push(ArcSpec {
+            u: s,
+            v: 1 + j,
+            lower: mass,
+            upper: mass,
+            cost: 0.0,
+        });
     }
     for (j, &(v, _)) in requests.iter().enumerate() {
         for (i, &c) in copies.iter().enumerate() {
@@ -172,9 +190,21 @@ fn assignment_cost(
         }
     }
     for i in 0..k {
-        arcs.push(ArcSpec { u: 1 + m + i, v: t, lower: w_total, upper: f64::INFINITY, cost: 0.0 });
+        arcs.push(ArcSpec {
+            u: 1 + m + i,
+            v: t,
+            lower: w_total,
+            upper: f64::INFINITY,
+            cost: 0.0,
+        });
     }
-    arcs.push(ArcSpec { u: t, v: s, lower: 0.0, upper: f64::INFINITY, cost: 0.0 });
+    arcs.push(ArcSpec {
+        u: t,
+        v: s,
+        lower: 0.0,
+        upper: f64::INFINITY,
+        cost: 0.0,
+    });
     min_cost_circulation(t + 1, &arcs).map(|(c, _)| c)
 }
 

@@ -26,7 +26,10 @@ impl SteinerTable {
     /// than 1.
     pub fn new(metric: &Metric) -> Self {
         let n = metric.len();
-        assert!((1..=MAX_NODES).contains(&n), "SteinerTable supports 1..={MAX_NODES} nodes");
+        assert!(
+            (1..=MAX_NODES).contains(&n),
+            "SteinerTable supports 1..={MAX_NODES} nodes"
+        );
         let k = n - 1; // nodes 0..k are mask bits; node k is the root side
         let full: usize = (1usize << k) - 1;
         let mut dp = vec![f64::INFINITY; (full + 1) * n];

@@ -1,0 +1,122 @@
+//! Seeded property tests for the exact solvers: structural invariants
+//! against independent implementations (deterministic seed sweep; the
+//! offline build vendors its own RNG instead of proptest).
+
+use dmn_core::cost::{evaluate_object, UpdatePolicy};
+use dmn_core::instance::ObjectWorkload;
+use dmn_exact::{optimal_placement, optimal_restricted, SteinerTable};
+use dmn_facility::{exact as ufl_exact, FlInstance};
+use dmn_graph::dijkstra::apsp;
+use dmn_graph::generators;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CASES: u64 = 32;
+
+fn random_instance(n: usize, seed: u64) -> (dmn_graph::Metric, Vec<f64>, ObjectWorkload) {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let g = generators::gnp_connected(n, 0.45, (1.0, 6.0), &mut r);
+    let m = apsp(&g);
+    let cs: Vec<f64> = (0..n).map(|_| r.random_range(0.5..6.0)).collect();
+    let mut w = ObjectWorkload::new(n);
+    for v in 0..n {
+        if r.random_bool(0.8) {
+            w.reads[v] = r.random_range(0..4) as f64;
+        }
+        if r.random_bool(0.4) {
+            w.writes[v] = r.random_range(0..3) as f64;
+        }
+    }
+    if w.total_requests() == 0.0 {
+        w.reads[0] = 1.0;
+    }
+    (m, cs, w)
+}
+
+/// With no writes, the exact data-management optimum coincides with the
+/// exact UFL optimum (the problems are identical).
+#[test]
+fn read_only_equals_ufl() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(200_000 + seed);
+        let n = r.random_range(4..9);
+        let (m, cs, mut w) = random_instance(n, seed);
+        for v in 0..n {
+            w.writes[v] = 0.0;
+        }
+        if w.total_requests() == 0.0 {
+            w.reads[0] = 1.0;
+        }
+        let dm = optimal_placement(&m, &cs, &w);
+        let fl = ufl_exact(&FlInstance::new(&m, cs.clone(), w.request_masses()));
+        assert!((dm.cost - fl.cost).abs() < 1e-9, "seed {seed}");
+        assert_eq!(dm.copies, fl.open, "seed {seed}");
+    }
+}
+
+/// The reported optimal cost is realized by the evaluator on the
+/// returned copy set, and no singleton placement beats it.
+#[test]
+fn optimum_is_consistent_and_minimal() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(210_000 + seed);
+        let n = r.random_range(4..9);
+        let (m, cs, w) = random_instance(n, seed);
+        let opt = optimal_placement(&m, &cs, &w);
+        let realized = evaluate_object(&m, &cs, &w, &opt.copies, UpdatePolicy::ExactSteiner);
+        assert!((realized.total() - opt.cost).abs() < 1e-9, "seed {seed}");
+        for v in 0..n {
+            let single = evaluate_object(&m, &cs, &w, &[v], UpdatePolicy::ExactSteiner);
+            assert!(single.total() + 1e-9 >= opt.cost, "seed {seed}: node {v}");
+        }
+    }
+}
+
+/// Lemma 1 sandwich: OPT <= OPT_restricted <= 4 OPT.
+#[test]
+fn lemma1_sandwich() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(220_000 + seed);
+        let n = r.random_range(4..9);
+        let (m, cs, w) = random_instance(n, seed);
+        let opt = optimal_placement(&m, &cs, &w);
+        let rst = optimal_restricted(&m, &cs, &w);
+        assert!(rst.cost + 1e-9 >= opt.cost, "seed {seed}");
+        assert!(
+            rst.cost <= 4.0 * opt.cost + 1e-9,
+            "seed {seed}: Lemma 1 violated: {} > 4 * {}",
+            rst.cost,
+            opt.cost
+        );
+    }
+}
+
+/// Steiner-table weights are monotone and subadditive over subsets.
+#[test]
+fn steiner_table_monotone_subadditive() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(230_000 + seed);
+        let n = r.random_range(3..9);
+        let g = generators::gnp_connected(n, 0.5, (1.0, 5.0), &mut r);
+        let m = apsp(&g);
+        let t = SteinerTable::new(&m);
+        let full = (1usize << n) - 1;
+        for mask in 1usize..=full.min(255) {
+            let sub = mask & (mask >> 1);
+            // Monotonicity: a subset never costs more.
+            assert!(
+                t.steiner_mask(sub) <= t.steiner_mask(mask) + 1e-9,
+                "seed {seed}: mask {mask:#b}"
+            );
+        }
+        // Subadditivity when the sets share a node.
+        let a = 0b0111 & full;
+        let b = 0b0110 & full;
+        if (a & b) != 0 {
+            assert!(
+                t.steiner_mask(a | b) <= t.steiner_mask(a) + t.steiner_mask(b) + 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -54,7 +54,10 @@ pub fn exact(inst: &FlInstance) -> FlSolution {
         .filter(|&(i, _)| best_mask >> i & 1 == 1)
         .map(|(_, &f)| f)
         .collect();
-    FlSolution { open, cost: best_cost }
+    FlSolution {
+        open,
+        cost: best_cost,
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +94,11 @@ mod tests {
 
     #[test]
     fn beats_or_matches_every_heuristic() {
-        use crate::{greedy::greedy, local_search::{local_search, LocalSearchConfig}, mettu_plaxton::mettu_plaxton};
+        use crate::{
+            greedy::greedy,
+            local_search::{local_search, LocalSearchConfig},
+            mettu_plaxton::mettu_plaxton,
+        };
         let m = Metric::from_line(&[0.0, 3.0, 5.0, 11.0, 17.0, 18.0]);
         let inst = FlInstance::new(
             &m,
@@ -100,7 +107,10 @@ mod tests {
         );
         let opt = exact(&inst).cost;
         for (name, cost) in [
-            ("ls", local_search(&inst, &LocalSearchConfig::default()).cost),
+            (
+                "ls",
+                local_search(&inst, &LocalSearchConfig::default()).cost,
+            ),
             ("mp", mettu_plaxton(&inst).cost),
             ("greedy", greedy(&inst).cost),
         ] {

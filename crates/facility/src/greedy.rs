@@ -125,7 +125,12 @@ mod tests {
         let inst = FlInstance::new(&m, vec![10.0; 4], vec![1.0; 4]);
         let s = greedy(&inst);
         let opt = exact(&inst);
-        assert!(s.cost <= 1.5 * opt.cost + 1e-9, "{} vs {}", s.cost, opt.cost);
+        assert!(
+            s.cost <= 1.5 * opt.cost + 1e-9,
+            "{} vs {}",
+            s.cost,
+            opt.cost
+        );
     }
 
     #[test]

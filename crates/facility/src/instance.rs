@@ -27,7 +27,11 @@ impl<'a> FlInstance<'a> {
             "at least one facility site must be allowed"
         );
         assert!(demand.iter().all(|&d| d >= 0.0 && d.is_finite()));
-        FlInstance { metric, open_cost, demand }
+        FlInstance {
+            metric,
+            open_cost,
+            demand,
+        }
     }
 
     /// Number of nodes.

@@ -64,8 +64,8 @@ pub fn jain_vazirani(inst: &FlInstance) -> FlSolution {
         }
         for j in 0..m {
             if active[j] {
-                let frozen_by = (0..s)
-                    .find(|&i| open_time[i].is_some() && dist(i, j) <= t + TIME_EPS);
+                let frozen_by =
+                    (0..s).find(|&i| open_time[i].is_some() && dist(i, j) <= t + TIME_EPS);
                 if frozen_by.is_some() {
                     active[j] = false;
                     alpha[j] = t;
@@ -115,14 +115,17 @@ pub fn jain_vazirani(inst: &FlInstance) -> FlSolution {
     let pays = |i: usize, j: usize| alpha[j] > dist(i, j) + TIME_EPS;
     let mut selected: Vec<usize> = Vec::new();
     for &i in &open_order {
-        let conflict = selected.iter().any(|&k| {
-            (0..m).any(|j| pays(i, j) && pays(k, j))
-        });
+        let conflict = selected
+            .iter()
+            .any(|&k| (0..m).any(|j| pays(i, j) && pays(k, j)));
         if !conflict {
             selected.push(i);
         }
     }
-    assert!(!selected.is_empty(), "at least one facility survives pruning");
+    assert!(
+        !selected.is_empty(),
+        "at least one facility survives pruning"
+    );
     let open: Vec<NodeId> = selected.iter().map(|&i| sites[i]).collect();
     inst.solution(open)
 }
@@ -165,7 +168,11 @@ mod tests {
     fn pruning_prevents_double_payment() {
         // Three co-located cheap facilities: only one may survive.
         let m = Metric::from_line(&[0.0, 0.0, 0.0, 1.0]);
-        let inst = FlInstance::new(&m, vec![1.0, 1.0, 1.0, f64::INFINITY], vec![0.0, 0.0, 0.0, 2.0]);
+        let inst = FlInstance::new(
+            &m,
+            vec![1.0, 1.0, 1.0, f64::INFINITY],
+            vec![0.0, 0.0, 0.0, 2.0],
+        );
         let s = jain_vazirani(&inst);
         assert_eq!(s.open.len(), 1, "{:?}", s.open);
     }
@@ -174,7 +181,10 @@ mod tests {
     fn within_factor_three_of_exact() {
         let m = Metric::from_line(&[0.0, 3.0, 5.0, 11.0, 17.0, 18.0]);
         for (fc, dm) in [
-            (vec![6.0, 2.0, 9.0, 1.0, 4.0, 6.0], vec![1.0, 2.0, 0.5, 3.0, 1.0, 2.0]),
+            (
+                vec![6.0, 2.0, 9.0, 1.0, 4.0, 6.0],
+                vec![1.0, 2.0, 0.5, 3.0, 1.0, 2.0],
+            ),
             (vec![4.0; 6], vec![1.0; 6]),
             (vec![0.5; 6], vec![2.0, 0.0, 2.0, 0.0, 2.0, 0.0]),
         ] {

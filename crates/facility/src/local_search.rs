@@ -24,7 +24,10 @@ pub struct LocalSearchConfig {
 
 impl Default for LocalSearchConfig {
     fn default() -> Self {
-        LocalSearchConfig { min_relative_gain: 1e-6, max_iterations: 10_000 }
+        LocalSearchConfig {
+            min_relative_gain: 1e-6,
+            max_iterations: 10_000,
+        }
     }
 }
 
@@ -126,7 +129,11 @@ mod tests {
         let inst2 = FlInstance::new(&m, vec![8.0; 4], vec![5.0, 5.0, 5.0, 5.0]);
         let s2 = local_search(&inst2, &LocalSearchConfig::default());
         assert_eq!(s2.open.len(), 2, "{:?}", s2.open);
-        assert!(s2.open[0] <= 1 && s2.open[1] >= 2, "one per cluster: {:?}", s2.open);
+        assert!(
+            s2.open[0] <= 1 && s2.open[1] >= 2,
+            "one per cluster: {:?}",
+            s2.open
+        );
         assert!((s2.cost - 26.0).abs() < 1e-9, "cost = {}", s2.cost);
     }
 

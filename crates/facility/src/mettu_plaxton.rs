@@ -118,7 +118,10 @@ mod tests {
         let m = Metric::from_line(&[0.0, 2.0, 3.0, 9.0, 10.0, 30.0]);
         for (fc, dm) in [
             (vec![4.0; 6], vec![1.0; 6]),
-            (vec![1.0, 9.0, 1.0, 9.0, 1.0, 9.0], vec![2.0, 0.0, 1.0, 3.0, 0.5, 1.0]),
+            (
+                vec![1.0, 9.0, 1.0, 9.0, 1.0, 9.0],
+                vec![2.0, 0.0, 1.0, 3.0, 0.5, 1.0],
+            ),
         ] {
             let inst = FlInstance::new(&m, fc, dm);
             let mp = mettu_plaxton(&inst);

@@ -1,0 +1,108 @@
+//! Seeded property tests for the UFL solvers: every heuristic respects its
+//! approximation guarantee against the exhaustive optimum on random metric
+//! instances (deterministic seed sweep; the offline build vendors its own
+//! RNG instead of proptest).
+
+use dmn_facility::{
+    exact, greedy, jain_vazirani, local_search, mettu_plaxton, FlInstance, LocalSearchConfig,
+};
+use dmn_graph::dijkstra::apsp;
+use dmn_graph::generators;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CASES: u64 = 40;
+
+fn random_instance(n: usize, seed: u64) -> (dmn_graph::Metric, Vec<f64>, Vec<f64>) {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let g = generators::gnp_connected(n, 0.4, (1.0, 8.0), &mut r);
+    let m = apsp(&g);
+    let open: Vec<f64> = (0..n).map(|_| r.random_range(0.5..10.0)).collect();
+    let mut demand: Vec<f64> = (0..n).map(|_| r.random_range(0..4) as f64).collect();
+    if demand.iter().all(|&d| d == 0.0) {
+        demand[0] = 1.0;
+    }
+    (m, open, demand)
+}
+
+/// No heuristic beats the exhaustive optimum, and each stays within its
+/// proven factor (with a small numerical cushion).
+#[test]
+fn guarantees_hold() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(900_000 + seed);
+        let n = r.random_range(4..11);
+        let (m, open, demand) = random_instance(n, seed);
+        let inst = FlInstance::new(&m, open, demand);
+        let opt = exact(&inst);
+        assert!(!opt.open.is_empty(), "seed {seed}");
+
+        let ls = local_search(&inst, &LocalSearchConfig::default());
+        let mp = mettu_plaxton(&inst);
+        let jv = jain_vazirani(&inst);
+        let gr = greedy(&inst);
+        for (name, sol, factor) in [
+            ("local-search", &ls, 5.05),
+            ("mettu-plaxton", &mp, 3.0),
+            ("jain-vazirani", &jv, 3.0),
+            ("greedy", &gr, 2.0 * (n as f64).ln().max(1.0)),
+        ] {
+            assert!(
+                sol.cost + 1e-9 >= opt.cost,
+                "seed {seed}: {name} beat the optimum"
+            );
+            assert!(
+                sol.cost <= factor * opt.cost + 1e-9,
+                "seed {seed}: {name}: {} > {} * {}",
+                sol.cost,
+                factor,
+                opt.cost
+            );
+            assert!(!sol.open.is_empty(), "seed {seed}: {name}");
+            // Reported cost is consistent with re-evaluation.
+            assert!(
+                (inst.total_cost(&sol.open) - sol.cost).abs() < 1e-9,
+                "seed {seed}: {name}"
+            );
+        }
+    }
+}
+
+/// Opening costs of zero mean every demand node can be served for free.
+#[test]
+fn free_facilities_cost_nothing() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(910_000 + seed);
+        let n = r.random_range(3..10);
+        let (m, _, demand) = random_instance(n, seed);
+        let inst = FlInstance::new(&m, vec![0.0; n], demand);
+        for sol in [
+            local_search(&inst, &LocalSearchConfig::default()),
+            mettu_plaxton(&inst),
+            greedy(&inst),
+        ] {
+            assert!(sol.cost.abs() < 1e-9, "seed {seed}: cost {}", sol.cost);
+        }
+    }
+}
+
+/// Scaling demands and opening costs together scales every solver's
+/// cost linearly without changing the exact optimum's facility set.
+#[test]
+fn joint_scaling() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(920_000 + seed);
+        let n = r.random_range(4..9);
+        let s = r.random_range(1..9) as f64;
+        let (m, open, demand) = random_instance(n, seed);
+        let a = exact(&FlInstance::new(&m, open.clone(), demand.clone()));
+        let scaled_open: Vec<f64> = open.iter().map(|c| c * s).collect();
+        let scaled_demand: Vec<f64> = demand.iter().map(|d| d * s).collect();
+        let b = exact(&FlInstance::new(&m, scaled_open, scaled_demand));
+        assert!(
+            (a.cost * s - b.cost).abs() < 1e-6 * (1.0 + b.cost),
+            "seed {seed}"
+        );
+        assert_eq!(a.open, b.open, "seed {seed}");
+    }
+}

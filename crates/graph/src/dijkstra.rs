@@ -73,7 +73,10 @@ pub fn shortest_paths(g: &Graph, source: NodeId) -> ShortestPaths {
     let mut parent = vec![None; n];
     let mut heap = BinaryHeap::with_capacity(n);
     dist[source] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapItem { dist: d, node: v }) = heap.pop() {
         if d > dist[v] {
             continue; // stale entry
@@ -83,11 +86,18 @@ pub fn shortest_paths(g: &Graph, source: NodeId) -> ShortestPaths {
             if nd < dist[a.to] {
                 dist[a.to] = nd;
                 parent[a.to] = Some(v);
-                heap.push(HeapItem { dist: nd, node: a.to });
+                heap.push(HeapItem {
+                    dist: nd,
+                    node: a.to,
+                });
             }
         }
     }
-    ShortestPaths { source, dist, parent }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
 }
 
 /// All-pairs shortest paths: the paper's metric closure of the network.

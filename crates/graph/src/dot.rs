@@ -23,7 +23,11 @@ pub struct DotOptions {
 /// Renders the graph in Graphviz DOT format.
 pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
     let mut out = String::new();
-    let name = if opts.name.is_empty() { "dmn" } else { &opts.name };
+    let name = if opts.name.is_empty() {
+        "dmn"
+    } else {
+        &opts.name
+    };
     let _ = writeln!(out, "graph {name} {{");
     let _ = writeln!(out, "  node [shape=circle fontsize=10];");
     let mut highlighted = vec![false; g.num_nodes()];
@@ -72,7 +76,11 @@ mod tests {
         let g = generators::path(3, |i| i as f64 + 0.5);
         let dot = to_dot(
             &g,
-            &DotOptions { highlight: vec![1], name: "demo".into(), ..Default::default() },
+            &DotOptions {
+                highlight: vec![1],
+                name: "demo".into(),
+                ..Default::default()
+            },
         );
         assert!(dot.starts_with("graph demo {"));
         assert!(dot.contains("n1 [label=\"1\" style=filled fillcolor=gold];"));
@@ -113,7 +121,13 @@ mod tests {
     #[test]
     fn out_of_range_highlight_ignored() {
         let g = generators::path(2, |_| 1.0);
-        let dot = to_dot(&g, &DotOptions { highlight: vec![99], ..Default::default() });
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                highlight: vec![99],
+                ..Default::default()
+            },
+        );
         assert!(!dot.contains("gold"));
     }
 }

@@ -36,7 +36,11 @@ pub type FlowArcId = usize;
 impl MinCostFlow {
     /// Creates an empty network over `n` nodes.
     pub fn new(n: usize) -> Self {
-        MinCostFlow { n, arcs: Vec::new(), adj: vec![Vec::new(); n] }
+        MinCostFlow {
+            n,
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -48,11 +52,21 @@ impl MinCostFlow {
     /// `cost >= 0`. Returns the arc id usable with [`MinCostFlow::flow_on`].
     pub fn add_arc(&mut self, u: usize, v: usize, cap: f64, cost: f64) -> FlowArcId {
         assert!(u < self.n && v < self.n, "arc endpoint out of range");
-        assert!(cap >= 0.0 && cap.is_finite() || cap == f64::INFINITY, "bad capacity");
-        assert!(cost >= 0.0 && cost.is_finite(), "arc costs must be finite and >= 0");
+        assert!(
+            cap >= 0.0 && cap.is_finite() || cap == f64::INFINITY,
+            "bad capacity"
+        );
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "arc costs must be finite and >= 0"
+        );
         let id = self.arcs.len();
         self.arcs.push(FlowArc { to: v, cap, cost });
-        self.arcs.push(FlowArc { to: u, cap: 0.0, cost: -cost });
+        self.arcs.push(FlowArc {
+            to: u,
+            cap: 0.0,
+            cost: -cost,
+        });
         self.adj[u].push(id);
         self.adj[v].push(id + 1);
         id
@@ -119,7 +133,9 @@ impl MinCostFlow {
         impl Eq for Item {}
         impl Ord for Item {
             fn cmp(&self, o: &Self) -> Ordering {
-                o.d.partial_cmp(&self.d).expect("no NaN").then_with(|| o.v.cmp(&self.v))
+                o.d.partial_cmp(&self.d)
+                    .expect("no NaN")
+                    .then_with(|| o.v.cmp(&self.v))
             }
         }
         impl PartialOrd for Item {
@@ -263,17 +279,53 @@ mod tests {
         // Nodes: 0 = s, 1..=2 clients, 3..=4 copies, 5 = t.
         let d = [[1.0, 5.0], [4.0, 1.0]];
         let mut arcs = vec![
-            ArcSpec { u: 0, v: 1, lower: 4.0, upper: 4.0, cost: 0.0 },
-            ArcSpec { u: 0, v: 2, lower: 2.0, upper: 2.0, cost: 0.0 },
+            ArcSpec {
+                u: 0,
+                v: 1,
+                lower: 4.0,
+                upper: 4.0,
+                cost: 0.0,
+            },
+            ArcSpec {
+                u: 0,
+                v: 2,
+                lower: 2.0,
+                upper: 2.0,
+                cost: 0.0,
+            },
         ];
         for (ci, row) in d.iter().enumerate() {
             for (fj, &cost) in row.iter().enumerate() {
-                arcs.push(ArcSpec { u: 1 + ci, v: 3 + fj, lower: 0.0, upper: 6.0, cost });
+                arcs.push(ArcSpec {
+                    u: 1 + ci,
+                    v: 3 + fj,
+                    lower: 0.0,
+                    upper: 6.0,
+                    cost,
+                });
             }
         }
-        arcs.push(ArcSpec { u: 3, v: 5, lower: 2.0, upper: 6.0, cost: 0.0 });
-        arcs.push(ArcSpec { u: 4, v: 5, lower: 2.0, upper: 6.0, cost: 0.0 });
-        arcs.push(ArcSpec { u: 5, v: 0, lower: 0.0, upper: f64::INFINITY, cost: 0.0 });
+        arcs.push(ArcSpec {
+            u: 3,
+            v: 5,
+            lower: 2.0,
+            upper: 6.0,
+            cost: 0.0,
+        });
+        arcs.push(ArcSpec {
+            u: 4,
+            v: 5,
+            lower: 2.0,
+            upper: 6.0,
+            cost: 0.0,
+        });
+        arcs.push(ArcSpec {
+            u: 5,
+            v: 0,
+            lower: 0.0,
+            upper: f64::INFINITY,
+            cost: 0.0,
+        });
         let (cost, flows) = min_cost_circulation(6, &arcs).expect("feasible");
         // Unconstrained optimum: all of client 0 to copy 0 (4), client 1 to
         // copy 1 (2): cost 4 + 2 = 6; copy constraints already satisfied.
@@ -287,12 +339,48 @@ mod tests {
         // One client of mass 2, two copies, each must serve >= 1:
         // the second unit must take the expensive route.
         let arcs = vec![
-            ArcSpec { u: 0, v: 1, lower: 2.0, upper: 2.0, cost: 0.0 },
-            ArcSpec { u: 1, v: 2, lower: 0.0, upper: 2.0, cost: 1.0 },
-            ArcSpec { u: 1, v: 3, lower: 0.0, upper: 2.0, cost: 7.0 },
-            ArcSpec { u: 2, v: 4, lower: 1.0, upper: 2.0, cost: 0.0 },
-            ArcSpec { u: 3, v: 4, lower: 1.0, upper: 2.0, cost: 0.0 },
-            ArcSpec { u: 4, v: 0, lower: 0.0, upper: f64::INFINITY, cost: 0.0 },
+            ArcSpec {
+                u: 0,
+                v: 1,
+                lower: 2.0,
+                upper: 2.0,
+                cost: 0.0,
+            },
+            ArcSpec {
+                u: 1,
+                v: 2,
+                lower: 0.0,
+                upper: 2.0,
+                cost: 1.0,
+            },
+            ArcSpec {
+                u: 1,
+                v: 3,
+                lower: 0.0,
+                upper: 2.0,
+                cost: 7.0,
+            },
+            ArcSpec {
+                u: 2,
+                v: 4,
+                lower: 1.0,
+                upper: 2.0,
+                cost: 0.0,
+            },
+            ArcSpec {
+                u: 3,
+                v: 4,
+                lower: 1.0,
+                upper: 2.0,
+                cost: 0.0,
+            },
+            ArcSpec {
+                u: 4,
+                v: 0,
+                lower: 0.0,
+                upper: f64::INFINITY,
+                cost: 0.0,
+            },
         ];
         let (cost, flows) = min_cost_circulation(5, &arcs).expect("feasible");
         assert!((cost - 8.0).abs() < 1e-9, "cost = {cost}");
@@ -304,9 +392,27 @@ mod tests {
     fn infeasible_circulation_detected() {
         // Demand 3 must reach node 2 but capacity only 1.
         let arcs = vec![
-            ArcSpec { u: 0, v: 1, lower: 3.0, upper: 3.0, cost: 0.0 },
-            ArcSpec { u: 1, v: 2, lower: 0.0, upper: 1.0, cost: 1.0 },
-            ArcSpec { u: 2, v: 0, lower: 0.0, upper: f64::INFINITY, cost: 0.0 },
+            ArcSpec {
+                u: 0,
+                v: 1,
+                lower: 3.0,
+                upper: 3.0,
+                cost: 0.0,
+            },
+            ArcSpec {
+                u: 1,
+                v: 2,
+                lower: 0.0,
+                upper: 1.0,
+                cost: 1.0,
+            },
+            ArcSpec {
+                u: 2,
+                v: 0,
+                lower: 0.0,
+                upper: f64::INFINITY,
+                cost: 0.0,
+            },
         ];
         assert!(min_cost_circulation(3, &arcs).is_none());
     }

@@ -368,8 +368,16 @@ mod tests {
         let a = prufer_tree(12, (1.0, 1.0), &mut r);
         let b = prufer_tree(12, (1.0, 1.0), &mut r);
         // Two consecutive samples almost surely differ in edge structure.
-        let ea: Vec<_> = a.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
-        let eb: Vec<_> = b.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
+        let ea: Vec<_> = a
+            .edges()
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+            .collect();
         assert_ne!(ea, eb);
     }
 

@@ -3,8 +3,6 @@
 //! The node set models processors with their memory modules; edges model
 //! communication links with a fee per transmitted object (the paper's `ct`).
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a node in a [`Graph`]. Nodes are dense integers `0..n`.
 pub type NodeId = usize;
 
@@ -12,7 +10,7 @@ pub type NodeId = usize;
 pub type EdgeId = usize;
 
 /// An undirected edge with a non-negative transmission cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// One endpoint.
     pub u: NodeId,
@@ -38,11 +36,10 @@ pub struct Arc {
 /// Parallel edges and self-loops are rejected: the model never needs them
 /// (a self-loop cannot carry useful traffic, and only the cheapest of a set
 /// of parallel links would ever be used).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
-    #[serde(skip)]
     adj: Vec<Vec<Arc>>,
 }
 
@@ -82,7 +79,10 @@ impl Graph {
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> EdgeId {
         assert!(u < self.n && v < self.n, "edge endpoint out of range");
         assert!(u != v, "self-loops are not allowed");
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and >= 0");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and >= 0"
+        );
         let id = self.edges.len();
         self.edges.push(Edge { u, v, w });
         self.adj[u].push(Arc { to: v, w, edge: id });
@@ -170,8 +170,16 @@ impl Graph {
     pub fn rebuild_adjacency(&mut self) {
         self.adj = vec![Vec::new(); self.n];
         for (id, e) in self.edges.iter().enumerate() {
-            self.adj[e.u].push(Arc { to: e.v, w: e.w, edge: id });
-            self.adj[e.v].push(Arc { to: e.u, w: e.w, edge: id });
+            self.adj[e.u].push(Arc {
+                to: e.v,
+                w: e.w,
+                edge: id,
+            });
+            self.adj[e.v].push(Arc {
+                to: e.u,
+                w: e.w,
+                edge: id,
+            });
         }
     }
 

@@ -49,7 +49,10 @@ pub fn kruskal(g: &Graph) -> MstResult {
 pub fn prim(g: &Graph) -> MstResult {
     let n = g.num_nodes();
     if n == 0 {
-        return MstResult { edges: vec![], weight: 0.0 };
+        return MstResult {
+            edges: vec![],
+            weight: 0.0,
+        };
     }
     let mut in_tree = vec![false; n];
     let mut best = vec![f64::INFINITY; n];

@@ -159,7 +159,12 @@ mod tests {
     fn grid_exact_at_most_approx() {
         let g = generators::grid(3, 3, |u, v| ((u * 7 + v) % 4 + 1) as f64);
         let m = apsp(&g);
-        for terms in [vec![0, 8], vec![0, 2, 6, 8], vec![1, 3, 5, 7], vec![0, 4, 8]] {
+        for terms in [
+            vec![0, 8],
+            vec![0, 2, 6, 8],
+            vec![1, 3, 5, 7],
+            vec![0, 4, 8],
+        ] {
             let exact = dreyfus_wagner(&m, &terms);
             let approx = steiner_2approx_weight(&m, &terms);
             assert!(exact <= approx + 1e-9, "{terms:?}: {exact} > {approx}");

@@ -80,7 +80,11 @@ impl RootedTree {
     /// Builds a rooted tree directly from parent arrays (used by
     /// binarization). `parent[root]` must be `None`; all other nodes must
     /// reach the root.
-    pub fn from_parents(root: NodeId, parent: Vec<Option<NodeId>>, parent_weight: Vec<f64>) -> Self {
+    pub fn from_parents(
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+        parent_weight: Vec<f64>,
+    ) -> Self {
         let n = parent.len();
         assert_eq!(parent_weight.len(), n);
         assert!(parent[root].is_none(), "root must have no parent");
@@ -327,7 +331,13 @@ mod tests {
         // 0 -(1)- 1 ; 0 -(2)- 2 ; 1 -(3)- 3 ; 1 -(4)- 4 ; 2 -(5)- 5
         let g = Graph::from_edges(
             6,
-            [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (1, 4, 4.0), (2, 5, 5.0)],
+            [
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 3.0),
+                (1, 4, 4.0),
+                (2, 5, 5.0),
+            ],
         );
         RootedTree::from_graph(&g, 0)
     }
@@ -422,7 +432,10 @@ mod tests {
         let g = generators::star(65, |_| 1.0);
         let t = RootedTree::from_graph(&g, 0);
         let b = binarize(&t);
-        let max_hops = (0..b.tree.len()).map(|v| b.tree.depth_hops[v]).max().unwrap();
+        let max_hops = (0..b.tree.len())
+            .map(|v| b.tree.depth_hops[v])
+            .max()
+            .unwrap();
         assert!(max_hops <= 8, "hops = {max_hops}");
         assert!(b.tree.len() < 2 * 65, "node count must stay linear");
     }

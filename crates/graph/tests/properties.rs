@@ -1,0 +1,158 @@
+//! Seeded property tests for the graph substrate: the same invariants the
+//! original proptest suite checked, exercised over a deterministic seed
+//! sweep (the offline build vendors its own RNG instead of proptest).
+
+use dmn_graph::bfs::{hop_diameter, tree_hop_diameter};
+use dmn_graph::dijkstra::{apsp, shortest_paths};
+use dmn_graph::generators;
+use dmn_graph::mst::{kruskal, prim};
+use dmn_graph::steiner::{dreyfus_wagner, steiner_2approx_weight};
+use dmn_graph::tree::{binarize, RootedTree};
+use dmn_graph::DisjointSets;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CASES: u64 = 48;
+
+/// Kruskal and Prim agree on total MST weight for connected graphs.
+#[test]
+fn mst_algorithms_agree() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let n = r.random_range(3..25);
+        let g = generators::gnp_connected(n, 0.3, (1.0, 9.0), &mut r);
+        let k = kruskal(&g);
+        let p = prim(&g);
+        assert!((k.weight - p.weight).abs() < 1e-9, "seed {seed}");
+        assert_eq!(k.edges.len(), n - 1, "seed {seed}");
+        assert_eq!(p.edges.len(), n - 1, "seed {seed}");
+    }
+}
+
+/// The metric closure of every generator family satisfies the axioms.
+#[test]
+fn generators_yield_metrics() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let n = r.random_range(3..16);
+        let g = match seed % 4 {
+            0 => generators::gnp_connected(n, 0.4, (1.0, 5.0), &mut r),
+            1 => generators::random_geometric(n, 0.4, 5.0, &mut r),
+            2 => generators::prufer_tree(n, (1.0, 5.0), &mut r),
+            _ => generators::ring(n.max(3), |i| (i % 3 + 1) as f64),
+        };
+        let m = apsp(&g);
+        assert!(m.check_axioms(1e-9).is_ok(), "seed {seed}");
+    }
+}
+
+/// Exact Steiner weight is sandwiched by the metric-MST 2-approximation:
+/// `exact <= approx <= 2 * exact`.
+#[test]
+fn steiner_sandwich() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(2000 + seed);
+        let g = generators::gnp_connected(10, 0.35, (1.0, 7.0), &mut r);
+        let m = apsp(&g);
+        let k = r.random_range(2..6);
+        let terms: Vec<usize> = (0..k).map(|i| (i * 7 + seed as usize) % 10).collect();
+        let exact = dreyfus_wagner(&m, &terms);
+        let approx = steiner_2approx_weight(&m, &terms);
+        assert!(exact <= approx + 1e-9, "seed {seed}");
+        assert!(approx <= 2.0 * exact + 1e-9, "seed {seed}");
+    }
+}
+
+/// Steiner weight is monotone under adding terminals.
+#[test]
+fn steiner_monotone_in_terminals() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(3000 + seed);
+        let g = generators::gnp_connected(9, 0.4, (1.0, 5.0), &mut r);
+        let m = apsp(&g);
+        let small = vec![0usize, 3];
+        let large = vec![0usize, 3, 6, 8];
+        assert!(
+            dreyfus_wagner(&m, &small) <= dreyfus_wagner(&m, &large) + 1e-9,
+            "seed {seed}"
+        );
+    }
+}
+
+/// Dijkstra distances obey per-edge relaxation: d(v) <= d(u) + w(u,v).
+#[test]
+fn dijkstra_relaxation_fixpoint() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(4000 + seed);
+        let n = r.random_range(3..20);
+        let g = generators::gnp_connected(n, 0.3, (1.0, 9.0), &mut r);
+        let sp = shortest_paths(&g, 0);
+        for e in g.edges() {
+            assert!(sp.dist[e.v] <= sp.dist[e.u] + e.w + 1e-9, "seed {seed}");
+            assert!(sp.dist[e.u] <= sp.dist[e.v] + e.w + 1e-9, "seed {seed}");
+        }
+    }
+}
+
+/// Binarization preserves all pairwise distances between original nodes
+/// and keeps the node count linear.
+#[test]
+fn binarization_is_distance_preserving() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(5000 + seed);
+        let n = r.random_range(2..30);
+        let g = generators::prufer_tree(n, (0.0, 6.0), &mut r);
+        let t = RootedTree::from_graph(&g, 0);
+        let b = binarize(&t);
+        assert!(b.tree.max_children() <= 2, "seed {seed}");
+        assert!(b.tree.len() <= 2 * n, "seed {seed}");
+        for u in 0..n {
+            for v in 0..n {
+                assert!(
+                    (b.tree.dist(u, v) - t.dist(u, v)).abs() < 1e-9,
+                    "seed {seed}: dist({u}, {v})"
+                );
+            }
+        }
+    }
+}
+
+/// DSU matches a naive reachability model under random unions.
+#[test]
+fn dsu_matches_model() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(6000 + seed);
+        let ops = r.random_range(0..40);
+        let mut dsu = DisjointSets::new(12);
+        let mut model: Vec<usize> = (0..12).collect(); // representative by min
+        for _ in 0..ops {
+            let a = r.random_range(0..12);
+            let b = r.random_range(0..12);
+            dsu.union(a, b);
+            let (ra, rb) = (model[a], model[b]);
+            if ra != rb {
+                for m in model.iter_mut() {
+                    if *m == rb {
+                        *m = ra;
+                    }
+                }
+            }
+        }
+        for x in 0..12 {
+            for y in 0..12 {
+                assert_eq!(dsu.connected(x, y), model[x] == model[y], "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Tree double-BFS diameter equals the generic all-pairs hop diameter.
+#[test]
+fn tree_diameter_agrees() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(7000 + seed);
+        let n = r.random_range(2..40);
+        let g = generators::prufer_tree(n, (1.0, 2.0), &mut r);
+        assert_eq!(tree_hop_diameter(&g), hop_diameter(&g), "seed {seed}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Adapters implementing [`Solver`] for every placement engine in the
+//! workspace.
+//!
+//! Each adapter is a thin wrapper over the engine crate's existing entry
+//! point — the algorithms themselves live (and stay) in `dmn-approx`,
+//! `dmn-tree`, and `dmn-exact`; this module only standardizes their
+//! invocation and reporting. Placements and native costs are bit-identical
+//! to the direct calls (the golden-value tests in `tests/registry.rs` pin
+//! that down).
+
+use std::time::Instant;
+
+use dmn_approx::baselines;
+use dmn_approx::{place_object_instrumented, PhaseTimings, PhaseTrace};
+use dmn_core::instance::Instance;
+use dmn_core::parallel::par_map;
+use dmn_core::placement::Placement;
+use dmn_exact::solver::MAX_EXACT_NODES;
+use dmn_exact::{optimal_placement, optimal_restricted};
+use dmn_graph::tree::RootedTree;
+use dmn_tree::optimal_tree_general;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{PhaseStat, SolveReport};
+use crate::{unsupported, SolveRequest, Solver, Unsupported};
+
+/// The paper's three-phase constant-factor approximation (Section 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproxSolver;
+
+impl Solver for ApproxSolver {
+    fn name(&self) -> &'static str {
+        "approx"
+    }
+
+    fn description(&self) -> &'static str {
+        "SPAA'01 Section 2: FL + radius add + radius prune; constant-factor, \
+         O(FL + n^2) per object, any network"
+    }
+
+    fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+        let started = Instant::now();
+        let cfg = req.approx_config();
+        let metric = instance.metric();
+        let results: Vec<(PhaseTrace, PhaseTimings)> = par_map(&instance.objects, |w| {
+            place_object_instrumented(metric, &instance.storage_cost, w, &cfg)
+        });
+        let timings = results
+            .iter()
+            .fold(PhaseTimings::default(), |acc, (_, t)| acc.add(t));
+        let sets: Vec<Vec<usize>> = results
+            .iter()
+            .map(|(tr, _)| tr.after_phase3.clone())
+            .collect();
+        let (p1, p2, p3) = results.iter().fold((0, 0, 0), |(a, b, c), (tr, _)| {
+            (
+                a + tr.after_phase1.len(),
+                b + tr.after_phase2.len(),
+                c + tr.after_phase3.len(),
+            )
+        });
+        let phases = vec![
+            PhaseStat::new(
+                "facility-location",
+                timings.facility,
+                format!("{p1} copies opened ({:?})", cfg.fl_solver),
+            ),
+            PhaseStat::new("radius-add", timings.radius_add, format!("-> {p2} copies")),
+            PhaseStat::new(
+                "radius-prune",
+                timings.radius_prune,
+                format!("-> {p3} copies"),
+            ),
+        ];
+        let traces = req
+            .collect_traces
+            .then(|| results.into_iter().map(|(tr, _)| tr).collect());
+        let meta = vec![("fl-backend", format!("{:?}", cfg.fl_solver))];
+        SolveReport::build(
+            self.name(),
+            instance,
+            req,
+            Placement::from_copy_sets(sets),
+            phases,
+            traces,
+            meta,
+            started,
+        )
+    }
+}
+
+macro_rules! baseline_solver {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $desc:literal, $solve:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl Solver for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn description(&self) -> &'static str {
+                $desc
+            }
+
+            fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+                let started = Instant::now();
+                #[allow(clippy::redundant_closure_call)]
+                let placement: Placement = ($solve)(instance, req);
+                let phases = vec![PhaseStat::new(
+                    "placement",
+                    started.elapsed().as_secs_f64(),
+                    format!("{} copies", placement.total_copies()),
+                )];
+                SolveReport::build(
+                    self.name(),
+                    instance,
+                    req,
+                    placement,
+                    phases,
+                    None,
+                    vec![],
+                    started,
+                )
+            }
+        }
+    };
+}
+
+baseline_solver!(
+    /// Baseline: a copy on every allowed node.
+    FullReplicationSolver,
+    "full-replication",
+    "baseline: copy on every finite-storage node; O(n) per object",
+    |instance: &Instance, _req: &SolveRequest| baselines::full_replication(instance)
+);
+
+baseline_solver!(
+    /// Baseline: the exact 1-copy optimum per object.
+    BestSingleSolver,
+    "best-single",
+    "baseline: exact 1-copy optimum (weighted 1-median incl. writes); O(n^2) per object",
+    |instance: &Instance, _req: &SolveRequest| baselines::best_single_node(instance)
+);
+
+baseline_solver!(
+    /// Baseline: `k` random allowed nodes per object (seeded).
+    RandomKSolver,
+    "random-k",
+    "baseline: replication_degree random allowed nodes per object; seeded via SolveRequest",
+    |instance: &Instance, req: &SolveRequest| {
+        let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
+        baselines::random_k(instance, req.replication_degree, &mut rng)
+    }
+);
+
+baseline_solver!(
+    /// Baseline: add/drop/swap local search on the true objective.
+    GreedyLocalSolver,
+    "greedy-local",
+    "baseline: add/drop/swap local search on the true objective; no guarantee, strong in practice",
+    |instance: &Instance, _req: &SolveRequest| baselines::greedy_local(instance)
+);
+
+/// The paper's optimal tree algorithm (Section 3.2, reads + writes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeDpSolver;
+
+impl Solver for TreeDpSolver {
+    fn name(&self) -> &'static str {
+        "tree-dp"
+    }
+
+    fn description(&self) -> &'static str {
+        "SPAA'01 Section 3.2: optimal on trees via import/export tuple DP, \
+         O(|X| * |V| * diam * log deg)"
+    }
+
+    fn supports(&self, instance: &Instance) -> Result<(), Unsupported> {
+        if instance.graph.is_tree() {
+            Ok(())
+        } else {
+            Err(unsupported("the tree DP needs a tree network"))
+        }
+    }
+
+    fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+        let started = Instant::now();
+        self.supports(instance).expect("solver applicability");
+        let tree = RootedTree::from_graph(&instance.graph, 0);
+        let solutions = par_map(&instance.objects, |w| {
+            optimal_tree_general(&tree, &instance.storage_cost, w)
+        });
+        let native: f64 = solutions.iter().map(|s| s.cost).sum();
+        let sets = solutions.into_iter().map(|s| s.copies).collect();
+        let phases = vec![PhaseStat::new(
+            "tree-dp",
+            started.elapsed().as_secs_f64(),
+            format!("{} objects", instance.num_objects()),
+        )];
+        let meta = vec![("native-cost", format!("{native}"))];
+        SolveReport::build(
+            self.name(),
+            instance,
+            req,
+            Placement::from_copy_sets(sets),
+            phases,
+            None,
+            meta,
+            started,
+        )
+    }
+}
+
+macro_rules! exact_solver {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $desc:literal, $f:path) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl Solver for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn description(&self) -> &'static str {
+                $desc
+            }
+
+            fn supports(&self, instance: &Instance) -> Result<(), Unsupported> {
+                let n = instance.num_nodes();
+                if n <= MAX_EXACT_NODES {
+                    Ok(())
+                } else {
+                    Err(unsupported(format!(
+                        "exhaustive solver limited to {MAX_EXACT_NODES} nodes (instance has {n})"
+                    )))
+                }
+            }
+
+            fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+                let started = Instant::now();
+                self.supports(instance).expect("solver applicability");
+                let metric = instance.metric();
+                let solutions =
+                    par_map(&instance.objects, |w| $f(metric, &instance.storage_cost, w));
+                let native: f64 = solutions.iter().map(|s| s.cost).sum();
+                let sets = solutions.into_iter().map(|s| s.copies).collect();
+                let phases = vec![PhaseStat::new(
+                    "enumeration",
+                    started.elapsed().as_secs_f64(),
+                    format!("{} objects", instance.num_objects()),
+                )];
+                let meta = vec![("native-cost", format!("{native}"))];
+                SolveReport::build(
+                    self.name(),
+                    instance,
+                    req,
+                    Placement::from_copy_sets(sets),
+                    phases,
+                    None,
+                    meta,
+                    started,
+                )
+            }
+        }
+    };
+}
+
+exact_solver!(
+    /// Ground truth: exhaustive optimum with per-write optimal Steiner
+    /// update sets.
+    ExactSolver,
+    "exact",
+    "ground truth: exhaustive optimum, per-write optimal Steiner updates; O(3^n), n <= 16",
+    optimal_placement
+);
+
+exact_solver!(
+    /// Ground truth for Lemma 1: the optimal *restricted* placement.
+    ExactRestrictedSolver,
+    "exact-restricted",
+    "Lemma 1 ground truth: optimal restricted placement (shared multicast tree, >= W mass \
+     per copy); O(3^n), n <= 16",
+    optimal_restricted
+);
+
+/// Meta-engine: the optimal tree DP when the network is a tree, the
+/// constant-factor approximation otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoSolver;
+
+impl Solver for AutoSolver {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn description(&self) -> &'static str {
+        "dispatch: optimal tree-dp on tree networks (exact), approx everywhere else"
+    }
+
+    fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+        let mut report = if instance.graph.is_tree() {
+            TreeDpSolver.solve(instance, req)
+        } else {
+            ApproxSolver.solve(instance, req)
+        };
+        report
+            .meta
+            .push(("dispatched-to", report.solver.to_string()));
+        report.solver = self.name();
+        report
+    }
+}

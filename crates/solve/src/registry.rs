@@ -1,0 +1,83 @@
+//! The string-keyed solver registry.
+
+/// Registry functions (`solvers::by_name`, `solvers::all`).
+pub mod solvers {
+    use crate::engines::*;
+    use crate::Solver;
+
+    /// Every registered solver, in presentation order: the paper's
+    /// algorithms first, then ground truth, then baselines.
+    pub fn all() -> Vec<Box<dyn Solver>> {
+        vec![
+            Box::new(ApproxSolver),
+            Box::new(TreeDpSolver),
+            Box::new(AutoSolver),
+            Box::new(ExactSolver),
+            Box::new(ExactRestrictedSolver),
+            Box::new(GreedyLocalSolver),
+            Box::new(BestSingleSolver),
+            Box::new(RandomKSolver),
+            Box::new(FullReplicationSolver),
+        ]
+    }
+
+    /// Looks a solver up by its registry name (see [`names`]); `krw` is
+    /// accepted as an alias for the paper's algorithm.
+    pub fn by_name(name: &str) -> Option<Box<dyn Solver>> {
+        if name == "krw" {
+            return by_name("approx");
+        }
+        all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// All registry names, in [`all`] order.
+    pub fn names() -> Vec<&'static str> {
+        all().iter().map(|s| s.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::solvers;
+
+    #[test]
+    fn every_name_resolves() {
+        for name in solvers::names() {
+            let s = solvers::by_name(name).expect("registered");
+            assert_eq!(s.name(), name);
+            assert!(!s.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn alias_and_unknown() {
+        assert_eq!(solvers::by_name("krw").unwrap().name(), "approx");
+        assert!(solvers::by_name("no-such-solver").is_none());
+    }
+
+    #[test]
+    fn registry_covers_the_required_engines() {
+        let names = solvers::names();
+        for required in [
+            "approx",
+            "tree-dp",
+            "exact",
+            "exact-restricted",
+            "greedy-local",
+            "best-single",
+            "random-k",
+            "full-replication",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = solvers::names();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

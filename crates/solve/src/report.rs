@@ -1,0 +1,258 @@
+//! Solve results: placement, cost breakdown, phase statistics, metadata.
+
+use std::fmt;
+
+use dmn_approx::PhaseTrace;
+use dmn_core::cost::{evaluate, CostBreakdown, UpdatePolicy};
+use dmn_core::instance::Instance;
+use dmn_core::placement::Placement;
+
+use crate::SolveRequest;
+
+/// One timed stage of a solve run.
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Phase name (e.g. `facility-location`, `radius-add`).
+    pub name: &'static str,
+    /// Wall-clock seconds spent in the phase, summed over objects.
+    pub seconds: f64,
+    /// Free-form detail (copy counts, backend, ...).
+    pub detail: String,
+}
+
+impl PhaseStat {
+    /// Creates a phase entry.
+    pub fn new(name: &'static str, seconds: f64, detail: impl Into<String>) -> Self {
+        PhaseStat {
+            name,
+            seconds,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The result of one [`Solver::solve`](crate::Solver::solve) call.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Registry name of the engine that produced the report.
+    pub solver: &'static str,
+    /// The computed placement (one non-empty copy set per object).
+    pub placement: Placement,
+    /// Full cost decomposition under [`SolveReport::policy`].
+    pub cost: CostBreakdown,
+    /// The update-cost accounting policy used for `cost`.
+    pub policy: UpdatePolicy,
+    /// Timed solve stages in execution order.
+    pub phases: Vec<PhaseStat>,
+    /// Per-object per-phase copy-set traces, when requested and the engine
+    /// has phase structure.
+    pub traces: Option<Vec<PhaseTrace>>,
+    /// Engine metadata as key/value pairs (backend, native objective, ...).
+    pub meta: Vec<(&'static str, String)>,
+    /// End-to-end wall-clock seconds of the solve call.
+    pub wall_seconds: f64,
+}
+
+impl SolveReport {
+    /// Assembles a report from an engine's raw placement: applies the
+    /// optional capacity repair, evaluates the cost under the requested
+    /// policy, and stamps the wall clock. This is the one constructor every
+    /// engine (in-crate and third-party) funnels through, so request
+    /// handling stays uniform.
+    ///
+    /// # Panics
+    /// Panics when capacities are requested but infeasible (less total
+    /// capacity than objects).
+    #[allow(clippy::too_many_arguments)] // the one funnel for every engine's raw parts
+    pub fn build(
+        solver: &'static str,
+        instance: &Instance,
+        req: &SolveRequest,
+        placement: Placement,
+        mut phases: Vec<PhaseStat>,
+        traces: Option<Vec<PhaseTrace>>,
+        mut meta: Vec<(&'static str, String)>,
+        started: std::time::Instant,
+    ) -> SolveReport {
+        let placement = match &req.capacities {
+            None => placement,
+            Some(cap) => {
+                let clock = std::time::Instant::now();
+                let before = placement.total_copies();
+                let repaired = dmn_approx::enforce_capacities(instance, &placement, cap)
+                    .expect("capacity constraints must be feasible");
+                phases.push(PhaseStat::new(
+                    "capacity-repair",
+                    clock.elapsed().as_secs_f64(),
+                    format!("{} -> {} copies", before, repaired.total_copies()),
+                ));
+                repaired
+            }
+        };
+        let cost = evaluate(instance, &placement, req.policy);
+        meta.push(("policy", policy_name(req.policy).to_string()));
+        SolveReport {
+            solver,
+            placement,
+            cost,
+            policy: req.policy,
+            phases,
+            traces,
+            meta,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The metadata value under `key`, when present.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Total copies across all objects.
+    pub fn total_copies(&self) -> usize {
+        self.placement.total_copies()
+    }
+}
+
+/// Stable kebab-case name of an update policy.
+pub fn policy_name(policy: UpdatePolicy) -> &'static str {
+    match policy {
+        UpdatePolicy::MstMulticast => "mst-multicast",
+        UpdatePolicy::ExactSteiner => "exact-steiner",
+        UpdatePolicy::UnicastStar => "unicast-star",
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+impl fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "solver {} | {} objects, {} copies | wall {}",
+            self.solver,
+            self.placement.num_objects(),
+            self.total_copies(),
+            fmt_seconds(self.wall_seconds)
+        )?;
+        writeln!(
+            f,
+            "  cost ({}): storage {:.2} + read {:.2} + update {:.2} = {:.2}",
+            policy_name(self.policy),
+            self.cost.storage,
+            self.cost.read,
+            self.cost.update(),
+            self.cost.total()
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  phase {:<18} {:>10}  {}",
+                p.name,
+                fmt_seconds(p.seconds),
+                p.detail
+            )?;
+        }
+        for (k, v) in &self.meta {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_core::instance::ObjectWorkload;
+    use dmn_graph::generators;
+
+    fn tiny_instance() -> Instance {
+        let g = generators::path(3, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(5.0).build();
+        let mut w = ObjectWorkload::new(3);
+        w.reads[0] = 2.0;
+        w.writes[2] = 3.0;
+        inst.push_object(w);
+        inst
+    }
+
+    #[test]
+    fn build_evaluates_under_requested_policy() {
+        let inst = tiny_instance();
+        let req = SolveRequest::new();
+        let placement = Placement::from_copy_sets(vec![vec![1]]);
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &req,
+            placement,
+            vec![PhaseStat::new("only", 0.001, "x")],
+            None,
+            vec![],
+            std::time::Instant::now(),
+        );
+        // Matches the single_copy_costs fixture in dmn-core.
+        assert_eq!(report.cost.total(), 10.0);
+        assert_eq!(report.meta_value("policy"), Some("mst-multicast"));
+        assert_eq!(report.total_copies(), 1);
+    }
+
+    #[test]
+    fn build_applies_capacity_repair() {
+        let g = generators::path(3, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(0.1).build();
+        for _ in 0..2 {
+            inst.push_object(ObjectWorkload::from_sparse(3, [(0, 2.0)], []));
+        }
+        let req = SolveRequest::new().capacities(vec![1, 1, 1]);
+        let piled = Placement::from_copy_sets(vec![vec![0], vec![0]]);
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &req,
+            piled,
+            vec![],
+            None,
+            vec![],
+            std::time::Instant::now(),
+        );
+        assert!(dmn_approx::respects_capacities(
+            &report.placement,
+            &[1, 1, 1]
+        ));
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "capacity-repair");
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let inst = tiny_instance();
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &SolveRequest::new(),
+            Placement::from_copy_sets(vec![vec![1]]),
+            vec![PhaseStat::new("alpha", 0.5, "detail-text")],
+            None,
+            vec![("backend", "beta".into())],
+            std::time::Instant::now(),
+        );
+        let text = report.to_string();
+        assert!(text.contains("solver test"), "{text}");
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("detail-text"), "{text}");
+        assert!(text.contains("backend = beta"), "{text}");
+        assert!(text.contains("= 10.00"), "{text}");
+    }
+}

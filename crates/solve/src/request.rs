@@ -1,0 +1,184 @@
+//! Builder-style solve-time options shared by every engine.
+
+use dmn_approx::{ApproxConfig, FlSolverKind};
+use dmn_core::cost::UpdatePolicy;
+
+/// Options consumed by [`Solver::solve`](crate::Solver::solve).
+///
+/// One request type serves every engine; each engine reads the fields it
+/// understands and ignores the rest (the approximation algorithm reads the
+/// phase knobs, `random-k` reads `seed` and `replication_degree`, the
+/// capacity repair applies to all). Construct with [`SolveRequest::new`]
+/// and chain the builder methods:
+///
+/// ```
+/// use dmn_core::cost::UpdatePolicy;
+/// use dmn_solve::SolveRequest;
+///
+/// let req = SolveRequest::new()
+///     .policy(UpdatePolicy::ExactSteiner)
+///     .seed(42)
+///     .collect_traces(true);
+/// assert_eq!(req.seed, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Update-cost accounting policy for the reported [`CostBreakdown`]
+    /// (and for cost-driven engines like the baselines' local search).
+    ///
+    /// [`CostBreakdown`]: dmn_core::cost::CostBreakdown
+    pub policy: UpdatePolicy,
+    /// Phase-1 facility-location backend of the approximation algorithm.
+    pub fl_solver: FlSolverKind,
+    /// Phase-2 threshold factor (paper value 5; changing it voids Lemma 8).
+    pub storage_add_factor: f64,
+    /// Phase-3 threshold factor (paper value 4; changing it voids Lemma 8).
+    pub write_prune_factor: f64,
+    /// Skip the radius-add phase (ablation).
+    pub skip_phase2: bool,
+    /// Skip the radius-prune phase (ablation).
+    pub skip_phase3: bool,
+    /// Seed for randomized engines; all randomness derives from it.
+    pub seed: u64,
+    /// Copy count per object for fixed-degree engines (`random-k`).
+    pub replication_degree: usize,
+    /// Per-node copy capacities; when set, every engine's placement is
+    /// post-processed with the greedy capacity repair.
+    pub capacities: Option<Vec<usize>>,
+    /// Collect per-object per-phase copy-set traces in the report (engines
+    /// without phase structure return `None` regardless).
+    pub collect_traces: bool,
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        SolveRequest {
+            policy: UpdatePolicy::MstMulticast,
+            fl_solver: FlSolverKind::default(),
+            storage_add_factor: 5.0,
+            write_prune_factor: 4.0,
+            skip_phase2: false,
+            skip_phase3: false,
+            seed: 0,
+            replication_degree: 3,
+            capacities: None,
+            collect_traces: false,
+        }
+    }
+}
+
+impl SolveRequest {
+    /// The default request: the paper's constants, MST-multicast
+    /// accounting, seed 0.
+    pub fn new() -> Self {
+        SolveRequest::default()
+    }
+
+    /// Sets the cost-accounting policy.
+    pub fn policy(mut self, policy: UpdatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the phase-1 facility-location backend.
+    pub fn fl_solver(mut self, kind: FlSolverKind) -> Self {
+        self.fl_solver = kind;
+        self
+    }
+
+    /// Sets the phase-2/phase-3 threshold factors.
+    pub fn phase_factors(mut self, storage_add: f64, write_prune: f64) -> Self {
+        self.storage_add_factor = storage_add;
+        self.write_prune_factor = write_prune;
+        self
+    }
+
+    /// Toggles the radius-add phase.
+    pub fn skip_phase2(mut self, skip: bool) -> Self {
+        self.skip_phase2 = skip;
+        self
+    }
+
+    /// Toggles the radius-prune phase.
+    pub fn skip_phase3(mut self, skip: bool) -> Self {
+        self.skip_phase3 = skip;
+        self
+    }
+
+    /// Sets the RNG seed for randomized engines.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-object copy count for fixed-degree engines.
+    pub fn replication_degree(mut self, k: usize) -> Self {
+        assert!(k >= 1, "an object needs at least one copy");
+        self.replication_degree = k;
+        self
+    }
+
+    /// Constrains per-node copy counts (applied to every engine's output).
+    pub fn capacities(mut self, cap: Vec<usize>) -> Self {
+        self.capacities = Some(cap);
+        self
+    }
+
+    /// Toggles per-phase trace collection.
+    pub fn collect_traces(mut self, collect: bool) -> Self {
+        self.collect_traces = collect;
+        self
+    }
+
+    /// The [`ApproxConfig`] view of this request (the approximation
+    /// algorithm's knobs).
+    pub fn approx_config(&self) -> ApproxConfig {
+        ApproxConfig {
+            fl_solver: self.fl_solver,
+            storage_add_factor: self.storage_add_factor,
+            write_prune_factor: self.write_prune_factor,
+            skip_phase2: self.skip_phase2,
+            skip_phase3: self.skip_phase3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let req = SolveRequest::new()
+            .policy(UpdatePolicy::UnicastStar)
+            .fl_solver(FlSolverKind::Greedy)
+            .phase_factors(6.0, 3.0)
+            .skip_phase2(true)
+            .seed(7)
+            .replication_degree(2)
+            .capacities(vec![1, 1, 1])
+            .collect_traces(true);
+        assert_eq!(req.policy, UpdatePolicy::UnicastStar);
+        let cfg = req.approx_config();
+        assert_eq!(cfg.fl_solver, FlSolverKind::Greedy);
+        assert_eq!(cfg.storage_add_factor, 6.0);
+        assert_eq!(cfg.write_prune_factor, 3.0);
+        assert!(cfg.skip_phase2 && !cfg.skip_phase3);
+        assert_eq!(req.capacities.as_deref(), Some(&[1usize, 1, 1][..]));
+    }
+
+    #[test]
+    fn defaults_are_the_paper_constants() {
+        let req = SolveRequest::new();
+        assert_eq!(req.storage_add_factor, 5.0);
+        assert_eq!(req.write_prune_factor, 4.0);
+        assert_eq!(req.policy, UpdatePolicy::MstMulticast);
+        assert!(!req.skip_phase2 && !req.skip_phase3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_replication_degree_rejected() {
+        let _ = SolveRequest::new().replication_degree(0);
+    }
+}

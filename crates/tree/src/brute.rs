@@ -20,7 +20,10 @@ pub fn brute_force_tree(
     workload: &ObjectWorkload,
 ) -> TreeSolution {
     let n = tree.len();
-    assert!(n <= MAX_BRUTE_NODES, "brute force limited to {MAX_BRUTE_NODES} nodes");
+    assert!(
+        n <= MAX_BRUTE_NODES,
+        "brute force limited to {MAX_BRUTE_NODES} nodes"
+    );
     let allowed: Vec<usize> = (0..n).filter(|&v| storage_cost[v].is_finite()).collect();
     assert!(!allowed.is_empty(), "no node may hold a copy");
     let k = allowed.len();
@@ -42,7 +45,10 @@ pub fn brute_force_tree(
             best = copies.clone();
         }
     }
-    TreeSolution { copies: best, cost: best_cost }
+    TreeSolution {
+        copies: best,
+        cost: best_cost,
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +96,11 @@ mod tests {
         w.reads[0] = 5.0;
         let sol = brute_force_tree(&t, &cs, &w);
         assert!(!sol.copies.contains(&0));
-        assert_eq!(sol.copies.len(), 1, "one copy at any leaf: {:?}", sol.copies);
+        assert_eq!(
+            sol.copies.len(),
+            1,
+            "one copy at any leaf: {:?}",
+            sol.copies
+        );
     }
 }

@@ -133,7 +133,10 @@ pub fn optimal_tree_dp(
     );
     copies.sort_unstable();
     copies.dedup();
-    TreeSolution { copies, cost: best_cost }
+    TreeSolution {
+        copies,
+        cost: best_cost,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -163,7 +166,11 @@ fn reconstruct(
             let radius = metric.dist(u, j);
             let su = &sorted_inside[u];
             let k = su.partition_point(|&(d, _)| d <= radius + 1e-12);
-            let alt = if k > 0 { prefix_min[u][k - 1] } else { f64::INFINITY };
+            let alt = if k > 0 {
+                prefix_min[u][k - 1]
+            } else {
+                f64::INFINITY
+            };
             if alt < dp[u][j] {
                 // Find a concrete j' achieving the prefix minimum.
                 su[..k]
@@ -226,7 +233,13 @@ mod tests {
     fn matches_brute_on_fixed_trees() {
         let g = Graph::from_edges(
             6,
-            [(0, 1, 2.0), (0, 2, 1.0), (1, 3, 3.0), (1, 4, 1.0), (2, 5, 4.0)],
+            [
+                (0, 1, 2.0),
+                (0, 2, 1.0),
+                (1, 3, 3.0),
+                (1, 4, 1.0),
+                (2, 5, 4.0),
+            ],
         );
         let t = RootedTree::from_graph(&g, 0);
         let cs = vec![3.0, 1.0, 2.0, 5.0, 1.0, 2.0];

@@ -32,7 +32,10 @@ pub struct Envelope<P> {
 impl<P: Clone> Envelope<P> {
     /// An empty envelope (no placements available).
     pub fn empty() -> Self {
-        Envelope { lines: Vec::new(), breaks: Vec::new() }
+        Envelope {
+            lines: Vec::new(),
+            breaks: Vec::new(),
+        }
     }
 
     /// Builds the lower envelope of `lines` over `D ∈ [0, ∞)`.
@@ -85,7 +88,10 @@ impl<P: Clone> Envelope<P> {
                 }
             }
         }
-        Envelope { lines: kept, breaks }
+        Envelope {
+            lines: kept,
+            breaks,
+        }
     }
 
     /// True when no line is available.
@@ -164,7 +170,11 @@ mod tests {
             lines
                 .iter()
                 .enumerate()
-                .map(|(i, &(c, r))| Line { cost: c, r_out: r, prov: i })
+                .map(|(i, &(c, r))| Line {
+                    cost: c,
+                    r_out: r,
+                    prov: i,
+                })
                 .collect(),
         )
     }
@@ -223,7 +233,11 @@ mod tests {
         let e: Envelope<usize> = Envelope::empty();
         assert!(e.is_empty());
         assert_eq!(e.eval(1.0), None);
-        let only_inf = Envelope::build(vec![Line { cost: f64::INFINITY, r_out: 0.0, prov: 7usize }]);
+        let only_inf = Envelope::build(vec![Line {
+            cost: f64::INFINITY,
+            r_out: 0.0,
+            prov: 7usize,
+        }]);
         assert!(only_inf.is_empty());
     }
 

@@ -92,7 +92,13 @@ pub fn optimal_tree_general(
     let bin = binarize(tree);
     let bt = &bin.tree;
     let nb = bt.len();
-    let cs = |v: usize| if v < n_orig { storage_cost[v] } else { f64::INFINITY };
+    let cs = |v: usize| {
+        if v < n_orig {
+            storage_cost[v]
+        } else {
+            f64::INFINITY
+        }
+    };
     let fr = |v: usize| if v < n_orig { workload.reads[v] } else { 0.0 };
     let fw = |v: usize| if v < n_orig { workload.writes[v] } else { 0.0 };
     let w_total = workload.total_writes();
@@ -195,8 +201,16 @@ fn build_tables(
             cost += val;
             prov = Prov::join(prov, p);
         }
-        imp0.push(Imp { dist: 0.0, cost, prov: prov.clone() });
-        imp1.push(Imp { dist: 0.0, cost, prov });
+        imp0.push(Imp {
+            dist: 0.0,
+            cost,
+            prov: prov.clone(),
+        });
+        imp1.push(Imp {
+            dist: 0.0,
+            cost,
+            prov,
+        });
     }
 
     // Candidate: nearest copy inside child x at entry distance δ.
@@ -225,7 +239,11 @@ fn build_tables(
                 for (i, e) in tx.imp0.iter().enumerate() {
                     let dist = e.dist + wx;
                     let cost = e.cost + (w_total - w_below[x]) * wx + fr_v * dist;
-                    imp0.push(Imp { dist, cost, prov: Prov::Ref(x, Kind::Imp0, i) });
+                    imp0.push(Imp {
+                        dist,
+                        cost,
+                        prov: Prov::Ref(x, Kind::Imp0, i),
+                    });
                 }
             }
             Some((_, &(y, wy))) => {
@@ -236,11 +254,7 @@ fn build_tables(
                     for (i, e) in tx.imp1.iter().enumerate() {
                         let dist = e.dist + wx;
                         if let Some((val, li)) = ty.exp.eval(dist + wy) {
-                            let cost = e.cost
-                                + w_total * wx
-                                + fr_v * dist
-                                + val
-                                + w_total * wy;
+                            let cost = e.cost + w_total * wx + fr_v * dist + val + w_total * wy;
                             imp0.push(Imp {
                                 dist,
                                 cost,
@@ -258,8 +272,7 @@ fn build_tables(
                 for (i, e) in tx.imp0.iter().enumerate() {
                     let dist = e.dist + wx;
                     let sibling = ty.empty_cost + ty.empty_r * (dist + wy) + w_below[y] * wy;
-                    let cost =
-                        e.cost + (w_total - w_below[x]) * wx + fr_v * dist + sibling;
+                    let cost = e.cost + (w_total - w_below[x]) * wx + fr_v * dist + sibling;
                     imp0.push(Imp {
                         dist,
                         cost,
@@ -327,11 +340,21 @@ fn build_tables(
         .enumerate()
         .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
     {
-        lines.push(Line { cost: e.cost, r_out: 0.0, prov: Prov::Ref(v, Kind::Imp1, i) });
+        lines.push(Line {
+            cost: e.cost,
+            r_out: 0.0,
+            prov: Prov::Ref(v, Kind::Imp1, i),
+        });
     }
     let exp = Envelope::build(lines);
 
-    GTables { imp0, imp1, exp, empty_cost, empty_r }
+    GTables {
+        imp0,
+        imp1,
+        exp,
+        empty_cost,
+        empty_r,
+    }
 }
 
 fn prune_imports(imports: &mut Vec<Imp>) {

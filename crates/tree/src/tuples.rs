@@ -124,8 +124,14 @@ pub fn optimal_tree_read_only(
     collect_copies(&tables, bt.root, Kind::Imp, best.0, &mut copies);
     copies.sort_unstable();
     copies.dedup();
-    debug_assert!(copies.iter().all(|&c| c < n_orig), "virtual nodes hold no copies");
-    TreeSolution { copies, cost: best.1 }
+    debug_assert!(
+        copies.iter().all(|&c| c < n_orig),
+        "virtual nodes hold no copies"
+    );
+    TreeSolution {
+        copies,
+        cost: best.1,
+    }
 }
 
 /// Builds the sufficient-set tables of node `v` from its children's.
@@ -156,7 +162,11 @@ fn build_tables(
             }
         }
         if ok {
-            imports.push(Imp { dist: 0.0, cost, prov });
+            imports.push(Imp {
+                dist: 0.0,
+                cost,
+                prov,
+            });
         }
     }
     // Candidate: nearest copy inside child x; the sibling (if any) exports
@@ -184,13 +194,21 @@ fn build_tables(
     // ---- Export tuples (Claim 16) ----
     // Children see the outside copy at distance D + w_x: shift envelopes.
     let mut lines: Vec<Line<Prov>> = match children {
-        [] => vec![Line { cost: 0.0, r_out: fr_v, prov: Prov::None }],
+        [] => vec![Line {
+            cost: 0.0,
+            r_out: fr_v,
+            prov: Prov::None,
+        }],
         [(x, wx)] => {
             let shifted = Envelope::build(child(*x).exports.shifted_lines(*wx, 0.0));
             shifted
                 .lines
                 .into_iter()
-                .map(|l| Line { cost: l.cost, r_out: l.r_out + fr_v, prov: l.prov })
+                .map(|l| Line {
+                    cost: l.cost,
+                    r_out: l.r_out + fr_v,
+                    prov: l.prov,
+                })
                 .collect()
         }
         [(a, wa), (b, wb)] => {
@@ -217,7 +235,11 @@ fn build_tables(
         .enumerate()
         .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
     {
-        lines.push(Line { cost: e.cost, r_out: 0.0, prov: Prov::Ref(v, Kind::Imp, i) });
+        lines.push(Line {
+            cost: e.cost,
+            r_out: 0.0,
+            prov: Prov::Ref(v, Kind::Imp, i),
+        });
     }
     let exports = Envelope::build(lines);
     Tables { imports, exports }
@@ -313,7 +335,12 @@ mod tests {
         }
         let tp = optimal_tree_read_only(&t, &cs, &w);
         let bf = brute_force_tree(&t, &cs, &w);
-        assert!((tp.cost - bf.cost).abs() < 1e-9, "{} vs {}", tp.cost, bf.cost);
+        assert!(
+            (tp.cost - bf.cost).abs() < 1e-9,
+            "{} vs {}",
+            tp.cost,
+            bf.cost
+        );
     }
 
     #[test]

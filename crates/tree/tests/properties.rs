@@ -1,8 +1,9 @@
-//! Property-based tests for the tree solvers, including the cross-crate
+//! Seeded property tests for the tree solvers, including the cross-crate
 //! consistency between `tree_cost` (per-edge write decomposition) and the
 //! generic evaluator with exact Steiner update sets: on a tree metric the
 //! minimum Steiner tree *is* the spanning subtree, so the two independent
-//! accountings must agree exactly.
+//! accountings must agree exactly. (Deterministic seed sweep; the offline
+//! build vendors its own RNG instead of proptest.)
 
 use dmn_core::cost::{evaluate_object, UpdatePolicy};
 use dmn_core::instance::ObjectWorkload;
@@ -11,15 +12,12 @@ use dmn_graph::tree::RootedTree;
 use dmn_tree::{
     brute_force_tree, optimal_tree_dp, optimal_tree_general, optimal_tree_read_only, tree_cost,
 };
-use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn random_setup(
-    n: usize,
-    seed: u64,
-    with_writes: bool,
-) -> (RootedTree, Vec<f64>, ObjectWorkload) {
+const CASES: u64 = 40;
+
+fn random_setup(n: usize, seed: u64, with_writes: bool) -> (RootedTree, Vec<f64>, ObjectWorkload) {
     let mut r = ChaCha8Rng::seed_from_u64(seed);
     let g = generators::prufer_tree(n, (1.0, 6.0), &mut r);
     let root = r.random_range(0..n);
@@ -40,70 +38,96 @@ fn random_setup(
     (tree, cs, w)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// tree_cost (edge decomposition) == evaluator with exact Steiner
-    /// updates, for arbitrary copy sets on arbitrary trees.
-    #[test]
-    fn edge_decomposition_matches_steiner_evaluator(
-        n in 2usize..12,
-        seed in any::<u64>(),
-        mask in 1usize..4096,
-    ) {
+/// tree_cost (edge decomposition) == evaluator with exact Steiner
+/// updates, for arbitrary copy sets on arbitrary trees.
+#[test]
+fn edge_decomposition_matches_steiner_evaluator() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(100_000 + seed);
+        let n = r.random_range(2..12);
+        let mask = r.random_range(1usize..4096);
         let (tree, cs, w) = random_setup(n, seed, true);
         let copies: Vec<usize> = (0..n).filter(|v| mask >> (v % 12) & 1 == 1).collect();
         let copies = if copies.is_empty() { vec![0] } else { copies };
         let a = tree_cost(&tree, &cs, &w, &copies);
         let metric = tree.metric();
         let b = evaluate_object(&metric, &cs, &w, &copies, UpdatePolicy::ExactSteiner);
-        prop_assert!(
+        assert!(
             (a - b.total()).abs() < 1e-6 * (1.0 + a),
-            "edge decomposition {} vs Steiner evaluator {}",
+            "seed {seed}: edge decomposition {} vs Steiner evaluator {}",
             a,
             b.total()
         );
     }
+}
 
-    /// The general tuple DP is optimal (vs brute force), including
-    /// reconstruction.
-    #[test]
-    fn general_dp_is_optimal(n in 2usize..11, seed in any::<u64>()) {
+/// The general tuple DP is optimal (vs brute force), including
+/// reconstruction.
+#[test]
+fn general_dp_is_optimal() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(110_000 + seed);
+        let n = r.random_range(2..11);
         let (tree, cs, w) = random_setup(n, seed, true);
         let gen = optimal_tree_general(&tree, &cs, &w);
         let bf = brute_force_tree(&tree, &cs, &w);
-        prop_assert!((gen.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost));
+        assert!(
+            (gen.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost),
+            "seed {seed}: general {} vs brute {}",
+            gen.cost,
+            bf.cost
+        );
         let realized = tree_cost(&tree, &cs, &w, &gen.copies);
-        prop_assert!((realized - gen.cost).abs() < 1e-6 * (1.0 + gen.cost));
+        assert!(
+            (realized - gen.cost).abs() < 1e-6 * (1.0 + gen.cost),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Read-only: tuple DP == reference DP == brute force.
-    #[test]
-    fn read_only_solvers_agree(n in 2usize..11, seed in any::<u64>()) {
+/// Read-only: tuple DP == reference DP == brute force.
+#[test]
+fn read_only_solvers_agree() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(120_000 + seed);
+        let n = r.random_range(2..11);
         let (tree, cs, w) = random_setup(n, seed, false);
         let tp = optimal_tree_read_only(&tree, &cs, &w);
         let dp = optimal_tree_dp(&tree, &cs, &w);
         let bf = brute_force_tree(&tree, &cs, &w);
-        prop_assert!((tp.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost));
-        prop_assert!((dp.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost));
+        assert!(
+            (tp.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost),
+            "seed {seed}"
+        );
+        assert!(
+            (dp.cost - bf.cost).abs() < 1e-6 * (1.0 + bf.cost),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Adding write load never lowers the optimal cost (monotonicity of the
-    /// objective in the workload).
-    #[test]
-    fn optimal_cost_monotone_in_writes(n in 2usize..10, seed in any::<u64>()) {
+/// Adding write load never lowers the optimal cost (monotonicity of the
+/// objective in the workload).
+#[test]
+fn optimal_cost_monotone_in_writes() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(130_000 + seed);
+        let n = r.random_range(2..10);
         let (tree, cs, mut w) = random_setup(n, seed, false);
         let base = optimal_tree_general(&tree, &cs, &w);
         w.writes[0] += 2.0;
         let more = optimal_tree_general(&tree, &cs, &w);
-        prop_assert!(more.cost + 1e-9 >= base.cost);
+        assert!(more.cost + 1e-9 >= base.cost, "seed {seed}");
     }
+}
 
-    /// The root choice does not change the optimal cost (the problem is on
-    /// an undirected tree; rooting is an implementation detail).
-    #[test]
-    fn root_invariance(n in 2usize..10, seed in any::<u64>()) {
-        let mut r = ChaCha8Rng::seed_from_u64(seed);
+/// The root choice does not change the optimal cost (the problem is on
+/// an undirected tree; rooting is an implementation detail).
+#[test]
+fn root_invariance() {
+    for seed in 0..CASES {
+        let mut r = ChaCha8Rng::seed_from_u64(140_000 + seed);
+        let n = r.random_range(2..10);
         let g = generators::prufer_tree(n, (1.0, 6.0), &mut r);
         let cs: Vec<f64> = (0..n).map(|_| r.random_range(0.5..6.0)).collect();
         let mut w = ObjectWorkload::new(n);
@@ -113,10 +137,17 @@ proptest! {
                 w.writes[v] = r.random_range(0..3) as f64;
             }
         }
-        if w.total_requests() == 0.0 { w.reads[0] = 1.0; }
+        if w.total_requests() == 0.0 {
+            w.reads[0] = 1.0;
+        }
         let a = optimal_tree_general(&RootedTree::from_graph(&g, 0), &cs, &w);
         let b = optimal_tree_general(&RootedTree::from_graph(&g, n - 1), &cs, &w);
-        prop_assert!((a.cost - b.cost).abs() < 1e-6 * (1.0 + a.cost),
-            "root 0: {} vs root {}: {}", a.cost, n - 1, b.cost);
+        assert!(
+            (a.cost - b.cost).abs() < 1e-6 * (1.0 + a.cost),
+            "seed {seed}: root 0: {} vs root {}: {}",
+            a.cost,
+            n - 1,
+            b.cost
+        );
     }
 }

@@ -9,5 +9,5 @@
 pub mod scenario;
 pub mod workload;
 
-pub use scenario::{Scenario, ScenarioResult, TopologyKind};
+pub use scenario::{Scenario, TopologyKind};
 pub use workload::{WorkloadGen, WorkloadParams};

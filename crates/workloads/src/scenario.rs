@@ -4,14 +4,14 @@
 use dmn_core::instance::Instance;
 use dmn_graph::generators::{self, TransitStubParams};
 use dmn_graph::Graph;
+use dmn_json::Json;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::workload::{WorkloadGen, WorkloadParams};
 
 /// Topology families the experiments run on.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TopologyKind {
     /// Path with unit edge costs.
     Path,
@@ -35,7 +35,7 @@ pub enum TopologyKind {
 }
 
 /// A reproducible experiment scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Human-readable name for reports.
     pub name: String,
@@ -81,6 +81,104 @@ impl Scenario {
         }
     }
 
+    /// Encodes the scenario as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let topology = match self.topology {
+            TopologyKind::Grid { rows, cols } => Json::obj([
+                ("kind", Json::Str("grid".into())),
+                ("rows", Json::Num(rows as f64)),
+                ("cols", Json::Num(cols as f64)),
+            ]),
+            other => Json::obj([(
+                "kind",
+                Json::Str(
+                    match other {
+                        TopologyKind::Path => "path",
+                        TopologyKind::Ring => "ring",
+                        TopologyKind::RandomTree => "random-tree",
+                        TopologyKind::Geometric => "geometric",
+                        TopologyKind::Gnp => "gnp",
+                        TopologyKind::TransitStub => "transit-stub",
+                        TopologyKind::Grid { .. } => unreachable!(),
+                    }
+                    .into(),
+                ),
+            )]),
+        };
+        let w = &self.workload;
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("topology", topology),
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("storage_cost", Json::Num(self.storage_cost)),
+            (
+                "workload",
+                Json::obj([
+                    ("num_objects", Json::Num(w.num_objects as f64)),
+                    ("base_mass", Json::Num(w.base_mass)),
+                    ("zipf_exponent", Json::Num(w.zipf_exponent)),
+                    ("write_fraction", Json::Num(w.write_fraction)),
+                    ("active_fraction", Json::Num(w.active_fraction)),
+                    ("locality", Json::Num(w.locality)),
+                ]),
+            ),
+            ("seed", Json::Str(self.seed.to_string())),
+        ])
+    }
+
+    /// Decodes a scenario from [`Scenario::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a message when the document does not have the expected shape.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let str_field = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("missing string \"{key}\""))
+        };
+        let num_field = |node: &Json, key: &str| {
+            node.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing number \"{key}\""))
+        };
+        let topo = json.get("topology").ok_or("missing \"topology\"")?;
+        let kind = topo
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing topology kind")?;
+        let topology = match kind {
+            "path" => TopologyKind::Path,
+            "ring" => TopologyKind::Ring,
+            "grid" => TopologyKind::Grid {
+                rows: num_field(topo, "rows")? as usize,
+                cols: num_field(topo, "cols")? as usize,
+            },
+            "random-tree" => TopologyKind::RandomTree,
+            "geometric" => TopologyKind::Geometric,
+            "gnp" => TopologyKind::Gnp,
+            "transit-stub" => TopologyKind::TransitStub,
+            other => return Err(format!("unknown topology kind \"{other}\"")),
+        };
+        let w = json.get("workload").ok_or("missing \"workload\"")?;
+        Ok(Scenario {
+            name: str_field("name")?.to_string(),
+            topology,
+            nodes: num_field(json, "nodes")? as usize,
+            storage_cost: num_field(json, "storage_cost")?,
+            workload: WorkloadParams {
+                num_objects: num_field(w, "num_objects")? as usize,
+                base_mass: num_field(w, "base_mass")?,
+                zipf_exponent: num_field(w, "zipf_exponent")?,
+                write_fraction: num_field(w, "write_fraction")?,
+                active_fraction: num_field(w, "active_fraction")?,
+                locality: num_field(w, "locality")?,
+            },
+            seed: str_field("seed")?
+                .parse()
+                .map_err(|e| format!("bad seed: {e}"))?,
+        })
+    }
+
     /// Builds the full instance: graph, storage costs, generated objects.
     pub fn build_instance(&self) -> Instance {
         let graph = self.build_graph();
@@ -97,25 +195,6 @@ impl Scenario {
     }
 }
 
-/// A serializable (scenario, strategy) result row for reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ScenarioResult {
-    /// Scenario name.
-    pub scenario: String,
-    /// Strategy name.
-    pub strategy: String,
-    /// Total cost.
-    pub total_cost: f64,
-    /// Storage component.
-    pub storage: f64,
-    /// Read component.
-    pub read: f64,
-    /// Update component (write serve + multicast).
-    pub update: f64,
-    /// Total number of copies placed.
-    pub copies: usize,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +205,10 @@ mod tests {
             topology,
             nodes,
             storage_cost: 5.0,
-            workload: WorkloadParams { num_objects: 2, ..Default::default() },
+            workload: WorkloadParams {
+                num_objects: 2,
+                ..Default::default()
+            },
             seed: 42,
         }
     }
@@ -162,14 +244,21 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Scenario = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.name, s.name);
-        assert_eq!(back.nodes, s.nodes);
-        let a = s.build_instance();
-        let b = back.build_instance();
-        assert_eq!(a.objects, b.objects);
+    fn json_roundtrip() {
+        for t in [
+            TopologyKind::Grid { rows: 3, cols: 3 },
+            TopologyKind::TransitStub,
+        ] {
+            let s = scenario(t, 9);
+            let json = s.to_json().to_string_pretty();
+            let back = Scenario::from_json(&dmn_json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back.name, s.name);
+            assert_eq!(back.nodes, s.nodes);
+            assert_eq!(back.topology, s.topology);
+            assert_eq!(back.seed, s.seed);
+            let a = s.build_instance();
+            let b = back.build_instance();
+            assert_eq!(a.objects, b.objects);
+        }
     }
 }

@@ -2,10 +2,9 @@
 
 use dmn_core::instance::ObjectWorkload;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the synthetic workload generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadParams {
     /// Number of objects.
     pub num_objects: usize,
@@ -115,7 +114,11 @@ mod tests {
     fn masses_follow_zipf() {
         let gen = WorkloadGen::new(
             10,
-            WorkloadParams { num_objects: 4, zipf_exponent: 1.0, ..Default::default() },
+            WorkloadParams {
+                num_objects: 4,
+                zipf_exponent: 1.0,
+                ..Default::default()
+            },
         );
         let objs = gen.generate(&mut rng(1));
         assert_eq!(objs.len(), 4);
@@ -130,7 +133,11 @@ mod tests {
     fn write_fraction_respected() {
         let gen = WorkloadGen::new(
             6,
-            WorkloadParams { write_fraction: 0.25, num_objects: 1, ..Default::default() },
+            WorkloadParams {
+                write_fraction: 0.25,
+                num_objects: 1,
+                ..Default::default()
+            },
         );
         let o = &gen.generate(&mut rng(2))[0];
         let frac = o.total_writes() / o.total_requests();
@@ -141,7 +148,11 @@ mod tests {
     fn read_only_at_zero_write_fraction() {
         let gen = WorkloadGen::new(
             6,
-            WorkloadParams { write_fraction: 0.0, num_objects: 2, ..Default::default() },
+            WorkloadParams {
+                write_fraction: 0.0,
+                num_objects: 2,
+                ..Default::default()
+            },
         );
         for o in gen.generate(&mut rng(3)) {
             assert!(o.is_read_only());
@@ -153,7 +164,11 @@ mod tests {
     fn hotspot_restricts_active_nodes() {
         let gen = WorkloadGen::new(
             100,
-            WorkloadParams { active_fraction: 0.1, num_objects: 1, ..Default::default() },
+            WorkloadParams {
+                active_fraction: 0.1,
+                num_objects: 1,
+                ..Default::default()
+            },
         );
         let o = &gen.generate(&mut rng(4))[0];
         let active = (0..100).filter(|&v| o.request_mass(v) > 0.0).count();
@@ -165,7 +180,11 @@ mod tests {
     fn locality_concentrates_mass() {
         let gen = WorkloadGen::new(
             50,
-            WorkloadParams { locality: 0.8, num_objects: 1, ..Default::default() },
+            WorkloadParams {
+                locality: 0.8,
+                num_objects: 1,
+                ..Default::default()
+            },
         );
         let o = &gen.generate(&mut rng(5))[0];
         let mut masses: Vec<f64> = (0..50).map(|v| o.request_mass(v)).collect();

@@ -1,5 +1,6 @@
 //! Content-provider scenario from the paper's introduction: WWW pages on a
-//! commercial Internet-like network.
+//! commercial Internet-like network, with every strategy driven through
+//! the solver registry.
 //!
 //! A provider rents bandwidth (fee per transmitted byte per link) and
 //! storage (fee per stored byte per server). Pages have Zipf popularity
@@ -10,7 +11,6 @@
 //! cargo run --release --example cdn_placement
 //! ```
 
-use dmn::approx::baselines;
 use dmn::prelude::*;
 use dmn_graph::generators::{transit_stub, TransitStubParams};
 use dmn_workloads::{WorkloadGen, WorkloadParams};
@@ -56,26 +56,37 @@ fn main() {
     }
 
     println!("network: {n} nodes (4 backbone + 12 clusters), 12 pages\n");
-    println!("{:<22} {:>12} {:>12} {:>12} {:>12} {:>8}", "strategy", "storage", "read", "update", "TOTAL", "copies");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "strategy", "storage", "read", "update", "TOTAL", "copies"
+    );
 
-    // The paper's algorithm.
-    let placement = place_all(&instance, &ApproxConfig::default());
-    report("krick-racke-westermann", &instance, &placement);
-
-    // Baselines, object by object.
-    let metric = instance.metric();
-    let mut single = Placement::new(instance.num_objects());
-    let mut full = Placement::new(instance.num_objects());
-    let mut local = Placement::new(instance.num_objects());
-    for (x, w) in instance.objects.iter().enumerate() {
-        single.set_copies(x, baselines::best_single_node(metric, &instance.storage_cost, w));
-        full.set_copies(x, baselines::full_replication(&instance.storage_cost));
-        local.set_copies(x, baselines::greedy_local(metric, &instance.storage_cost, w));
+    let req = SolveRequest::new().seed(2001);
+    let mut krw_placement = None;
+    for name in [
+        "approx",
+        "greedy-local",
+        "best-single",
+        "random-k",
+        "full-replication",
+    ] {
+        let solver = solvers::by_name(name).expect("registered");
+        let report = solver.solve(&instance, &req);
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+            name,
+            report.cost.storage,
+            report.cost.read,
+            report.cost.update(),
+            report.cost.total(),
+            report.total_copies()
+        );
+        if name == "approx" {
+            krw_placement = Some(report.placement);
+        }
     }
-    report("best-single-node", &instance, &single);
-    report("full-replication", &instance, &full);
-    report("greedy-local-search", &instance, &local);
 
+    let placement = krw_placement.expect("approx ran");
     println!(
         "\npopular pages get replicated near every cluster; unpopular ones live on \
          one edge server near their readers."
@@ -83,17 +94,4 @@ fn main() {
     for x in [0, 11] {
         println!("page {x:>2}: {} copies", placement.copies(x).len());
     }
-}
-
-fn report(name: &str, instance: &Instance, placement: &Placement) {
-    let c = evaluate(instance, placement, UpdatePolicy::MstMulticast);
-    println!(
-        "{:<22} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8}",
-        name,
-        c.storage,
-        c.read,
-        c.update(),
-        c.total(),
-        placement.total_copies()
-    );
 }

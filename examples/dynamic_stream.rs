@@ -2,9 +2,10 @@
 //! pattern drifts across the network.
 //!
 //! Compares three strategies on the same stream: a fixed single copy, the
-//! paper's static algorithm fed the stream's exact frequencies (an
-//! offline oracle), and the classic online counting strategy that
-//! replicates after repeated remote reads and invalidates on writes.
+//! paper's static algorithm fed the stream's exact frequencies (the
+//! offline oracle — reached through the unified `Solver` surface it
+//! implements), and the classic online counting strategy that replicates
+//! after repeated remote reads and invalidates on writes.
 //!
 //! ```text
 //! cargo run --release --example dynamic_stream
@@ -13,8 +14,8 @@
 use dmn::dynamic::sim::{simulate, static_cost_on_stream};
 use dmn::dynamic::strategy::{CountingStrategy, StaticOracle};
 use dmn::dynamic::stream::{empirical_workloads, sample_stream, StreamConfig};
-use dmn::graph::dijkstra::apsp;
 use dmn::graph::generators::{transit_stub, TransitStubParams};
+use dmn::prelude::*;
 use dmn_workloads::{WorkloadGen, WorkloadParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -23,8 +24,9 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     let graph = transit_stub(TransitStubParams::default(), &mut rng);
     let n = graph.num_nodes();
-    let metric = apsp(&graph);
-    let cs: Vec<f64> = (0..n).map(|v| if v < 4 { f64::INFINITY } else { 3.0 }).collect();
+    let cs: Vec<f64> = (0..n)
+        .map(|v| if v < 4 { f64::INFINITY } else { 3.0 })
+        .collect();
 
     // Interest drifts: 3 phases, each rotating the requesting region.
     let gen = WorkloadGen::new(
@@ -40,14 +42,31 @@ fn main() {
     let workloads = gen.generate(&mut rng);
     let stream = sample_stream(
         &workloads,
-        &StreamConfig { length: 5_000, phases: 3, phase_shift: n / 3 },
+        &StreamConfig {
+            length: 5_000,
+            phases: 3,
+            phase_shift: n / 3,
+        },
         &mut rng,
     );
-    println!("network: {n} nodes, stream: {} requests in 3 drifting phases\n", stream.len());
+    println!(
+        "network: {n} nodes, stream: {} requests in 3 drifting phases\n",
+        stream.len()
+    );
 
-    // Offline oracle placement from realized frequencies.
-    let emp = empirical_workloads(&stream, 4, n);
-    let oracle = StaticOracle::place(&metric, &cs, &emp);
+    // Offline oracle placement from realized frequencies, through the same
+    // Solver surface as every static engine.
+    let mut oracle_instance = Instance::builder(graph.clone())
+        .storage_costs(cs.clone())
+        .build();
+    for w in empirical_workloads(&stream, 4, n) {
+        oracle_instance.push_object(w);
+    }
+    let metric = oracle_instance.metric().clone();
+    let oracle_report = StaticOracle.solve(&oracle_instance, &SolveRequest::new());
+    let oracle: Vec<Vec<usize>> = (0..4)
+        .map(|x| oracle_report.placement.copies(x).to_vec())
+        .collect();
     let oracle_cost = static_cost_on_stream(&metric, &cs, &oracle, &stream);
 
     // All-at-one-node start for the online strategies.
@@ -68,7 +87,12 @@ fn main() {
     ] {
         println!(
             "{:<28} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            name, c.read, c.write, c.transfer, c.storage, c.total()
+            name,
+            c.read,
+            c.write,
+            c.transfer,
+            c.storage,
+            c.total()
         );
     }
     println!(

@@ -2,16 +2,14 @@
 //!
 //! Setting each link's transmission fee to `1 / bandwidth` and all storage
 //! fees to zero makes "total cost" equal "total communication load". The
-//! same algorithms then minimize load — the generalization the paper
+//! same solver registry then minimizes load — the generalization the paper
 //! claims over prior bandwidth-oriented work.
 //!
 //! ```text
 //! cargo run --release --example load_model
 //! ```
 
-use dmn::core::cost::evaluate_object;
 use dmn::prelude::*;
-use dmn_exact::optimal_placement;
 
 fn main() {
     // A small WAN: ring of 8 sites with heterogeneous link bandwidths,
@@ -33,26 +31,37 @@ fn main() {
     w.writes[3] = 4.0; // one writer behind the slowest link
     instance.push_object(w);
 
-    let metric = instance.metric();
-    let placement = place_all(&instance, &ApproxConfig::default());
-    let copies = placement.copies(0);
-    let c = evaluate_object(
-        metric,
-        &instance.storage_cost,
-        &instance.objects[0],
-        copies,
-        UpdatePolicy::MstMulticast,
+    let req = SolveRequest::new();
+    let approx = solvers::by_name("approx")
+        .expect("registered")
+        .solve(&instance, &req);
+    println!("copies: {:?}", approx.placement.copies(0));
+    println!(
+        "total communication load (policy)   : {:.3}",
+        approx.cost.total()
     );
-    println!("copies: {copies:?}");
-    println!("total communication load (policy)   : {:.3}", c.total());
 
-    // Exact optimum (per-write optimal Steiner updates) for reference.
-    let opt = optimal_placement(metric, &instance.storage_cost, &instance.objects[0]);
-    println!("optimal load (exhaustive, n = 8)    : {:.3}", opt.cost);
-    println!("optimal copies                      : {:?}", opt.copies);
+    // Exact optimum (per-write optimal Steiner updates) for reference —
+    // same instance, same pipeline, different registry name.
+    let exact_solver = solvers::by_name("exact").expect("registered");
+    exact_solver
+        .supports(&instance)
+        .expect("8 nodes is within the exhaustive cap");
+    let exact = exact_solver.solve(
+        &instance,
+        &SolveRequest::new().policy(UpdatePolicy::ExactSteiner),
+    );
+    println!(
+        "optimal load (exhaustive, n = 8)    : {:.3}",
+        exact.cost.total()
+    );
+    println!(
+        "optimal copies                      : {:?}",
+        exact.placement.copies(0)
+    );
     println!(
         "approximation overhead               : {:.2}x",
-        c.total() / opt.cost
+        approx.cost.total() / exact.cost.total()
     );
     println!(
         "\nwith free storage the only cost is traffic/bandwidth — the cost-based \

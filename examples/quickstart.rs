@@ -1,4 +1,5 @@
-//! Quickstart: place one shared object on a small mesh and inspect costs.
+//! Quickstart: place one shared object on a small mesh through the solver
+//! registry and inspect the report.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -21,33 +22,25 @@ fn main() {
     object.writes[5] = 1.0;
     instance.push_object(object);
 
-    // The SPAA 2001 constant-factor approximation.
-    let placement = place_all(&instance, &ApproxConfig::default());
-    let cost = evaluate(&instance, &placement, UpdatePolicy::MstMulticast);
+    // The SPAA 2001 constant-factor approximation, via the registry.
+    let solver = solvers::by_name("approx").expect("registered");
+    let report = solver.solve(&instance, &SolveRequest::new());
 
-    println!("copies placed at nodes: {:?}", placement.copies(0));
-    println!("storage cost : {:>8.2}", cost.storage);
-    println!("read cost    : {:>8.2}", cost.read);
-    println!("update cost  : {:>8.2}", cost.update());
-    println!("total cost   : {:>8.2}", cost.total());
+    println!("copies placed at nodes: {:?}", report.placement.copies(0));
+    println!("{report}");
 
-    // Compare against the two trivial strategies.
-    let n = instance.num_nodes();
-    let single = dmn::approx::baselines::best_single_node(
-        instance.metric(),
-        &instance.storage_cost,
-        &instance.objects[0],
-    );
-    let full = dmn::approx::baselines::full_replication(&instance.storage_cost);
-    for (name, copies) in [("best single node", single), ("full replication", full)] {
-        let c = dmn::core::cost::evaluate_object(
-            instance.metric(),
-            &instance.storage_cost,
-            &instance.objects[0],
-            &copies,
-            UpdatePolicy::MstMulticast,
+    // Compare every applicable engine through the same pipeline.
+    println!("{:<18} {:>10} {:>8}", "solver", "total", "copies");
+    for s in solvers::all() {
+        if s.supports(&instance).is_err() {
+            continue;
+        }
+        let r = s.solve(&instance, &SolveRequest::new());
+        println!(
+            "{:<18} {:>10.2} {:>8}",
+            s.name(),
+            r.cost.total(),
+            r.total_copies()
         );
-        println!("{name:<17}: total {:>8.2} with {} copies", c.total(), copies.len());
     }
-    let _ = n;
 }

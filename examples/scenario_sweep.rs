@@ -1,13 +1,15 @@
 //! Strategy comparison across topologies and workloads, driven by the
-//! serializable [`Scenario`] configs from `dmn-workloads`.
+//! serializable [`Scenario`] configs from `dmn-workloads` and the solver
+//! registry — adding a solver to the sweep is adding its name to a list.
 //!
 //! ```text
 //! cargo run --release --example scenario_sweep
 //! ```
 
-use dmn::approx::baselines;
 use dmn::prelude::*;
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+
+const SOLVERS: [&str; 4] = ["approx", "greedy-local", "best-single", "full-replication"];
 
 fn main() {
     let scenarios = vec![
@@ -15,33 +17,29 @@ fn main() {
         scenario("random-tree", TopologyKind::RandomTree, 48, 0.15),
         scenario("geometric", TopologyKind::Geometric, 48, 0.15),
         scenario("transit-stub", TopologyKind::TransitStub, 48, 0.15),
-        scenario("write-heavy-mesh", TopologyKind::Grid { rows: 6, cols: 6 }, 36, 0.6),
+        scenario(
+            "write-heavy-mesh",
+            TopologyKind::Grid { rows: 6, cols: 6 },
+            36,
+            0.6,
+        ),
     ];
-    println!(
-        "{:<18} {:>14} {:>14} {:>14} {:>14}",
-        "scenario", "krw-approx", "greedy-local", "best-single", "full-repl"
-    );
+    print!("{:<18}", "scenario");
+    for name in SOLVERS {
+        print!(" {name:>16}");
+    }
+    println!();
+    let req = SolveRequest::new();
     for s in scenarios {
         let instance = s.build_instance();
-        let metric = instance.metric();
-        let krw = place_all(&instance, &ApproxConfig::default());
-        let mut single = Placement::new(instance.num_objects());
-        let mut full = Placement::new(instance.num_objects());
-        let mut local = Placement::new(instance.num_objects());
-        for (x, w) in instance.objects.iter().enumerate() {
-            single.set_copies(x, baselines::best_single_node(metric, &instance.storage_cost, w));
-            full.set_copies(x, baselines::full_replication(&instance.storage_cost));
-            local.set_copies(x, baselines::greedy_local(metric, &instance.storage_cost, w));
+        print!("{:<18}", s.name);
+        for name in SOLVERS {
+            let report = solvers::by_name(name)
+                .expect("registered")
+                .solve(&instance, &req);
+            print!(" {:>16.1}", report.cost.total());
         }
-        let cost = |p: &Placement| evaluate(&instance, p, UpdatePolicy::MstMulticast).total();
-        println!(
-            "{:<18} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
-            s.name,
-            cost(&krw),
-            cost(&local),
-            cost(&single),
-            cost(&full)
-        );
+        println!();
     }
     println!(
         "\nthe approximation tracks the strong local-search heuristic while both \

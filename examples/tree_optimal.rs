@@ -1,5 +1,6 @@
 //! Optimal file placement on a hierarchical (tree) network — the paper's
-//! Section 3 algorithm, exact in polynomial time.
+//! Section 3 algorithm, exact in polynomial time, reached through the
+//! solver registry (`tree-dp`; `auto` dispatches to it on trees).
 //!
 //! Models a distributed file system on a corporate network: a core switch,
 //! department switches, and workstations. Files are placed optimally given
@@ -9,10 +10,11 @@
 //! cargo run --release --example tree_optimal
 //! ```
 
-use dmn::core::instance::ObjectWorkload;
+use dmn::core::instance::{Instance, ObjectWorkload};
 use dmn::graph::tree::RootedTree;
 use dmn::graph::Graph;
-use dmn::tree::{optimal_tree_general, tree_cost};
+use dmn::prelude::{solvers, SolveRequest, UpdatePolicy};
+use dmn::tree::tree_cost;
 
 fn main() {
     // 0 = core; 1..=3 department switches; 4..=12 workstations.
@@ -39,6 +41,7 @@ fn main() {
     cs[1] = f64::INFINITY;
     cs[2] = f64::INFINITY;
     cs[3] = f64::INFINITY;
+    let mut instance = Instance::builder(g).storage_costs(cs.clone()).build();
 
     // File A: shared document read by everyone, edited by workstation 4.
     let mut file_a = ObjectWorkload::new(13);
@@ -54,16 +57,24 @@ fn main() {
         file_b.writes[v] = 3.0;
     }
 
-    for (name, w) in [("shared document", file_a), ("department log", file_b)] {
-        let sol = optimal_tree_general(&tree, &cs, &w);
+    instance.push_object(file_a);
+    instance.push_object(file_b);
+
+    // The exact-Steiner policy *is* the tree-optimal update accounting.
+    let req = SolveRequest::new().policy(UpdatePolicy::ExactSteiner);
+    let solver = solvers::by_name("tree-dp").expect("registered");
+    solver.supports(&instance).expect("the network is a tree");
+    let report = solver.solve(&instance, &req);
+
+    for (x, name) in [(0usize, "shared document"), (1, "department log")] {
+        let copies = report.placement.copies(x);
+        let cost = tree_cost(&tree, &cs, &instance.objects[x], copies);
         println!("== {name} ==");
-        println!("optimal cost {:.1}, copies at {:?}", sol.cost, sol.copies);
-        render(&tree, &sol.copies);
-        // Sanity: the reported cost matches explicit accounting.
-        let check = tree_cost(&tree, &cs, &w, &sol.copies);
-        assert!((check - sol.cost).abs() < 1e-9);
+        println!("optimal cost {cost:.1}, copies at {copies:?}");
+        render(&tree, copies);
         println!();
     }
+    println!("{report}");
 }
 
 /// ASCII-renders the tree, marking copy holders with [*].

@@ -1,5 +1,5 @@
 //! Virtual shared memory on a mesh multiprocessor: cache-line placement
-//! with mixed read/write sharing.
+//! with mixed read/write sharing, via the solver registry.
 //!
 //! Cache lines with different sharing patterns (read-mostly, migratory,
 //! producer–consumer) are placed by the approximation algorithm; the
@@ -9,8 +9,8 @@
 //! cargo run --release --example vsm_mesh
 //! ```
 
-use dmn::prelude::*;
 use dmn::core::cost::evaluate_object;
+use dmn::prelude::*;
 
 fn main() {
     // An 8x8 mesh of processors, unit link cost, modest storage fee.
@@ -45,11 +45,13 @@ fn main() {
     instance.push_object(migratory);
     instance.push_object(prod_cons);
 
-    let placement = place_all(&instance, &ApproxConfig::default());
+    let report = solvers::by_name("approx")
+        .expect("registered")
+        .solve(&instance, &SolveRequest::new());
     let names = ["read-mostly", "migratory", "producer-consumer"];
     println!("8x8 mesh, cs = 4, MST-multicast write policy\n");
     for (x, name) in names.iter().enumerate() {
-        let copies = placement.copies(x);
+        let copies = report.placement.copies(x);
         let c = evaluate_object(
             instance.metric(),
             &instance.storage_cost,
@@ -78,7 +80,11 @@ fn draw(copies: &[usize], rows: usize, cols: usize) {
     for r in 0..rows {
         let mut line = String::new();
         for c in 0..cols {
-            line.push(if copies.contains(&(r * cols + c)) { '#' } else { '.' });
+            line.push(if copies.contains(&(r * cols + c)) {
+                '#'
+            } else {
+                '.'
+            });
         }
         println!("    {line}");
     }

@@ -1,8 +1,7 @@
 //! Cross-crate integration tests: the full placement pipeline from
-//! scenario generation through placement to cost evaluation, exercised
-//! end to end through the `dmn` facade.
+//! scenario generation through the solver registry to cost evaluation,
+//! exercised end to end through the `dmn` facade.
 
-use dmn::approx::baselines;
 use dmn::prelude::*;
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 
@@ -24,6 +23,7 @@ fn scenario(topology: TopologyKind, nodes: usize, write_fraction: f64, seed: u64
 
 #[test]
 fn pipeline_runs_on_every_topology() {
+    let solver = solvers::by_name("approx").expect("registered");
     for topology in [
         TopologyKind::Path,
         TopologyKind::Ring,
@@ -34,15 +34,21 @@ fn pipeline_runs_on_every_topology() {
         TopologyKind::TransitStub,
     ] {
         let instance = scenario(topology, 25, 0.2, 3).build_instance();
-        let placement = place_all(&instance, &ApproxConfig::default());
-        placement.validate(instance.num_nodes()).unwrap();
-        let cost = evaluate(&instance, &placement, UpdatePolicy::MstMulticast);
-        assert!(cost.total().is_finite() && cost.total() > 0.0, "{topology:?}");
+        let report = solver.solve(&instance, &SolveRequest::new());
+        report.placement.validate(instance.num_nodes()).unwrap();
+        let cost = report.cost;
+        assert!(
+            cost.total().is_finite() && cost.total() > 0.0,
+            "{topology:?}"
+        );
         // The star policy shares the storage/read components and is finite.
-        let star = evaluate(&instance, &placement, UpdatePolicy::UnicastStar);
-        assert!(star.total().is_finite(), "{topology:?}");
-        assert!((star.storage - cost.storage).abs() < 1e-9);
-        assert!((star.read - cost.read).abs() < 1e-9);
+        let star = solver.solve(
+            &instance,
+            &SolveRequest::new().policy(UpdatePolicy::UnicastStar),
+        );
+        assert!(star.cost.total().is_finite(), "{topology:?}");
+        assert!((star.cost.storage - cost.storage).abs() < 1e-9);
+        assert!((star.cost.read - cost.read).abs() < 1e-9);
     }
 }
 
@@ -53,25 +59,21 @@ fn approximation_never_loses_badly_to_baselines() {
     // baseline on every scenario.
     for (seed, wf) in [(1u64, 0.1), (2, 0.4), (3, 0.8)] {
         let instance = scenario(TopologyKind::Geometric, 30, wf, seed).build_instance();
-        let metric = instance.metric();
-        let krw = place_all(&instance, &ApproxConfig::default());
-        let krw_cost = evaluate(&instance, &krw, UpdatePolicy::MstMulticast).total();
+        let req = SolveRequest::new();
+        let krw_cost = solvers::by_name("approx")
+            .unwrap()
+            .solve(&instance, &req)
+            .cost
+            .total();
 
         let mut best_baseline = f64::INFINITY;
-        let mut single = Placement::new(instance.num_objects());
-        let mut full = Placement::new(instance.num_objects());
-        let mut local = Placement::new(instance.num_objects());
-        for (x, w) in instance.objects.iter().enumerate() {
-            single.set_copies(
-                x,
-                baselines::best_single_node(metric, &instance.storage_cost, w),
-            );
-            full.set_copies(x, baselines::full_replication(&instance.storage_cost));
-            local.set_copies(x, baselines::greedy_local(metric, &instance.storage_cost, w));
-        }
-        for p in [&single, &full, &local] {
-            best_baseline =
-                best_baseline.min(evaluate(&instance, p, UpdatePolicy::MstMulticast).total());
+        for name in ["best-single", "full-replication", "greedy-local"] {
+            let cost = solvers::by_name(name)
+                .unwrap()
+                .solve(&instance, &req)
+                .cost
+                .total();
+            best_baseline = best_baseline.min(cost);
         }
         assert!(
             krw_cost <= 4.0 * best_baseline + 1e-9,
@@ -82,38 +84,28 @@ fn approximation_never_loses_badly_to_baselines() {
 
 #[test]
 fn tree_instances_solved_exactly_beat_or_match_the_approximation() {
-    use dmn::graph::tree::RootedTree;
-    use dmn::tree::{optimal_tree_general, tree_cost};
-
     let instance = scenario(TopologyKind::RandomTree, 40, 0.3, 9).build_instance();
-    let tree = RootedTree::from_graph(&instance.graph, 0);
-    let metric = instance.metric();
-    let cfg = ApproxConfig::default();
-    for w in &instance.objects {
-        let exact = optimal_tree_general(&tree, &instance.storage_cost, w);
-        let approx_copies =
-            dmn::approx::place_object(metric, &instance.storage_cost, w, &cfg);
-        let approx_cost = tree_cost(&tree, &instance.storage_cost, w, &approx_copies);
-        assert!(
-            exact.cost <= approx_cost + 1e-9,
-            "exact {} must not exceed approx {}",
-            exact.cost,
-            approx_cost
-        );
-        // The tree-exact cost also lower-bounds any evaluator policy cost.
-        let policy =
-            evaluate_object_cost(metric, &instance.storage_cost, w, &approx_copies);
-        assert!(exact.cost <= policy + 1e-9);
-    }
-}
-
-fn evaluate_object_cost(
-    metric: &dmn::graph::Metric,
-    cs: &[f64],
-    w: &dmn::core::instance::ObjectWorkload,
-    copies: &[usize],
-) -> f64 {
-    dmn::core::cost::evaluate_object(metric, cs, w, copies, UpdatePolicy::MstMulticast).total()
+    // Both engines under the exact-Steiner accounting (which on a tree
+    // metric is the tree-optimal update accounting).
+    let req = SolveRequest::new().policy(UpdatePolicy::ExactSteiner);
+    let exact = solvers::by_name("tree-dp").unwrap().solve(&instance, &req);
+    let approx = solvers::by_name("approx").unwrap().solve(&instance, &req);
+    assert!(
+        exact.cost.total() <= approx.cost.total() + 1e-9,
+        "tree-dp {} must not exceed approx {}",
+        exact.cost.total(),
+        approx.cost.total()
+    );
+    // `auto` picks the tree DP here.
+    let auto = solvers::by_name("auto").unwrap().solve(&instance, &req);
+    assert_eq!(auto.placement, exact.placement);
+    // The MST-multicast policy upper-bounds the exact-Steiner accounting.
+    let policy = solvers::by_name("approx")
+        .unwrap()
+        .solve(&instance, &SolveRequest::new())
+        .cost
+        .total();
+    assert!(exact.cost.total() <= policy + 1e-9);
 }
 
 #[test]
@@ -129,13 +121,28 @@ fn parallel_and_sequential_placement_agree() {
 }
 
 #[test]
-fn placement_serde_roundtrip() {
+fn placement_json_roundtrip() {
     let instance = scenario(TopologyKind::Grid { rows: 4, cols: 4 }, 16, 0.2, 5).build_instance();
     let placement = place_all(&instance, &ApproxConfig::default());
-    let json = serde_json::to_string(&placement).unwrap();
-    let back: Placement = serde_json::from_str(&json).unwrap();
+    let json = placement.to_json().to_string_pretty();
+    let back = Placement::from_json(&dmn_json::parse(&json).unwrap()).unwrap();
     assert_eq!(placement, back);
     let a = evaluate(&instance, &placement, UpdatePolicy::MstMulticast).total();
     let b = evaluate(&instance, &back, UpdatePolicy::MstMulticast).total();
     assert_eq!(a, b);
+}
+
+#[test]
+fn every_registered_solver_runs_through_the_facade() {
+    let instance = scenario(TopologyKind::Gnp, 12, 0.3, 17).build_instance();
+    let req = SolveRequest::new().seed(1);
+    for solver in solvers::all() {
+        if solver.supports(&instance).is_err() {
+            continue;
+        }
+        let report = solver.solve(&instance, &req);
+        report.placement.validate(instance.num_nodes()).unwrap();
+        assert!(report.cost.total().is_finite(), "{}", solver.name());
+        assert!(!report.to_string().is_empty(), "{}", solver.name());
+    }
 }

@@ -1,0 +1,220 @@
+//! Vendored minimal bench harness exposing the subset of the `criterion`
+//! API the workspace's benches use (`bench_function`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros).
+//!
+//! Measurement model: a short warm-up, then `sample_size` timed samples of
+//! an adaptively chosen iteration batch; median, minimum, and maximum
+//! per-iteration times are printed. When the binary is invoked with
+//! `--test` (as `cargo test --benches` does with `harness = false`), each
+//! bench runs exactly one iteration as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(10);
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-bench measurement driver handed to the closure.
+pub struct Bencher {
+    smoke_test: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` and prints per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_test {
+            black_box(f());
+            println!("    ok (smoke test, 1 iteration)");
+            return;
+        }
+        // Warm-up and batch sizing: grow the batch until one batch takes a
+        // measurable fraction of the sample budget.
+        let mut batch = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= SAMPLE_BUDGET / 4 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "    time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(samples[0]),
+            fmt_time(median),
+            fmt_time(*samples.last().expect("non-empty")),
+            samples.len(),
+            batch
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    smoke_test: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs harness=false bench binaries with
+        // `--test`: run every bench once as a smoke test in that mode.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion {
+            smoke_test,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("{name}");
+        let mut b = Bencher {
+            smoke_test: self.smoke_test,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            smoke_test: self.parent.smoke_test,
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+        }
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {name}");
+        let mut b = self.bencher();
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {id}");
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Collects bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
