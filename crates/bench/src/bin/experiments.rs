@@ -5,21 +5,28 @@
 //! cargo run --release -p dmn-bench --bin experiments -- e2 e4
 //! cargo run --release -p dmn-bench --bin experiments -- --solver approx
 //! cargo run --release -p dmn-bench --bin experiments -- --solver tree-dp --nodes 64
+//! cargo run --release -p dmn-bench --bin experiments -- --solver sharded-approx --shards 4 \
+//!     --partition cost-weighted
 //! cargo run --release -p dmn-bench --bin experiments -- --solver list
+//! cargo run --release -p dmn-bench --bin experiments -- perf-smoke --out BENCH_ci.json
 //! ```
 //!
 //! Reports print to stdout and are persisted as JSON under `results/`.
 //! With `--solver <name>` any solver registered in `dmn-solve` is run on a
 //! standard scenario suite and its `SolveReport`s (placements, cost
-//! breakdowns, per-phase timings) are printed.
+//! breakdowns, per-phase timings) are printed. `perf-smoke` is the CI
+//! gate: it compares `approx` against `sharded-approx` on a pinned
+//! scenario, writes the timing/cost artifact, and exits non-zero when the
+//! sharded placement deviates from the sequential reference.
 
-use dmn_solve::{solvers, SolveRequest};
+use dmn_solve::{solvers, PartitionStrategy, SolveRequest};
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <e1..e12 | all>...\n       experiments --solver <name | list> \
-         [--nodes N] [--objects K] [--seed S]"
+        "usage: experiments <e1..e13 | all>...\n       experiments --solver <name | list> \
+         [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY]\n       \
+         experiments perf-smoke [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -33,9 +40,46 @@ fn main() {
         run_solver_bench(&args[1..]);
         return;
     }
+    if args[0] == "perf-smoke" {
+        run_perf_smoke(&args[1..]);
+        return;
+    }
     for id in &args {
         for report in dmn_bench::experiments::run(id) {
             report.emit();
+        }
+    }
+}
+
+/// The CI perf gate: writes `BENCH_ci.json` and fails on cost mismatch.
+fn run_perf_smoke(args: &[String]) {
+    let mut out = "BENCH_ci.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        usage()
+                    })
+                    .clone();
+            }
+            _ => usage(),
+        }
+    }
+    match dmn_bench::perf_smoke::run_to_file(&out) {
+        Ok(true) => {
+            println!("perf-smoke: sharded placement matches sequential; artifact at {out}");
+        }
+        Ok(false) => {
+            eprintln!("perf-smoke: sharded-approx cost DIFFERS from approx (see {out})");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("perf-smoke: could not write {out}: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -46,6 +90,8 @@ fn run_solver_bench(args: &[String]) {
     let mut nodes = 36usize;
     let mut objects = 4usize;
     let mut seed = 7u64;
+    let mut shards = 0usize;
+    let mut partition = PartitionStrategy::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> String {
@@ -60,6 +106,17 @@ fn run_solver_bench(args: &[String]) {
             "--nodes" => nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
             "--objects" => objects = value("--objects").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--partition" => {
+                let v = value("--partition");
+                partition = PartitionStrategy::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown partition strategy '{v}' (use {})",
+                        PartitionStrategy::ALL.map(|s| s.name()).join(", ")
+                    );
+                    usage()
+                });
+            }
             other if name.is_none() => name = Some(other.to_string()),
             _ => usage(),
         }
@@ -91,7 +148,10 @@ fn run_solver_bench(args: &[String]) {
         ("gnp", TopologyKind::Gnp),
         ("transit-stub", TopologyKind::TransitStub),
     ];
-    let req = SolveRequest::new().seed(seed);
+    let req = SolveRequest::new()
+        .seed(seed)
+        .shards(shards)
+        .partition(partition);
     println!("solver: {} — {}\n", solver.name(), solver.description());
     for (label, topology) in suite {
         let scenario = Scenario {

@@ -7,6 +7,7 @@
 pub mod e10_approx_runtime;
 pub mod e11_dynamic;
 pub mod e12_extensions;
+pub mod e13_shard_scaling;
 pub mod e1_lemma1;
 pub mod e2_approx_ratio;
 pub mod e3_properness;
@@ -40,6 +41,7 @@ pub fn run(id: &str) -> Vec<Report> {
         "e10" => vec![e10_approx_runtime::run()],
         "e11" => vec![e11_dynamic::run()],
         "e12" => vec![e12_extensions::run()],
+        "e13" => vec![e13_shard_scaling::run()],
         "all" => vec![
             e1_lemma1::run(),
             e2_approx_ratio::run(),
@@ -53,8 +55,9 @@ pub fn run(id: &str) -> Vec<Report> {
             e10_approx_runtime::run(),
             e11_dynamic::run(),
             e12_extensions::run(),
+            e13_shard_scaling::run(),
         ],
-        other => panic!("unknown experiment id: {other} (use e1..e12 or all)"),
+        other => panic!("unknown experiment id: {other} (use e1..e13 or all)"),
     }
 }
 

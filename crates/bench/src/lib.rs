@@ -15,6 +15,7 @@
 //! or a single one, e.g. `... -- e2`.
 
 pub mod experiments;
+pub mod perf_smoke;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,146 @@
+//! The CI perf-smoke check: sequential vs sharded solve on one pinned
+//! scenario, emitted as a machine-readable `BENCH_ci.json` artifact.
+//!
+//! CI runs this in release mode on every push. The JSON carries per-phase
+//! timings and the full cost breakdown for both engines so timing trends
+//! are diffable across runs, and the boolean verdict — sharded placement
+//! and cost must equal the sequential reference — is the gating signal:
+//! a mismatch means the shard merge changed the answer, and the job fails.
+
+use dmn_json::Json;
+use dmn_solve::{solvers, PartitionStrategy, SolveReport, SolveRequest};
+use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+
+/// Shard count pinned for the smoke run (small enough for 2-core CI
+/// runners, big enough to exercise a real fan-out and merge).
+pub const SMOKE_SHARDS: usize = 4;
+
+/// The pinned scenario: a 12x12 grid, 16 objects, fixed seed. Changing it
+/// invalidates cross-run timing comparisons, so bump deliberately.
+pub fn smoke_scenario() -> Scenario {
+    Scenario {
+        name: "perf-smoke".into(),
+        topology: TopologyKind::Grid { rows: 12, cols: 12 },
+        nodes: 144,
+        storage_cost: 4.0,
+        workload: WorkloadParams {
+            num_objects: 16,
+            base_mass: 120.0,
+            write_fraction: 0.2,
+            ..Default::default()
+        },
+        seed: 42,
+    }
+}
+
+/// Outcome of one smoke run: the serialized artifact plus the verdict.
+pub struct SmokeOutcome {
+    /// The `BENCH_ci.json` document.
+    pub json: Json,
+    /// True when the sharded placement and cost equal the sequential ones.
+    pub costs_match: bool,
+}
+
+fn report_json(report: &SolveReport) -> Json {
+    Json::obj([
+        ("solver", Json::Str(report.solver.to_string())),
+        ("total_cost", Json::Num(report.cost.total())),
+        ("storage_cost", Json::Num(report.cost.storage)),
+        ("read_cost", Json::Num(report.cost.read)),
+        ("update_cost", Json::Num(report.cost.update())),
+        ("total_copies", Json::Num(report.total_copies() as f64)),
+        ("wall_seconds", Json::Num(report.wall_seconds)),
+        (
+            "phases",
+            Json::arr(report.phases.iter().map(|p| {
+                Json::obj([
+                    ("name", Json::Str(p.name.to_string())),
+                    ("seconds", Json::Num(p.seconds)),
+                ])
+            })),
+        ),
+        (
+            "shards",
+            Json::arr(report.shard_stats.iter().map(|s| {
+                Json::obj([
+                    ("shard", Json::Num(s.shard as f64)),
+                    ("objects", Json::Num(s.objects as f64)),
+                    ("seconds", Json::Num(s.seconds)),
+                    ("cost", Json::Num(s.cost)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Runs the smoke comparison and assembles the artifact.
+pub fn run() -> SmokeOutcome {
+    let scenario = smoke_scenario();
+    let instance = scenario.build_instance();
+
+    // The reference really is sequential (one thread), so the artifact's
+    // timings stay comparable across runners with different core counts.
+    let sequential = solvers::by_name("approx")
+        .expect("approx registered")
+        .solve(&instance, &SolveRequest::new().max_threads(Some(1)));
+    let sharded_req = SolveRequest::new()
+        .shards(SMOKE_SHARDS)
+        .partition(PartitionStrategy::RoundRobin);
+    let sharded = solvers::by_name("sharded-approx")
+        .expect("sharded-approx registered")
+        .solve(&instance, &sharded_req);
+
+    let costs_match = sharded.placement == sequential.placement
+        && (sharded.cost.total() - sequential.cost.total()).abs() < 1e-9;
+    let json = Json::obj([
+        (
+            "scenario",
+            Json::obj([
+                ("name", Json::Str(scenario.name.clone())),
+                ("nodes", Json::Num(instance.num_nodes() as f64)),
+                ("objects", Json::Num(instance.num_objects() as f64)),
+                ("seed", Json::Num(scenario.seed as f64)),
+                ("shards", Json::Num(SMOKE_SHARDS as f64)),
+            ]),
+        ),
+        (
+            "solvers",
+            Json::arr([report_json(&sequential), report_json(&sharded)]),
+        ),
+        ("costs_match", Json::Bool(costs_match)),
+    ]);
+    SmokeOutcome { json, costs_match }
+}
+
+/// Runs the smoke comparison, writes the artifact to `path`, and returns
+/// the verdict.
+pub fn run_to_file(path: &str) -> std::io::Result<bool> {
+    let outcome = run();
+    std::fs::write(path, outcome.json.to_string_pretty())?;
+    Ok(outcome.costs_match)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_costs_match_and_artifact_is_complete() {
+        let outcome = run();
+        assert!(outcome.costs_match, "sharded deviated from sequential");
+        let rendered = outcome.json.to_string_pretty();
+        for needle in [
+            "\"solvers\"",
+            "\"approx\"",
+            "\"sharded-approx\"",
+            "\"phases\"",
+            "\"total_cost\"",
+            "\"costs_match\"",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle} in {rendered}");
+        }
+        // Round-trips through the parser (CI consumers can load it).
+        let parsed = dmn_json::parse(&rendered).expect("valid JSON");
+        assert!(matches!(parsed, Json::Obj(_)));
+    }
+}

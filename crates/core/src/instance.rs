@@ -1,6 +1,6 @@
 //! Problem instances: a network plus per-object read/write frequencies.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use dmn_graph::dijkstra::apsp;
 use dmn_graph::{Graph, Metric, NodeId};
@@ -110,7 +110,7 @@ pub struct Instance {
     pub storage_cost: Vec<f64>,
     /// The shared objects with their request frequencies.
     pub objects: Vec<ObjectWorkload>,
-    metric: OnceLock<Metric>,
+    metric: OnceLock<Arc<Metric>>,
 }
 
 impl Instance {
@@ -144,17 +144,47 @@ impl Instance {
     }
 
     /// The metric closure `ct(u, v)` of the network, computed on first use
-    /// and cached.
+    /// and cached (behind an `Arc`, so sub-views share it for free).
     pub fn metric(&self) -> &Metric {
-        self.metric.get_or_init(|| apsp(&self.graph))
+        self.metric
+            .get_or_init(|| Arc::new(apsp(&self.graph)))
+            .as_ref()
     }
 
     /// Overrides the cached metric (used when a cheaper construction is
     /// available, e.g. tree distances, or in tests).
     pub fn with_metric(mut self, metric: Metric) -> Self {
         assert_eq!(metric.len(), self.num_nodes());
-        self.metric = OnceLock::from(metric);
+        self.metric = OnceLock::from(Arc::new(metric));
         self
+    }
+
+    /// A sub-instance over the same network holding only the objects at
+    /// `indices` (in the given order). The already-computed metric closure
+    /// is shared with the sub-view (an `Arc` clone, no `O(n^2)` copy), so
+    /// shard workers never recompute APSP; callers that care should force
+    /// it first with [`Instance::metric`].
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn object_subset(&self, indices: &[usize]) -> Instance {
+        let objects = indices
+            .iter()
+            .map(|&x| {
+                assert!(x < self.num_objects(), "object index {x} out of range");
+                self.objects[x].clone()
+            })
+            .collect();
+        let metric = match self.metric.get() {
+            Some(m) => OnceLock::from(Arc::clone(m)),
+            None => OnceLock::new(),
+        };
+        Instance {
+            graph: self.graph.clone(),
+            storage_cost: self.storage_cost.clone(),
+            objects,
+            metric,
+        }
     }
 }
 
@@ -248,6 +278,33 @@ mod tests {
         assert!(w.validate().is_err(), "empty workload rejected");
         let w = ObjectWorkload::from_sparse(3, [(1, 1.0)], []);
         assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn object_subset_shares_metric_and_reorders() {
+        let g = generators::path(3, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(2.0).build();
+        for v in 0..3 {
+            inst.push_object(ObjectWorkload::from_sparse(3, [(v, 1.0 + v as f64)], []));
+        }
+        let _ = inst.metric(); // force, so the subset shares the closure
+        let sub = inst.object_subset(&[2, 0]);
+        assert_eq!(sub.num_objects(), 2);
+        assert_eq!(sub.objects[0], inst.objects[2]);
+        assert_eq!(sub.objects[1], inst.objects[0]);
+        assert_eq!(sub.storage_cost, inst.storage_cost);
+        // The cached closure is *shared*, not copied: same allocation.
+        assert!(std::ptr::eq(inst.metric(), sub.metric()));
+        assert_eq!(sub.metric().dist(0, 2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn object_subset_rejects_bad_index() {
+        let g = generators::path(2, |_| 1.0);
+        let mut inst = Instance::builder(g).build();
+        inst.push_object(ObjectWorkload::from_sparse(2, [(0, 1.0)], []));
+        let _ = inst.object_subset(&[1]);
     }
 
     #[test]

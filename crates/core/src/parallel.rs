@@ -18,9 +18,27 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
+    par_map_threads(items, None, f)
+}
+
+/// [`par_map`] with an explicit worker cap: at most `max_threads` workers
+/// (`None` = all available CPUs). `Some(1)` forces sequential execution —
+/// the sharded solver uses this so each shard solves on one core while
+/// shards themselves run in parallel, making the shard count the unit of
+/// parallelism instead of oversubscribing nested thread pools.
+pub fn par_map_threads<T, U, F>(items: &[T], max_threads: Option<usize>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let available = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let threads = max_threads
+        .unwrap_or(available)
+        .max(1)
+        .min(available)
         .min(items.len());
     if threads <= 1 {
         return items.iter().map(f).collect();
@@ -64,6 +82,15 @@ mod tests {
     fn empty_and_single() {
         assert!(par_map(&[] as &[u32], |&x| x).is_empty());
         assert_eq!(par_map(&[5], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn thread_cap_is_respected_and_order_preserved() {
+        let items: Vec<usize> = (0..50).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x + 7).collect();
+        for cap in [Some(1), Some(2), Some(3), Some(usize::MAX), None] {
+            assert_eq!(par_map_threads(&items, cap, |&x| x + 7), expected);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 use dmn_approx::baselines;
 use dmn_approx::{place_object_instrumented, PhaseTimings, PhaseTrace};
 use dmn_core::instance::Instance;
-use dmn_core::parallel::par_map;
+use dmn_core::parallel::par_map_threads;
 use dmn_core::placement::Placement;
 use dmn_exact::solver::MAX_EXACT_NODES;
 use dmn_exact::{optimal_placement, optimal_restricted};
@@ -43,9 +43,10 @@ impl Solver for ApproxSolver {
         let started = Instant::now();
         let cfg = req.approx_config();
         let metric = instance.metric();
-        let results: Vec<(PhaseTrace, PhaseTimings)> = par_map(&instance.objects, |w| {
-            place_object_instrumented(metric, &instance.storage_cost, w, &cfg)
-        });
+        let results: Vec<(PhaseTrace, PhaseTimings)> =
+            par_map_threads(&instance.objects, req.max_threads, |w| {
+                place_object_instrumented(metric, &instance.storage_cost, w, &cfg)
+            });
         let timings = results
             .iter()
             .fold(PhaseTimings::default(), |acc, (_, t)| acc.add(t));
@@ -190,7 +191,7 @@ impl Solver for TreeDpSolver {
         let started = Instant::now();
         self.supports(instance).expect("solver applicability");
         let tree = RootedTree::from_graph(&instance.graph, 0);
-        let solutions = par_map(&instance.objects, |w| {
+        let solutions = par_map_threads(&instance.objects, req.max_threads, |w| {
             optimal_tree_general(&tree, &instance.storage_cost, w)
         });
         let native: f64 = solutions.iter().map(|s| s.cost).sum();
@@ -244,8 +245,9 @@ macro_rules! exact_solver {
                 let started = Instant::now();
                 self.supports(instance).expect("solver applicability");
                 let metric = instance.metric();
-                let solutions =
-                    par_map(&instance.objects, |w| $f(metric, &instance.storage_cost, w));
+                let solutions = par_map_threads(&instance.objects, req.max_threads, |w| {
+                    $f(metric, &instance.storage_cost, w)
+                });
                 let native: f64 = solutions.iter().map(|s| s.cost).sum();
                 let sets = solutions.into_iter().map(|s| s.copies).collect();
                 let phases = vec![PhaseStat::new(

@@ -46,14 +46,16 @@ pub mod engines;
 pub mod registry;
 pub mod report;
 pub mod request;
+pub mod sharded;
 
 pub use engines::{
     ApproxSolver, AutoSolver, BestSingleSolver, ExactRestrictedSolver, ExactSolver,
     FullReplicationSolver, GreedyLocalSolver, RandomKSolver, TreeDpSolver,
 };
 pub use registry::solvers;
-pub use report::{PhaseStat, SolveReport};
+pub use report::{PhaseStat, ShardStat, SolveReport};
 pub use request::SolveRequest;
+pub use sharded::{PartitionStrategy, ShardedSolver};
 
 use dmn_core::instance::Instance;
 

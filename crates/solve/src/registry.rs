@@ -3,11 +3,12 @@
 /// Registry functions (`solvers::by_name`, `solvers::all`).
 pub mod solvers {
     use crate::engines::*;
+    use crate::sharded::ShardedSolver;
     use crate::Solver;
 
-    /// Every registered solver, in presentation order: the paper's
-    /// algorithms first, then ground truth, then baselines.
-    pub fn all() -> Vec<Box<dyn Solver>> {
+    /// Every *base* (non-sharded) engine, in presentation order: the
+    /// paper's algorithms first, then ground truth, then baselines.
+    pub(crate) fn base_all() -> Vec<Box<dyn Solver>> {
         vec![
             Box::new(ApproxSolver),
             Box::new(TreeDpSolver),
@@ -21,11 +22,31 @@ pub mod solvers {
         ]
     }
 
-    /// Looks a solver up by its registry name (see [`names`]); `krw` is
-    /// accepted as an alias for the paper's algorithm.
+    /// Registry names of the base engines (the valid inner names for
+    /// `sharded:<inner>` lookups).
+    pub(crate) fn base_names() -> Vec<&'static str> {
+        base_all().iter().map(|s| s.name()).collect()
+    }
+
+    /// Every registered solver, in presentation order; the sharded wrapper
+    /// over the paper's algorithm (`sharded-approx`) closes the list.
+    pub fn all() -> Vec<Box<dyn Solver>> {
+        let mut engines = base_all();
+        engines.push(Box::new(ShardedSolver::approx()));
+        engines
+    }
+
+    /// Looks a solver up by its registry name (see [`names`]). Two alias
+    /// families are accepted on top of the listed names: `krw` for the
+    /// paper's algorithm, and `sharded:<inner>` for the sharded wrapper
+    /// over any base engine (`sharded:approx` resolves to the canonical
+    /// `sharded-approx`).
     pub fn by_name(name: &str) -> Option<Box<dyn Solver>> {
         if name == "krw" {
             return by_name("approx");
+        }
+        if let Some(inner) = name.strip_prefix("sharded:") {
+            return ShardedSolver::over(inner).map(|s| Box::new(s) as Box<dyn Solver>);
         }
         all().into_iter().find(|s| s.name() == name)
     }
@@ -67,9 +88,34 @@ mod tests {
             "best-single",
             "random-k",
             "full-replication",
+            "sharded-approx",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
+    }
+
+    #[test]
+    fn sharded_lookups_resolve() {
+        assert_eq!(
+            solvers::by_name("sharded-approx").unwrap().name(),
+            "sharded-approx"
+        );
+        // The generic prefix form works for every base engine; the approx
+        // spellings collapse to the canonical name.
+        assert_eq!(
+            solvers::by_name("sharded:approx").unwrap().name(),
+            "sharded-approx"
+        );
+        assert_eq!(
+            solvers::by_name("sharded:krw").unwrap().name(),
+            "sharded-approx"
+        );
+        assert_eq!(
+            solvers::by_name("sharded:tree-dp").unwrap().name(),
+            "sharded:tree-dp"
+        );
+        assert!(solvers::by_name("sharded:nope").is_none());
+        assert!(solvers::by_name("sharded:sharded:approx").is_none());
     }
 
     #[test]

@@ -31,6 +31,20 @@ impl PhaseStat {
     }
 }
 
+/// Per-shard accounting of one sharded solve (timing and native cost of
+/// each worker's sub-solve, before any global capacity repair).
+#[derive(Debug, Clone)]
+pub struct ShardStat {
+    /// Shard index (0-based, in partition order).
+    pub shard: usize,
+    /// Objects assigned to the shard.
+    pub objects: usize,
+    /// Wall-clock seconds of the shard's inner solve.
+    pub seconds: f64,
+    /// Total cost of the shard's sub-placement under the request policy.
+    pub cost: f64,
+}
+
 /// The result of one [`Solver::solve`](crate::Solver::solve) call.
 #[derive(Debug, Clone)]
 pub struct SolveReport {
@@ -51,6 +65,8 @@ pub struct SolveReport {
     pub meta: Vec<(&'static str, String)>,
     /// End-to-end wall-clock seconds of the solve call.
     pub wall_seconds: f64,
+    /// Per-shard breakdown; empty for non-sharded engines.
+    pub shard_stats: Vec<ShardStat>,
 }
 
 impl SolveReport {
@@ -100,6 +116,7 @@ impl SolveReport {
             traces,
             meta,
             wall_seconds: started.elapsed().as_secs_f64(),
+            shard_stats: Vec::new(),
         }
     }
 
@@ -162,6 +179,16 @@ impl fmt::Display for SolveReport {
                 p.name,
                 fmt_seconds(p.seconds),
                 p.detail
+            )?;
+        }
+        for s in &self.shard_stats {
+            writeln!(
+                f,
+                "  shard {:<3} {:>5} objects  {:>10}  cost {:.2}",
+                s.shard,
+                s.objects,
+                fmt_seconds(s.seconds),
+                s.cost
             )?;
         }
         for (k, v) in &self.meta {

@@ -3,6 +3,8 @@
 use dmn_approx::{ApproxConfig, FlSolverKind};
 use dmn_core::cost::UpdatePolicy;
 
+use crate::sharded::PartitionStrategy;
+
 /// Options consumed by [`Solver::solve`](crate::Solver::solve).
 ///
 /// One request type serves every engine; each engine reads the fields it
@@ -48,6 +50,15 @@ pub struct SolveRequest {
     /// Collect per-object per-phase copy-set traces in the report (engines
     /// without phase structure return `None` regardless).
     pub collect_traces: bool,
+    /// Worker-shard count for sharded engines; `0` means one shard per
+    /// available CPU. Ignored by non-sharded engines.
+    pub shards: usize,
+    /// How sharded engines split the object set across shards.
+    pub partition: PartitionStrategy,
+    /// Upper bound on worker threads an engine may use internally (`None` =
+    /// all CPUs). The sharded solver pins inner solves to one thread so the
+    /// shard fan-out is the only source of parallelism.
+    pub max_threads: Option<usize>,
 }
 
 impl Default for SolveRequest {
@@ -63,6 +74,9 @@ impl Default for SolveRequest {
             replication_degree: 3,
             capacities: None,
             collect_traces: false,
+            shards: 0,
+            partition: PartitionStrategy::default(),
+            max_threads: None,
         }
     }
 }
@@ -130,6 +144,25 @@ impl SolveRequest {
         self
     }
 
+    /// Sets the worker-shard count for sharded engines (`0` = one shard per
+    /// available CPU).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the object-partition strategy for sharded engines.
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition = strategy;
+        self
+    }
+
+    /// Caps the worker threads an engine may use internally.
+    pub fn max_threads(mut self, threads: Option<usize>) -> Self {
+        self.max_threads = threads;
+        self
+    }
+
     /// The [`ApproxConfig`] view of this request (the approximation
     /// algorithm's knobs).
     pub fn approx_config(&self) -> ApproxConfig {
@@ -174,6 +207,20 @@ mod tests {
         assert_eq!(req.write_prune_factor, 4.0);
         assert_eq!(req.policy, UpdatePolicy::MstMulticast);
         assert!(!req.skip_phase2 && !req.skip_phase3);
+        assert_eq!(req.shards, 0, "0 = auto (one shard per CPU)");
+        assert_eq!(req.partition, PartitionStrategy::RoundRobin);
+        assert_eq!(req.max_threads, None);
+    }
+
+    #[test]
+    fn shard_knobs_chain() {
+        let req = SolveRequest::new()
+            .shards(4)
+            .partition(PartitionStrategy::CostWeighted)
+            .max_threads(Some(2));
+        assert_eq!(req.shards, 4);
+        assert_eq!(req.partition, PartitionStrategy::CostWeighted);
+        assert_eq!(req.max_threads, Some(2));
     }
 
     #[test]

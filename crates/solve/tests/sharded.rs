@@ -1,0 +1,187 @@
+//! Shard-determinism properties of the sharded meta-engine.
+//!
+//! The contract: sharding is pure plumbing. For every per-object inner
+//! engine, any shard count and any partition strategy must produce the
+//! *identical* placement and total cost as the unsharded engine — including
+//! when per-node capacities are set (the repair runs globally post-merge).
+
+use dmn_core::placement::Placement;
+use dmn_solve::{solvers, PartitionStrategy, SolveRequest};
+use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+
+fn scenario(topology: TopologyKind, nodes: usize, objects: usize, seed: u64) -> Scenario {
+    Scenario {
+        name: "sharded-test".into(),
+        topology,
+        nodes,
+        storage_cost: 4.0,
+        workload: WorkloadParams {
+            num_objects: objects,
+            base_mass: 80.0,
+            write_fraction: 0.25,
+            ..Default::default()
+        },
+        seed,
+    }
+}
+
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 5, 8];
+
+/// Runs `sharded_name` against `base_name` over every shard count and
+/// partition strategy and asserts bit-identical placements and costs.
+fn assert_shard_invariant(
+    sharded_name: &str,
+    base_name: &str,
+    instance: &dmn_core::instance::Instance,
+    req: &SolveRequest,
+) {
+    let base = solvers::by_name(base_name).expect("base registered");
+    let reference = base.solve(instance, req);
+    let sharded = solvers::by_name(sharded_name).expect("sharded registered");
+    for strategy in PartitionStrategy::ALL {
+        for shards in SHARD_COUNTS {
+            let sreq = req.clone().shards(shards).partition(strategy);
+            let report = sharded.solve(instance, &sreq);
+            assert_eq!(
+                report.placement, reference.placement,
+                "{sharded_name} deviates from {base_name} at {shards} shards / {strategy}"
+            );
+            assert!(
+                (report.cost.total() - reference.cost.total()).abs() < 1e-9,
+                "{sharded_name} cost {} vs {base_name} {} at {shards} shards / {strategy}",
+                report.cost.total(),
+                reference.cost.total()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_approx_matches_approx_everywhere() {
+    for (topology, nodes, seed) in [
+        (TopologyKind::Grid { rows: 5, cols: 5 }, 25, 3u64),
+        (TopologyKind::Gnp, 18, 11),
+        (TopologyKind::TransitStub, 24, 7),
+    ] {
+        let instance = scenario(topology, nodes, 7, seed).build_instance();
+        assert_shard_invariant("sharded-approx", "approx", &instance, &SolveRequest::new());
+    }
+}
+
+#[test]
+fn sharded_approx_matches_approx_with_capacities() {
+    let instance = scenario(TopologyKind::Grid { rows: 5, cols: 5 }, 25, 6, 9).build_instance();
+    let req = SolveRequest::new().capacities(vec![2; 25]);
+    assert_shard_invariant("sharded-approx", "approx", &instance, &req);
+    // The repair actually ran on the merged placement.
+    let report = solvers::by_name("sharded-approx")
+        .unwrap()
+        .solve(&instance, &req.clone().shards(3));
+    assert!(dmn_approx::respects_capacities(&report.placement, &[2; 25]));
+    assert!(report.phases.iter().any(|p| p.name == "capacity-repair"));
+}
+
+#[test]
+fn sharded_wrappers_match_other_per_object_engines() {
+    let mesh = scenario(TopologyKind::Gnp, 15, 5, 21).build_instance();
+    for inner in ["best-single", "greedy-local", "full-replication"] {
+        assert_shard_invariant(
+            &format!("sharded:{inner}"),
+            inner,
+            &mesh,
+            &SolveRequest::new(),
+        );
+    }
+    let tree = scenario(TopologyKind::RandomTree, 14, 5, 4).build_instance();
+    assert_shard_invariant("sharded:tree-dp", "tree-dp", &tree, &SolveRequest::new());
+}
+
+#[test]
+fn sharded_supports_delegates_to_inner() {
+    let mesh = scenario(TopologyKind::Grid { rows: 4, cols: 4 }, 16, 3, 2).build_instance();
+    let err = solvers::by_name("sharded:tree-dp")
+        .unwrap()
+        .supports(&mesh)
+        .unwrap_err();
+    assert!(err.reason.contains("tree"), "{}", err.reason);
+    assert!(solvers::by_name("sharded-approx")
+        .unwrap()
+        .supports(&mesh)
+        .is_ok());
+}
+
+#[test]
+fn shard_stats_decompose_the_total_cost() {
+    let instance = scenario(TopologyKind::Grid { rows: 5, cols: 5 }, 25, 8, 13).build_instance();
+    let req = SolveRequest::new()
+        .shards(4)
+        .partition(PartitionStrategy::CostWeighted);
+    let report = solvers::by_name("sharded-approx")
+        .unwrap()
+        .solve(&instance, &req);
+    assert_eq!(report.shard_stats.len(), 4);
+    let objects: usize = report.shard_stats.iter().map(|s| s.objects).sum();
+    assert_eq!(objects, instance.num_objects());
+    // Cost is separable per object, so the shard costs sum to the total.
+    let sum: f64 = report.shard_stats.iter().map(|s| s.cost).sum();
+    assert!(
+        (sum - report.cost.total()).abs() < 1e-9,
+        "shard costs {sum} vs total {}",
+        report.cost.total()
+    );
+    assert_eq!(report.meta_value("inner"), Some("approx"));
+    assert_eq!(report.meta_value("shards"), Some("4"));
+    assert_eq!(report.meta_value("partition"), Some("cost-weighted"));
+    // The Display rendering carries the per-shard section.
+    let text = report.to_string();
+    assert!(text.contains("shard 0"), "{text}");
+}
+
+#[test]
+fn sharded_traces_scatter_back_in_object_order() {
+    let instance = scenario(TopologyKind::Gnp, 16, 6, 17).build_instance();
+    let req = SolveRequest::new()
+        .collect_traces(true)
+        .shards(3)
+        .partition(PartitionStrategy::RoundRobin);
+    let report = solvers::by_name("sharded-approx")
+        .unwrap()
+        .solve(&instance, &req);
+    let traces = report.traces.as_ref().expect("approx produces traces");
+    assert_eq!(traces.len(), instance.num_objects());
+    for (x, tr) in traces.iter().enumerate() {
+        assert_eq!(tr.after_phase3, report.placement.copies(x), "object {x}");
+    }
+}
+
+#[test]
+fn sharded_random_k_is_deterministic_per_request() {
+    // random-k draws one sequential RNG stream, so sharding legitimately
+    // changes its placement — but repeated identical requests must agree.
+    let instance = scenario(TopologyKind::Gnp, 15, 6, 29).build_instance();
+    let req = SolveRequest::new().seed(5).shards(3);
+    let solver = solvers::by_name("sharded:random-k").unwrap();
+    let a = solver.solve(&instance, &req);
+    let b = solver.solve(&instance, &req);
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(a.cost.total(), b.cost.total());
+}
+
+#[test]
+fn single_shard_is_the_sequential_reference() {
+    // shards(1) is the golden sequential run: identical to approx with a
+    // one-thread cap, which in turn matches the default parallel approx.
+    let instance = scenario(TopologyKind::Grid { rows: 4, cols: 4 }, 16, 5, 31).build_instance();
+    let seq = solvers::by_name("approx")
+        .unwrap()
+        .solve(&instance, &SolveRequest::new().max_threads(Some(1)));
+    let one_shard = solvers::by_name("sharded-approx")
+        .unwrap()
+        .solve(&instance, &SolveRequest::new().shards(1));
+    assert_eq!(one_shard.placement, seq.placement);
+    assert_eq!(one_shard.shard_stats.len(), 1);
+    let copies: Vec<Vec<usize>> = (0..instance.num_objects())
+        .map(|x| seq.placement.copies(x).to_vec())
+        .collect();
+    assert_eq!(seq.placement, Placement::from_copy_sets(copies));
+}

@@ -109,5 +109,7 @@ pub mod prelude {
     pub use dmn_core::instance::{Instance, InstanceBuilder, ObjectWorkload};
     pub use dmn_core::placement::Placement;
     pub use dmn_graph::{apsp, Graph, Metric};
-    pub use dmn_solve::{solvers, SolveReport, SolveRequest, Solver};
+    pub use dmn_solve::{
+        solvers, PartitionStrategy, ShardedSolver, SolveReport, SolveRequest, Solver,
+    };
 }
