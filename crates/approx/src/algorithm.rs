@@ -1,19 +1,26 @@
 //! The three-phase approximation algorithm (Section 2.2).
 
 use dmn_core::instance::{Instance, ObjectWorkload};
-use dmn_core::parallel::par_map;
+use dmn_core::parallel::par_map_threads_with;
 use dmn_core::placement::Placement;
 use dmn_core::radii::RadiusTable;
-use dmn_facility::{FlInstance, LocalSearchConfig, Solver};
+use dmn_facility::{FlInstance, FlWorkspace, LocalSearchConfig, SearchStats, Solver};
 use dmn_graph::{Metric, NodeId};
 
 /// Which UFL solver backs phase 1. Theorem 7's constant depends on the
 /// solver's factor `f` only through Lemma 9, so all of these are valid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FlSolverKind {
-    /// Add/drop/swap local search (default; 5 + ε).
+    /// Incremental add/drop/swap local search (default; 5 + ε).
     #[default]
     LocalSearch,
+    /// Incremental local search warm-started from Mettu–Plaxton (5 + ε;
+    /// far fewer moves than the cold start in practice).
+    LocalSearchWarm,
+    /// The original from-scratch local search (the seed implementation) —
+    /// same results as [`FlSolverKind::LocalSearch`], kept for equivalence
+    /// pinning and perf baselines.
+    LocalSearchRef,
     /// Mettu–Plaxton radius greedy (3; fastest at scale).
     MettuPlaxton,
     /// Jain–Vazirani primal–dual (3).
@@ -25,9 +32,40 @@ pub enum FlSolverKind {
 }
 
 impl FlSolverKind {
+    /// Every kind, in presentation order.
+    pub const ALL: [FlSolverKind; 7] = [
+        FlSolverKind::LocalSearch,
+        FlSolverKind::LocalSearchWarm,
+        FlSolverKind::LocalSearchRef,
+        FlSolverKind::MettuPlaxton,
+        FlSolverKind::JainVazirani,
+        FlSolverKind::Greedy,
+        FlSolverKind::Exact,
+    ];
+
+    /// Stable kebab-case name (CLI / artifact value).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlSolverKind::LocalSearch => "local-search",
+            FlSolverKind::LocalSearchWarm => "local-search-warm",
+            FlSolverKind::LocalSearchRef => "local-search-ref",
+            FlSolverKind::MettuPlaxton => "mettu-plaxton",
+            FlSolverKind::JainVazirani => "jain-vazirani",
+            FlSolverKind::Greedy => "greedy",
+            FlSolverKind::Exact => "exact",
+        }
+    }
+
+    /// Parses a kebab-case kind name.
+    pub fn parse(name: &str) -> Option<FlSolverKind> {
+        FlSolverKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     fn as_solver(self) -> Solver {
         match self {
             FlSolverKind::LocalSearch => Solver::LocalSearch,
+            FlSolverKind::LocalSearchWarm => Solver::LocalSearchWarm,
+            FlSolverKind::LocalSearchRef => Solver::LocalSearchRef,
             FlSolverKind::MettuPlaxton => Solver::MettuPlaxton,
             FlSolverKind::JainVazirani => Solver::JainVazirani,
             FlSolverKind::Greedy => Solver::Greedy,
@@ -79,7 +117,8 @@ pub struct PhaseTrace {
     pub after_phase3: Vec<NodeId>,
 }
 
-/// Per-phase wall-clock seconds of one [`place_object`] run.
+/// Per-phase wall-clock seconds (and phase-1 work counters) of one
+/// [`place_object`] run.
 ///
 /// The radius-table construction is attributed to phase 2 (it exists for
 /// the radius phases).
@@ -91,6 +130,12 @@ pub struct PhaseTimings {
     pub radius_add: f64,
     /// Phase 3: radius-driven pruning.
     pub radius_prune: f64,
+    /// Phase-1 local-search moves accepted (0 for non-local-search
+    /// backends).
+    pub fl_moves: usize,
+    /// Phase-1 local-search candidate moves priced (0 for
+    /// non-local-search backends).
+    pub fl_candidates: usize,
 }
 
 impl PhaseTimings {
@@ -100,6 +145,8 @@ impl PhaseTimings {
             facility: self.facility + o.facility,
             radius_add: self.radius_add + o.radius_add,
             radius_prune: self.radius_prune + o.radius_prune,
+            fl_moves: self.fl_moves + o.fl_moves,
+            fl_candidates: self.fl_candidates + o.fl_candidates,
         }
     }
 }
@@ -136,6 +183,22 @@ pub fn place_object_instrumented(
     workload: &ObjectWorkload,
     cfg: &ApproxConfig,
 ) -> (PhaseTrace, PhaseTimings) {
+    place_object_in(&mut FlWorkspace::new(), metric, storage_cost, workload, cfg)
+}
+
+/// [`place_object_instrumented`] on a caller-provided facility-location
+/// workspace. Hot paths ([`place_all`], the registry engines, the sharded
+/// backend's per-shard workers) hold one workspace per worker thread and
+/// reuse its assignment tables and scratch buffers across all objects;
+/// together with the borrow-based [`FlInstance`], per-object phase-1
+/// setup is then allocation-free.
+pub fn place_object_in(
+    ws: &mut FlWorkspace,
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+) -> (PhaseTrace, PhaseTimings) {
     let mut timings = PhaseTimings::default();
     let clock = std::time::Instant::now();
     workload.validate().expect("invalid workload");
@@ -144,16 +207,27 @@ pub fn place_object_instrumented(
     let w_total = workload.total_writes();
 
     // Phase 1: facility location on the related problem (writes as reads).
-    let fl = FlInstance::new(metric, storage_cost.to_vec(), masses.clone());
-    let sol = match cfg.fl_solver {
-        // Local search with default thresholds; other solvers need no knobs.
-        FlSolverKind::LocalSearch => dmn_facility::local_search(&fl, &LocalSearchConfig::default()),
-        other => other.as_solver().solve(&fl),
+    // Costs and demands are borrowed, not cloned, into the instance.
+    let fl = FlInstance::new(metric, storage_cost, &masses[..]);
+    let ls_cfg = LocalSearchConfig::default();
+    let (sol, fl_stats) = match cfg.fl_solver {
+        FlSolverKind::LocalSearch => {
+            let s = ws.local_search(&fl, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        FlSolverKind::LocalSearchWarm => {
+            let s = dmn_facility::local_search_warm_in(ws, &fl, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        other => (other.as_solver().solve(&fl), SearchStats::default()),
     };
+    drop(fl);
     let after_phase1 = sol.open.clone();
     let mut copies = sol.open;
     debug_assert!(!copies.is_empty());
     timings.facility = clock.elapsed().as_secs_f64();
+    timings.fl_moves = fl_stats.moves;
+    timings.fl_candidates = fl_stats.candidates;
     let clock = std::time::Instant::now();
 
     // Radii (Section 2.1) — fixed for phases 2 and 3.
@@ -166,16 +240,18 @@ pub fn place_object_instrumented(
         loop {
             let mut added = false;
             for v in 0..n {
-                if copies.binary_search(&v).is_ok() {
-                    continue;
-                }
+                // One search serves both the membership test and the
+                // insertion point (copies is untouched in between).
+                let pos = match copies.binary_search(&v) {
+                    Ok(_) => continue,
+                    Err(pos) => pos,
+                };
                 let rs = radii.storage_radius[v];
                 if !rs.is_finite() {
                     continue; // storage at v can never pay off
                 }
                 let (_, d) = metric.nearest_in(v, &copies).expect("non-empty");
                 if d > cfg.storage_add_factor * rs {
-                    let pos = copies.binary_search(&v).unwrap_err();
                     copies.insert(pos, v);
                     added = true;
                 }
@@ -239,12 +315,16 @@ pub fn place_object_instrumented(
 }
 
 /// Places every object of an instance (objects are independent, so they are
-/// placed in parallel).
+/// placed in parallel; each worker thread reuses one facility-location
+/// workspace across all objects it processes).
 pub fn place_all(instance: &Instance, cfg: &ApproxConfig) -> Placement {
     let metric = instance.metric();
-    let sets: Vec<Vec<NodeId>> = par_map(&instance.objects, |w| {
-        place_object(metric, &instance.storage_cost, w, cfg)
-    });
+    let sets: Vec<Vec<NodeId>> =
+        par_map_threads_with(&instance.objects, None, FlWorkspace::new, |ws, w| {
+            place_object_in(ws, metric, &instance.storage_cost, w, cfg)
+                .0
+                .after_phase3
+        });
     Placement::from_copy_sets(sets)
 }
 

@@ -13,19 +13,22 @@
 //!
 //! Reports print to stdout and are persisted as JSON under `results/`.
 //! With `--solver <name>` any solver registered in `dmn-solve` is run on a
-//! standard scenario suite and its `SolveReport`s (placements, cost
-//! breakdowns, per-phase timings) are printed. `perf-smoke` is the CI
-//! gate: it compares `approx` against `sharded-approx` on a pinned
-//! scenario, writes the timing/cost artifact, and exits non-zero when the
-//! sharded placement deviates from the sequential reference.
+//! standard scenario suite (`--fl` picks the phase-1 backend) and its
+//! `SolveReport`s (placements, cost breakdowns, per-phase timings) are
+//! printed. `perf-smoke` is the CI gate: on a pinned scenario it compares
+//! `approx` against `sharded-approx` *and* the incremental phase-1 local
+//! search against the seed implementation, writes the timing/cost/counter
+//! artifact, and exits non-zero when either placement deviates (or, in
+//! release builds, when the phase-1 speedup drops below the pinned floor).
 
+use dmn_approx::FlSolverKind;
 use dmn_solve::{solvers, PartitionStrategy, SolveRequest};
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <e1..e13 | all>...\n       experiments --solver <name | list> \
-         [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY]\n       \
+        "usage: experiments <e1..e14 | all>...\n       experiments --solver <name | list> \
+         [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY] [--fl KIND]\n       \
          experiments perf-smoke [--out PATH]"
     );
     std::process::exit(2);
@@ -51,7 +54,9 @@ fn main() {
     }
 }
 
-/// The CI perf gate: writes `BENCH_ci.json` and fails on cost mismatch.
+/// The CI perf gate: writes `BENCH_ci.json` and fails on a placement
+/// mismatch (sharded vs sequential, or incremental vs seed local search) —
+/// and, in release builds, on a phase-1 speedup below the pinned floor.
 fn run_perf_smoke(args: &[String]) {
     let mut out = "BENCH_ci.json".to_string();
     let mut it = args.iter();
@@ -69,19 +74,39 @@ fn run_perf_smoke(args: &[String]) {
             _ => usage(),
         }
     }
-    match dmn_bench::perf_smoke::run_to_file(&out) {
-        Ok(true) => {
-            println!("perf-smoke: sharded placement matches sequential; artifact at {out}");
-        }
-        Ok(false) => {
-            eprintln!("perf-smoke: sharded-approx cost DIFFERS from approx (see {out})");
-            std::process::exit(1);
-        }
+    let outcome = match dmn_bench::perf_smoke::run_to_file(&out) {
+        Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("perf-smoke: could not write {out}: {e}");
             std::process::exit(1);
         }
+    };
+    if !outcome.costs_match {
+        eprintln!("perf-smoke: sharded-approx cost DIFFERS from approx (see {out})");
+        std::process::exit(1);
     }
+    if !outcome.fast_matches_seed {
+        eprintln!(
+            "perf-smoke: incremental local search DIFFERS from the seed implementation (see {out})"
+        );
+        std::process::exit(1);
+    }
+    // Timing gate only where timings mean something (release, as in CI) —
+    // checked before the success line so a failing job never logs one.
+    if !cfg!(debug_assertions) && outcome.phase1_speedup < dmn_bench::perf_smoke::MIN_PHASE1_SPEEDUP
+    {
+        eprintln!(
+            "perf-smoke: phase-1 speedup {:.1}x is below the {:.0}x floor",
+            outcome.phase1_speedup,
+            dmn_bench::perf_smoke::MIN_PHASE1_SPEEDUP
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf-smoke: placements match (sharded == sequential, incremental == seed); \
+         phase-1 speedup {:.1}x; artifact at {out}",
+        outcome.phase1_speedup
+    );
 }
 
 /// Benchmarks one registered solver across the standard scenario suite.
@@ -92,6 +117,7 @@ fn run_solver_bench(args: &[String]) {
     let mut seed = 7u64;
     let mut shards = 0usize;
     let mut partition = PartitionStrategy::default();
+    let mut fl = FlSolverKind::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> String {
@@ -113,6 +139,16 @@ fn run_solver_bench(args: &[String]) {
                     eprintln!(
                         "unknown partition strategy '{v}' (use {})",
                         PartitionStrategy::ALL.map(|s| s.name()).join(", ")
+                    );
+                    usage()
+                });
+            }
+            "--fl" => {
+                let v = value("--fl");
+                fl = FlSolverKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown phase-1 solver '{v}' (use {})",
+                        FlSolverKind::ALL.map(|k| k.name()).join(", ")
                     );
                     usage()
                 });
@@ -151,7 +187,8 @@ fn run_solver_bench(args: &[String]) {
     let req = SolveRequest::new()
         .seed(seed)
         .shards(shards)
-        .partition(partition);
+        .partition(partition)
+        .fl_solver(fl);
     println!("solver: {} — {}\n", solver.name(), solver.description());
     for (label, topology) in suite {
         let scenario = Scenario {

@@ -15,8 +15,9 @@ use dmn_workloads::{WorkloadGen, WorkloadParams};
 use super::{max, mean, rng, small_instance, time};
 use crate::report::{fmt, Report, Table};
 
-const SOLVERS: [(FlSolverKind, &str); 4] = [
+const SOLVERS: [(FlSolverKind, &str); 5] = [
     (FlSolverKind::LocalSearch, "local-search (5+eps)"),
+    (FlSolverKind::LocalSearchWarm, "local-search warm (5+eps)"),
     (FlSolverKind::MettuPlaxton, "mettu-plaxton (3)"),
     (FlSolverKind::JainVazirani, "jain-vazirani (3)"),
     (FlSolverKind::Greedy, "greedy (log n)"),

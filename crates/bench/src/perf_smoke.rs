@@ -1,12 +1,24 @@
-//! The CI perf-smoke check: sequential vs sharded solve on one pinned
-//! scenario, emitted as a machine-readable `BENCH_ci.json` artifact.
+//! The CI perf-smoke check: one pinned scenario through the sequential,
+//! sharded, seed-reference, and warm-started engines, emitted as a
+//! machine-readable `BENCH_ci.json` artifact.
 //!
 //! CI runs this in release mode on every push. The JSON carries per-phase
-//! timings and the full cost breakdown for both engines so timing trends
-//! are diffable across runs, and the boolean verdict — sharded placement
-//! and cost must equal the sequential reference — is the gating signal:
-//! a mismatch means the shard merge changed the answer, and the job fails.
+//! timings, the full cost breakdown, and the phase-1 local-search counters
+//! (moves accepted / candidates priced) for every engine so timing trends
+//! are diffable across runs. Two boolean verdicts gate the job:
+//!
+//! * `costs_match` — the sharded placement and cost must equal the
+//!   sequential reference (a mismatch means the shard merge changed the
+//!   answer);
+//! * `fast_matches_seed` — the incremental phase-1 local search must
+//!   produce the *identical* placement to the seed from-scratch
+//!   implementation (`FlSolverKind::LocalSearchRef`) on the smoke corpus.
+//!
+//! The measured `phase1_speedup` (seed phase-1 seconds / incremental
+//! phase-1 seconds, both single-threaded) is recorded in the artifact; the
+//! release binary additionally fails below [`MIN_PHASE1_SPEEDUP`].
 
+use dmn_approx::FlSolverKind;
 use dmn_json::Json;
 use dmn_solve::{solvers, PartitionStrategy, SolveReport, SolveRequest};
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
@@ -15,16 +27,24 @@ use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 /// runners, big enough to exercise a real fan-out and merge).
 pub const SMOKE_SHARDS: usize = 4;
 
-/// The pinned scenario: a 12x12 grid, 16 objects, fixed seed. Changing it
-/// invalidates cross-run timing comparisons, so bump deliberately.
+/// Release-mode floor on the phase-1 speedup of the incremental local
+/// search over the seed implementation (the measured ratio is ~10x; the
+/// gate leaves headroom for noisy runners).
+pub const MIN_PHASE1_SPEEDUP: f64 = 5.0;
+
+/// The pinned scenario: a 15x15 grid (225 nodes), 32 objects, fixed seed —
+/// big enough that phase 1 dominates and the incremental-vs-seed speedup
+/// is meaningful. Changing it invalidates cross-run timing comparisons,
+/// so bump deliberately (last bump: PR 3, 12x12/16 -> 15x15/32 for the
+/// phase-1 fast-path gate).
 pub fn smoke_scenario() -> Scenario {
     Scenario {
         name: "perf-smoke".into(),
-        topology: TopologyKind::Grid { rows: 12, cols: 12 },
-        nodes: 144,
+        topology: TopologyKind::Grid { rows: 15, cols: 15 },
+        nodes: 225,
         storage_cost: 4.0,
         workload: WorkloadParams {
-            num_objects: 16,
+            num_objects: 32,
             base_mass: 120.0,
             write_fraction: 0.2,
             ..Default::default()
@@ -33,23 +53,62 @@ pub fn smoke_scenario() -> Scenario {
     }
 }
 
-/// Outcome of one smoke run: the serialized artifact plus the verdict.
+/// Outcome of one smoke run: the serialized artifact plus the verdicts.
 pub struct SmokeOutcome {
     /// The `BENCH_ci.json` document.
     pub json: Json,
     /// True when the sharded placement and cost equal the sequential ones.
     pub costs_match: bool,
+    /// True when the incremental local search places identically to the
+    /// seed from-scratch implementation.
+    pub fast_matches_seed: bool,
+    /// Seed phase-1 seconds / incremental phase-1 seconds (single-threaded
+    /// both sides, best of two runs per side).
+    pub phase1_speedup: f64,
+}
+
+impl SmokeOutcome {
+    /// The placement-correctness gate (timing-independent).
+    pub fn gate(&self) -> bool {
+        self.costs_match && self.fast_matches_seed
+    }
+}
+
+/// Wall-clock seconds of one named phase of a report (0 when absent).
+fn phase_seconds(report: &SolveReport, name: &str) -> f64 {
+    report
+        .phases
+        .iter()
+        .find(|p| p.name == name)
+        .map_or(0.0, |p| p.seconds)
+}
+
+/// A meta counter as a number (0 when absent or unparsable).
+fn meta_count(report: &SolveReport, key: &str) -> f64 {
+    report
+        .meta_value(key)
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0)
 }
 
 fn report_json(report: &SolveReport) -> Json {
     Json::obj([
         ("solver", Json::Str(report.solver.to_string())),
+        (
+            "fl_backend",
+            Json::Str(report.meta_value("fl-backend").unwrap_or("-").to_string()),
+        ),
         ("total_cost", Json::Num(report.cost.total())),
         ("storage_cost", Json::Num(report.cost.storage)),
         ("read_cost", Json::Num(report.cost.read)),
         ("update_cost", Json::Num(report.cost.update())),
         ("total_copies", Json::Num(report.total_copies() as f64)),
         ("wall_seconds", Json::Num(report.wall_seconds)),
+        ("fl_moves", Json::Num(meta_count(report, "fl-moves"))),
+        (
+            "fl_candidates",
+            Json::Num(meta_count(report, "fl-candidates")),
+        ),
         (
             "phases",
             Json::arr(report.phases.iter().map(|p| {
@@ -73,18 +132,31 @@ fn report_json(report: &SolveReport) -> Json {
     ])
 }
 
-/// Runs the smoke comparison and assembles the artifact.
+/// Runs the smoke comparison on the pinned scenario.
 pub fn run() -> SmokeOutcome {
-    let scenario = smoke_scenario();
-    let instance = scenario.build_instance();
+    run_with(&smoke_scenario(), SMOKE_SHARDS)
+}
 
-    // The reference really is sequential (one thread), so the artifact's
+/// Runs the smoke comparison on an arbitrary scenario (the unit tests use
+/// a scaled-down instance through this same code path).
+pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
+    let instance = scenario.build_instance();
+    let approx = solvers::by_name("approx").expect("approx registered");
+
+    // The references really are sequential (one thread), so the artifact's
     // timings stay comparable across runners with different core counts.
-    let sequential = solvers::by_name("approx")
-        .expect("approx registered")
-        .solve(&instance, &SolveRequest::new().max_threads(Some(1)));
+    // Each timed path runs twice and the speedup gate uses the per-path
+    // *minimum* phase-1 time: a transient stall on a shared runner then
+    // inflates at most one of the two samples instead of failing the job.
+    let one_thread = SolveRequest::new().max_threads(Some(1));
+    let sequential = approx.solve(&instance, &one_thread);
+    let sequential2 = approx.solve(&instance, &one_thread);
+    let seed_req = one_thread.clone().fl_solver(FlSolverKind::LocalSearchRef);
+    let seed_ref = approx.solve(&instance, &seed_req);
+    let seed_ref2 = approx.solve(&instance, &seed_req);
+    let warm = approx.solve(&instance, &one_thread.clone().fl_warm_start(true));
     let sharded_req = SolveRequest::new()
-        .shards(SMOKE_SHARDS)
+        .shards(shards)
         .partition(PartitionStrategy::RoundRobin);
     let sharded = solvers::by_name("sharded-approx")
         .expect("sharded-approx registered")
@@ -92,6 +164,19 @@ pub fn run() -> SmokeOutcome {
 
     let costs_match = sharded.placement == sequential.placement
         && (sharded.cost.total() - sequential.cost.total()).abs() < 1e-9;
+    let fast_matches_seed = sequential.placement == seed_ref.placement
+        && sequential.placement == sequential2.placement
+        && (sequential.cost.total() - seed_ref.cost.total()).abs() < 1e-9;
+    let seed_p1 = phase_seconds(&seed_ref, "facility-location")
+        .min(phase_seconds(&seed_ref2, "facility-location"));
+    let fast_p1 = phase_seconds(&sequential, "facility-location")
+        .min(phase_seconds(&sequential2, "facility-location"));
+    let phase1_speedup = if fast_p1 > 0.0 {
+        seed_p1 / fast_p1
+    } else {
+        0.0
+    };
+
     let json = Json::obj([
         (
             "scenario",
@@ -100,34 +185,90 @@ pub fn run() -> SmokeOutcome {
                 ("nodes", Json::Num(instance.num_nodes() as f64)),
                 ("objects", Json::Num(instance.num_objects() as f64)),
                 ("seed", Json::Num(scenario.seed as f64)),
-                ("shards", Json::Num(SMOKE_SHARDS as f64)),
+                ("shards", Json::Num(shards as f64)),
             ]),
         ),
         (
             "solvers",
-            Json::arr([report_json(&sequential), report_json(&sharded)]),
+            Json::arr([
+                report_json(&sequential),
+                report_json(&sharded),
+                report_json(&seed_ref),
+                report_json(&warm),
+            ]),
+        ),
+        (
+            "fl",
+            Json::obj([
+                ("seed_phase1_seconds", Json::Num(seed_p1)),
+                ("fast_phase1_seconds", Json::Num(fast_p1)),
+                ("phase1_speedup", Json::Num(phase1_speedup)),
+                (
+                    "warm_phase1_seconds",
+                    Json::Num(phase_seconds(&warm, "facility-location")),
+                ),
+                ("fast_moves", Json::Num(meta_count(&sequential, "fl-moves"))),
+                (
+                    "fast_candidates",
+                    Json::Num(meta_count(&sequential, "fl-candidates")),
+                ),
+                ("warm_moves", Json::Num(meta_count(&warm, "fl-moves"))),
+                (
+                    "warm_candidates",
+                    Json::Num(meta_count(&warm, "fl-candidates")),
+                ),
+                ("warm_total_cost", Json::Num(warm.cost.total())),
+            ]),
         ),
         ("costs_match", Json::Bool(costs_match)),
+        ("fast_matches_seed", Json::Bool(fast_matches_seed)),
+        ("phase1_speedup", Json::Num(phase1_speedup)),
     ]);
-    SmokeOutcome { json, costs_match }
+    SmokeOutcome {
+        json,
+        costs_match,
+        fast_matches_seed,
+        phase1_speedup,
+    }
 }
 
 /// Runs the smoke comparison, writes the artifact to `path`, and returns
-/// the verdict.
-pub fn run_to_file(path: &str) -> std::io::Result<bool> {
+/// the outcome.
+pub fn run_to_file(path: &str) -> std::io::Result<SmokeOutcome> {
     let outcome = run();
     std::fs::write(path, outcome.json.to_string_pretty())?;
-    Ok(outcome.costs_match)
+    Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A scaled-down scenario so the debug-mode test stays fast while
+    /// driving the exact release code path.
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            workload: WorkloadParams {
+                num_objects: 6,
+                base_mass: 120.0,
+                write_fraction: 0.2,
+                ..Default::default()
+            },
+            topology: TopologyKind::Grid { rows: 7, cols: 7 },
+            nodes: 49,
+            ..smoke_scenario()
+        }
+    }
+
     #[test]
-    fn smoke_costs_match_and_artifact_is_complete() {
-        let outcome = run();
+    fn smoke_gates_hold_and_artifact_is_complete() {
+        let outcome = run_with(&tiny_scenario(), 3);
         assert!(outcome.costs_match, "sharded deviated from sequential");
+        assert!(
+            outcome.fast_matches_seed,
+            "incremental local search deviated from the seed implementation"
+        );
+        assert!(outcome.gate());
         let rendered = outcome.json.to_string_pretty();
         for needle in [
             "\"solvers\"",
@@ -136,11 +277,28 @@ mod tests {
             "\"phases\"",
             "\"total_cost\"",
             "\"costs_match\"",
+            "\"fast_matches_seed\"",
+            "\"phase1_speedup\"",
+            "\"fl\"",
+            "\"fl_moves\"",
+            "\"fl_candidates\"",
+            "\"local-search-ref\"",
+            "\"local-search-warm\"",
         ] {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");
         }
         // Round-trips through the parser (CI consumers can load it).
         let parsed = dmn_json::parse(&rendered).expect("valid JSON");
         assert!(matches!(parsed, Json::Obj(_)));
+    }
+
+    #[test]
+    fn pinned_scenario_meets_the_acceptance_floor() {
+        let s = smoke_scenario();
+        assert!(s.nodes >= 200, "smoke must stay >= 200 nodes");
+        assert!(
+            s.workload.num_objects >= 32,
+            "smoke must stay >= 32 objects"
+        );
     }
 }

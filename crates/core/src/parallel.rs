@@ -32,6 +32,27 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_threads_with(items, max_threads, || (), |(), item| f(item))
+}
+
+/// [`par_map_threads`] with per-worker state: every worker thread calls
+/// `init` exactly once and threads the resulting value mutably through all
+/// items it processes. This is how hot paths reuse scratch buffers —
+/// e.g. one facility-location workspace per worker across all objects —
+/// instead of allocating per item. The sequential path (one thread or one
+/// item) creates a single state for the whole slice.
+pub fn par_map_threads_with<T, U, S, I, F>(
+    items: &[T],
+    max_threads: Option<usize>,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
     let available = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -41,19 +62,23 @@ where
         .min(available)
         .min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&mut state, &items[i]);
+                    *slots[i].lock().expect("no poisoned slot") = Some(out);
                 }
-                let out = f(&items[i]);
-                *slots[i].lock().expect("no poisoned slot") = Some(out);
             });
         }
     });
@@ -91,6 +116,41 @@ mod tests {
         for cap in [Some(1), Some(2), Some(3), Some(usize::MAX), None] {
             assert_eq!(par_map_threads(&items, cap, |&x| x + 7), expected);
         }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_and_order_preserved() {
+        let items: Vec<usize> = (0..64).collect();
+        for cap in [Some(1), Some(3), None] {
+            // Each worker's scratch buffer grows monotonically: reuse is
+            // observable through the capacity surviving across items.
+            let out = par_map_threads_with(
+                &items,
+                cap,
+                Vec::<usize>::new,
+                |scratch: &mut Vec<usize>, &x| {
+                    scratch.push(x);
+                    x * 2 + usize::from(scratch.is_empty())
+                },
+            );
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sequential_path_uses_one_state() {
+        let items = [1usize, 2, 3, 4];
+        let out = par_map_threads_with(
+            &items,
+            Some(1),
+            || 0usize,
+            |seen: &mut usize, &x| {
+                *seen += 1;
+                (*seen, x)
+            },
+        );
+        // One state for the whole slice: the counter runs 1..=4.
+        assert_eq!(out, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! UFL instances and solutions.
 
+use std::borrow::Cow;
+
 use dmn_graph::{Metric, NodeId};
 
 /// An uncapacitated facility location instance over the nodes of a metric.
@@ -7,19 +9,31 @@ use dmn_graph::{Metric, NodeId};
 /// Every node is a potential facility site (possibly with infinite opening
 /// cost, which forbids it) and a potential client (with zero demand when it
 /// issues no requests).
+///
+/// Cost and demand vectors are [`Cow`]s so callers on the hot path (one
+/// `FlInstance` per object in phase 1) can borrow long-lived slices —
+/// per-object instance setup is then allocation-free — while tests and
+/// one-off callers keep passing owned `Vec`s.
 #[derive(Debug, Clone)]
 pub struct FlInstance<'a> {
     /// Connection costs.
     pub metric: &'a Metric,
     /// Facility opening cost per node; `f64::INFINITY` forbids a site.
-    pub open_cost: Vec<f64>,
+    pub open_cost: Cow<'a, [f64]>,
     /// Client demand per node (weight of its requests).
-    pub demand: Vec<f64>,
+    pub demand: Cow<'a, [f64]>,
 }
 
 impl<'a> FlInstance<'a> {
-    /// Creates an instance; lengths must match the metric.
-    pub fn new(metric: &'a Metric, open_cost: Vec<f64>, demand: Vec<f64>) -> Self {
+    /// Creates an instance; lengths must match the metric. Accepts owned
+    /// `Vec<f64>`s or borrowed `&[f64]`s for the cost and demand vectors.
+    pub fn new(
+        metric: &'a Metric,
+        open_cost: impl Into<Cow<'a, [f64]>>,
+        demand: impl Into<Cow<'a, [f64]>>,
+    ) -> Self {
+        let open_cost = open_cost.into();
+        let demand = demand.into();
         assert_eq!(open_cost.len(), metric.len());
         assert_eq!(demand.len(), metric.len());
         assert!(
@@ -119,6 +133,17 @@ mod tests {
         assert_eq!(inst.total_cost(&[0, 2]), 2.0 + 3.0 + 4.0);
         let s = inst.solution(vec![2, 0, 0]);
         assert_eq!(s.open, vec![0, 2]);
+    }
+
+    #[test]
+    fn borrowed_slices_are_not_copied() {
+        let m = Metric::from_line(&[0.0, 1.0]);
+        let open = [1.0, 2.0];
+        let demand = [1.0, 0.0];
+        let inst = FlInstance::new(&m, &open[..], &demand[..]);
+        assert!(matches!(inst.open_cost, Cow::Borrowed(_)));
+        assert!(matches!(inst.demand, Cow::Borrowed(_)));
+        assert_eq!(inst.total_cost(&[0]), 1.0);
     }
 
     #[test]

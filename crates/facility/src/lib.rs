@@ -11,7 +11,12 @@
 //!
 //! * [`local_search()`](fn@local_search) — add/drop/swap local search (the heuristic analyzed
 //!   in Korupolu–Plaxton–Rajaraman, the paper's reference 8; factor
-//!   5 + ε),
+//!   5 + ε), backed by an incremental nearest/second-nearest assignment
+//!   table ([`FlWorkspace`]) that prices every move in one pass over the
+//!   clients; [`local_search_warm()`](fn@local_search_warm) seeds it from
+//!   Mettu–Plaxton, and [`local_search_reference()`](fn@local_search_reference)
+//!   keeps the original from-scratch implementation as the equivalence
+//!   and perf baseline,
 //! * [`mettu_plaxton()`](fn@mettu_plaxton) — the radius-based greedy of Mettu & Plaxton
 //!   (factor 3), structurally the closest relative of the paper's own
 //!   storage radii,
@@ -40,15 +45,25 @@ pub use exact::exact;
 pub use greedy::greedy;
 pub use instance::{FlInstance, FlSolution};
 pub use jain_vazirani::jain_vazirani;
-pub use local_search::{local_search, LocalSearchConfig};
+pub use local_search::{
+    local_search, local_search_from, local_search_reference, local_search_warm,
+    local_search_warm_in, FlWorkspace, LocalSearchConfig, SearchStats,
+};
 pub use mettu_plaxton::mettu_plaxton;
 
 /// The available UFL solvers as a value, for configuration plumbing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Solver {
-    /// Add/drop/swap local search (5 + ε approximation).
+    /// Add/drop/swap local search (5 + ε approximation; incremental
+    /// assignment-table fast path).
     #[default]
     LocalSearch,
+    /// The incremental local search warm-started from Mettu–Plaxton
+    /// (same 5 + ε guarantee, far fewer moves in practice).
+    LocalSearchWarm,
+    /// The original from-scratch local search (the seed implementation),
+    /// kept as the equivalence reference and perf baseline.
+    LocalSearchRef,
     /// Mettu–Plaxton radius greedy (3-approximation).
     MettuPlaxton,
     /// Jain–Vazirani primal–dual (3-approximation).
@@ -64,6 +79,8 @@ impl Solver {
     pub fn solve(self, inst: &FlInstance) -> FlSolution {
         match self {
             Solver::LocalSearch => local_search(inst, &LocalSearchConfig::default()),
+            Solver::LocalSearchWarm => local_search_warm(inst, &LocalSearchConfig::default()),
+            Solver::LocalSearchRef => local_search_reference(inst, &LocalSearchConfig::default()),
             Solver::MettuPlaxton => mettu_plaxton(inst),
             Solver::JainVazirani => jain_vazirani(inst),
             Solver::Greedy => greedy(inst),
@@ -71,10 +88,13 @@ impl Solver {
         }
     }
 
-    /// All practical (polynomial-time) solvers.
-    pub fn all_polynomial() -> [Solver; 4] {
+    /// All practical (polynomial-time) solvers with distinct algorithms
+    /// (the reference local search is excluded: it is the same algorithm
+    /// as [`Solver::LocalSearch`], only slower).
+    pub fn all_polynomial() -> [Solver; 5] {
         [
             Solver::LocalSearch,
+            Solver::LocalSearchWarm,
             Solver::MettuPlaxton,
             Solver::JainVazirani,
             Solver::Greedy,

@@ -19,9 +19,13 @@ pub fn mettu_plaxton(inst: &FlInstance) -> FlSolution {
     let sites = inst.sites();
     let clients = inst.clients();
     assert!(!clients.is_empty(), "no demand to serve");
+    // One (distance, demand) scratch buffer for every payment-radius
+    // computation; allocating and re-sorting a fresh vector per site was a
+    // measurable share of the solver's time at scale.
+    let mut by_dist: Vec<(f64, f64)> = Vec::with_capacity(clients.len());
     let mut radii: Vec<(f64, NodeId)> = sites
         .iter()
-        .map(|&v| (payment_radius(inst, &clients, v), v))
+        .map(|&v| (payment_radius(inst, &clients, v, &mut by_dist), v))
         .collect();
     radii.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("radii are not NaN"));
     let mut open: Vec<NodeId> = Vec::new();
@@ -41,22 +45,29 @@ pub fn mettu_plaxton(inst: &FlInstance) -> FlSolution {
 /// The left side is continuous, nondecreasing and piecewise linear in `r`,
 /// starting at 0, so the crossing is found by scanning the clients in
 /// distance order.
-fn payment_radius(inst: &FlInstance, clients: &[NodeId], v: NodeId) -> f64 {
+fn payment_radius(
+    inst: &FlInstance,
+    clients: &[NodeId],
+    v: NodeId,
+    by_dist: &mut Vec<(f64, f64)>,
+) -> f64 {
     let fcost = inst.open_cost[v];
     if fcost == 0.0 {
         return 0.0;
     }
-    let mut by_dist: Vec<(f64, f64)> = clients
-        .iter()
-        .map(|&u| (inst.metric.dist(u, v), inst.demand[u]))
-        .collect();
-    by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    by_dist.clear();
+    by_dist.extend(
+        clients
+            .iter()
+            .map(|&u| (inst.metric.dist(u, v), inst.demand[u])),
+    );
+    by_dist.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
     // Between breakpoints d_k and d_{k+1}, pay(r) grows with slope = total
     // demand within d_k.
     let mut slope = 0.0;
     let mut paid = 0.0;
     let mut last_d = 0.0;
-    for &(d, w) in &by_dist {
+    for &(d, w) in by_dist.iter() {
         let at_d = paid + slope * (d - last_d);
         if at_d >= fcost {
             return last_d + (fcost - paid) / slope;
@@ -81,7 +92,7 @@ mod tests {
         // pay(r) = 2r for r <= 3, then 2*3 + 3(r-3): crossing 5 at r = 2.5.
         let m = Metric::from_line(&[0.0, 3.0]);
         let inst = FlInstance::new(&m, vec![5.0, f64::INFINITY], vec![2.0, 1.0]);
-        let r = payment_radius(&inst, &[0, 1], 0);
+        let r = payment_radius(&inst, &[0, 1], 0, &mut Vec::new());
         assert!((r - 2.5).abs() < 1e-9, "r = {r}");
     }
 
@@ -91,7 +102,7 @@ mod tests {
         // pay(r) = (r - 1) for r >= 1, crossing at r = 11.
         let m = Metric::from_line(&[0.0, 1.0]);
         let inst = FlInstance::new(&m, vec![10.0, f64::INFINITY], vec![0.0, 1.0]);
-        let r = payment_radius(&inst, &[1], 0);
+        let r = payment_radius(&inst, &[1], 0, &mut Vec::new());
         assert!((r - 11.0).abs() < 1e-9, "r = {r}");
     }
 

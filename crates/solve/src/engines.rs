@@ -11,12 +11,13 @@
 use std::time::Instant;
 
 use dmn_approx::baselines;
-use dmn_approx::{place_object_instrumented, PhaseTimings, PhaseTrace};
+use dmn_approx::{place_object_in, PhaseTimings, PhaseTrace};
 use dmn_core::instance::Instance;
-use dmn_core::parallel::par_map_threads;
+use dmn_core::parallel::{par_map_threads, par_map_threads_with};
 use dmn_core::placement::Placement;
 use dmn_exact::solver::MAX_EXACT_NODES;
 use dmn_exact::{optimal_placement, optimal_restricted};
+use dmn_facility::FlWorkspace;
 use dmn_graph::tree::RootedTree;
 use dmn_tree::optimal_tree_general;
 use rand::SeedableRng;
@@ -43,10 +44,14 @@ impl Solver for ApproxSolver {
         let started = Instant::now();
         let cfg = req.approx_config();
         let metric = instance.metric();
-        let results: Vec<(PhaseTrace, PhaseTimings)> =
-            par_map_threads(&instance.objects, req.max_threads, |w| {
-                place_object_instrumented(metric, &instance.storage_cost, w, &cfg)
-            });
+        // One facility-location workspace per worker thread, reused across
+        // every object that worker processes.
+        let results: Vec<(PhaseTrace, PhaseTimings)> = par_map_threads_with(
+            &instance.objects,
+            req.max_threads,
+            FlWorkspace::new,
+            |ws, w| place_object_in(ws, metric, &instance.storage_cost, w, &cfg),
+        );
         let timings = results
             .iter()
             .fold(PhaseTimings::default(), |acc, (_, t)| acc.add(t));
@@ -65,7 +70,12 @@ impl Solver for ApproxSolver {
             PhaseStat::new(
                 "facility-location",
                 timings.facility,
-                format!("{p1} copies opened ({:?})", cfg.fl_solver),
+                format!(
+                    "{p1} copies opened ({}), {} moves / {} candidates",
+                    cfg.fl_solver.name(),
+                    timings.fl_moves,
+                    timings.fl_candidates
+                ),
             ),
             PhaseStat::new("radius-add", timings.radius_add, format!("-> {p2} copies")),
             PhaseStat::new(
@@ -77,7 +87,11 @@ impl Solver for ApproxSolver {
         let traces = req
             .collect_traces
             .then(|| results.into_iter().map(|(tr, _)| tr).collect());
-        let meta = vec![("fl-backend", format!("{:?}", cfg.fl_solver))];
+        let meta = vec![
+            ("fl-backend", cfg.fl_solver.name().to_string()),
+            ("fl-moves", timings.fl_moves.to_string()),
+            ("fl-candidates", timings.fl_candidates.to_string()),
+        ];
         SolveReport::build(
             self.name(),
             instance,

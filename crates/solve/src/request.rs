@@ -32,6 +32,11 @@ pub struct SolveRequest {
     pub policy: UpdatePolicy,
     /// Phase-1 facility-location backend of the approximation algorithm.
     pub fl_solver: FlSolverKind,
+    /// Warm-start the phase-1 local search from Mettu–Plaxton instead of
+    /// the best single facility (only meaningful when `fl_solver` is
+    /// [`FlSolverKind::LocalSearch`]; equivalent to selecting
+    /// [`FlSolverKind::LocalSearchWarm`] directly).
+    pub fl_warm_start: bool,
     /// Phase-2 threshold factor (paper value 5; changing it voids Lemma 8).
     pub storage_add_factor: f64,
     /// Phase-3 threshold factor (paper value 4; changing it voids Lemma 8).
@@ -66,6 +71,7 @@ impl Default for SolveRequest {
         SolveRequest {
             policy: UpdatePolicy::MstMulticast,
             fl_solver: FlSolverKind::default(),
+            fl_warm_start: false,
             storage_add_factor: 5.0,
             write_prune_factor: 4.0,
             skip_phase2: false,
@@ -97,6 +103,12 @@ impl SolveRequest {
     /// Sets the phase-1 facility-location backend.
     pub fn fl_solver(mut self, kind: FlSolverKind) -> Self {
         self.fl_solver = kind;
+        self
+    }
+
+    /// Toggles the Mettu–Plaxton warm start for the phase-1 local search.
+    pub fn fl_warm_start(mut self, warm: bool) -> Self {
+        self.fl_warm_start = warm;
         self
     }
 
@@ -166,8 +178,13 @@ impl SolveRequest {
     /// The [`ApproxConfig`] view of this request (the approximation
     /// algorithm's knobs).
     pub fn approx_config(&self) -> ApproxConfig {
+        let fl_solver = if self.fl_warm_start && self.fl_solver == FlSolverKind::LocalSearch {
+            FlSolverKind::LocalSearchWarm
+        } else {
+            self.fl_solver
+        };
         ApproxConfig {
-            fl_solver: self.fl_solver,
+            fl_solver,
             storage_add_factor: self.storage_add_factor,
             write_prune_factor: self.write_prune_factor,
             skip_phase2: self.skip_phase2,
@@ -210,6 +227,21 @@ mod tests {
         assert_eq!(req.shards, 0, "0 = auto (one shard per CPU)");
         assert_eq!(req.partition, PartitionStrategy::RoundRobin);
         assert_eq!(req.max_threads, None);
+    }
+
+    #[test]
+    fn warm_start_knob_promotes_local_search() {
+        let req = SolveRequest::new().fl_warm_start(true);
+        assert_eq!(
+            req.approx_config().fl_solver,
+            FlSolverKind::LocalSearchWarm,
+            "warm start promotes the default local search"
+        );
+        // Explicit non-local-search backends are left alone.
+        let req = SolveRequest::new()
+            .fl_solver(FlSolverKind::MettuPlaxton)
+            .fl_warm_start(true);
+        assert_eq!(req.approx_config().fl_solver, FlSolverKind::MettuPlaxton);
     }
 
     #[test]
