@@ -20,9 +20,10 @@ use dmn_graph::NodeId;
 /// Error cases of [`enforce_capacities`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum CapacityError {
-    /// Total capacity cannot hold one copy per object.
+    /// Total usable capacity (on nodes allowed to hold copies) cannot
+    /// hold one copy per object.
     Infeasible {
-        /// Sum of capacities.
+        /// Sum of capacities over finite-storage nodes.
         total_capacity: usize,
         /// Number of objects needing at least one copy.
         objects: usize,
@@ -36,9 +37,14 @@ pub enum CapacityError {
 /// Strategy: while some node is over capacity, consider for each of its
 /// copies (a) dropping it (if the object keeps another copy) and (b)
 /// moving it to any node with free capacity; apply the cheapest repair.
+/// When neither exists for the over-full node (its copies are all last
+/// copies and every other node is full), the repair falls back to the
+/// cheapest *global* drop of any redundant copy — that frees a slot
+/// elsewhere and, since usable capacity suffices, guarantees progress.
 ///
 /// # Errors
-/// [`CapacityError::Infeasible`] when `sum(cap) < number of objects`.
+/// [`CapacityError::Infeasible`] when the capacity summed over nodes that
+/// may hold copies (finite storage cost) is below the object count.
 pub fn enforce_capacities(
     instance: &Instance,
     placement: &Placement,
@@ -47,7 +53,10 @@ pub fn enforce_capacities(
     let n = instance.num_nodes();
     assert_eq!(cap.len(), n, "capacity vector length mismatch");
     let objects = instance.num_objects();
-    let total: usize = cap.iter().sum();
+    let total: usize = (0..n)
+        .filter(|&v| instance.storage_cost[v].is_finite())
+        .map(|v| cap[v])
+        .sum();
     if total < objects {
         return Err(CapacityError::Infeasible {
             total_capacity: total,
@@ -113,8 +122,35 @@ pub fn enforce_capacities(
                 }
             }
         }
-        let (_, x, target) =
-            best.expect("an over-full node always admits a repair when total capacity suffices");
+        let Some((_, x, target)) = best else {
+            // Stuck: every copy on the over-full node is its object's last
+            // copy and no node has slack. Usable capacity >= objects means
+            // some object still owns a redundant copy somewhere — drop the
+            // globally cheapest one and retry (the freed slot unblocks a
+            // move on a later iteration).
+            let mut fallback: Option<(f64, usize, NodeId)> = None; // (delta, object, node)
+            for x in 0..objects {
+                let current = out.copies(x);
+                if current.len() < 2 {
+                    continue;
+                }
+                let current = current.to_vec();
+                let base = cost_of(x, &current);
+                for &v in &current {
+                    let without: Vec<NodeId> =
+                        current.iter().copied().filter(|&u| u != v).collect();
+                    let delta = cost_of(x, &without) - base;
+                    if fallback.as_ref().is_none_or(|f| delta < f.0) {
+                        fallback = Some((delta, x, v));
+                    }
+                }
+            }
+            let (_, x, v) = fallback
+                .expect("a redundant copy exists whenever usable capacity covers the objects");
+            out.remove_copy(x, v);
+            load[v] -= 1;
+            continue;
+        };
         out.remove_copy(x, over);
         load[over] -= 1;
         if let Some(u) = target {

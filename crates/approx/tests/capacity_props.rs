@@ -1,0 +1,199 @@
+//! Seeded property tests for the greedy capacity repair.
+//!
+//! The contract pinned here, across randomized instances, placements, and
+//! capacity vectors:
+//!
+//! 1. whenever the usable capacity covers the object count, the repair
+//!    succeeds and its output `respects_capacities` and stays servable;
+//! 2. infeasible totals return `CapacityError::Infeasible` (never panic,
+//!    never a silently broken placement);
+//! 3. already-feasible placements pass through *untouched* — in
+//!    particular the repair never increases the cost of a feasible input.
+
+use dmn_approx::{enforce_capacities, respects_capacities, CapacityError};
+use dmn_core::cost::{evaluate, UpdatePolicy};
+use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_core::placement::Placement;
+use dmn_graph::generators;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_instance(seed: u64, n: usize, objects: usize) -> (Instance, ChaCha8Rng) {
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    let g = generators::gnp_connected(n, 0.4, (1.0, 6.0), &mut r);
+    let cs: Vec<f64> = (0..n).map(|_| r.random_range(0.5..4.0)).collect();
+    let mut inst = Instance::builder(g).storage_costs(cs).build();
+    for _ in 0..objects {
+        let mut w = ObjectWorkload::new(n);
+        for v in 0..n {
+            if r.random_bool(0.7) {
+                let mass = r.random_range(1..=4) as f64;
+                if r.random_bool(0.3) {
+                    w.writes[v] = mass;
+                } else {
+                    w.reads[v] = mass;
+                }
+            }
+        }
+        if w.total_requests() == 0.0 {
+            w.reads[0] = 1.0;
+        }
+        inst.push_object(w);
+    }
+    (inst, r)
+}
+
+fn random_placement(n: usize, objects: usize, r: &mut ChaCha8Rng) -> Placement {
+    let sets = (0..objects)
+        .map(|_| {
+            let k = r.random_range(1..=n.min(5));
+            let mut set = Vec::with_capacity(k);
+            for _ in 0..k {
+                set.push(r.random_range(0..n));
+            }
+            set.push(r.random_range(0..n)); // ensure non-empty after dedup
+            set
+        })
+        .collect();
+    Placement::from_copy_sets(sets)
+}
+
+#[test]
+fn repair_output_always_respects_capacities() {
+    for seed in 0..24u64 {
+        let n = 6 + (seed as usize % 5);
+        let objects = 2 + (seed as usize % 4);
+        let (inst, mut r) = random_instance(seed, n, objects);
+        let placement = random_placement(n, objects, &mut r);
+        // Random capacities with enough usable total for one copy each.
+        let cap: Vec<usize> = loop {
+            let cap: Vec<usize> = (0..n).map(|_| r.random_range(0..=2)).collect();
+            if cap.iter().sum::<usize>() >= objects {
+                break cap;
+            }
+        };
+        let out = enforce_capacities(&inst, &placement, &cap)
+            .unwrap_or_else(|e| panic!("seed {seed}: repair failed on feasible caps: {e:?}"));
+        assert!(
+            respects_capacities(&out, &cap),
+            "seed {seed}: repaired placement violates capacities"
+        );
+        out.validate(n)
+            .unwrap_or_else(|e| panic!("seed {seed}: unservable repair output: {e}"));
+        let cost = evaluate(&inst, &out, UpdatePolicy::MstMulticast).total();
+        assert!(cost.is_finite() && cost > 0.0, "seed {seed}");
+    }
+}
+
+#[test]
+fn piled_up_and_replicated_placements_are_repairable_at_cap_one() {
+    // The two historical stress shapes: everything on one node, and full
+    // replication (the latter used to panic the repair when every copy on
+    // an over-full node was a last copy and no slack existed).
+    for seed in [3u64, 7, 13] {
+        let n = 8;
+        let objects = 5;
+        let (inst, _) = random_instance(seed, n, objects);
+        let cap = vec![1usize; n];
+        for placement in [
+            Placement::from_copy_sets(vec![vec![0]; objects]),
+            Placement::from_copy_sets(vec![(0..n).collect::<Vec<_>>(); objects]),
+        ] {
+            let out = enforce_capacities(&inst, &placement, &cap).expect("feasible caps");
+            assert!(respects_capacities(&out, &cap), "seed {seed}");
+            out.validate(n).unwrap();
+        }
+    }
+}
+
+#[test]
+fn infeasible_totals_return_capacity_error() {
+    for seed in 0..12u64 {
+        let n = 5 + (seed as usize % 4);
+        let objects = 3 + (seed as usize % 3);
+        let (inst, mut r) = random_instance(seed + 100, n, objects);
+        let placement = random_placement(n, objects, &mut r);
+        // Strictly less usable capacity than objects.
+        let mut cap = vec![0usize; n];
+        for slot in 0..objects - 1 {
+            cap[slot % n] += 1;
+        }
+        let err = enforce_capacities(&inst, &placement, &cap).unwrap_err();
+        let CapacityError::Infeasible {
+            total_capacity,
+            objects: reported,
+        } = err;
+        assert_eq!(total_capacity, objects - 1, "seed {seed}");
+        assert_eq!(reported, objects, "seed {seed}");
+    }
+}
+
+#[test]
+fn forbidden_nodes_do_not_count_as_capacity() {
+    // Capacity parked on infinite-storage nodes is unusable; the repair
+    // must report infeasibility instead of looping or panicking.
+    let g = generators::path(4, |_| 1.0);
+    let mut inst = Instance::builder(g)
+        .storage_costs(vec![1.0, f64::INFINITY, f64::INFINITY, 1.0])
+        .build();
+    for v in 0..3 {
+        inst.push_object(ObjectWorkload::from_sparse(4, [(v, 2.0)], []));
+    }
+    let placement = Placement::from_copy_sets(vec![vec![0], vec![0], vec![3]]);
+    // 2 usable slots (nodes 0 and 3) for 3 objects, however much the
+    // forbidden middle advertises.
+    let err = enforce_capacities(&inst, &placement, &[1, 9, 9, 1]).unwrap_err();
+    assert_eq!(
+        err,
+        CapacityError::Infeasible {
+            total_capacity: 2,
+            objects: 3
+        }
+    );
+    let ok = enforce_capacities(&inst, &placement, &[2, 9, 9, 1]).unwrap();
+    assert!(respects_capacities(&ok, &[2, 9, 9, 1]));
+}
+
+#[test]
+fn feasible_inputs_pass_through_untouched() {
+    for seed in 0..16u64 {
+        let n = 6 + (seed as usize % 5);
+        let objects = 2 + (seed as usize % 4);
+        let (inst, mut r) = random_instance(seed + 200, n, objects);
+        // Build a placement that is feasible by construction under the
+        // sampled capacities.
+        let cap: Vec<usize> = (0..n).map(|_| r.random_range(1..=2)).collect();
+        let mut slack = cap.clone();
+        let sets: Vec<Vec<usize>> = (0..objects)
+            .map(|_| {
+                // The first copy always fits: every node has capacity >= 1
+                // and there are more nodes than objects here.
+                let free: Vec<usize> = (0..n).filter(|&v| slack[v] > 0).collect();
+                let v = free[r.random_range(0..free.len())];
+                slack[v] -= 1;
+                let mut set = vec![v];
+                if r.random_bool(0.5) {
+                    let free: Vec<usize> = (0..n)
+                        .filter(|&v| slack[v] > 0 && !set.contains(&v))
+                        .collect();
+                    if !free.is_empty() {
+                        let v = free[r.random_range(0..free.len())];
+                        slack[v] -= 1;
+                        set.push(v);
+                    }
+                }
+                set
+            })
+            .collect();
+        let placement = Placement::from_copy_sets(sets);
+        assert!(respects_capacities(&placement, &cap), "seed {seed}: setup");
+        let before = evaluate(&inst, &placement, UpdatePolicy::MstMulticast).total();
+        let out = enforce_capacities(&inst, &placement, &cap).expect("feasible");
+        assert_eq!(out, placement, "seed {seed}: feasible input was modified");
+        let after = evaluate(&inst, &out, UpdatePolicy::MstMulticast).total();
+        assert!(
+            after <= before + 1e-12,
+            "seed {seed}: repair increased cost on a feasible placement"
+        );
+    }
+}

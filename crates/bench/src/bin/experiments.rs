@@ -8,18 +8,27 @@
 //! cargo run --release -p dmn-bench --bin experiments -- --solver sharded-approx --shards 4 \
 //!     --partition cost-weighted
 //! cargo run --release -p dmn-bench --bin experiments -- --solver list
+//! cargo run --release -p dmn-bench --bin experiments -- --solver capacitated \
+//!     --capacities uniform:2
+//! cargo run --release -p dmn-bench --bin experiments -- --cap-engine greedy-local \
+//!     --capacities uniform:1
 //! cargo run --release -p dmn-bench --bin experiments -- perf-smoke --out BENCH_ci.json
 //! ```
 //!
 //! Reports print to stdout and are persisted as JSON under `results/`.
 //! With `--solver <name>` any solver registered in `dmn-solve` is run on a
-//! standard scenario suite (`--fl` picks the phase-1 backend) and its
-//! `SolveReport`s (placements, cost breakdowns, per-phase timings) are
-//! printed. `perf-smoke` is the CI gate: on a pinned scenario it compares
-//! `approx` against `sharded-approx` *and* the incremental phase-1 local
-//! search against the seed implementation, writes the timing/cost/counter
-//! artifact, and exits non-zero when either placement deviates (or, in
-//! release builds, when the phase-1 speedup drops below the pinned floor).
+//! standard scenario suite (`--fl` picks the phase-1 backend,
+//! `--capacities uniform:<k>` caps every node at `k` copies so any
+//! experiment runs capacitated end-to-end, `--cap-engine INNER` is
+//! shorthand for the native `cap:INNER` engine) and its `SolveReport`s
+//! (placements, cost breakdowns, per-phase timings) are printed.
+//! `perf-smoke` is the CI gate: on a pinned scenario it compares `approx`
+//! against `sharded-approx`, the incremental phase-1 local search against
+//! the seed implementation, *and* the native capacitated engine against
+//! the greedy repair, writes the timing/cost/counter artifact, and exits
+//! non-zero when any placement deviates, the capacitated engine loses to
+//! the repair (or, in release builds, when the phase-1 speedup drops
+//! below the pinned floor).
 
 use dmn_approx::FlSolverKind;
 use dmn_solve::{solvers, PartitionStrategy, SolveRequest};
@@ -27,9 +36,13 @@ use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <e1..e14 | all>...\n       experiments --solver <name | list> \
-         [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY] [--fl KIND]\n       \
-         experiments perf-smoke [--out PATH]"
+        "usage: experiments <e1..e15 | all>...\n       experiments --solver <name | list> \
+         [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY] [--fl KIND] \
+         [--capacities uniform:<k>] [--cap-engine INNER]\n       \
+         experiments perf-smoke [--out PATH]\n\n\
+         --capacities uniform:<k> caps every node at k copies (any solver; non-native\n\
+         engines go through the greedy repair); --cap-engine INNER runs the native\n\
+         capacitated engine over INNER (shorthand for --solver cap:INNER)."
     );
     std::process::exit(2);
 }
@@ -91,6 +104,13 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
+    if !outcome.capacitated_ok {
+        eprintln!(
+            "perf-smoke: capacitated engine is infeasible or COSTS MORE than the greedy \
+             repair (see {out})"
+        );
+        std::process::exit(1);
+    }
     // Timing gate only where timings mean something (release, as in CI) —
     // checked before the success line so a failing job never logs one.
     if !cfg!(debug_assertions) && outcome.phase1_speedup < dmn_bench::perf_smoke::MIN_PHASE1_SPEEDUP
@@ -104,7 +124,7 @@ fn run_perf_smoke(args: &[String]) {
     }
     println!(
         "perf-smoke: placements match (sharded == sequential, incremental == seed); \
-         phase-1 speedup {:.1}x; artifact at {out}",
+         capacitated feasible and <= greedy repair; phase-1 speedup {:.1}x; artifact at {out}",
         outcome.phase1_speedup
     );
 }
@@ -118,6 +138,8 @@ fn run_solver_bench(args: &[String]) {
     let mut shards = 0usize;
     let mut partition = PartitionStrategy::default();
     let mut fl = FlSolverKind::default();
+    let mut cap_per_node: Option<usize> = None;
+    let mut cap_engine: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> String {
@@ -153,11 +175,27 @@ fn run_solver_bench(args: &[String]) {
                     usage()
                 });
             }
+            "--capacities" => {
+                let v = value("--capacities");
+                let Some(k) = v.strip_prefix("uniform:").and_then(|k| k.parse().ok()) else {
+                    eprintln!("bad --capacities '{v}' (use uniform:<copies-per-node>)");
+                    usage()
+                };
+                cap_per_node = Some(k);
+            }
+            "--cap-engine" => cap_engine = Some(value("--cap-engine")),
             other if name.is_none() => name = Some(other.to_string()),
             _ => usage(),
         }
     }
-    let Some(name) = name else { usage() };
+    // --cap-engine INNER is shorthand for --solver cap:INNER.
+    let name = match cap_engine {
+        Some(inner) => format!("cap:{inner}"),
+        None => match name {
+            Some(name) => name,
+            None => usage(),
+        },
+    };
 
     if name == "list" {
         println!("{:<18} description", "name");
@@ -203,8 +241,14 @@ fn run_solver_bench(args: &[String]) {
                 ..Default::default()
             },
             seed,
+            capacities: cap_per_node
+                .map(|per_node| dmn_workloads::CapacitySpec::Uniform { per_node }),
         };
         let instance = scenario.build_instance();
+        let req = match scenario.capacity_vector(instance.num_nodes()) {
+            Some(cap) => req.clone().capacities(cap),
+            None => req.clone(),
+        };
         match solver.supports(&instance) {
             Ok(()) => {
                 let report = solver.solve(&instance, &req);

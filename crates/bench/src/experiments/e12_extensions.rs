@@ -82,6 +82,7 @@ pub fn run() -> Report {
             ..Default::default()
         },
         seed: 12,
+        capacities: None,
     };
     let instance = scenario.build_instance();
     let unconstrained = place_all(&instance, &ApproxConfig::default());

@@ -39,6 +39,7 @@ pub fn run() -> Report {
                 ..Default::default()
             },
             seed: 1300,
+            capacities: None,
         };
         let instance = scenario.build_instance();
         instance.metric(); // pay the APSP once, outside the timed region

@@ -2,13 +2,14 @@
 //!
 //! Each submodule measures one quantitative claim of the paper and returns
 //! a [`crate::Report`]. The `experiments` binary dispatches on experiment
-//! ids (`e1`..`e14`, `all`).
+//! ids (`e1`..`e15`, `all`).
 
 pub mod e10_approx_runtime;
 pub mod e11_dynamic;
 pub mod e12_extensions;
 pub mod e13_shard_scaling;
 pub mod e14_phase1_scaling;
+pub mod e15_capacitated;
 pub mod e1_lemma1;
 pub mod e2_approx_ratio;
 pub mod e3_properness;
@@ -44,6 +45,7 @@ pub fn run(id: &str) -> Vec<Report> {
         "e12" => vec![e12_extensions::run()],
         "e13" => vec![e13_shard_scaling::run()],
         "e14" => vec![e14_phase1_scaling::run()],
+        "e15" => vec![e15_capacitated::run()],
         "all" => vec![
             e1_lemma1::run(),
             e2_approx_ratio::run(),
@@ -59,8 +61,9 @@ pub fn run(id: &str) -> Vec<Report> {
             e12_extensions::run(),
             e13_shard_scaling::run(),
             e14_phase1_scaling::run(),
+            e15_capacitated::run(),
         ],
-        other => panic!("unknown experiment id: {other} (use e1..e14 or all)"),
+        other => panic!("unknown experiment id: {other} (use e1..e15 or all)"),
     }
 }
 

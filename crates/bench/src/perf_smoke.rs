@@ -5,14 +5,18 @@
 //! CI runs this in release mode on every push. The JSON carries per-phase
 //! timings, the full cost breakdown, and the phase-1 local-search counters
 //! (moves accepted / candidates priced) for every engine so timing trends
-//! are diffable across runs. Two boolean verdicts gate the job:
+//! are diffable across runs. Three boolean verdicts gate the job:
 //!
 //! * `costs_match` — the sharded placement and cost must equal the
 //!   sequential reference (a mismatch means the shard merge changed the
 //!   answer);
 //! * `fast_matches_seed` — the incremental phase-1 local search must
 //!   produce the *identical* placement to the seed from-scratch
-//!   implementation (`FlSolverKind::LocalSearchRef`) on the smoke corpus.
+//!   implementation (`FlSolverKind::LocalSearchRef`) on the smoke corpus;
+//! * `capacitated_ok` — under the pinned per-node copy capacities the
+//!   native `capacitated` engine must stay feasible and cost no more than
+//!   the greedy repair of the sequential reference (its margin is
+//!   recorded in the artifact's `capacitated` section).
 //!
 //! The measured `phase1_speedup` (seed phase-1 seconds / incremental
 //! phase-1 seconds, both single-threaded) is recorded in the artifact; the
@@ -26,6 +30,12 @@ use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 /// Shard count pinned for the smoke run (small enough for 2-core CI
 /// runners, big enough to exercise a real fan-out and merge).
 pub const SMOKE_SHARDS: usize = 4;
+
+/// Uniform per-node copy capacity of the capacitated smoke run: tight
+/// enough that the unconstrained placement needs real repair work, loose
+/// enough to stay trivially feasible (nodes >= objects on the pinned
+/// scenario).
+pub const SMOKE_CAP_PER_NODE: usize = 1;
 
 /// Release-mode floor on the phase-1 speedup of the incremental local
 /// search over the seed implementation (the measured ratio is ~10x; the
@@ -50,6 +60,7 @@ pub fn smoke_scenario() -> Scenario {
             ..Default::default()
         },
         seed: 42,
+        capacities: None,
     }
 }
 
@@ -62,6 +73,10 @@ pub struct SmokeOutcome {
     /// True when the incremental local search places identically to the
     /// seed from-scratch implementation.
     pub fast_matches_seed: bool,
+    /// True when the native capacitated engine is feasible under the
+    /// pinned per-node capacities and costs no more than the greedy
+    /// repair of the sequential reference.
+    pub capacitated_ok: bool,
     /// Seed phase-1 seconds / incremental phase-1 seconds (single-threaded
     /// both sides, best of two runs per side).
     pub phase1_speedup: f64,
@@ -70,7 +85,7 @@ pub struct SmokeOutcome {
 impl SmokeOutcome {
     /// The placement-correctness gate (timing-independent).
     pub fn gate(&self) -> bool {
-        self.costs_match && self.fast_matches_seed
+        self.costs_match && self.fast_matches_seed && self.capacitated_ok
     }
 }
 
@@ -162,6 +177,20 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         .expect("sharded-approx registered")
         .solve(&instance, &sharded_req);
 
+    // The capacitated gate: the native engine must stay feasible and
+    // never exceed the greedy-repair baseline on the same request.
+    let cap = vec![SMOKE_CAP_PER_NODE; instance.num_nodes()];
+    let cap_req = SolveRequest::new().capacities(cap.clone());
+    let repaired = approx.solve(&instance, &cap_req);
+    let capacitated = solvers::by_name("capacitated")
+        .expect("capacitated registered")
+        .solve(&instance, &cap_req);
+    let cap_stats = capacitated.capacity.expect("capacity stats reported");
+    let cap_feasible = dmn_approx::respects_capacities(&capacitated.placement, &cap)
+        && dmn_approx::respects_capacities(&repaired.placement, &cap);
+    let capacitated_ok = cap_feasible
+        && capacitated.cost.total() <= repaired.cost.total() + 1e-6 * repaired.cost.total();
+
     let costs_match = sharded.placement == sequential.placement
         && (sharded.cost.total() - sequential.cost.total()).abs() < 1e-9;
     let fast_matches_seed = sequential.placement == seed_ref.placement
@@ -220,14 +249,36 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
                 ("warm_total_cost", Json::Num(warm.cost.total())),
             ]),
         ),
+        (
+            "capacitated",
+            Json::obj([
+                ("cap_per_node", Json::Num(SMOKE_CAP_PER_NODE as f64)),
+                ("repair_cost", Json::Num(repaired.cost.total())),
+                ("capacitated_cost", Json::Num(capacitated.cost.total())),
+                (
+                    "flow_seed_cost",
+                    match cap_stats.flow_seed_cost {
+                        Some(c) => Json::Num(c),
+                        None => Json::Null,
+                    },
+                ),
+                ("margin_vs_repair", Json::Num(cap_stats.margin_vs_repair)),
+                ("moves", Json::Num(cap_stats.moves as f64)),
+                ("rounds", Json::Num(cap_stats.rounds as f64)),
+                ("feasible", Json::Bool(cap_feasible)),
+                ("wall_seconds", Json::Num(capacitated.wall_seconds)),
+            ]),
+        ),
         ("costs_match", Json::Bool(costs_match)),
         ("fast_matches_seed", Json::Bool(fast_matches_seed)),
+        ("capacitated_ok", Json::Bool(capacitated_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
     ]);
     SmokeOutcome {
         json,
         costs_match,
         fast_matches_seed,
+        capacitated_ok,
         phase1_speedup,
     }
 }
@@ -268,9 +319,17 @@ mod tests {
             outcome.fast_matches_seed,
             "incremental local search deviated from the seed implementation"
         );
+        assert!(
+            outcome.capacitated_ok,
+            "capacitated engine infeasible or worse than the greedy repair"
+        );
         assert!(outcome.gate());
         let rendered = outcome.json.to_string_pretty();
         for needle in [
+            "\"capacitated\"",
+            "\"capacitated_ok\"",
+            "\"repair_cost\"",
+            "\"margin_vs_repair\"",
             "\"solvers\"",
             "\"approx\"",
             "\"sharded-approx\"",

@@ -1,0 +1,284 @@
+//! Flow-based client→copy assignment under service-load capacities.
+//!
+//! In the uncapacitated model every request is served by the *nearest*
+//! copy. Once nodes have a bounded service capacity — at most `L(v)`
+//! request mass may be served by the copies stored on `v` — the nearest
+//! rule can overload hot nodes, and the optimal routing of request mass to
+//! copies becomes a transportation problem: ship each client's mass to the
+//! open copies of its object at minimum total transmission cost, without
+//! exceeding any node's service budget. This module solves it exactly on
+//! [`dmn_graph::flow::MinCostFlow`]:
+//!
+//! * [`assign_object`] — one object: its clients against its own copy set
+//!   (per-node budgets apply to this object alone);
+//! * [`assign_global`] — the cross-object pass: every client of every
+//!   object in one network, with the service budgets *shared* across all
+//!   copies stored on a node. Per-object optima can collide on a hot node;
+//!   only the joint flow prices those collisions correctly.
+//!
+//! The assignment covers the *serve* legs of the cost model (reads and the
+//! home→nearest-copy leg of writes); multicast update traffic depends only
+//! on the copy sets and stays with the MST accounting in `dmn-core`.
+
+use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_core::placement::Placement;
+use dmn_graph::flow::{MinCostFlow, FLOW_EPS};
+use dmn_graph::{Metric, NodeId};
+
+/// An optimal routing of request mass to copies.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Total transport cost of the routed mass (serve legs only).
+    pub cost: f64,
+    /// Request mass served per network node (summed over its copies).
+    pub served: Vec<f64>,
+}
+
+impl Assignment {
+    /// Largest service load on any node.
+    pub fn peak_load(&self) -> f64 {
+        self.served.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// The nearest-copy routing (the uncapacitated optimum) of one object,
+/// in the same shape as the flow-based assignments.
+pub fn nearest_assignment(
+    metric: &Metric,
+    workload: &ObjectWorkload,
+    copies: &[NodeId],
+) -> Assignment {
+    assert!(!copies.is_empty(), "an object needs at least one copy");
+    let mut served = vec![0.0; metric.len()];
+    let mut cost = 0.0;
+    for v in 0..workload.num_nodes() {
+        let mass = workload.request_mass(v);
+        if mass == 0.0 {
+            continue;
+        }
+        let (c, d) = metric.nearest_in(v, copies).expect("copies is non-empty");
+        served[c] += mass;
+        cost += mass * d;
+    }
+    Assignment { cost, served }
+}
+
+/// Optimal routing of one object's request mass to its copies under
+/// per-node service budgets `load_cap` (`None` entries are unbounded for
+/// practical purposes when callers pass `f64::INFINITY`).
+///
+/// Returns `None` when the budgets on the copy nodes cannot absorb the
+/// object's total request mass.
+pub fn assign_object(
+    metric: &Metric,
+    workload: &ObjectWorkload,
+    copies: &[NodeId],
+    load_cap: &[f64],
+) -> Option<Assignment> {
+    assert!(!copies.is_empty(), "an object needs at least one copy");
+    assert_eq!(
+        load_cap.len(),
+        metric.len(),
+        "load capacity length mismatch"
+    );
+    let clients: Vec<(NodeId, f64)> = (0..workload.num_nodes())
+        .filter_map(|v| {
+            let m = workload.request_mass(v);
+            (m > 0.0).then_some((v, m))
+        })
+        .collect();
+    solve_transport(
+        metric,
+        &clients
+            .iter()
+            .map(|&(v, m)| (0usize, v, m))
+            .collect::<Vec<_>>(),
+        &[copies.to_vec()],
+        load_cap,
+    )
+}
+
+/// The cross-object global pass: routes every object's request mass to
+/// that object's copies, with the per-node service budgets shared across
+/// all objects. Returns `None` when the joint routing is infeasible.
+pub fn assign_global(
+    instance: &Instance,
+    placement: &Placement,
+    load_cap: &[f64],
+) -> Option<Assignment> {
+    assert_eq!(placement.num_objects(), instance.num_objects());
+    assert_eq!(
+        load_cap.len(),
+        instance.num_nodes(),
+        "load capacity length mismatch"
+    );
+    let metric = instance.metric();
+    let mut clients = Vec::new();
+    let mut copy_sets = Vec::with_capacity(instance.num_objects());
+    for (x, w) in instance.objects.iter().enumerate() {
+        copy_sets.push(placement.copies(x).to_vec());
+        for v in 0..w.num_nodes() {
+            let m = w.request_mass(v);
+            if m > 0.0 {
+                clients.push((x, v, m));
+            }
+        }
+    }
+    solve_transport(metric, &clients, &copy_sets, load_cap)
+}
+
+/// Shared transportation kernel: clients `(object, node, mass)` against
+/// per-object copy sets, with one shared service budget per network node.
+///
+/// Network layout: `0` = source, `1..=k` = clients, then one service
+/// vertex per *distinct* node holding any copy, then the sink.
+fn solve_transport(
+    metric: &Metric,
+    clients: &[(usize, NodeId, f64)],
+    copy_sets: &[Vec<NodeId>],
+    load_cap: &[f64],
+) -> Option<Assignment> {
+    let mut service_of = vec![usize::MAX; metric.len()];
+    let mut service_nodes: Vec<NodeId> = Vec::new();
+    for set in copy_sets {
+        for &u in set {
+            if service_of[u] == usize::MAX {
+                service_of[u] = service_nodes.len();
+                service_nodes.push(u);
+            }
+        }
+    }
+    let k = clients.len();
+    let source = 0usize;
+    let client_base = 1usize;
+    let service_base = client_base + k;
+    let sink = service_base + service_nodes.len();
+    let mut net = MinCostFlow::new(sink + 1);
+
+    let mut total_mass = 0.0;
+    for (i, &(_, v, m)) in clients.iter().enumerate() {
+        net.add_arc(source, client_base + i, m, 0.0);
+        total_mass += m;
+        let _ = v;
+    }
+    // Client → copies of its own object.
+    let mut serve_arcs: Vec<(usize, usize)> = Vec::new(); // (arc id, service idx)
+    for (i, &(x, v, _)) in clients.iter().enumerate() {
+        for &u in &copy_sets[x] {
+            let s = service_of[u];
+            let id = net.add_arc(
+                client_base + i,
+                service_base + s,
+                f64::INFINITY,
+                metric.dist(v, u),
+            );
+            serve_arcs.push((id, s));
+        }
+    }
+    for (s, &u) in service_nodes.iter().enumerate() {
+        let cap = load_cap[u];
+        assert!(cap >= 0.0, "negative service budget on node {u}");
+        net.add_arc(service_base + s, sink, cap, 0.0);
+    }
+    let (sent, cost) = net.min_cost_flow(source, sink, total_mass);
+    if (total_mass - sent).abs() > 1e-6 * (1.0 + total_mass) {
+        return None;
+    }
+    let mut served = vec![0.0; metric.len()];
+    for &(id, s) in &serve_arcs {
+        let f = net.flow_on(id);
+        if f > FLOW_EPS {
+            served[service_nodes[s]] += f;
+        }
+    }
+    Some(Assignment { cost, served })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_core::instance::{Instance, ObjectWorkload};
+    use dmn_graph::dijkstra::apsp;
+    use dmn_graph::generators;
+
+    fn line_metric(n: usize) -> Metric {
+        apsp(&generators::path(n, |_| 1.0))
+    }
+
+    #[test]
+    fn unbounded_budgets_reproduce_nearest_copy_routing() {
+        let metric = line_metric(5);
+        let w = ObjectWorkload::from_sparse(5, [(0, 2.0), (4, 3.0)], [(2, 1.0)]);
+        let copies = vec![0, 4];
+        let free = vec![f64::INFINITY; 5];
+        let flow = assign_object(&metric, &w, &copies, &free).expect("feasible");
+        let near = nearest_assignment(&metric, &w, &copies);
+        assert!(
+            (flow.cost - near.cost).abs() < 1e-9,
+            "{} vs {}",
+            flow.cost,
+            near.cost
+        );
+        // 2.0 at node 0 -> copy 0; 3.0 at node 4 -> copy 4; 1.0 at node 2
+        // is equidistant, cost 2 either way.
+        assert!((flow.cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_diverts_mass_to_the_farther_copy() {
+        let metric = line_metric(5);
+        // 4 units at node 1; copies at 0 and 4. Nearest (node 0) may only
+        // serve 1 unit, so 3 units travel to node 4 at distance 3.
+        let w = ObjectWorkload::from_sparse(5, [(1, 4.0)], []);
+        let mut cap = vec![f64::INFINITY; 5];
+        cap[0] = 1.0;
+        let a = assign_object(&metric, &w, &[0, 4], &cap).expect("feasible");
+        assert!((a.cost - (1.0 + 3.0 * 3.0)).abs() < 1e-9, "cost {}", a.cost);
+        assert!((a.served[0] - 1.0).abs() < 1e-9);
+        assert!((a.served[4] - 3.0).abs() < 1e-9);
+        assert!(a.peak_load() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_budget_detected() {
+        let metric = line_metric(3);
+        let w = ObjectWorkload::from_sparse(3, [(1, 5.0)], []);
+        let mut cap = vec![0.0; 3];
+        cap[0] = 2.0;
+        assert!(assign_object(&metric, &w, &[0], &cap).is_none());
+        cap[0] = 5.0;
+        assert!(assign_object(&metric, &w, &[0], &cap).is_some());
+    }
+
+    #[test]
+    fn global_pass_prices_cross_object_collisions() {
+        // Two objects both love node 1; its budget only fits one object's
+        // mass, so the joint routing must send one object's clients to its
+        // other copy — per-object solves would both claim node 1.
+        let g = generators::path(3, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(1.0).build();
+        inst.push_object(ObjectWorkload::from_sparse(3, [(1, 2.0)], []));
+        inst.push_object(ObjectWorkload::from_sparse(3, [(1, 2.0)], []));
+        let p = Placement::from_copy_sets(vec![vec![0, 1], vec![1, 2]]);
+        let mut cap = vec![f64::INFINITY; 3];
+        cap[1] = 2.0;
+        let joint = assign_global(&inst, &p, &cap).expect("feasible");
+        // One object served locally (cost 0), the other shipped one hop
+        // (2 mass * distance 1).
+        assert!((joint.cost - 2.0).abs() < 1e-9, "cost {}", joint.cost);
+        assert!(joint.served[1] <= 2.0 + 1e-9);
+        // Per-object views are both free — the collision is invisible.
+        let free_each = assign_object(inst.metric(), &inst.objects[0], &[0, 1], &cap).unwrap();
+        assert!((free_each.cost - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_infeasibility_detected() {
+        let g = generators::path(2, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(1.0).build();
+        inst.push_object(ObjectWorkload::from_sparse(2, [(0, 3.0)], []));
+        let p = Placement::from_copy_sets(vec![vec![0]]);
+        assert!(assign_global(&inst, &p, &[1.0, 1.0]).is_none());
+        assert!(assign_global(&inst, &p, &[3.0, 0.0]).is_some());
+    }
+}

@@ -42,18 +42,20 @@
 // `0..n` and indexing by node id is the domain idiom.
 #![allow(clippy::needless_range_loop)]
 
+pub mod capacitated;
 pub mod engines;
 pub mod registry;
 pub mod report;
 pub mod request;
 pub mod sharded;
 
+pub use capacitated::CapacitatedSolver;
 pub use engines::{
     ApproxSolver, AutoSolver, BestSingleSolver, ExactRestrictedSolver, ExactSolver,
     FullReplicationSolver, GreedyLocalSolver, RandomKSolver, TreeDpSolver,
 };
 pub use registry::solvers;
-pub use report::{PhaseStat, ShardStat, SolveReport};
+pub use report::{CapacityStats, PhaseStat, ShardStat, SolveReport};
 pub use request::SolveRequest;
 pub use sharded::{PartitionStrategy, ShardedSolver};
 

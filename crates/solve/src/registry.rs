@@ -2,6 +2,7 @@
 
 /// Registry functions (`solvers::by_name`, `solvers::all`).
 pub mod solvers {
+    use crate::capacitated::CapacitatedSolver;
     use crate::engines::*;
     use crate::sharded::ShardedSolver;
     use crate::Solver;
@@ -28,25 +29,34 @@ pub mod solvers {
         base_all().iter().map(|s| s.name()).collect()
     }
 
-    /// Every registered solver, in presentation order; the sharded wrapper
-    /// over the paper's algorithm (`sharded-approx`) closes the list.
+    /// Every registered solver, in presentation order; the meta-engines
+    /// over the paper's algorithm (`sharded-approx`, `capacitated`) close
+    /// the list.
     pub fn all() -> Vec<Box<dyn Solver>> {
         let mut engines = base_all();
         engines.push(Box::new(ShardedSolver::approx()));
+        engines.push(Box::new(CapacitatedSolver::approx()));
         engines
     }
 
-    /// Looks a solver up by its registry name (see [`names`]). Two alias
+    /// Looks a solver up by its registry name (see [`names`]). Three alias
     /// families are accepted on top of the listed names: `krw` for the
-    /// paper's algorithm, and `sharded:<inner>` for the sharded wrapper
-    /// over any base engine (`sharded:approx` resolves to the canonical
-    /// `sharded-approx`).
+    /// paper's algorithm, `sharded:<inner>` for the sharded wrapper over
+    /// any base or capacitated engine (`sharded:approx` resolves to the
+    /// canonical `sharded-approx`), and `cap:<inner>` for the native
+    /// capacitated engine over any base engine (`cap:approx` resolves to
+    /// the canonical `capacitated`).
     pub fn by_name(name: &str) -> Option<Box<dyn Solver>> {
         if name == "krw" {
             return by_name("approx");
         }
         if let Some(inner) = name.strip_prefix("sharded:") {
             return ShardedSolver::over(inner).map(|s| Box::new(s) as Box<dyn Solver>);
+        }
+        if name.starts_with("cap") {
+            if let Some(cap) = CapacitatedSolver::parse(name) {
+                return Some(Box::new(cap));
+            }
         }
         all().into_iter().find(|s| s.name() == name)
     }

@@ -45,6 +45,40 @@ pub struct ShardStat {
     pub cost: f64,
 }
 
+/// Capacity-model accounting of one capacitated solve: the feasibility
+/// verdict, the greedy-repair baseline the native engine is gated
+/// against, and the flow/search work that produced the final placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CapacityStats {
+    /// The final placement respects the per-node copy capacities.
+    pub feasible: bool,
+    /// Cost of the greedy-repaired inner placement (the baseline the
+    /// native engine must not exceed).
+    pub repair_cost: f64,
+    /// Cost of the flow seed (optimal capacitated single-copy placement),
+    /// when one existed within the candidate sets.
+    pub flow_seed_cost: Option<f64>,
+    /// Cost of the final capacitated placement (equals the report's
+    /// headline total under the same policy).
+    pub final_cost: f64,
+    /// Relative saving over the greedy repair:
+    /// `(repair_cost − final_cost) / repair_cost`.
+    pub margin_vs_repair: f64,
+    /// Local-search moves applied.
+    pub moves: usize,
+    /// Local-search candidates priced.
+    pub candidates: usize,
+    /// Local-search passes over the object set.
+    pub rounds: usize,
+    /// Optimal client→copy assignment cost under the requested
+    /// service-load budgets (`SolveRequest::load_capacities`), when set
+    /// and feasible.
+    pub assignment_cost: Option<f64>,
+    /// Whether the service-load budgets admit a feasible assignment
+    /// (`None` when no budgets were requested).
+    pub load_feasible: Option<bool>,
+}
+
 /// The result of one [`Solver::solve`](crate::Solver::solve) call.
 #[derive(Debug, Clone)]
 pub struct SolveReport {
@@ -67,6 +101,8 @@ pub struct SolveReport {
     pub wall_seconds: f64,
     /// Per-shard breakdown; empty for non-sharded engines.
     pub shard_stats: Vec<ShardStat>,
+    /// Capacity-model breakdown; `None` for non-capacitated solves.
+    pub capacity: Option<CapacityStats>,
 }
 
 impl SolveReport {
@@ -117,6 +153,7 @@ impl SolveReport {
             meta,
             wall_seconds: started.elapsed().as_secs_f64(),
             shard_stats: Vec::new(),
+            capacity: None,
         }
     }
 
@@ -189,6 +226,23 @@ impl fmt::Display for SolveReport {
                 s.objects,
                 fmt_seconds(s.seconds),
                 s.cost
+            )?;
+        }
+        if let Some(c) = &self.capacity {
+            writeln!(
+                f,
+                "  capacitated: final {:.2} vs greedy repair {:.2} ({:+.1}% margin) | \
+                 {} moves / {} candidates / {} rounds{}",
+                c.final_cost,
+                c.repair_cost,
+                c.margin_vs_repair * 100.0,
+                c.moves,
+                c.candidates,
+                c.rounds,
+                match c.assignment_cost {
+                    Some(a) => format!(" | load-capped assignment {a:.2}"),
+                    None => String::new(),
+                }
             )?;
         }
         for (k, v) in &self.meta {

@@ -50,8 +50,21 @@ pub struct SolveRequest {
     /// Copy count per object for fixed-degree engines (`random-k`).
     pub replication_degree: usize,
     /// Per-node copy capacities; when set, every engine's placement is
-    /// post-processed with the greedy capacity repair.
+    /// post-processed with the greedy capacity repair (the `capacitated` /
+    /// `cap:<inner>` engines instead optimize under the constraint
+    /// natively and only pass the repair as a no-op feasibility check).
     pub capacities: Option<Vec<usize>>,
+    /// Candidate-pool breadth per object for the capacitated flow seed:
+    /// the `breadth` cheapest single-copy hosts plus the inner engine's
+    /// own copies. `0` (the default) means every finite-storage node —
+    /// the flow seed is then exact over the full node set.
+    pub cap_candidates: usize,
+    /// Per-node *service-load* budgets (max request mass served by the
+    /// copies on a node). When set, the capacitated engines run the
+    /// cross-object global assignment flow on their final placement and
+    /// report the optimal capacity-respecting client→copy assignment
+    /// cost (reads stay nearest-copy in the headline `CostBreakdown`).
+    pub load_capacities: Option<Vec<f64>>,
     /// Collect per-object per-phase copy-set traces in the report (engines
     /// without phase structure return `None` regardless).
     pub collect_traces: bool,
@@ -79,6 +92,8 @@ impl Default for SolveRequest {
             seed: 0,
             replication_degree: 3,
             capacities: None,
+            cap_candidates: 0,
+            load_capacities: None,
             collect_traces: false,
             shards: 0,
             partition: PartitionStrategy::default(),
@@ -147,6 +162,20 @@ impl SolveRequest {
     /// Constrains per-node copy counts (applied to every engine's output).
     pub fn capacities(mut self, cap: Vec<usize>) -> Self {
         self.capacities = Some(cap);
+        self
+    }
+
+    /// Sets the flow-seed candidate breadth of the capacitated engines
+    /// (`0` = every finite-storage node).
+    pub fn cap_candidates(mut self, breadth: usize) -> Self {
+        self.cap_candidates = breadth;
+        self
+    }
+
+    /// Constrains per-node service loads (capacitated engines only; see
+    /// [`SolveRequest::load_capacities`]).
+    pub fn load_capacities(mut self, budgets: Vec<f64>) -> Self {
+        self.load_capacities = Some(budgets);
         self
     }
 
@@ -227,6 +256,18 @@ mod tests {
         assert_eq!(req.shards, 0, "0 = auto (one shard per CPU)");
         assert_eq!(req.partition, PartitionStrategy::RoundRobin);
         assert_eq!(req.max_threads, None);
+        assert_eq!(req.cap_candidates, 0, "0 = all finite-storage nodes");
+        assert!(req.load_capacities.is_none());
+    }
+
+    #[test]
+    fn capacity_model_knobs_chain() {
+        let req = SolveRequest::new()
+            .capacities(vec![2, 2, 2])
+            .cap_candidates(8)
+            .load_capacities(vec![10.0, 5.0, 10.0]);
+        assert_eq!(req.cap_candidates, 8);
+        assert_eq!(req.load_capacities.as_deref(), Some(&[10.0, 5.0, 10.0][..]));
     }
 
     #[test]

@@ -151,9 +151,9 @@ pub fn partition_objects(
 }
 
 /// Interns a dynamically-built registry name so trait methods can hand out
-/// `&'static str`. The pool is tiny (one entry per distinct `sharded:*`
-/// lookup) and deduplicated, so the leak is bounded.
-fn intern(s: String) -> &'static str {
+/// `&'static str`. The pool is tiny (one entry per distinct `sharded:*` /
+/// `cap:*` lookup) and deduplicated, so the leak is bounded.
+pub(crate) fn intern(s: String) -> &'static str {
     static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
     let mut pool = POOL
         .get_or_init(|| Mutex::new(Vec::new()))
@@ -192,11 +192,28 @@ impl ShardedSolver {
         }
     }
 
-    /// A sharded wrapper over any *base* (non-sharded) registry engine.
-    /// Returns `None` for unknown inner names and for nested sharding.
+    /// A sharded wrapper over any *base* (non-sharded) registry engine,
+    /// or over the capacitated family (`sharded:capacitated` /
+    /// `sharded:cap:<inner>`: shards solve the capacitated engine's inner
+    /// uncapacitated, the flow seed + capacitated local search run
+    /// globally post-merge). Returns `None` for unknown inner names and
+    /// for nested sharding.
     pub fn over(inner: &str) -> Option<ShardedSolver> {
         if inner == "approx" || inner == "krw" {
             return Some(ShardedSolver::approx());
+        }
+        if let Some(cap) = crate::capacitated::CapacitatedSolver::parse(inner) {
+            let canonical = cap.name();
+            return Some(ShardedSolver {
+                inner: canonical,
+                name: intern(format!("sharded:{canonical}")),
+                description: intern(format!(
+                    "{} sharded: shards solve {} uncapacitated, the capacitated \
+                     flow seed + local search run globally post-merge",
+                    canonical,
+                    cap.inner_name()
+                )),
+            });
         }
         if !crate::registry::solvers::base_names().contains(&inner) {
             return None;
@@ -248,7 +265,17 @@ impl Solver for ShardedSolver {
 
     fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
         let started = Instant::now();
-        let inner = crate::registry::solvers::by_name(self.inner).expect("inner engine registered");
+        // For the capacitated family the shards solve the *capacitated
+        // engine's inner* uncapacitated; the flow seed and capacitated
+        // local search are global passes applied to the merged placement
+        // below (capacity is a cross-object constraint, like the repair).
+        let cap_family = crate::capacitated::CapacitatedSolver::parse(self.inner);
+        let shard_engine = match &cap_family {
+            Some(cap) => cap.inner_name(),
+            None => self.inner,
+        };
+        let inner =
+            crate::registry::solvers::by_name(shard_engine).expect("inner engine registered");
         inner.supports(instance).expect("solver applicability");
 
         // Force the metric closure once; object_subset shares the cached
@@ -320,22 +347,48 @@ impl Solver for ShardedSolver {
             })
             .collect();
 
-        let meta = vec![
+        let mut meta = vec![
             ("inner", self.inner.to_string()),
             ("shards", shard_stats.len().to_string()),
             ("partition", req.partition.to_string()),
         ];
+        let merged = Placement::from_copy_sets(sets);
+        // The capacitated global pass post-merge (when requested);
+        // feasibility then makes `build`'s uniform repair a no-op check.
+        let mut capacity = None;
+        let merged = match (&cap_family, &req.capacities) {
+            (Some(_), Some(_)) => {
+                let fin = crate::capacitated::finish(instance, req, merged);
+                phases.extend(fin.phases);
+                meta.extend(fin.meta);
+                capacity = Some(fin.stats);
+                fin.placement
+            }
+            _ => merged,
+        };
         let mut report = SolveReport::build(
             self.name(),
             instance,
             req,
-            Placement::from_copy_sets(sets),
+            merged,
             phases,
             traces,
             meta,
             started,
         );
         report.shard_stats = shard_stats;
+        // A service-load-only capacitated request (no copy caps) still
+        // gets its assignment flow verdict, mirroring the sequential
+        // engine's pass-through branch.
+        if capacity.is_none() && cap_family.is_some() && req.capacities.is_none() {
+            if let Some(stats) = crate::capacitated::load_only_stats(instance, req, &report) {
+                if let Some(lf) = stats.load_feasible {
+                    report.meta.push(("load-feasible", lf.to_string()));
+                }
+                capacity = Some(stats);
+            }
+        }
+        report.capacity = capacity;
         report
     }
 }

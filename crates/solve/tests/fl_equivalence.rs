@@ -27,6 +27,7 @@ fn scenario(nodes: usize, objects: usize, seed: u64) -> Scenario {
             ..Default::default()
         },
         seed,
+        capacities: None,
     }
 }
 

@@ -32,6 +32,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64) -> Scenario {
             ..Default::default()
         },
         seed,
+        capacities: None,
     }
 }
 

@@ -22,6 +22,7 @@ fn scenario(topology: TopologyKind, nodes: usize, objects: usize, seed: u64) -> 
             ..Default::default()
         },
         seed,
+        capacities: None,
     }
 }
 

@@ -34,6 +34,19 @@ pub enum TopologyKind {
     TransitStub,
 }
 
+/// Per-node copy-capacity specification of a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapacitySpec {
+    /// Every node may hold at most `per_node` copies.
+    Uniform {
+        /// Copy budget per node.
+        per_node: usize,
+    },
+    /// Explicit per-node copy budgets (length must match the built
+    /// network's node count).
+    Explicit(Vec<usize>),
+}
+
 /// A reproducible experiment scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -50,6 +63,9 @@ pub struct Scenario {
     pub workload: WorkloadParams,
     /// RNG seed; all randomness derives from it.
     pub seed: u64,
+    /// Optional per-node copy capacities (a capacitated scenario); `None`
+    /// leaves memory unbounded, the paper's base model.
+    pub capacities: Option<CapacitySpec>,
 }
 
 impl Scenario {
@@ -106,7 +122,7 @@ impl Scenario {
             )]),
         };
         let w = &self.workload;
-        Json::obj([
+        let mut fields = vec![
             ("name", Json::Str(self.name.clone())),
             ("topology", topology),
             ("nodes", Json::Num(self.nodes as f64)),
@@ -123,7 +139,28 @@ impl Scenario {
                 ]),
             ),
             ("seed", Json::Str(self.seed.to_string())),
-        ])
+        ];
+        match &self.capacities {
+            None => {}
+            Some(CapacitySpec::Uniform { per_node }) => fields.push((
+                "capacities",
+                Json::obj([
+                    ("kind", Json::Str("uniform".into())),
+                    ("per_node", Json::Num(*per_node as f64)),
+                ]),
+            )),
+            Some(CapacitySpec::Explicit(caps)) => fields.push((
+                "capacities",
+                Json::obj([
+                    ("kind", Json::Str("explicit".into())),
+                    (
+                        "per_node_caps",
+                        Json::arr(caps.iter().map(|&c| Json::Num(c as f64))),
+                    ),
+                ]),
+            )),
+        }
+        Json::obj(fields)
     }
 
     /// Decodes a scenario from [`Scenario::to_json`] output.
@@ -160,6 +197,32 @@ impl Scenario {
             other => return Err(format!("unknown topology kind \"{other}\"")),
         };
         let w = json.get("workload").ok_or("missing \"workload\"")?;
+        let capacities = match json.get("capacities") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let kind = c
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("missing capacity kind")?;
+                Some(match kind {
+                    "uniform" => CapacitySpec::Uniform {
+                        per_node: num_field(c, "per_node")? as usize,
+                    },
+                    "explicit" => {
+                        let caps = c
+                            .get("per_node_caps")
+                            .and_then(Json::as_arr)
+                            .ok_or("missing \"per_node_caps\" array")?;
+                        CapacitySpec::Explicit(
+                            caps.iter()
+                                .map(|v| v.as_usize().ok_or("bad per-node capacity"))
+                                .collect::<Result<_, _>>()?,
+                        )
+                    }
+                    other => return Err(format!("unknown capacity kind \"{other}\"")),
+                })
+            }
+        };
         Ok(Scenario {
             name: str_field("name")?.to_string(),
             topology,
@@ -176,7 +239,31 @@ impl Scenario {
             seed: str_field("seed")?
                 .parse()
                 .map_err(|e| format!("bad seed: {e}"))?,
+            capacities,
         })
+    }
+
+    /// The per-node capacity vector for a built network of `n` nodes, when
+    /// the scenario is capacitated.
+    ///
+    /// # Panics
+    /// Panics when an explicit capacity list does not match `n` (the
+    /// scenario file disagrees with its own topology).
+    pub fn capacity_vector(&self, n: usize) -> Option<Vec<usize>> {
+        match &self.capacities {
+            None => None,
+            Some(CapacitySpec::Uniform { per_node }) => Some(vec![*per_node; n]),
+            Some(CapacitySpec::Explicit(caps)) => {
+                assert_eq!(
+                    caps.len(),
+                    n,
+                    "scenario \"{}\": explicit capacities sized for {} nodes, network has {n}",
+                    self.name,
+                    caps.len()
+                );
+                Some(caps.clone())
+            }
+        }
     }
 
     /// Builds the full instance: graph, storage costs, generated objects.
@@ -210,6 +297,7 @@ mod tests {
                 ..Default::default()
             },
             seed: 42,
+            capacities: None,
         }
     }
 
@@ -256,9 +344,49 @@ mod tests {
             assert_eq!(back.nodes, s.nodes);
             assert_eq!(back.topology, s.topology);
             assert_eq!(back.seed, s.seed);
+            assert_eq!(back.capacities, None);
             let a = s.build_instance();
             let b = back.build_instance();
             assert_eq!(a.objects, b.objects);
         }
+    }
+
+    #[test]
+    fn capacities_roundtrip_and_expand() {
+        let mut s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
+        assert_eq!(s.capacity_vector(9), None, "uncapacitated by default");
+
+        s.capacities = Some(CapacitySpec::Uniform { per_node: 2 });
+        let back = Scenario::from_json(&dmn_json::parse(&s.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back.capacities, s.capacities);
+        assert_eq!(back.capacity_vector(9), Some(vec![2; 9]));
+
+        s.capacities = Some(CapacitySpec::Explicit(vec![1, 0, 2, 1, 1, 1, 1, 1, 3]));
+        let back = Scenario::from_json(&dmn_json::parse(&s.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back.capacities, s.capacities);
+        assert_eq!(
+            back.capacity_vector(9).unwrap(),
+            vec![1, 0, 2, 1, 1, 1, 1, 1, 3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for")]
+    fn explicit_capacities_must_match_the_network() {
+        let mut s = scenario(TopologyKind::Path, 5);
+        s.capacities = Some(CapacitySpec::Explicit(vec![1, 1]));
+        let _ = s.capacity_vector(5);
+    }
+
+    #[test]
+    fn legacy_documents_without_capacities_still_parse() {
+        // A pre-capacity JSON document (no "capacities" key) must load.
+        let s = scenario(TopologyKind::Ring, 8);
+        let json = s.to_json().to_string_pretty();
+        assert!(!json.contains("capacities"), "{json}");
+        let back = Scenario::from_json(&dmn_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.capacities, None);
     }
 }

@@ -22,6 +22,7 @@ fn main() {
             ..Default::default()
         },
         seed: 7,
+        capacities: None,
     };
     let instance = scenario.build_instance();
 

@@ -25,6 +25,8 @@
 //! | `best-single`      | exact 1-copy optimum                          | baseline      |
 //! | `random-k`         | k random copies (seeded)                      | baseline      |
 //! | `full-replication` | copy on every allowed node                    | baseline      |
+//! | `sharded-approx`   | `approx` partitioned across worker shards     | extension     |
+//! | `capacitated`      | native capacitated engine (flow + local search) | extension   |
 //!
 //! ## Quickstart
 //!
@@ -110,6 +112,7 @@ pub mod prelude {
     pub use dmn_core::placement::Placement;
     pub use dmn_graph::{apsp, Graph, Metric};
     pub use dmn_solve::{
-        solvers, PartitionStrategy, ShardedSolver, SolveReport, SolveRequest, Solver,
+        solvers, CapacitatedSolver, CapacityStats, PartitionStrategy, ShardedSolver, SolveReport,
+        SolveRequest, Solver,
     };
 }

@@ -18,6 +18,7 @@ fn scenario(topology: TopologyKind, nodes: usize, write_fraction: f64, seed: u64
             ..Default::default()
         },
         seed,
+        capacities: None,
     }
 }
 
