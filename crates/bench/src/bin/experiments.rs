@@ -111,6 +111,14 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
+    if !outcome.dynamic_ok {
+        eprintln!(
+            "perf-smoke: an online strategy BEAT the informed static oracle on a \
+             stationary stream (see {out}):\n{}",
+            outcome.dynamic
+        );
+        std::process::exit(1);
+    }
     // Timing gate only where timings mean something (release, as in CI) —
     // checked before the success line so a failing job never logs one.
     if !cfg!(debug_assertions) && outcome.phase1_speedup < dmn_bench::perf_smoke::MIN_PHASE1_SPEEDUP
@@ -124,7 +132,8 @@ fn run_perf_smoke(args: &[String]) {
     }
     println!(
         "perf-smoke: placements match (sharded == sequential, incremental == seed); \
-         capacitated feasible and <= greedy repair; phase-1 speedup {:.1}x; artifact at {out}",
+         capacitated feasible and <= greedy repair; every online strategy >= the \
+         static oracle on the stationary stream; phase-1 speedup {:.1}x; artifact at {out}",
         outcome.phase1_speedup
     );
 }
@@ -243,6 +252,7 @@ fn run_solver_bench(args: &[String]) {
             seed,
             capacities: cap_per_node
                 .map(|per_node| dmn_workloads::CapacitySpec::Uniform { per_node }),
+            stream: None,
         };
         let instance = scenario.build_instance();
         let req = match scenario.capacity_vector(instance.num_nodes()) {

@@ -2,21 +2,26 @@
 //!
 //! The paper's related work develops *online* strategies with constant /
 //! polylog competitive ratios (Awerbuch et al.; Maggs et al.). This
-//! extension experiment runs the classic count-based replicate/invalidate
-//! scheme on sampled request streams and reports its empirical competitive
-//! ratio against the static oracle (the paper's algorithm fed the stream's
-//! exact frequencies):
+//! extension experiment drives the dynamic↔static bridge: the full online
+//! strategy zoo is raced against the static oracle — any registry engine
+//! fed the stream's exact frequencies — on stationary, phase-shifting,
+//! and adversarial streams, with per-phase ratio tracking:
 //!
 //! * on **stationary** streams the static oracle should win — knowing the
-//!   frequencies is exactly the static problem this paper solves;
-//! * on **phase-shifting** streams the online strategy should catch up or
-//!   win, since any fixed placement goes stale.
+//!   frequencies is exactly the static problem this paper solves (this is
+//!   the `dynamic_ok` CI gate on the perf-smoke scenario);
+//! * on **phase-shifting** streams adaptive strategies catch up or win,
+//!   since any fixed placement goes stale (visible per phase);
+//! * on **adversarial** streams replication investments are destroyed as
+//!   soon as they are made — the classic online lower-bound construction;
+//! * the **oracle column** is interchangeable: the bridge runs the same
+//!   comparison against `greedy-local` (or any other registry engine) as
+//!   the offline reference.
 
-use dmn_dynamic::migration::MigrationStrategy;
-use dmn_dynamic::sim::{simulate, static_cost_on_stream};
-use dmn_dynamic::strategy::{CountingStrategy, StaticOracle};
-use dmn_dynamic::stream::{empirical_workloads, sample_stream, StreamConfig};
-use dmn_graph::dijkstra::apsp;
+use dmn_core::instance::Instance;
+use dmn_dynamic::bridge::{compete, StaticOracle};
+use dmn_dynamic::strategy::standard_zoo;
+use dmn_dynamic::stream::{adversarial_stream, sample_stream, AdversarialConfig, StreamConfig};
 use dmn_graph::generators;
 use dmn_workloads::{WorkloadGen, WorkloadParams};
 
@@ -27,36 +32,38 @@ use crate::report::{fmt, Report, Table};
 pub fn run() -> Report {
     let mut report = Report::new(
         "E11",
-        "extension: online counting strategy vs the static oracle",
+        "extension: the online strategy zoo vs registry-solved static oracles",
     );
     let g = generators::random_geometric(40, 0.25, 10.0, &mut rng(11_000));
     let n = g.num_nodes();
-    let metric = apsp(&g);
     let cs: Vec<f64> = (0..n).map(|v| 2.0 + (v % 3) as f64).collect();
+    let instance = Instance::builder(g).storage_costs(cs.clone()).build();
+    let objects = 3usize;
+    let strategy_names: Vec<String> = standard_zoo(objects, &cs, 1)
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
 
+    let mut columns = vec!["stream".to_string(), "write frac".to_string()];
+    columns.extend(strategy_names.iter().cloned());
+    columns.push("worst-phase (counting)".to_string());
     let mut table = Table::new(
-        "empirical competitive ratio (cost / static-oracle cost), 10 streams each",
-        &[
-            "stream",
-            "write frac",
-            "counting",
-            "migration",
-            "fixed-single",
-        ],
+        "empirical competitive ratio vs the approx oracle, 10 streams each",
+        &columns.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
+
     for (label, phases, shift) in [
         ("stationary", 1usize, 0usize),
         ("shifting (4 phases)", 4, n / 3),
     ] {
         for &wf in &[0.05, 0.4] {
-            let mut ratios_counting = Vec::new();
-            let mut ratios_migration = Vec::new();
-            let mut ratios_fixed = Vec::new();
+            let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); strategy_names.len()];
+            let mut worst_phase = Vec::new();
             for seed in 0..10u64 {
                 let gen = WorkloadGen::new(
                     n,
                     WorkloadParams {
-                        num_objects: 3,
+                        num_objects: objects,
                         write_fraction: wf,
                         active_fraction: 0.4,
                         base_mass: 60.0,
@@ -64,46 +71,130 @@ pub fn run() -> Report {
                     },
                 );
                 let workloads = gen.generate(&mut rng(11_100 + seed));
+                let length = 2_000;
                 let stream = sample_stream(
                     &workloads,
                     &StreamConfig {
-                        length: 2_000,
+                        length,
                         phases,
                         phase_shift: shift,
                     },
                     &mut rng(11_200 + seed),
                 );
-                // Oracle sees the realized stream frequencies.
-                let emp = empirical_workloads(&stream, 3, n);
-                let oracle = StaticOracle::place(&metric, &cs, &emp);
-                let oracle_cost = static_cost_on_stream(&metric, &cs, &oracle, &stream);
-
-                // Online: all objects start with a single arbitrary copy.
-                let start: Vec<Vec<usize>> = (0..3).map(|x| vec![x % n]).collect();
-                let mut counting = CountingStrategy::new(3, n, 4.0);
-                let dyn_cost = simulate(&metric, &cs, &start, &stream, &mut counting);
-                let mut migration = MigrationStrategy::new(3, n, 3.0);
-                let mig_cost = simulate(&metric, &cs, &start, &stream, &mut migration);
-                let fixed_cost = static_cost_on_stream(&metric, &cs, &start, &stream);
-
-                ratios_counting.push(dyn_cost.total() / oracle_cost.total());
-                ratios_migration.push(mig_cost.total() / oracle_cost.total());
-                ratios_fixed.push(fixed_cost.total() / oracle_cost.total());
+                let initial: Vec<Vec<usize>> = (0..objects).map(|x| vec![x % n]).collect();
+                let mut zoo = standard_zoo(objects, &cs, stream.len());
+                let comp = compete(
+                    &instance,
+                    &stream,
+                    objects,
+                    &StaticOracle::approx(),
+                    &mut zoo,
+                    &initial,
+                    length.div_ceil(phases),
+                )
+                .expect("approx runs on any network");
+                for (i, run) in comp.runs.iter().enumerate() {
+                    ratios[i].push(run.ratio);
+                }
+                worst_phase.push(comp.worst_phase_ratio_of("counting").expect("raced"));
             }
-            table.row(vec![
-                label.to_string(),
-                format!("{wf:.2}"),
-                fmt(mean(&ratios_counting)),
-                fmt(mean(&ratios_migration)),
-                fmt(mean(&ratios_fixed)),
-            ]);
+            let mut row = vec![label.to_string(), format!("{wf:.2}")];
+            row.extend(ratios.iter().map(|r| fmt(mean(r))));
+            row.push(fmt(mean(&worst_phase)));
+            table.row(row);
         }
     }
     report.table(table);
+
+    // Adversarial streams: deterministic burst-then-write cycles.
+    let mut adv_table = Table::new(
+        "adversarial burst-write streams (deterministic), ratio vs approx oracle",
+        &{
+            let mut c = vec!["burst"];
+            c.extend(strategy_names.iter().map(|s| s.as_str()));
+            c
+        },
+    );
+    for &burst in &[3usize, 8] {
+        let stream = adversarial_stream(
+            n,
+            &AdversarialConfig {
+                length: 2_000,
+                burst,
+                num_objects: objects,
+            },
+        );
+        let initial: Vec<Vec<usize>> = (0..objects).map(|x| vec![x % n]).collect();
+        let mut zoo = standard_zoo(objects, &cs, stream.len());
+        let comp = compete(
+            &instance,
+            &stream,
+            objects,
+            &StaticOracle::approx(),
+            &mut zoo,
+            &initial,
+            stream.len(),
+        )
+        .expect("approx runs on any network");
+        let mut row = vec![burst.to_string()];
+        row.extend(comp.runs.iter().map(|r| fmt(r.ratio)));
+        adv_table.row(row);
+    }
+    report.table(adv_table);
+
+    // The oracle is engine-agnostic: the same stream scored against two
+    // different registry references.
+    let mut oracle_table = Table::new(
+        "bridge: counting ratio under different oracle engines (one stationary stream)",
+        &["oracle engine", "oracle cost", "counting ratio"],
+    );
+    let gen = WorkloadGen::new(
+        n,
+        WorkloadParams {
+            num_objects: objects,
+            write_fraction: 0.2,
+            active_fraction: 0.4,
+            base_mass: 60.0,
+            ..Default::default()
+        },
+    );
+    let workloads = gen.generate(&mut rng(11_900));
+    let stream = sample_stream(
+        &workloads,
+        &StreamConfig {
+            length: 2_000,
+            ..Default::default()
+        },
+        &mut rng(11_901),
+    );
+    let initial: Vec<Vec<usize>> = (0..objects).map(|x| vec![x % n]).collect();
+    for engine in ["approx", "greedy-local", "sharded:approx"] {
+        let oracle = StaticOracle::with_engine(engine).expect("registered");
+        let mut zoo = standard_zoo(objects, &cs, stream.len());
+        let comp = compete(
+            &instance,
+            &stream,
+            objects,
+            &oracle,
+            &mut zoo,
+            &initial,
+            stream.len(),
+        )
+        .expect("engine runs on this network");
+        oracle_table.row(vec![
+            engine.to_string(),
+            fmt(comp.oracle_cost.total()),
+            fmt(comp.ratio_of("counting").expect("raced")),
+        ]);
+    }
+    report.table(oracle_table);
+
     report.finding(
-        "the counting strategy stays within a small constant of the informed static \
-         placement and beats naive fixed placements; adaptivity matters most on \
-         read-heavy shifting streams"
+        "the adaptive strategies stay within a small constant of the informed static \
+         placement and beat naive fixed placements on shifting streams (per-phase \
+         ratios expose exactly when a fixed placement goes stale); adversarial \
+         burst-write cycles are the worst case for counting-style replication; the \
+         oracle column is engine-agnostic through the registry bridge"
             .to_string(),
     );
     report

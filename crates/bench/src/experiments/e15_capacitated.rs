@@ -42,6 +42,7 @@ fn scenarios() -> Vec<Scenario> {
         },
         seed,
         capacities: Some(CapacitySpec::Uniform { per_node }),
+        stream: None,
     };
     vec![
         build(

@@ -23,9 +23,14 @@
 //! release binary additionally fails below [`MIN_PHASE1_SPEEDUP`].
 
 use dmn_approx::FlSolverKind;
+use dmn_dynamic::bridge::{compete_standard, StaticOracle};
+use dmn_dynamic::report::CompetitiveReport;
+use dmn_dynamic::stream::{sample_stream, StreamConfig};
 use dmn_json::Json;
 use dmn_solve::{solvers, PartitionStrategy, SolveReport, SolveRequest};
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Shard count pinned for the smoke run (small enough for 2-core CI
 /// runners, big enough to exercise a real fan-out and merge).
@@ -41,6 +46,15 @@ pub const SMOKE_CAP_PER_NODE: usize = 1;
 /// search over the seed implementation (the measured ratio is ~10x; the
 /// gate leaves headroom for noisy runners).
 pub const MIN_PHASE1_SPEEDUP: f64 = 5.0;
+
+/// Stationary-stream length of the dynamic gate (`dynamic_ok`): long
+/// enough that empirical frequencies are informative, short enough that
+/// the simulation stays a small fraction of the smoke wall time.
+pub const SMOKE_STREAM_LEN: usize = 4_000;
+
+/// Tolerance of the `dynamic_ok` gate: on a stationary stream every online
+/// strategy must cost at least the informed static oracle, up to fp slack.
+pub const DYNAMIC_RATIO_FLOOR: f64 = 1.0 - 1e-9;
 
 /// The pinned scenario: a 15x15 grid (225 nodes), 32 objects, fixed seed —
 /// big enough that phase 1 dominates and the incremental-vs-seed speedup
@@ -61,6 +75,7 @@ pub fn smoke_scenario() -> Scenario {
         },
         seed: 42,
         capacities: None,
+        stream: None,
     }
 }
 
@@ -77,6 +92,13 @@ pub struct SmokeOutcome {
     /// pinned per-node capacities and costs no more than the greedy
     /// repair of the sequential reference.
     pub capacitated_ok: bool,
+    /// True when every online strategy's empirical competitive ratio
+    /// against the `approx` oracle on the stationary smoke stream is at
+    /// least [`DYNAMIC_RATIO_FLOOR`] (the informed static placement must
+    /// win on stationary streams).
+    pub dynamic_ok: bool,
+    /// The stationary-stream competition backing `dynamic_ok`.
+    pub dynamic: CompetitiveReport,
     /// Seed phase-1 seconds / incremental phase-1 seconds (single-threaded
     /// both sides, best of two runs per side).
     pub phase1_speedup: f64,
@@ -85,8 +107,25 @@ pub struct SmokeOutcome {
 impl SmokeOutcome {
     /// The placement-correctness gate (timing-independent).
     pub fn gate(&self) -> bool {
-        self.costs_match && self.fast_matches_seed && self.capacitated_ok
+        self.costs_match && self.fast_matches_seed && self.capacitated_ok && self.dynamic_ok
     }
+}
+
+/// Races the dynamic strategy zoo against the `approx` oracle on a
+/// stationary stream sampled from the scenario's workloads (the standard
+/// racing convention of `dmn_dynamic::bridge::compete_standard`).
+fn run_dynamic(instance: &dmn_core::instance::Instance, seed: u64) -> CompetitiveReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0D1A_0CC5);
+    let stream = sample_stream(
+        &instance.objects,
+        &StreamConfig {
+            length: SMOKE_STREAM_LEN,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    compete_standard(instance, &stream, &StaticOracle::approx(), stream.len())
+        .expect("approx oracle runs on any network")
 }
 
 /// Wall-clock seconds of one named phase of a report (0 when absent).
@@ -191,6 +230,11 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
     let capacitated_ok = cap_feasible
         && capacitated.cost.total() <= repaired.cost.total() + 1e-6 * repaired.cost.total();
 
+    // The dynamic gate: on a stationary stream the informed static oracle
+    // must win against every online strategy.
+    let dynamic = run_dynamic(&instance, scenario.seed);
+    let dynamic_ok = dynamic.runs.iter().all(|r| r.ratio >= DYNAMIC_RATIO_FLOOR);
+
     let costs_match = sharded.placement == sequential.placement
         && (sharded.cost.total() - sequential.cost.total()).abs() < 1e-9;
     let fast_matches_seed = sequential.placement == seed_ref.placement
@@ -269,9 +313,11 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
                 ("wall_seconds", Json::Num(capacitated.wall_seconds)),
             ]),
         ),
+        ("dynamic", dynamic.to_json()),
         ("costs_match", Json::Bool(costs_match)),
         ("fast_matches_seed", Json::Bool(fast_matches_seed)),
         ("capacitated_ok", Json::Bool(capacitated_ok)),
+        ("dynamic_ok", Json::Bool(dynamic_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
     ]);
     SmokeOutcome {
@@ -279,6 +325,8 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         costs_match,
         fast_matches_seed,
         capacitated_ok,
+        dynamic_ok,
+        dynamic,
         phase1_speedup,
     }
 }
@@ -323,9 +371,22 @@ mod tests {
             outcome.capacitated_ok,
             "capacitated engine infeasible or worse than the greedy repair"
         );
+        assert!(
+            outcome.dynamic_ok,
+            "an online strategy beat the informed static oracle on a stationary stream:\n{}",
+            outcome.dynamic
+        );
+        assert_eq!(outcome.dynamic.runs.len(), 5, "full zoo raced");
         assert!(outcome.gate());
         let rendered = outcome.json.to_string_pretty();
         for needle in [
+            "\"dynamic\"",
+            "\"dynamic_ok\"",
+            "\"oracle_engine\"",
+            "\"rent-to-buy\"",
+            "\"counting+migrate\"",
+            "\"migration\"",
+            "\"phase_ratios\"",
             "\"capacitated\"",
             "\"capacitated_ok\"",
             "\"repair_cost\"",

@@ -43,8 +43,12 @@ impl MigrationStrategy {
 impl DynamicStrategy for MigrationStrategy {
     fn on_request(&mut self, req: &Request, copies: &[NodeId], metric: &Metric) -> Reconfiguration {
         let mut out = Reconfiguration::default();
-        debug_assert_eq!(copies.len(), 1, "migration keeps a single copy");
-        let home = copies[0];
+        // Started from a single copy the set stays single (replicate +
+        // invalidate are atomic); from a multi-copy start the copy
+        // *nearest the requester* is the one that migrates.
+        let (home, _) = metric
+            .nearest_in(req.node, copies)
+            .expect("object has copies");
         if req.node == home {
             return out;
         }

@@ -10,6 +10,11 @@
 //! * **storage rent** — `cs(v) · (steps held / stream length)` per copy,
 //!   so holding a copy for the whole stream costs exactly the static
 //!   `cs(v)`; invalidation is free.
+//!
+//! The simulator is the model authority, mirroring the static problem's
+//! invariants no matter what a strategy proposes: replication onto a
+//! storage-forbidden node (`cs(v) = inf`) is ignored, and an invalidation
+//! that would drop an object's last copy is ignored.
 
 use dmn_core::instance::ObjectWorkload;
 use dmn_graph::mst::metric_mst_weight;
@@ -36,13 +41,30 @@ impl DynamicCost {
     pub fn total(&self) -> f64 {
         self.read + self.write + self.transfer + self.storage
     }
+
+    /// Service (read + write) cost — the "serve" column of reports.
+    pub fn serve(&self) -> f64 {
+        self.read + self.write
+    }
+}
+
+impl std::ops::AddAssign for DynamicCost {
+    fn add_assign(&mut self, rhs: DynamicCost) {
+        self.read += rhs.read;
+        self.write += rhs.write;
+        self.transfer += rhs.transfer;
+        self.storage += rhs.storage;
+    }
 }
 
 /// Simulates `strategy` over `stream`, starting from `initial` copy sets.
 ///
 /// # Panics
-/// Panics when an object's copy set would become empty or a request
-/// references an out-of-range object/node.
+/// Panics when an object *starts* with no copies or a request references
+/// an out-of-range object/node. Mid-stream, the simulator enforces the
+/// model instead of panicking: forbidden replications (and the
+/// invalidations paired with them) and last-copy invalidations are
+/// ignored.
 pub fn simulate(
     metric: &Metric,
     storage_cost: &[f64],
@@ -50,6 +72,43 @@ pub fn simulate(
     stream: &[Request],
     strategy: &mut dyn DynamicStrategy,
 ) -> DynamicCost {
+    let segments = simulate_segmented(
+        metric,
+        storage_cost,
+        initial,
+        stream,
+        strategy,
+        stream.len().max(1),
+    );
+    let mut total = DynamicCost::default();
+    for seg in segments {
+        total += seg;
+    }
+    total
+}
+
+/// Simulates `strategy` over `stream` like [`simulate`], but returns the
+/// cost decomposed into consecutive segments of `segment_len` requests
+/// (the last segment may be shorter). Per-phase empirical competitive
+/// ratios on phase-shifting streams are built on this: pass the stream's
+/// phase length and divide per-segment totals.
+///
+/// Storage rent stays pro-rated over the *whole* stream, so summing the
+/// segments reproduces [`simulate`] exactly.
+///
+/// # Panics
+/// Panics when `segment_len` is zero, an object *starts* with no copies,
+/// or a request references an out-of-range object/node (the same
+/// mid-stream enforcement rules as [`simulate`] apply).
+pub fn simulate_segmented(
+    metric: &Metric,
+    storage_cost: &[f64],
+    initial: &[Vec<NodeId>],
+    stream: &[Request],
+    strategy: &mut dyn DynamicStrategy,
+    segment_len: usize,
+) -> Vec<DynamicCost> {
+    assert!(segment_len > 0, "segment length must be positive");
     let n = metric.len();
     let steps = stream.len().max(1) as f64;
     let mut copies: Vec<Vec<NodeId>> = initial.to_vec();
@@ -58,34 +117,63 @@ pub fn simulate(
         set.dedup();
         assert!(!set.is_empty(), "object {x} starts with no copies");
     }
-    let mut cost = DynamicCost::default();
-    // Storage rent accrues per step per copy.
-    let rent_per_step: Vec<f64> = storage_cost.iter().map(|c| c / steps).collect();
+    let mut segments = vec![DynamicCost::default(); stream.len().div_ceil(segment_len).max(1)];
+    // Steps held per (object, node), flushed into rent at segment ends so
+    // a copy held for the whole stream costs exactly `cs(v) * (T/T)`.
+    let mut held: Vec<Vec<usize>> = vec![vec![0; n]; copies.len()];
+    let flush_rent = |cost: &mut DynamicCost, held: &mut Vec<Vec<usize>>| {
+        for per_object in held.iter_mut() {
+            for (v, h) in per_object.iter_mut().enumerate() {
+                if *h > 0 {
+                    cost.storage += storage_cost[v] * (*h as f64 / steps);
+                    *h = 0;
+                }
+            }
+        }
+    };
 
-    for req in stream {
+    for (i, req) in stream.iter().enumerate() {
+        let seg = i / segment_len;
+        if i > 0 && i % segment_len == 0 {
+            let prev = &mut segments[seg - 1];
+            flush_rent(prev, &mut held);
+        }
+        let cost = &mut segments[seg];
         assert!(req.node < n);
         let set = &mut copies[req.object];
 
-        // Strategy reconfigures first.
+        // Strategy reconfigures first. The simulator is the model
+        // authority: replication onto a storage-forbidden node
+        // (`cs(v) = inf`, exactly the nodes the static engines never
+        // open) is rejected — and when a step's replications are rejected
+        // *entirely*, its invalidations are cancelled too, so a
+        // replicate + invalidate pair (a migration) cannot degrade into a
+        // pure deletion. An invalidation that would drop the last copy is
+        // ignored, mirroring the static model's "every object keeps at
+        // least one copy" invariant.
         let rec = strategy.on_request(req, set, metric);
+        let mut applied = 0usize;
         for &v in &rec.replicate_to {
+            if !storage_cost[v].is_finite() {
+                continue;
+            }
             if set.binary_search(&v).is_err() {
                 let (_, d) = metric.nearest_in(v, set).expect("non-empty");
                 cost.transfer += d;
                 let pos = set.binary_search(&v).unwrap_err();
                 set.insert(pos, v);
             }
+            applied += 1;
         }
-        for &v in &rec.invalidate {
-            if let Ok(pos) = set.binary_search(&v) {
-                set.remove(pos);
+        if rec.replicate_to.is_empty() || applied > 0 {
+            for &v in &rec.invalidate {
+                if set.len() > 1 {
+                    if let Ok(pos) = set.binary_search(&v) {
+                        set.remove(pos);
+                    }
+                }
             }
         }
-        assert!(
-            !set.is_empty(),
-            "strategy dropped the last copy of object {}",
-            req.object
-        );
 
         // Serve.
         let (_, d) = metric.nearest_in(req.node, set).expect("non-empty");
@@ -96,12 +184,18 @@ pub fn simulate(
             }
         }
 
-        // Rent for this step.
-        for &v in set.iter() {
-            cost.storage += rent_per_step[v];
+        // Rent for this step: every object's held copies accrue, not just
+        // the requested one's.
+        for (x, set) in copies.iter().enumerate() {
+            for &v in set.iter() {
+                held[x][v] += 1;
+            }
         }
     }
-    cost
+    if let Some(last) = segments.last_mut() {
+        flush_rent(last, &mut held);
+    }
+    segments
 }
 
 /// Convenience: the cost a static placement incurs on a stream (a

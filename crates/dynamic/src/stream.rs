@@ -93,6 +93,61 @@ pub fn sample_stream(
     out
 }
 
+/// Configuration of a deterministic adversarial stream.
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// Number of requests to generate.
+    pub length: usize,
+    /// Reads issued from a node before the adversary moves on.
+    pub burst: usize,
+    /// Number of objects the requests cycle over.
+    pub num_objects: usize,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            length: 1000,
+            burst: 4,
+            num_objects: 1,
+        }
+    }
+}
+
+/// A deterministic adversarial stream in the style of the online lower
+/// bounds: for each object, a burst of `burst` reads from a rotating node
+/// is followed by one write from the node "opposite" it (`+ n/2 mod n`).
+/// The write lands right after a count-based strategy has earned its
+/// replica, so replication investments are destroyed as soon as they are
+/// made, and no fixed placement is good for long either.
+///
+/// # Panics
+/// Panics when `n == 0`, `burst == 0`, or `num_objects == 0`.
+pub fn adversarial_stream(n: usize, cfg: &AdversarialConfig) -> Vec<Request> {
+    assert!(n > 0 && cfg.burst > 0 && cfg.num_objects > 0);
+    let cycle = cfg.burst + 1;
+    (0..cfg.length)
+        .map(|i| {
+            let object = (i / cycle) % cfg.num_objects;
+            let round = i / (cycle * cfg.num_objects);
+            let reader = (round * 7 + 3 * object) % n;
+            if i % cycle < cfg.burst {
+                Request {
+                    node: reader,
+                    object,
+                    kind: RequestKind::Read,
+                }
+            } else {
+                Request {
+                    node: (reader + n / 2) % n,
+                    object,
+                    kind: RequestKind::Write,
+                }
+            }
+        })
+        .collect()
+}
+
 /// Empirical per-object workloads of a stream (unit mass per request) —
 /// what a static oracle gets to see.
 pub fn empirical_workloads(

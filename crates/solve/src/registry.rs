@@ -23,9 +23,11 @@ pub mod solvers {
         ]
     }
 
-    /// Registry names of the base engines (the valid inner names for
-    /// `sharded:<inner>` lookups).
-    pub(crate) fn base_names() -> Vec<&'static str> {
+    /// Registry names of the base (non-meta) engines — the valid `<inner>`
+    /// spellings for the `sharded:<inner>` and `cap:<inner>` meta-engine
+    /// prefixes. Tools enumerating composable solver names (the `sweep`
+    /// binary, the dynamic oracle bridge) advertise these.
+    pub fn base_names() -> Vec<&'static str> {
         base_all().iter().map(|s| s.name()).collect()
     }
 

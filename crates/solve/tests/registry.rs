@@ -33,6 +33,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64) -> Scenario {
         },
         seed,
         capacities: None,
+        stream: None,
     }
 }
 

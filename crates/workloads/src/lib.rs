@@ -9,5 +9,5 @@
 pub mod scenario;
 pub mod workload;
 
-pub use scenario::{CapacitySpec, Scenario, TopologyKind};
+pub use scenario::{CapacitySpec, Scenario, StreamSpec, TopologyKind};
 pub use workload::{WorkloadGen, WorkloadParams};

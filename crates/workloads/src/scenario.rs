@@ -47,6 +47,29 @@ pub enum CapacitySpec {
     Explicit(Vec<usize>),
 }
 
+/// Request-stream parameters of a dynamic (online) scenario run: how the
+/// competitive-analysis harness samples a stream from the scenario's
+/// workloads. Scenarios without a spec use [`StreamSpec::default`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Number of requests to sample.
+    pub length: usize,
+    /// Stationary phases (1 = stationary; more = phase-shifting).
+    pub phases: usize,
+    /// Node-id rotation applied at each phase change.
+    pub phase_shift: usize,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            length: 2_000,
+            phases: 1,
+            phase_shift: 0,
+        }
+    }
+}
+
 /// A reproducible experiment scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -66,6 +89,9 @@ pub struct Scenario {
     /// Optional per-node copy capacities (a capacitated scenario); `None`
     /// leaves memory unbounded, the paper's base model.
     pub capacities: Option<CapacitySpec>,
+    /// Optional request-stream spec for dynamic (online) runs; `None`
+    /// means the harness default.
+    pub stream: Option<StreamSpec>,
 }
 
 impl Scenario {
@@ -160,6 +186,16 @@ impl Scenario {
                 ]),
             )),
         }
+        if let Some(stream) = &self.stream {
+            fields.push((
+                "stream",
+                Json::obj([
+                    ("length", Json::Num(stream.length as f64)),
+                    ("phases", Json::Num(stream.phases as f64)),
+                    ("phase_shift", Json::Num(stream.phase_shift as f64)),
+                ]),
+            ));
+        }
         Json::obj(fields)
     }
 
@@ -223,6 +259,14 @@ impl Scenario {
                 })
             }
         };
+        let stream = match json.get("stream") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(StreamSpec {
+                length: num_field(s, "length")? as usize,
+                phases: num_field(s, "phases")? as usize,
+                phase_shift: num_field(s, "phase_shift")? as usize,
+            }),
+        };
         Ok(Scenario {
             name: str_field("name")?.to_string(),
             topology,
@@ -240,7 +284,47 @@ impl Scenario {
                 .parse()
                 .map_err(|e| format!("bad seed: {e}"))?,
             capacities,
+            stream,
         })
+    }
+
+    /// The stream spec of the scenario, or the harness default.
+    pub fn stream_spec(&self) -> StreamSpec {
+        self.stream.clone().unwrap_or_default()
+    }
+
+    /// Loads every `*.json` scenario of a corpus directory, sorted by file
+    /// name, as `(file stem, scenario)` pairs — the one loader behind the
+    /// sweep binary, the corpus example, and the corpus tests.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending path when the directory is
+    /// unreadable or a file fails to parse.
+    pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<(String, Scenario)>, String> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("corpus at {}: {e}", dir.display()))?;
+        let mut paths = Vec::new();
+        for entry in entries {
+            let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+            if path.extension().is_some_and(|ext| ext == "json") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        paths
+            .iter()
+            .map(|path| {
+                let err = |e| format!("{}: {e}", path.display());
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                let text = std::fs::read_to_string(path).map_err(|e| err(e.to_string()))?;
+                let json = dmn_json::parse(&text).map_err(|e| err(e.to_string()))?;
+                Ok((stem, Scenario::from_json(&json).map_err(err)?))
+            })
+            .collect()
     }
 
     /// The per-node capacity vector for a built network of `n` nodes, when
@@ -298,6 +382,7 @@ mod tests {
             },
             seed: 42,
             capacities: None,
+            stream: None,
         }
     }
 
@@ -378,6 +463,25 @@ mod tests {
         let mut s = scenario(TopologyKind::Path, 5);
         s.capacities = Some(CapacitySpec::Explicit(vec![1, 1]));
         let _ = s.capacity_vector(5);
+    }
+
+    #[test]
+    fn stream_spec_roundtrips_and_defaults() {
+        let mut s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
+        assert_eq!(s.stream, None);
+        assert_eq!(s.stream_spec(), StreamSpec::default());
+        let json = s.to_json().to_string_pretty();
+        assert!(!json.contains("stream"), "{json}");
+
+        s.stream = Some(StreamSpec {
+            length: 5_000,
+            phases: 4,
+            phase_shift: 3,
+        });
+        let back = Scenario::from_json(&dmn_json::parse(&s.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back.stream, s.stream);
+        assert_eq!(back.stream_spec().phases, 4);
     }
 
     #[test]

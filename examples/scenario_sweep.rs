@@ -13,7 +13,6 @@
 //! cargo run --release --example scenario_sweep
 //! ```
 
-use std::fs;
 use std::path::PathBuf;
 
 use dmn::prelude::*;
@@ -23,25 +22,15 @@ const SOLVERS: [&str; 4] = ["approx", "greedy-local", "best-single", "full-repli
 
 fn main() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios");
-    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("scenarios/ corpus missing at {}: {e}", dir.display()))
-        .map(|entry| entry.expect("readable directory entry").path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-        .collect();
-    paths.sort();
-    assert!(paths.len() >= 6, "the corpus ships at least six scenarios");
+    let corpus = Scenario::load_corpus(&dir).unwrap_or_else(|e| panic!("{e}"));
+    assert!(corpus.len() >= 6, "the corpus ships at least six scenarios");
 
     print!("{:<28} {:>5} {:>4}", "scenario", "nodes", "cap");
     for name in SOLVERS {
         print!(" {name:>16}");
     }
     println!(" {:>16}", "capacitated");
-    for path in &paths {
-        let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let scenario = Scenario::from_json(
-            &dmn_json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display())),
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    for (_, scenario) in &corpus {
         let instance = scenario.build_instance();
         let n = instance.num_nodes();
         let cap = scenario.capacity_vector(n);

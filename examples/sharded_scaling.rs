@@ -23,6 +23,7 @@ fn main() {
         },
         seed: 7,
         capacities: None,
+        stream: None,
     };
     let instance = scenario.build_instance();
 
