@@ -68,8 +68,11 @@ fn main() {
 }
 
 /// The CI perf gate: writes `BENCH_ci.json` and fails on a placement
-/// mismatch (sharded vs sequential, or incremental vs seed local search) —
-/// and, in release builds, on a phase-1 speedup below the pinned floor.
+/// mismatch (sharded vs sequential, or incremental vs seed local search),
+/// a skewed shard partition, or a server replay whose post-swap costs
+/// deviate from from-scratch solves — and, in release builds, on a
+/// phase-1 speedup, server lookup throughput, or re-solve latency
+/// outside the pinned envelope.
 fn run_perf_smoke(args: &[String]) {
     let mut out = "BENCH_ci.json".to_string();
     let mut it = args.iter();
@@ -119,7 +122,23 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
-    // Timing gate only where timings mean something (release, as in CI) —
+    if !outcome.shards_balanced {
+        eprintln!(
+            "perf-smoke: cost-weighted shard partition is SKEWED {:.3}x (max/min shard \
+             cost; ceiling {:.2}, see {out})",
+            outcome.shard_cost_skew,
+            dmn_bench::perf_smoke::MAX_SHARD_COST_SKEW
+        );
+        std::process::exit(1);
+    }
+    if !outcome.server_ok {
+        eprintln!(
+            "perf-smoke: server replay FAILED — post-swap cost deviated from the \
+             from-scratch solve or too few re-solves completed (see {out})"
+        );
+        std::process::exit(1);
+    }
+    // Timing gates only where timings mean something (release, as in CI) —
     // checked before the success line so a failing job never logs one.
     if !cfg!(debug_assertions) && outcome.phase1_speedup < dmn_bench::perf_smoke::MIN_PHASE1_SPEEDUP
     {
@@ -130,11 +149,33 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
+    if !cfg!(debug_assertions)
+        && outcome.server.lookups_per_sec < dmn_bench::perf_smoke::MIN_SERVER_LOOKUPS_PER_SEC
+    {
+        eprintln!(
+            "perf-smoke: server sustained {:.0} lookups/s, below the {:.0} floor",
+            outcome.server.lookups_per_sec,
+            dmn_bench::perf_smoke::MIN_SERVER_LOOKUPS_PER_SEC
+        );
+        std::process::exit(1);
+    }
+    if !cfg!(debug_assertions)
+        && outcome.server.max_resolve_seconds > dmn_bench::perf_smoke::MAX_SERVER_RESOLVE_SECONDS
+    {
+        eprintln!(
+            "perf-smoke: worst server re-solve took {:.2}s, above the {:.1}s ceiling",
+            outcome.server.max_resolve_seconds,
+            dmn_bench::perf_smoke::MAX_SERVER_RESOLVE_SECONDS
+        );
+        std::process::exit(1);
+    }
     println!(
         "perf-smoke: placements match (sharded == sequential, incremental == seed); \
          capacitated feasible and <= greedy repair; every online strategy >= the \
-         static oracle on the stationary stream; phase-1 speedup {:.1}x; artifact at {out}",
-        outcome.phase1_speedup
+         static oracle on the stationary stream; shard cost skew {:.2}x; server \
+         sustained {:.0} lookups/s with post-swap costs equal to from-scratch; \
+         phase-1 speedup {:.1}x; artifact at {out}",
+        outcome.shard_cost_skew, outcome.server.lookups_per_sec, outcome.phase1_speedup
     );
 }
 
@@ -253,6 +294,7 @@ fn run_solver_bench(args: &[String]) {
             capacities: cap_per_node
                 .map(|per_node| dmn_workloads::CapacitySpec::Uniform { per_node }),
             stream: None,
+            drift: None,
         };
         let instance = scenario.build_instance();
         let req = match scenario.capacity_vector(instance.num_nodes()) {

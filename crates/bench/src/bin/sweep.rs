@@ -133,18 +133,18 @@ fn sweep_scenario(scenario: &Scenario) -> Json {
         req = req.capacities(cap.clone());
     }
 
-    // Static: every registry engine, probed.
+    // Static: every registry engine, probed. Supported engines emit the
+    // shared `SolveReport::to_json` document (same field names as the
+    // perf-smoke artifact and the server status endpoint).
     let static_rows = Json::arr(solvers::all().iter().map(
         |solver| match solver.supports(&instance) {
             Ok(()) => {
                 let report = solver.solve(&instance, &req);
-                Json::obj([
-                    ("solver", Json::Str(solver.name().to_string())),
-                    ("supported", Json::Bool(true)),
-                    ("total_cost", Json::Num(report.cost.total())),
-                    ("total_copies", Json::Num(report.total_copies() as f64)),
-                    ("wall_seconds", Json::Num(report.wall_seconds)),
-                ])
+                let mut row = report.to_json();
+                if let Json::Obj(map) = &mut row {
+                    map.insert("supported".into(), Json::Bool(true));
+                }
+                row
             }
             Err(why) => Json::obj([
                 ("solver", Json::Str(solver.name().to_string())),

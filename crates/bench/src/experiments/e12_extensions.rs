@@ -84,6 +84,7 @@ pub fn run() -> Report {
         seed: 12,
         capacities: None,
         stream: None,
+        drift: None,
     };
     let instance = scenario.build_instance();
     let unconstrained = place_all(&instance, &ApproxConfig::default());

@@ -41,6 +41,7 @@ pub fn run() -> Report {
             seed: 1300,
             capacities: None,
             stream: None,
+            drift: None,
         };
         let instance = scenario.build_instance();
         instance.metric(); // pay the APSP once, outside the timed region

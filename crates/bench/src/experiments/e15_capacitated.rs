@@ -43,6 +43,7 @@ fn scenarios() -> Vec<Scenario> {
         seed,
         capacities: Some(CapacitySpec::Uniform { per_node }),
         stream: None,
+        drift: None,
     };
     vec![
         build(

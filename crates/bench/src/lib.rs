@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod perf_smoke;
 pub mod report;
 pub mod runner;
+pub mod server_bench;
 
 pub use report::{Report, Table};
 pub use runner::{par_sweep, seed_range};

@@ -16,11 +16,21 @@
 //! * `capacitated_ok` — under the pinned per-node copy capacities the
 //!   native `capacitated` engine must stay feasible and cost no more than
 //!   the greedy repair of the sequential reference (its margin is
-//!   recorded in the artifact's `capacitated` section).
+//!   recorded in the artifact's `capacitated` section);
+//! * `shards_balanced` — the sharded run (cost-weighted LPT partition)
+//!   must keep the max/min shard-cost ratio under
+//!   [`MAX_SHARD_COST_SKEW`] (round-robin skewed shard 0 to ~1.8x
+//!   shard 3 on this scenario);
+//! * `server_ok` — the placement server must survive the drift-trace
+//!   replay (`server` section): every post-swap snapshot cost equals a
+//!   from-scratch solve of the drifted instance within 1e-9, with at
+//!   least [`server_bench::REPLAY_SEGMENTS`] completed re-solves.
 //!
 //! The measured `phase1_speedup` (seed phase-1 seconds / incremental
 //! phase-1 seconds, both single-threaded) is recorded in the artifact; the
-//! release binary additionally fails below [`MIN_PHASE1_SPEEDUP`].
+//! release binary additionally fails below [`MIN_PHASE1_SPEEDUP`], below
+//! [`MIN_SERVER_LOOKUPS_PER_SEC`] sustained server lookups, or above
+//! [`MAX_SERVER_RESOLVE_SECONDS`] of re-solve latency.
 
 use dmn_approx::FlSolverKind;
 use dmn_dynamic::bridge::{compete_standard, StaticOracle};
@@ -28,9 +38,11 @@ use dmn_dynamic::report::CompetitiveReport;
 use dmn_dynamic::stream::{sample_stream, StreamConfig};
 use dmn_json::Json;
 use dmn_solve::{solvers, PartitionStrategy, SolveReport, SolveRequest};
-use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
+use dmn_workloads::{DriftSpec, Scenario, TopologyKind, WorkloadParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+use crate::server_bench;
 
 /// Shard count pinned for the smoke run (small enough for 2-core CI
 /// runners, big enough to exercise a real fan-out and merge).
@@ -56,6 +68,21 @@ pub const SMOKE_STREAM_LEN: usize = 4_000;
 /// strategy must cost at least the informed static oracle, up to fp slack.
 pub const DYNAMIC_RATIO_FLOOR: f64 = 1.0 - 1e-9;
 
+/// Ceiling on the sharded run's max/min shard-cost ratio. The
+/// cost-weighted LPT partition lands at ~1.10 on the pinned scenario
+/// (round-robin was ~1.76); the gate leaves room for workload bumps.
+pub const MAX_SHARD_COST_SKEW: f64 = 1.35;
+
+/// Release-mode floor on sustained server lookups/second during the
+/// drift-trace replay (measured well above 10M/s; the floor is the
+/// "memory speed" acceptance bar with generous runner headroom).
+pub const MIN_SERVER_LOOKUPS_PER_SEC: f64 = 1_000_000.0;
+
+/// Release-mode ceiling on the server's worst re-solve latency over the
+/// replay (a warm-started approx solve of the pinned scenario is well
+/// under a second on CI runners).
+pub const MAX_SERVER_RESOLVE_SECONDS: f64 = 5.0;
+
 /// The pinned scenario: a 15x15 grid (225 nodes), 32 objects, fixed seed —
 /// big enough that phase 1 dominates and the incremental-vs-seed speedup
 /// is meaningful. Changing it invalidates cross-run timing comparisons,
@@ -76,6 +103,9 @@ pub fn smoke_scenario() -> Scenario {
         seed: 42,
         capacities: None,
         stream: None,
+        // The server replay: ~1.2M lookups with 60 drift events — the
+        // "million-user" trace of the acceptance gate.
+        drift: Some(DriftSpec::default()),
     }
 }
 
@@ -99,6 +129,17 @@ pub struct SmokeOutcome {
     pub dynamic_ok: bool,
     /// The stationary-stream competition backing `dynamic_ok`.
     pub dynamic: CompetitiveReport,
+    /// True when the sharded run's max/min shard-cost ratio stays under
+    /// [`MAX_SHARD_COST_SKEW`] (the cost-weighted partition gate).
+    pub shards_balanced: bool,
+    /// The measured max/min shard-cost ratio of the sharded run.
+    pub shard_cost_skew: f64,
+    /// True when the server replay's post-swap costs all equal the
+    /// from-scratch solves (1e-9) and the run completed at least
+    /// [`server_bench::REPLAY_SEGMENTS`] re-solves.
+    pub server_ok: bool,
+    /// The server drift-trace replay backing `server_ok`.
+    pub server: server_bench::ReplayOutcome,
     /// Seed phase-1 seconds / incremental phase-1 seconds (single-threaded
     /// both sides, best of two runs per side).
     pub phase1_speedup: f64,
@@ -107,7 +148,12 @@ pub struct SmokeOutcome {
 impl SmokeOutcome {
     /// The placement-correctness gate (timing-independent).
     pub fn gate(&self) -> bool {
-        self.costs_match && self.fast_matches_seed && self.capacitated_ok && self.dynamic_ok
+        self.costs_match
+            && self.fast_matches_seed
+            && self.capacitated_ok
+            && self.dynamic_ok
+            && self.shards_balanced
+            && self.server_ok
     }
 }
 
@@ -145,47 +191,6 @@ fn meta_count(report: &SolveReport, key: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
-fn report_json(report: &SolveReport) -> Json {
-    Json::obj([
-        ("solver", Json::Str(report.solver.to_string())),
-        (
-            "fl_backend",
-            Json::Str(report.meta_value("fl-backend").unwrap_or("-").to_string()),
-        ),
-        ("total_cost", Json::Num(report.cost.total())),
-        ("storage_cost", Json::Num(report.cost.storage)),
-        ("read_cost", Json::Num(report.cost.read)),
-        ("update_cost", Json::Num(report.cost.update())),
-        ("total_copies", Json::Num(report.total_copies() as f64)),
-        ("wall_seconds", Json::Num(report.wall_seconds)),
-        ("fl_moves", Json::Num(meta_count(report, "fl-moves"))),
-        (
-            "fl_candidates",
-            Json::Num(meta_count(report, "fl-candidates")),
-        ),
-        (
-            "phases",
-            Json::arr(report.phases.iter().map(|p| {
-                Json::obj([
-                    ("name", Json::Str(p.name.to_string())),
-                    ("seconds", Json::Num(p.seconds)),
-                ])
-            })),
-        ),
-        (
-            "shards",
-            Json::arr(report.shard_stats.iter().map(|s| {
-                Json::obj([
-                    ("shard", Json::Num(s.shard as f64)),
-                    ("objects", Json::Num(s.objects as f64)),
-                    ("seconds", Json::Num(s.seconds)),
-                    ("cost", Json::Num(s.cost)),
-                ])
-            })),
-        ),
-    ])
-}
-
 /// Runs the smoke comparison on the pinned scenario.
 pub fn run() -> SmokeOutcome {
     run_with(&smoke_scenario(), SMOKE_SHARDS)
@@ -209,12 +214,18 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
     let seed_ref = approx.solve(&instance, &seed_req);
     let seed_ref2 = approx.solve(&instance, &seed_req);
     let warm = approx.solve(&instance, &one_thread.clone().fl_warm_start(true));
+    // Cost-weighted (LPT) partition: round-robin left shard 0 at ~1.8x
+    // shard 3's cost on this scenario; sorting objects descending by
+    // request mass before the greedy bin assignment balances the shards
+    // without changing the merged placement.
     let sharded_req = SolveRequest::new()
         .shards(shards)
-        .partition(PartitionStrategy::RoundRobin);
+        .partition(PartitionStrategy::CostWeighted);
     let sharded = solvers::by_name("sharded-approx")
         .expect("sharded-approx registered")
         .solve(&instance, &sharded_req);
+    let shard_cost_skew = sharded.shard_cost_skew();
+    let shards_balanced = shard_cost_skew <= MAX_SHARD_COST_SKEW;
 
     // The capacitated gate: the native engine must stay feasible and
     // never exceed the greedy-repair baseline on the same request.
@@ -234,6 +245,13 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
     // must win against every online strategy.
     let dynamic = run_dynamic(&instance, scenario.seed);
     let dynamic_ok = dynamic.runs.iter().all(|r| r.ratio >= DYNAMIC_RATIO_FLOOR);
+
+    // The server gate: replay the scenario's drift trace against the
+    // placement daemon; every post-swap snapshot must cost exactly what
+    // a from-scratch solve of the drifted instance costs.
+    let server = server_bench::replay_scenario(scenario, None);
+    let server_ok =
+        server.cost_matches_scratch && server.resolves >= server_bench::REPLAY_SEGMENTS as u64;
 
     let costs_match = sharded.placement == sequential.placement
         && (sharded.cost.total() - sequential.cost.total()).abs() < 1e-9;
@@ -264,10 +282,10 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         (
             "solvers",
             Json::arr([
-                report_json(&sequential),
-                report_json(&sharded),
-                report_json(&seed_ref),
-                report_json(&warm),
+                sequential.to_json(),
+                sharded.to_json(),
+                seed_ref.to_json(),
+                warm.to_json(),
             ]),
         ),
         (
@@ -314,10 +332,14 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
             ]),
         ),
         ("dynamic", dynamic.to_json()),
+        ("server", server.to_json()),
         ("costs_match", Json::Bool(costs_match)),
         ("fast_matches_seed", Json::Bool(fast_matches_seed)),
         ("capacitated_ok", Json::Bool(capacitated_ok)),
         ("dynamic_ok", Json::Bool(dynamic_ok)),
+        ("shards_balanced", Json::Bool(shards_balanced)),
+        ("shard_cost_skew", Json::Num(shard_cost_skew)),
+        ("server_ok", Json::Bool(server_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
     ]);
     SmokeOutcome {
@@ -327,6 +349,10 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         capacitated_ok,
         dynamic_ok,
         dynamic,
+        shards_balanced,
+        shard_cost_skew,
+        server_ok,
+        server,
         phase1_speedup,
     }
 }
@@ -355,6 +381,13 @@ mod tests {
             },
             topology: TopologyKind::Grid { rows: 7, cols: 7 },
             nodes: 49,
+            // A scaled-down replay so the debug-mode server gate stays
+            // fast while still crossing the drift threshold repeatedly.
+            drift: Some(DriftSpec {
+                lookups: 30_000,
+                drift_events: 12,
+                ..DriftSpec::default()
+            }),
             ..smoke_scenario()
         }
     }
@@ -377,6 +410,21 @@ mod tests {
             outcome.dynamic
         );
         assert_eq!(outcome.dynamic.runs.len(), 5, "full zoo raced");
+        assert!(
+            outcome.shards_balanced,
+            "cost-weighted shards skewed to {:.3}",
+            outcome.shard_cost_skew
+        );
+        assert!(
+            outcome.server_ok,
+            "server replay failed: {:?}",
+            outcome.server
+        );
+        assert!(
+            outcome.server.cost_matches_scratch,
+            "swap costs deviated from from-scratch solves: {:?}",
+            outcome.server.swap_checks
+        );
         assert!(outcome.gate());
         let rendered = outcome.json.to_string_pretty();
         for needle in [
@@ -404,12 +452,53 @@ mod tests {
             "\"fl_candidates\"",
             "\"local-search-ref\"",
             "\"local-search-warm\"",
+            "\"server\"",
+            "\"server_ok\"",
+            "\"lookups_per_sec\"",
+            "\"cost_matches_scratch\"",
+            "\"max_resolve_seconds\"",
+            "\"shards_balanced\"",
+            "\"shard_cost_skew\"",
         ] {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");
         }
         // Round-trips through the parser (CI consumers can load it).
         let parsed = dmn_json::parse(&rendered).expect("valid JSON");
         assert!(matches!(parsed, Json::Obj(_)));
+    }
+
+    /// Satellite pin of the shard-rebalance fix on the *full* smoke
+    /// scenario: partitioning needs no solve, so this runs the real 225
+    /// node / 32 object split. Round-robin is the skew the fix removed;
+    /// LPT must stay near-balanced by request mass (the quantity the
+    /// per-shard cost tracks).
+    #[test]
+    fn cost_weighted_partition_rebalances_the_smoke_shards() {
+        let instance = smoke_scenario().build_instance();
+        let mass_skew = |strategy: PartitionStrategy| -> f64 {
+            let parts = dmn_solve::sharded::partition_objects(&instance, SMOKE_SHARDS, strategy);
+            let masses: Vec<f64> = parts
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|&x| instance.objects[x].total_requests())
+                        .sum()
+                })
+                .collect();
+            let max = masses.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = masses.iter().copied().fold(f64::INFINITY, f64::min);
+            max / min
+        };
+        let round_robin = mass_skew(PartitionStrategy::RoundRobin);
+        let lpt = mass_skew(PartitionStrategy::CostWeighted);
+        assert!(
+            round_robin > 1.5,
+            "round-robin no longer skews ({round_robin:.3}); revisit the gate"
+        );
+        assert!(
+            lpt < 1.1,
+            "LPT partition skewed to {lpt:.3} (round-robin: {round_robin:.3})"
+        );
     }
 
     #[test]

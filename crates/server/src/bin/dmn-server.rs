@@ -1,0 +1,296 @@
+//! The placement daemon and its replay client.
+//!
+//! ```text
+//! # Serve a scenario over TCP (solves it once, then streams epochs):
+//! cargo run --release -p dmn-server -- serve scenarios/ring_small.json \
+//!     --addr 127.0.0.1:7411 [--solver approx] [--threshold 0.02]
+//!
+//! # Replay a synthetic trace against a running daemon:
+//! cargo run --release -p dmn-server -- replay scenarios/ring_small.json \
+//!     --addr 127.0.0.1:7411 [--lookups 5000] [--seed 42] [--quit]
+//! ```
+//!
+//! The replay client generates the same zipf-with-drift trace the bench
+//! driver uses (`dmn_workloads::sample_trace`), pipelines it over the
+//! line protocol, verifies every response is `"ok": true`, forces a
+//! final re-solve, and checks the status document — exiting non-zero on
+//! any failure, which is what CI gates on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use dmn_json::Json;
+use dmn_server::tcp::Request;
+use dmn_server::{Event, ServerConfig, ServerHandle};
+use dmn_workloads::{sample_trace, Scenario, TraceConfig, TraceOp};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dmn-server serve  SCENARIO.json [--addr HOST:PORT] [--solver NAME]\n\
+         \x20                                    [--threshold FRACTION] [--no-background]\n\
+         \x20      dmn-server replay SCENARIO.json [--addr HOST:PORT] [--lookups N]\n\
+         \x20                                    [--drift-events N] [--seed S] [--quit]\n\n\
+         serve:  load the scenario, solve it once through the dmn-solve registry,\n\
+         \x20       and answer the line-delimited JSON protocol until a 'quit'.\n\
+         replay: generate the scenario's zipf-with-drift trace, pipeline it to a\n\
+         \x20       running daemon, and verify every response (exit 1 on failure)."
+    );
+    std::process::exit(2);
+}
+
+fn load_scenario(path: &str) -> Scenario {
+    let text =
+        std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let json = dmn_json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    Scenario::from_json(&json).unwrap_or_else(|e| panic!("scenario {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((mode, rest)) = args.split_first() else {
+        usage()
+    };
+    match mode.as_str() {
+        "serve" => serve(rest),
+        "replay" => replay(rest),
+        _ => usage(),
+    }
+}
+
+fn parse_flags(
+    args: &[String],
+    mut on_flag: impl FnMut(&str, &mut dyn FnMut() -> String) -> bool,
+) -> String {
+    let mut scenario = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {arg}");
+                        usage()
+                    })
+                    .clone()
+            };
+            if !on_flag(arg.as_str(), &mut value) {
+                usage();
+            }
+        } else if scenario.is_none() {
+            scenario = Some(arg.clone());
+        } else {
+            usage();
+        }
+    }
+    scenario.unwrap_or_else(|| usage())
+}
+
+fn serve(args: &[String]) {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut threshold_override = None;
+    let scenario_path = parse_flags(args, |flag, value| match flag {
+        "--addr" => {
+            addr = value();
+            true
+        }
+        "--solver" => {
+            cfg.solver = value();
+            true
+        }
+        "--threshold" => {
+            threshold_override = Some(value().parse::<f64>().expect("numeric threshold"));
+            true
+        }
+        "--no-background" => {
+            cfg.background = false;
+            true
+        }
+        _ => false,
+    });
+
+    let scenario = load_scenario(&scenario_path);
+    cfg.resolve_threshold = threshold_override.unwrap_or(scenario.drift_spec().resolve_threshold);
+    let instance = scenario.build_instance();
+    let solver = cfg.solver.clone();
+    let server = ServerHandle::start(&instance, cfg).unwrap_or_else(|e| panic!("start: {e}"));
+    let listener =
+        std::net::TcpListener::bind(&addr).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    println!(
+        "dmn-server: serving '{}' via {solver} on {addr} ({} nodes, {} objects, epoch {})",
+        scenario.name,
+        instance.num_nodes(),
+        instance.num_objects(),
+        server.epoch()
+    );
+    dmn_server::tcp::serve(listener, server.clone()).unwrap_or_else(|e| panic!("serve: {e}"));
+    server.shutdown();
+    let stats = server.stats();
+    println!(
+        "dmn-server: stopped at epoch {} ({} lookups, {} events, {} re-solves)",
+        server.epoch(),
+        stats.lookups,
+        stats.events,
+        stats.resolves
+    );
+}
+
+/// Connects with retries so CI can start client and daemon concurrently
+/// (the daemon only listens after its initial solve).
+fn connect_with_retry(addr: &str, budget: Duration) -> TcpStream {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    panic!("connect {addr}: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+fn replay(args: &[String]) {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut lookups = None;
+    let mut drift_events = None;
+    let mut seed = 42u64;
+    let mut quit = false;
+    let scenario_path = parse_flags(args, |flag, value| match flag {
+        "--addr" => {
+            addr = value();
+            true
+        }
+        "--lookups" => {
+            lookups = Some(value().parse::<usize>().expect("numeric lookup count"));
+            true
+        }
+        "--drift-events" => {
+            drift_events = Some(value().parse::<usize>().expect("numeric event count"));
+            true
+        }
+        "--seed" => {
+            seed = value().parse::<u64>().expect("numeric seed");
+            true
+        }
+        "--quit" => {
+            quit = true;
+            true
+        }
+        _ => false,
+    });
+
+    let scenario = load_scenario(&scenario_path);
+    let drift = scenario.drift_spec();
+    let instance = scenario.build_instance();
+    let cfg = TraceConfig {
+        lookups: lookups.unwrap_or_else(|| drift.lookups.min(20_000)),
+        drift_events: drift_events.unwrap_or_else(|| drift.drift_events.min(20)),
+        drift_mass: drift.drift_mass,
+        hotspot_shift: instance.num_nodes() / 5 + 1,
+        ..TraceConfig::default()
+    };
+    let trace = sample_trace(
+        &instance.objects,
+        &cfg,
+        &mut ChaCha8Rng::seed_from_u64(seed),
+    );
+
+    let stream = connect_with_retry(&addr, Duration::from_secs(60));
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut failures = 0usize;
+    let mut line = String::new();
+    let mut sent = 0usize;
+    let t0 = Instant::now();
+    // Pipeline in bounded batches: small enough that the server's queued
+    // responses never fill the socket buffer while we are still writing.
+    for batch in trace.chunks(128) {
+        let mut block = String::new();
+        for op in batch {
+            let request = match *op {
+                TraceOp::Lookup { object, node } => Request::Lookup {
+                    object: object as u64,
+                    node,
+                },
+                TraceOp::Delta {
+                    object,
+                    node,
+                    read_delta,
+                    write_delta,
+                } => Request::Event(Event::DemandDelta {
+                    object: object as u64,
+                    node,
+                    read_delta,
+                    write_delta,
+                }),
+            };
+            block.push_str(&request.to_json().to_string_compact());
+            block.push('\n');
+        }
+        writer.write_all(block.as_bytes()).expect("send batch");
+        for _ in batch {
+            line.clear();
+            reader.read_line(&mut line).expect("read response");
+            sent += 1;
+            if !line.contains("\"ok\": true") && !line.contains("\"ok\":true") {
+                failures += 1;
+                if failures <= 5 {
+                    eprintln!("replay: op {sent} failed: {}", line.trim());
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Force a final re-solve so the status reflects the drifted demand,
+    // then sanity-check the status document itself.
+    for request in [Request::Resolve, Request::Status] {
+        writeln!(writer, "{}", request.to_json().to_string_compact()).expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("read response");
+        let doc = dmn_json::parse(&line).expect("status is valid JSON");
+        if doc.get("ok") != Some(&Json::Bool(true)) {
+            failures += 1;
+            eprintln!("replay: {:?} failed: {}", request, line.trim());
+        } else if request == Request::Status {
+            let epoch = doc.get("epoch").and_then(Json::as_usize).unwrap_or(0);
+            let resolves = doc.get("resolves").and_then(Json::as_usize).unwrap_or(0);
+            let cost = doc.get("cost_total").and_then(Json::as_f64).unwrap_or(-1.0);
+            println!(
+                "replay: {} ops in {elapsed:.3}s ({:.0} ops/s over TCP), \
+                 server at epoch {epoch} after {resolves} re-solves, cost {cost:.2}",
+                trace.len(),
+                trace.len() as f64 / elapsed.max(1e-9)
+            );
+            if epoch < 2 || resolves < 1 {
+                failures += 1;
+                eprintln!(
+                    "replay: expected at least one re-solve, status: {}",
+                    line.trim()
+                );
+            }
+            if cost <= 0.0 {
+                failures += 1;
+                eprintln!("replay: non-positive cost in status: {}", line.trim());
+            }
+        }
+    }
+    if quit {
+        writeln!(writer, "{}", Request::Quit.to_json().to_string_compact()).expect("send quit");
+        line.clear();
+        reader.read_line(&mut line).expect("read quit ack");
+    }
+    if failures > 0 {
+        eprintln!("replay: {failures} failed responses");
+        std::process::exit(1);
+    }
+    println!("replay: all {} responses ok", trace.len() + 2);
+}

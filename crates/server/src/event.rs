@@ -1,0 +1,225 @@
+//! Churn events a running server accepts, with their JSON wire encoding.
+//!
+//! Events are the write side of the daemon: they mutate the *live
+//! instance* (demand frequencies, object set, node availability) that the
+//! next background re-solve will be computed from, while lookups keep
+//! being served from the current snapshot. The wire encoding is one JSON
+//! object per line (see [`crate::tcp`] for the full protocol).
+
+use dmn_graph::NodeId;
+use dmn_json::Json;
+
+/// One churn event against the live instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Shift read/write request mass of `object` at `node`. Negative
+    /// deltas drain mass; frequencies clamp at zero, and the *actually
+    /// applied* change is what counts toward the drift threshold.
+    DemandDelta {
+        /// Stable object id.
+        object: u64,
+        /// Affected node.
+        node: NodeId,
+        /// Read-frequency change.
+        read_delta: f64,
+        /// Write-frequency change.
+        write_delta: f64,
+    },
+    /// Add a new object with the given sparse `(node, frequency)` demand
+    /// lists; the server assigns and returns the next stable id.
+    ObjectAdd {
+        /// Sparse read frequencies.
+        reads: Vec<(NodeId, f64)>,
+        /// Sparse write frequencies.
+        writes: Vec<(NodeId, f64)>,
+    },
+    /// Remove an object; its id is never reused and later lookups fail.
+    ObjectRemove {
+        /// Stable object id.
+        object: u64,
+    },
+    /// Take a node out of service: it can no longer host copies (storage
+    /// cost becomes infinite) and its demand is ignored until it returns.
+    /// The network metric is unchanged — traffic still routes *through*
+    /// the node.
+    NodeDown {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// Return a node to service, restoring its storage cost and demand.
+    NodeUp {
+        /// Affected node.
+        node: NodeId,
+    },
+}
+
+fn field_usize(json: &Json, key: &str) -> Result<usize, String> {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing non-negative integer field '{key}'"))
+}
+
+fn sparse_list(json: &Json, key: &str) -> Result<Vec<(NodeId, f64)>, String> {
+    let Some(entries) = json.get(key) else {
+        return Ok(Vec::new());
+    };
+    let entries = entries
+        .as_arr()
+        .ok_or_else(|| format!("field '{key}' must be an array of [node, frequency] pairs"))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let pair = e.as_arr().filter(|p| p.len() == 2);
+        let (node, freq) = pair
+            .and_then(|p| Some((p[0].as_usize()?, p[1].as_f64()?)))
+            .ok_or_else(|| format!("field '{key}' must be an array of [node, frequency] pairs"))?;
+        out.push((node, freq));
+    }
+    Ok(out)
+}
+
+fn sparse_json(list: &[(NodeId, f64)]) -> Json {
+    Json::arr(
+        list.iter()
+            .map(|&(v, f)| Json::Arr(vec![Json::Num(v as f64), Json::Num(f)])),
+    )
+}
+
+impl Event {
+    /// Wire op name of the event.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Event::DemandDelta { .. } => "delta",
+            Event::ObjectAdd { .. } => "add-object",
+            Event::ObjectRemove { .. } => "remove-object",
+            Event::NodeDown { .. } => "node-down",
+            Event::NodeUp { .. } => "node-up",
+        }
+    }
+
+    /// Parses the event form of a request document whose `"op"` field is
+    /// `op`. Returns `Ok(None)` when the op does not name an event (the
+    /// caller tries the control ops next).
+    ///
+    /// # Errors
+    /// A human-readable message when the op names an event but required
+    /// fields are missing or malformed.
+    pub fn from_json(op: &str, json: &Json) -> Result<Option<Event>, String> {
+        let event = match op {
+            "delta" => Event::DemandDelta {
+                object: field_usize(json, "object")? as u64,
+                node: field_usize(json, "node")?,
+                read_delta: json.get("read_delta").and_then(Json::as_f64).unwrap_or(0.0),
+                write_delta: json
+                    .get("write_delta")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            },
+            "add-object" => Event::ObjectAdd {
+                reads: sparse_list(json, "reads")?,
+                writes: sparse_list(json, "writes")?,
+            },
+            "remove-object" => Event::ObjectRemove {
+                object: field_usize(json, "object")? as u64,
+            },
+            "node-down" => Event::NodeDown {
+                node: field_usize(json, "node")?,
+            },
+            "node-up" => Event::NodeUp {
+                node: field_usize(json, "node")?,
+            },
+            _ => return Ok(None),
+        };
+        Ok(Some(event))
+    }
+
+    /// Wire encoding of the event (the request document a client sends).
+    pub fn to_json(&self) -> Json {
+        let mut doc = match self {
+            Event::DemandDelta {
+                object,
+                node,
+                read_delta,
+                write_delta,
+            } => Json::obj([
+                ("object", Json::Num(*object as f64)),
+                ("node", Json::Num(*node as f64)),
+                ("read_delta", Json::Num(*read_delta)),
+                ("write_delta", Json::Num(*write_delta)),
+            ]),
+            Event::ObjectAdd { reads, writes } => Json::obj([
+                ("reads", sparse_json(reads)),
+                ("writes", sparse_json(writes)),
+            ]),
+            Event::ObjectRemove { object } => Json::obj([("object", Json::Num(*object as f64))]),
+            Event::NodeDown { node } | Event::NodeUp { node } => {
+                Json::obj([("node", Json::Num(*node as f64))])
+            }
+        };
+        if let Json::Obj(map) = &mut doc {
+            map.insert("op".into(), Json::Str(self.op().into()));
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_roundtrips_through_json() {
+        let events = [
+            Event::DemandDelta {
+                object: 3,
+                node: 7,
+                read_delta: -4.5,
+                write_delta: 1.25,
+            },
+            Event::ObjectAdd {
+                reads: vec![(0, 5.0), (3, 1.5)],
+                writes: vec![(0, 1.0)],
+            },
+            Event::ObjectRemove { object: 12 },
+            Event::NodeDown { node: 4 },
+            Event::NodeUp { node: 4 },
+        ];
+        for event in events {
+            let wire = event.to_json().to_string_compact();
+            let doc = dmn_json::parse(&wire).expect("valid wire form");
+            let op = doc.get("op").and_then(Json::as_str).expect("op field");
+            let back = Event::from_json(op, &doc)
+                .expect("parses")
+                .expect("is an event");
+            assert_eq!(back, event, "roundtrip of {wire}");
+        }
+    }
+
+    #[test]
+    fn delta_defaults_missing_deltas_to_zero() {
+        let doc = dmn_json::parse(r#"{"op":"delta","object":1,"node":2}"#).unwrap();
+        let event = Event::from_json("delta", &doc).unwrap().unwrap();
+        assert_eq!(
+            event,
+            Event::DemandDelta {
+                object: 1,
+                node: 2,
+                read_delta: 0.0,
+                write_delta: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_events_report_the_field() {
+        let doc = dmn_json::parse(r#"{"op":"delta","node":2}"#).unwrap();
+        let err = Event::from_json("delta", &doc).unwrap_err();
+        assert!(err.contains("object"), "{err}");
+
+        let doc = dmn_json::parse(r#"{"op":"add-object","reads":[[0]]}"#).unwrap();
+        let err = Event::from_json("add-object", &doc).unwrap_err();
+        assert!(err.contains("reads"), "{err}");
+
+        let doc = dmn_json::parse(r#"{"op":"status"}"#).unwrap();
+        assert_eq!(Event::from_json("status", &doc), Ok(None));
+    }
+}

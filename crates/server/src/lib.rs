@@ -1,0 +1,51 @@
+//! Placement-as-a-service: a daemon over the `dmn-solve` registry.
+//!
+//! The paper's algorithms compute a *static* placement for a demand
+//! snapshot; real systems sit in front of a demand *process*. This crate
+//! closes that gap with a long-running server that:
+//!
+//! 1. solves the initial instance once through any registry engine
+//!    ([`ServerConfig::solver`]),
+//! 2. answers `where-do-I-read(object, node)` lookups at memory speed
+//!    from a precomputed nearest-copy table
+//!    ([`PlacementSnapshot`]), and
+//! 3. absorbs churn — demand deltas, object add/remove, node up/down
+//!    ([`Event`]) — into a drift account that, past
+//!    [`ServerConfig::resolve_threshold`], triggers a *warm-started*
+//!    background re-solve and an atomic epoch-versioned snapshot swap.
+//!
+//! Readers never block on the optimizer and never observe a torn
+//! placement: they either hold the old immutable epoch or see the new
+//! one. Two frontends share the core: the in-process [`ServerHandle`]
+//! API, and a line-delimited-JSON-over-TCP protocol ([`tcp`]) for
+//! out-of-process clients (`cargo run -p dmn-server -- serve ...`).
+//!
+//! ```
+//! use dmn_core::instance::{Instance, ObjectWorkload};
+//! use dmn_server::{Event, ServerConfig, ServerHandle};
+//!
+//! let graph = dmn_graph::generators::ring(8, |_| 1.0);
+//! let mut instance = Instance::builder(graph).uniform_storage_cost(4.0).build();
+//! instance.push_object(ObjectWorkload::from_sparse(8, [(0, 9.0), (4, 3.0)], [(0, 1.0)]));
+//!
+//! let server = ServerHandle::start(&instance, ServerConfig::default()).unwrap();
+//! let served = server.lookup(0, 4).unwrap();
+//! assert_eq!(served.epoch, 1);
+//!
+//! // Demand migrates; past the drift threshold the placement follows.
+//! server.apply(&Event::DemandDelta {
+//!     object: 0, node: 6, read_delta: 50.0, write_delta: 0.0,
+//! }).unwrap();
+//! server.wait_idle();
+//! assert!(server.epoch() >= 2);
+//! server.shutdown();
+//! ```
+
+pub mod event;
+pub mod server;
+pub mod snapshot;
+pub mod tcp;
+
+pub use event::Event;
+pub use server::{Applied, ServerConfig, ServerError, ServerHandle, ServerStats};
+pub use snapshot::{Lookup, PlacementSnapshot};

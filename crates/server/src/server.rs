@@ -1,0 +1,1031 @@
+//! The placement server core: live instance, epoch swaps, background
+//! re-optimization.
+//!
+//! [`ServerHandle::start`] solves the initial instance once through the
+//! `dmn-solve` registry and publishes epoch 1. From then on two planes
+//! run concurrently:
+//!
+//! * the **read plane** ([`ServerHandle::lookup`]) answers
+//!   `where-do-I-read` from the current [`PlacementSnapshot`] behind an
+//!   `RwLock<Arc<_>>` — the write lock is held only for the pointer swap,
+//!   so readers never block on a solve and never observe a torn
+//!   placement (each snapshot is immutable);
+//! * the **write plane** ([`ServerHandle::apply`]) mutates the live
+//!   instance under a separate mutex and accumulates *drift*: the
+//!   absolute request mass shifted since the last accepted solve.
+//!   Structural churn (object add/remove, node up/down) re-solves
+//!   immediately; demand drift re-solves once it exceeds
+//!   [`ServerConfig::resolve_threshold`] times the baseline mass.
+//!
+//! Re-solves run on one background worker thread, warm-started via
+//! [`SolveRequest::fl_warm_start`], and swap in an epoch-incremented
+//! snapshot on completion. Drift that arrives *during* a solve survives
+//! the swap (the worker only subtracts the drift it captured), so a
+//! demand shift can never be silently absorbed by an older solve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use dmn_core::cost::CostBreakdown;
+use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_core::placement::Placement;
+use dmn_graph::{Graph, Metric, NodeId};
+use dmn_json::Json;
+use dmn_solve::{solvers, SolveRequest};
+
+use crate::event::Event;
+use crate::snapshot::{Lookup, PlacementSnapshot};
+
+/// Configuration of a placement server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Registry name of the placement engine (any `dmn-solve` solver).
+    pub solver: String,
+    /// Solve-time options; re-solves reuse it verbatim, so enabling
+    /// [`SolveRequest::fl_warm_start`] (the default here) makes every
+    /// background re-solve warm-started.
+    pub request: SolveRequest,
+    /// Demand drift tolerated before a re-solve, as a fraction of the
+    /// baseline request mass (structural churn always re-solves).
+    pub resolve_threshold: f64,
+    /// Run the background re-solve worker. When `false`, the placement
+    /// only changes through explicit [`ServerHandle::resolve_now`] calls.
+    pub background: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            solver: "approx".into(),
+            request: SolveRequest::new().fl_warm_start(true),
+            resolve_threshold: 0.02,
+            background: true,
+        }
+    }
+}
+
+/// Why the server rejected a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The configured solver name is not in the registry.
+    UnknownSolver(String),
+    /// The configured solver cannot run on the instance.
+    Unsupported(String),
+    /// No live placed object has this id (never assigned, removed, or
+    /// currently parked with zero demand).
+    UnknownObject(u64),
+    /// A node id beyond the network size.
+    NodeOutOfRange(NodeId),
+    /// A structurally invalid event (bad frequencies, last node down...).
+    BadEvent(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownSolver(name) => write!(f, "unknown solver '{name}'"),
+            ServerError::Unsupported(why) => write!(f, "solver unsupported: {why}"),
+            ServerError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            ServerError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
+            ServerError::BadEvent(why) => write!(f, "bad event: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// What applying an [`Event`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Applied {
+    /// A demand delta landed; `drift` is the mass actually shifted after
+    /// clamping frequencies at zero.
+    Delta {
+        /// Target object.
+        object: u64,
+        /// Drift mass charged against the re-solve threshold.
+        drift: f64,
+    },
+    /// A new object was admitted under the returned stable id.
+    ObjectAdded {
+        /// The assigned id (dense, never reused).
+        object: u64,
+    },
+    /// The object was removed; its id will never answer again.
+    ObjectRemoved {
+        /// The removed id.
+        object: u64,
+    },
+    /// The node went out of service.
+    NodeDown {
+        /// The affected node.
+        node: NodeId,
+    },
+    /// The node returned to service.
+    NodeUp {
+        /// The affected node.
+        node: NodeId,
+    },
+}
+
+/// Counters of a running server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Lookups answered (including failed id resolutions).
+    pub lookups: u64,
+    /// Events applied.
+    pub events: u64,
+    /// Completed re-solves (epoch swaps past the initial solve).
+    pub resolves: u64,
+    /// Wall seconds of the most recent solve (initial solve included).
+    pub last_resolve_seconds: f64,
+    /// Worst solve wall time observed.
+    pub max_resolve_seconds: f64,
+}
+
+/// One object of the live instance, keyed by stable id.
+#[derive(Debug, Clone)]
+struct ObjectState {
+    id: u64,
+    reads: Vec<f64>,
+    writes: Vec<f64>,
+    alive: bool,
+}
+
+impl ObjectState {
+    /// Request mass that currently reaches the solver (down nodes muted).
+    fn effective_mass(&self, node_down: &[bool]) -> f64 {
+        (0..self.reads.len())
+            .filter(|&v| !node_down[v])
+            .map(|v| self.reads[v] + self.writes[v])
+            .sum()
+    }
+}
+
+/// The mutable instance the next re-solve will be computed from.
+#[derive(Debug)]
+struct LiveState {
+    base_storage: Vec<f64>,
+    node_down: Vec<bool>,
+    objects: Vec<ObjectState>,
+    next_id: u64,
+    /// Absolute request mass shifted since the last accepted solve.
+    drift_mass: f64,
+    /// Total live mass at the last accepted solve (threshold base).
+    baseline_mass: f64,
+    /// Structural events (add/remove/up/down) since the last solve.
+    structural: u64,
+}
+
+impl LiveState {
+    fn live_mass(&self) -> f64 {
+        self.objects
+            .iter()
+            .filter(|o| o.alive)
+            .map(|o| o.effective_mass(&self.node_down))
+            .sum()
+    }
+
+    /// Materializes the live instance: down nodes get infinite storage
+    /// cost and muted demand; dead and zero-mass ("parked") objects are
+    /// excluded. Returns the instance plus the stable id of each dense
+    /// object slot. Deterministic: two calls on the same state produce
+    /// identical instances, which is what makes the snapshot cost
+    /// bitwise-comparable to a from-scratch solve.
+    fn build_instance(&self, graph: &Graph, metric: &Metric) -> (Instance, Vec<u64>) {
+        let n = graph.num_nodes();
+        let mut cs = self.base_storage.clone();
+        for (cost, &down) in cs.iter_mut().zip(&self.node_down) {
+            if down {
+                *cost = f64::INFINITY;
+            }
+        }
+        let mut instance = Instance::builder(graph.clone())
+            .storage_costs(cs)
+            .build()
+            .with_metric(metric.clone());
+        let mut ids = Vec::new();
+        for obj in &self.objects {
+            if !obj.alive {
+                continue;
+            }
+            let mut w = ObjectWorkload::new(n);
+            for v in 0..n {
+                if !self.node_down[v] {
+                    w.reads[v] = obj.reads[v];
+                    w.writes[v] = obj.writes[v];
+                }
+            }
+            if w.total_requests() <= 0.0 {
+                continue; // parked until demand returns
+            }
+            instance.push_object(w);
+            ids.push(obj.id);
+        }
+        (instance, ids)
+    }
+}
+
+/// Background-worker handshake.
+#[derive(Debug, Default)]
+struct ResolveSync {
+    pending: bool,
+    in_flight: bool,
+    shutdown: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ResolveTimings {
+    last_seconds: f64,
+    max_seconds: f64,
+}
+
+struct Inner {
+    graph: Graph,
+    /// The metric closure, computed once; node churn does not change the
+    /// network, so every epoch shares it.
+    metric: Metric,
+    cfg: ServerConfig,
+    state: Mutex<LiveState>,
+    snapshot: RwLock<Arc<PlacementSnapshot>>,
+    sync: Mutex<ResolveSync>,
+    cv: Condvar,
+    /// Last solve's `SolveReport::to_json` (the status endpoint reuses
+    /// the shared report serialization).
+    report_json: Mutex<Json>,
+    timings: Mutex<ResolveTimings>,
+    lookups: AtomicU64,
+    events: AtomicU64,
+    resolves: AtomicU64,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// A handle on a running placement server (clone freely; all clones
+/// address the same server).
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Solves `instance` once with the configured engine and starts
+    /// serving it as epoch 1 (spawning the background re-solve worker
+    /// unless [`ServerConfig::background`] is off). Objects get stable
+    /// ids `0..k` in instance order.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownSolver`] / [`ServerError::Unsupported`] when
+    /// the configured engine cannot run on the instance.
+    pub fn start(instance: &Instance, cfg: ServerConfig) -> Result<ServerHandle, ServerError> {
+        let solver = solvers::by_name(&cfg.solver)
+            .ok_or_else(|| ServerError::UnknownSolver(cfg.solver.clone()))?;
+        solver
+            .supports(instance)
+            .map_err(|u| ServerError::Unsupported(u.reason))?;
+        let metric = instance.metric().clone();
+        let n = instance.num_nodes();
+        let mut state = LiveState {
+            base_storage: instance.storage_cost.clone(),
+            node_down: vec![false; n],
+            objects: instance
+                .objects
+                .iter()
+                .enumerate()
+                .map(|(x, w)| ObjectState {
+                    id: x as u64,
+                    reads: w.reads.clone(),
+                    writes: w.writes.clone(),
+                    alive: true,
+                })
+                .collect(),
+            next_id: instance.num_objects() as u64,
+            drift_mass: 0.0,
+            baseline_mass: 0.0,
+            structural: 0,
+        };
+        state.baseline_mass = state.live_mass();
+
+        let (initial, ids) = state.build_instance(&instance.graph, &metric);
+        let t0 = Instant::now();
+        let report = solver.solve(&initial, &cfg.request);
+        let seconds = t0.elapsed().as_secs_f64();
+        let snapshot = PlacementSnapshot::build(
+            1,
+            &cfg.solver,
+            &metric,
+            report.placement.clone(),
+            report.cost,
+            ids,
+            seconds,
+        );
+
+        let background = cfg.background;
+        let inner = Arc::new(Inner {
+            graph: instance.graph.clone(),
+            metric,
+            cfg,
+            state: Mutex::new(state),
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            sync: Mutex::new(ResolveSync::default()),
+            cv: Condvar::new(),
+            report_json: Mutex::new(report.to_json()),
+            timings: Mutex::new(ResolveTimings {
+                last_seconds: seconds,
+                max_seconds: seconds,
+            }),
+            lookups: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            resolves: AtomicU64::new(0),
+            worker: Mutex::new(None),
+        });
+
+        if background {
+            let worker_inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name("dmn-server-resolve".into())
+                .spawn(move || Inner::worker_loop(worker_inner))
+                .expect("spawn re-solve worker");
+            *inner.worker.lock().unwrap() = Some(handle);
+        }
+        Ok(ServerHandle { inner })
+    }
+
+    /// `where-do-I-read(object, node)`: two array loads against the
+    /// current snapshot plus one relaxed counter bump — never blocked by
+    /// a running re-solve.
+    ///
+    /// # Errors
+    /// [`ServerError::NodeOutOfRange`] / [`ServerError::UnknownObject`].
+    #[inline]
+    pub fn lookup(&self, object: u64, node: NodeId) -> Result<Lookup, ServerError> {
+        self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        let snap = self.inner.snapshot.read().unwrap();
+        if node >= snap.num_nodes() {
+            return Err(ServerError::NodeOutOfRange(node));
+        }
+        snap.lookup(object, node)
+            .ok_or(ServerError::UnknownObject(object))
+    }
+
+    /// The current snapshot (an `Arc` clone; hold it for a consistent
+    /// multi-lookup view of one epoch).
+    pub fn snapshot(&self) -> Arc<PlacementSnapshot> {
+        Arc::clone(&self.inner.snapshot.read().unwrap())
+    }
+
+    /// Current epoch (1 = initial solve).
+    pub fn epoch(&self) -> u64 {
+        self.inner.snapshot.read().unwrap().epoch
+    }
+
+    /// Applies a churn event to the live instance and charges the drift
+    /// accounting; when the accumulated drift crosses the threshold (or
+    /// the event is structural) the background worker is kicked.
+    ///
+    /// # Errors
+    /// The event-specific [`ServerError`] without mutating any state.
+    pub fn apply(&self, event: &Event) -> Result<Applied, ServerError> {
+        let n = self.inner.graph.num_nodes();
+        let mut st = self.inner.state.lock().unwrap();
+        let applied = match event {
+            Event::DemandDelta {
+                object,
+                node,
+                read_delta,
+                write_delta,
+            } => {
+                if *node >= n {
+                    return Err(ServerError::NodeOutOfRange(*node));
+                }
+                if !read_delta.is_finite() || !write_delta.is_finite() {
+                    return Err(ServerError::BadEvent("non-finite delta".into()));
+                }
+                let slot = st
+                    .objects
+                    .iter()
+                    .position(|o| o.id == *object && o.alive)
+                    .ok_or(ServerError::UnknownObject(*object))?;
+                let obj = &mut st.objects[slot];
+                let new_reads = (obj.reads[*node] + read_delta).max(0.0);
+                let new_writes = (obj.writes[*node] + write_delta).max(0.0);
+                let drift =
+                    (new_reads - obj.reads[*node]).abs() + (new_writes - obj.writes[*node]).abs();
+                obj.reads[*node] = new_reads;
+                obj.writes[*node] = new_writes;
+                st.drift_mass += drift;
+                Applied::Delta {
+                    object: *object,
+                    drift,
+                }
+            }
+            Event::ObjectAdd { reads, writes } => {
+                let mut object = ObjectState {
+                    id: st.next_id,
+                    reads: vec![0.0; n],
+                    writes: vec![0.0; n],
+                    alive: true,
+                };
+                for &(v, f) in reads.iter().chain(writes) {
+                    if v >= n {
+                        return Err(ServerError::NodeOutOfRange(v));
+                    }
+                    if !f.is_finite() || f < 0.0 {
+                        return Err(ServerError::BadEvent(format!(
+                            "invalid frequency {f} at node {v}"
+                        )));
+                    }
+                }
+                for &(v, f) in reads {
+                    object.reads[v] += f;
+                }
+                for &(v, f) in writes {
+                    object.writes[v] += f;
+                }
+                let mass = object.effective_mass(&st.node_down);
+                if mass <= 0.0 {
+                    return Err(ServerError::BadEvent(
+                        "new object has no demand on live nodes".into(),
+                    ));
+                }
+                let id = object.id;
+                st.objects.push(object);
+                st.next_id += 1;
+                st.drift_mass += mass;
+                st.structural += 1;
+                Applied::ObjectAdded { object: id }
+            }
+            Event::ObjectRemove { object } => {
+                let slot = st
+                    .objects
+                    .iter()
+                    .position(|o| o.id == *object && o.alive)
+                    .ok_or(ServerError::UnknownObject(*object))?;
+                st.objects[slot].alive = false;
+                let mass = st.objects[slot].effective_mass(&st.node_down);
+                st.drift_mass += mass;
+                st.structural += 1;
+                Applied::ObjectRemoved { object: *object }
+            }
+            Event::NodeDown { node } => {
+                if *node >= n {
+                    return Err(ServerError::NodeOutOfRange(*node));
+                }
+                if !st.node_down[*node] {
+                    if st.node_down.iter().filter(|&&d| !d).count() == 1 {
+                        return Err(ServerError::BadEvent(
+                            "cannot take the last live node down".into(),
+                        ));
+                    }
+                    st.node_down[*node] = true;
+                    let muted: f64 = st
+                        .objects
+                        .iter()
+                        .filter(|o| o.alive)
+                        .map(|o| o.reads[*node] + o.writes[*node])
+                        .sum();
+                    st.drift_mass += muted;
+                    st.structural += 1;
+                }
+                Applied::NodeDown { node: *node }
+            }
+            Event::NodeUp { node } => {
+                if *node >= n {
+                    return Err(ServerError::NodeOutOfRange(*node));
+                }
+                if st.node_down[*node] {
+                    st.node_down[*node] = false;
+                    let restored: f64 = st
+                        .objects
+                        .iter()
+                        .filter(|o| o.alive)
+                        .map(|o| o.reads[*node] + o.writes[*node])
+                        .sum();
+                    st.drift_mass += restored;
+                    st.structural += 1;
+                }
+                Applied::NodeUp { node: *node }
+            }
+        };
+        self.inner.events.fetch_add(1, Ordering::Relaxed);
+        let trigger = st.structural > 0
+            || st.drift_mass
+                > self.inner.cfg.resolve_threshold * st.baseline_mass.max(f64::MIN_POSITIVE);
+        drop(st);
+        if trigger {
+            Inner::trigger(&self.inner);
+        }
+        Ok(applied)
+    }
+
+    /// Re-solves the live instance on the calling thread (serialized with
+    /// the background worker) and swaps the snapshot in. Returns the new
+    /// epoch. This is also the only way placements change when the server
+    /// runs with [`ServerConfig::background`] off.
+    pub fn resolve_now(&self) -> u64 {
+        {
+            let mut sync = self.inner.sync.lock().unwrap();
+            while sync.in_flight {
+                sync = self.inner.cv.wait(sync).unwrap();
+            }
+            sync.pending = false;
+            sync.in_flight = true;
+        }
+        Inner::resolve_and_swap(&self.inner);
+        let mut sync = self.inner.sync.lock().unwrap();
+        sync.in_flight = false;
+        self.inner.cv.notify_all();
+        drop(sync);
+        self.epoch()
+    }
+
+    /// Blocks until no re-solve is pending or in flight.
+    pub fn wait_idle(&self) {
+        let mut sync = self.inner.sync.lock().unwrap();
+        while sync.pending || sync.in_flight {
+            sync = self.inner.cv.wait(sync).unwrap();
+        }
+    }
+
+    /// The live instance as the next re-solve would see it, with the
+    /// stable id of each dense object slot. A from-scratch solve of this
+    /// instance with [`ServerConfig::request`] must cost exactly what the
+    /// server's own re-solve reports — the equality the benchmark gates on.
+    pub fn export_instance(&self) -> (Instance, Vec<u64>) {
+        let st = self.inner.state.lock().unwrap();
+        st.build_instance(&self.inner.graph, &self.inner.metric)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let timings = *self.inner.timings.lock().unwrap();
+        ServerStats {
+            lookups: self.inner.lookups.load(Ordering::Relaxed),
+            events: self.inner.events.load(Ordering::Relaxed),
+            resolves: self.inner.resolves.load(Ordering::Relaxed),
+            last_resolve_seconds: timings.last_seconds,
+            max_resolve_seconds: timings.max_seconds,
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    /// Status document for the wire protocol: drift accounting, counters,
+    /// and the last solve's full shared-format report
+    /// ([`SolveReport::to_json`](dmn_solve::SolveReport::to_json)).
+    pub fn status(&self) -> Json {
+        let snap = self.snapshot();
+        let stats = self.stats();
+        let (drift_mass, baseline_mass, live_objects) = {
+            let st = self.inner.state.lock().unwrap();
+            (
+                st.drift_mass,
+                st.baseline_mass,
+                st.objects.iter().filter(|o| o.alive).count(),
+            )
+        };
+        Json::obj([
+            ("epoch", Json::Num(snap.epoch as f64)),
+            ("solver", Json::Str(self.inner.cfg.solver.clone())),
+            ("nodes", Json::Num(self.inner.graph.num_nodes() as f64)),
+            ("objects_live", Json::Num(live_objects as f64)),
+            ("objects_placed", Json::Num(snap.num_objects() as f64)),
+            ("cost_total", Json::Num(snap.cost.total())),
+            ("drift_mass", Json::Num(drift_mass)),
+            ("baseline_mass", Json::Num(baseline_mass)),
+            (
+                "resolve_threshold",
+                Json::Num(self.inner.cfg.resolve_threshold),
+            ),
+            ("lookups", Json::Num(stats.lookups as f64)),
+            ("events", Json::Num(stats.events as f64)),
+            ("resolves", Json::Num(stats.resolves as f64)),
+            (
+                "last_resolve_seconds",
+                Json::Num(stats.last_resolve_seconds),
+            ),
+            ("max_resolve_seconds", Json::Num(stats.max_resolve_seconds)),
+            ("report", self.inner.report_json.lock().unwrap().clone()),
+        ])
+    }
+
+    /// Stops the background worker (waiting out any in-flight solve).
+    /// Idempotent; the handle still answers lookups afterwards, but the
+    /// placement is frozen.
+    pub fn shutdown(&self) {
+        {
+            let mut sync = self.inner.sync.lock().unwrap();
+            sync.shutdown = true;
+            self.inner.cv.notify_all();
+        }
+        if let Some(worker) = self.inner.worker.lock().unwrap().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Inner {
+    /// Requests a background re-solve (no-op without a worker).
+    fn trigger(inner: &Arc<Inner>) {
+        if !inner.cfg.background {
+            return;
+        }
+        let mut sync = inner.sync.lock().unwrap();
+        if !sync.shutdown {
+            sync.pending = true;
+            inner.cv.notify_all();
+        }
+    }
+
+    fn worker_loop(inner: Arc<Inner>) {
+        loop {
+            {
+                let mut sync = inner.sync.lock().unwrap();
+                while !sync.pending && !sync.shutdown {
+                    sync = inner.cv.wait(sync).unwrap();
+                }
+                if sync.shutdown {
+                    return;
+                }
+                sync.pending = false;
+                sync.in_flight = true;
+            }
+            Inner::resolve_and_swap(&inner);
+            let mut sync = inner.sync.lock().unwrap();
+            sync.in_flight = false;
+            inner.cv.notify_all();
+        }
+    }
+
+    /// One re-solve: materialize the live instance, solve, publish the
+    /// next epoch, settle the drift accounting. Callers own the
+    /// `in_flight` flag.
+    fn resolve_and_swap(inner: &Arc<Inner>) {
+        let (instance, ids, drift_captured, structural_captured) = {
+            let st = inner.state.lock().unwrap();
+            let (instance, ids) = st.build_instance(&inner.graph, &inner.metric);
+            (instance, ids, st.drift_mass, st.structural)
+        };
+
+        let t0 = Instant::now();
+        let (placement, cost, report_json) = if instance.num_objects() == 0 {
+            // Everything parked or removed: serve the empty placement.
+            (
+                Placement::new(0),
+                CostBreakdown::default(),
+                Json::obj([
+                    ("solver", Json::Str(inner.cfg.solver.clone())),
+                    ("total_cost", Json::Num(0.0)),
+                    ("total_copies", Json::Num(0.0)),
+                ]),
+            )
+        } else {
+            let solver = solvers::by_name(&inner.cfg.solver).expect("validated at start");
+            let report = solver.solve(&instance, &inner.cfg.request);
+            (report.placement.clone(), report.cost, report.to_json())
+        };
+        let seconds = t0.elapsed().as_secs_f64();
+
+        let next_epoch = inner.snapshot.read().unwrap().epoch + 1;
+        let snapshot = Arc::new(PlacementSnapshot::build(
+            next_epoch,
+            &inner.cfg.solver,
+            &inner.metric,
+            placement,
+            cost,
+            ids,
+            seconds,
+        ));
+        // The swap: the write lock is held for one pointer assignment.
+        *inner.snapshot.write().unwrap() = snapshot;
+        *inner.report_json.lock().unwrap() = report_json;
+        {
+            let mut timings = inner.timings.lock().unwrap();
+            timings.last_seconds = seconds;
+            timings.max_seconds = timings.max_seconds.max(seconds);
+        }
+        inner.resolves.fetch_add(1, Ordering::Relaxed);
+
+        let rearm = {
+            let mut st = inner.state.lock().unwrap();
+            // Only the churn this solve actually saw is settled; anything
+            // that arrived mid-solve stays charged.
+            st.drift_mass = (st.drift_mass - drift_captured).max(0.0);
+            st.structural -= structural_captured;
+            st.baseline_mass = st.live_mass();
+            st.structural > 0
+                || st.drift_mass
+                    > inner.cfg.resolve_threshold * st.baseline_mass.max(f64::MIN_POSITIVE)
+        };
+        if rearm {
+            Inner::trigger(inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmn_graph::generators;
+
+    /// A 6-node path with two objects; background worker off so tests
+    /// control every re-solve.
+    fn test_server() -> ServerHandle {
+        let graph = generators::path(6, |_| 1.0);
+        let mut instance = Instance::builder(graph).uniform_storage_cost(2.0).build();
+        instance.push_object(ObjectWorkload::from_sparse(
+            6,
+            [(0, 8.0), (1, 2.0)],
+            [(0, 1.0)],
+        ));
+        instance.push_object(ObjectWorkload::from_sparse(6, [(5, 6.0)], [(4, 1.0)]));
+        let cfg = ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        };
+        ServerHandle::start(&instance, cfg).expect("approx runs anywhere")
+    }
+
+    #[test]
+    fn initial_epoch_serves_consistent_lookups() {
+        let server = test_server();
+        assert_eq!(server.epoch(), 1);
+        let snap = server.snapshot();
+        for object in 0..2u64 {
+            let slot = snap.slot_of(object).unwrap();
+            for v in 0..6 {
+                let l = server.lookup(object, v).unwrap();
+                assert!(snap.placement.copies(slot).contains(&l.node));
+            }
+        }
+        assert!(server.lookup(7, 0).is_err(), "unknown id");
+        assert!(server.lookup(0, 6).is_err(), "node out of range");
+        assert_eq!(server.stats().lookups, 14);
+    }
+
+    #[test]
+    fn delta_clamps_and_charges_applied_drift_only() {
+        let server = test_server();
+        // Object 0 has 2.0 reads at node 1; draining 5.0 clamps at zero,
+        // so only 2.0 counts as drift.
+        let applied = server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 1,
+                read_delta: -5.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        assert_eq!(
+            applied,
+            Applied::Delta {
+                object: 0,
+                drift: 2.0
+            }
+        );
+        let (instance, ids) = server.export_instance();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(instance.objects[0].reads[1], 0.0);
+        assert_eq!(instance.objects[0].reads[0], 8.0, "other nodes untouched");
+    }
+
+    #[test]
+    fn drained_object_parks_and_returns() {
+        let server = test_server();
+        // Drain object 1 completely: it parks (excluded from the next
+        // epoch) but stays alive for future demand.
+        for (node, reads, writes) in [(5, -6.0, 0.0), (4, 0.0, -1.0)] {
+            server
+                .apply(&Event::DemandDelta {
+                    object: 1,
+                    node,
+                    read_delta: reads,
+                    write_delta: writes,
+                })
+                .unwrap();
+        }
+        server.resolve_now();
+        assert_eq!(server.epoch(), 2);
+        assert!(
+            matches!(server.lookup(1, 0), Err(ServerError::UnknownObject(1))),
+            "parked objects do not answer"
+        );
+        assert!(server.lookup(0, 0).is_ok());
+
+        server
+            .apply(&Event::DemandDelta {
+                object: 1,
+                node: 3,
+                read_delta: 4.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        server.resolve_now();
+        let l = server.lookup(1, 3).expect("back in service");
+        assert_eq!(l.epoch, 3);
+    }
+
+    #[test]
+    fn object_churn_assigns_fresh_ids() {
+        let server = test_server();
+        let applied = server
+            .apply(&Event::ObjectAdd {
+                reads: vec![(2, 5.0)],
+                writes: vec![],
+            })
+            .unwrap();
+        assert_eq!(applied, Applied::ObjectAdded { object: 2 });
+        server.apply(&Event::ObjectRemove { object: 0 }).unwrap();
+        assert!(
+            matches!(
+                server.apply(&Event::ObjectRemove { object: 0 }),
+                Err(ServerError::UnknownObject(0))
+            ),
+            "double remove fails"
+        );
+        server.resolve_now();
+        assert!(server.lookup(0, 0).is_err(), "removed id never answers");
+        assert!(server.lookup(1, 0).is_ok());
+        let l = server.lookup(2, 2).unwrap();
+        assert_eq!(l.distance, 0.0, "demand node hosts the only copy");
+
+        let again = server
+            .apply(&Event::ObjectAdd {
+                reads: vec![(0, 1.0)],
+                writes: vec![],
+            })
+            .unwrap();
+        assert_eq!(
+            again,
+            Applied::ObjectAdded { object: 3 },
+            "ids never reused"
+        );
+    }
+
+    #[test]
+    fn node_down_evicts_copies_and_mutes_demand() {
+        let server = test_server();
+        // Object 1 reads from node 5; force node 5 down.
+        let before = server.lookup(1, 5).unwrap();
+        server.apply(&Event::NodeDown { node: 5 }).unwrap();
+        server.resolve_now();
+        let snap = server.snapshot();
+        for object in 0..2u64 {
+            if let Some(slot) = snap.slot_of(object) {
+                assert!(
+                    !snap.placement.copies(slot).contains(&5),
+                    "no copies on a down node"
+                );
+            }
+        }
+        let (instance, _) = server.export_instance();
+        assert!(instance.storage_cost[5].is_infinite());
+        assert_eq!(instance.objects[1].reads[5], 0.0, "demand muted");
+
+        server.apply(&Event::NodeUp { node: 5 }).unwrap();
+        server.resolve_now();
+        let after = server.lookup(1, 5).unwrap();
+        assert_eq!(after.node, before.node, "recovery restores the placement");
+        assert_eq!(after.epoch, 3);
+    }
+
+    #[test]
+    fn last_live_node_cannot_go_down() {
+        let graph = generators::path(2, |_| 1.0);
+        let mut instance = Instance::builder(graph).uniform_storage_cost(1.0).build();
+        instance.push_object(ObjectWorkload::from_sparse(2, [(0, 3.0)], []));
+        let cfg = ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        };
+        let server = ServerHandle::start(&instance, cfg).unwrap();
+        server.apply(&Event::NodeDown { node: 1 }).unwrap();
+        assert!(matches!(
+            server.apply(&Event::NodeDown { node: 0 }),
+            Err(ServerError::BadEvent(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_cost_matches_from_scratch_solve() {
+        let server = test_server();
+        server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 4,
+                read_delta: 9.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        server.resolve_now();
+        let snap = server.snapshot();
+        let (instance, _) = server.export_instance();
+        let solver = solvers::by_name(&server.config().solver).unwrap();
+        let scratch = solver.solve(&instance, &server.config().request);
+        assert!(
+            (snap.cost.total() - scratch.cost.total()).abs() <= 1e-9,
+            "server {} vs scratch {}",
+            snap.cost.total(),
+            scratch.cost.total()
+        );
+        assert_eq!(snap.placement, scratch.placement);
+    }
+
+    #[test]
+    fn status_reports_drift_and_reuses_report_json() {
+        let server = test_server();
+        server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 2,
+                read_delta: 1.5,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        let status = server.status();
+        assert_eq!(status.get("epoch").and_then(Json::as_usize), Some(1));
+        assert_eq!(status.get("drift_mass").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(status.get("objects_live").and_then(Json::as_usize), Some(2));
+        let report = status.get("report").expect("embedded solve report");
+        assert_eq!(
+            report.get("solver").and_then(Json::as_str),
+            Some("approx"),
+            "status embeds the shared SolveReport serialization"
+        );
+        assert!(report.get("total_cost").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn unknown_solver_and_unsupported_are_rejected() {
+        let graph = generators::path(3, |_| 1.0);
+        let mut instance = Instance::builder(graph).build();
+        instance.push_object(ObjectWorkload::from_sparse(3, [(0, 1.0)], []));
+        let bad = ServerConfig {
+            solver: "no-such-engine".into(),
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            ServerHandle::start(&instance, bad),
+            Err(ServerError::UnknownSolver(_))
+        ));
+        let tree_only = ServerConfig {
+            solver: "tree-dp".into(),
+            background: false,
+            ..ServerConfig::default()
+        };
+        // A path *is* a tree, so tree-dp runs; use a non-tree network.
+        let grid = generators::grid(3, 3, |_, _| 1.0);
+        let mut grid_inst = Instance::builder(grid).build();
+        grid_inst.push_object(ObjectWorkload::from_sparse(9, [(0, 1.0)], []));
+        assert!(matches!(
+            ServerHandle::start(&grid_inst, tree_only),
+            Err(ServerError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn background_worker_resolves_past_threshold() {
+        let graph = generators::path(5, |_| 1.0);
+        let mut instance = Instance::builder(graph).uniform_storage_cost(1.0).build();
+        instance.push_object(ObjectWorkload::from_sparse(5, [(0, 10.0)], []));
+        let cfg = ServerConfig {
+            resolve_threshold: 0.1,
+            ..ServerConfig::default()
+        };
+        let server = ServerHandle::start(&instance, cfg).unwrap();
+        // Below threshold: no re-solve may be pending.
+        server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 1,
+                read_delta: 0.5,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        server.wait_idle();
+        // Crossing the threshold kicks the worker.
+        server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 4,
+                read_delta: 20.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        server.wait_idle();
+        assert!(server.epoch() >= 2, "threshold crossing re-solved");
+        assert!(server.stats().resolves >= 1);
+        let status = server.status();
+        assert_eq!(
+            status.get("drift_mass").and_then(Json::as_f64),
+            Some(0.0),
+            "drift settled by the swap"
+        );
+        server.shutdown();
+        let epoch = server.epoch();
+        assert!(server.lookup(0, 0).is_ok(), "lookups survive shutdown");
+        assert_eq!(server.epoch(), epoch, "placement frozen after shutdown");
+    }
+}

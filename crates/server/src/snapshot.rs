@@ -1,0 +1,219 @@
+//! Immutable, epoch-versioned placement snapshots.
+//!
+//! A [`PlacementSnapshot`] freezes one solve of the live instance: the
+//! placement, its cost, and a dense precomputed nearest-copy table so a
+//! `where-do-I-read(object, node)` lookup is two array loads — no metric
+//! scan, no lock on the solver state. Snapshots are built off the hot
+//! path by [`ServerHandle`](crate::ServerHandle)'s re-solve machinery and
+//! published behind an `Arc` swap; readers holding an old snapshot keep a
+//! fully consistent (if slightly stale) view until they drop it.
+//!
+//! Objects are addressed by *stable ids* (assigned at server start and on
+//! every `add-object` event, never reused), while the placement indexes
+//! objects by dense per-epoch *slots*; the snapshot owns the id→slot map
+//! of its epoch, so churn between epochs never misdirects a lookup.
+
+use dmn_core::cost::CostBreakdown;
+use dmn_core::placement::Placement;
+use dmn_graph::{Metric, NodeId};
+
+/// Answer of a `where-do-I-read` lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lookup {
+    /// The copy that serves the request (nearest copy to the requester).
+    pub node: NodeId,
+    /// Metric distance from the requesting node to the serving copy.
+    pub distance: f64,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+}
+
+/// One epoch's frozen placement with its precomputed lookup table.
+#[derive(Debug)]
+pub struct PlacementSnapshot {
+    /// Epoch counter: 1 for the initial solve, +1 per accepted re-solve.
+    pub epoch: u64,
+    /// Registry name of the solver that produced the placement.
+    pub solver: String,
+    /// The placement, indexed by this epoch's dense slots.
+    pub placement: Placement,
+    /// Cost of the placement on the instance it was solved from.
+    pub cost: CostBreakdown,
+    /// Stable object id per slot (`ids[slot]`).
+    pub ids: Vec<u64>,
+    /// Wall seconds the producing solve took.
+    pub resolve_seconds: f64,
+    /// id → slot map (sentinel [`u32::MAX`] marks ids absent this epoch).
+    slot_of: Vec<u32>,
+    num_nodes: usize,
+    /// `slot * num_nodes + v` → serving copy for requests from `v`.
+    nearest: Vec<u32>,
+    /// Distance companion of `nearest`.
+    nearest_dist: Vec<f64>,
+}
+
+impl PlacementSnapshot {
+    /// Freezes `placement` (slot-indexed, one entry per id in `ids`) into
+    /// a snapshot, precomputing the nearest-copy table with the same
+    /// first-minimum tie-breaking as the cost evaluator's
+    /// [`Metric::nearest_in`], so a served lookup always matches the cost
+    /// accounting.
+    ///
+    /// # Panics
+    /// Panics when `ids` and `placement` disagree on the object count or
+    /// a copy set is empty.
+    pub fn build(
+        epoch: u64,
+        solver: &str,
+        metric: &Metric,
+        placement: Placement,
+        cost: CostBreakdown,
+        ids: Vec<u64>,
+        resolve_seconds: f64,
+    ) -> Self {
+        let n = metric.len();
+        let k = placement.num_objects();
+        assert_eq!(ids.len(), k, "one stable id per placed object");
+        let id_span = ids.iter().map(|&id| id as usize + 1).max().unwrap_or(0);
+        let mut slot_of = vec![u32::MAX; id_span];
+        for (slot, &id) in ids.iter().enumerate() {
+            assert_eq!(slot_of[id as usize], u32::MAX, "duplicate object id {id}");
+            slot_of[id as usize] = slot as u32;
+        }
+        let mut nearest = vec![0u32; k * n];
+        let mut nearest_dist = vec![0.0; k * n];
+        for slot in 0..k {
+            let copies = placement.copies(slot);
+            for v in 0..n {
+                let (c, d) = metric
+                    .nearest_in(v, copies)
+                    .expect("placed objects have at least one copy");
+                nearest[slot * n + v] = c as u32;
+                nearest_dist[slot * n + v] = d;
+            }
+        }
+        PlacementSnapshot {
+            epoch,
+            solver: solver.to_string(),
+            placement,
+            cost,
+            ids,
+            resolve_seconds,
+            slot_of,
+            num_nodes: n,
+            nearest,
+            nearest_dist,
+        }
+    }
+
+    /// Number of objects placed in this epoch.
+    pub fn num_objects(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of network nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Slot of a stable object id in this epoch, if placed.
+    #[inline]
+    pub fn slot_of(&self, object: u64) -> Option<usize> {
+        let slot = *self.slot_of.get(object as usize)?;
+        (slot != u32::MAX).then_some(slot as usize)
+    }
+
+    /// `where-do-I-read(object, node)`: the copy serving reads of `object`
+    /// issued at `node`, at memory speed (two array loads). `None` when
+    /// the id is unknown, parked, or removed in this epoch.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when `node` is out of range; callers
+    /// validate node ids at the API boundary.
+    #[inline]
+    pub fn lookup(&self, object: u64, node: NodeId) -> Option<Lookup> {
+        let slot = self.slot_of(object)?;
+        Some(self.lookup_slot(slot, node))
+    }
+
+    /// Lookup by dense slot (no id translation).
+    #[inline]
+    pub fn lookup_slot(&self, slot: usize, node: NodeId) -> Lookup {
+        debug_assert!(node < self.num_nodes);
+        let at = slot * self.num_nodes + node;
+        Lookup {
+            node: self.nearest[at] as NodeId,
+            distance: self.nearest_dist[at],
+            epoch: self.epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_metric() -> Metric {
+        Metric::from_line(&[0.0, 1.0, 2.0, 10.0])
+    }
+
+    #[test]
+    fn lookup_matches_manual_nearest() {
+        let metric = line_metric();
+        let placement = Placement::from_copy_sets(vec![vec![0, 3], vec![2]]);
+        let snap = PlacementSnapshot::build(
+            1,
+            "approx",
+            &metric,
+            placement.clone(),
+            CostBreakdown::default(),
+            vec![7, 9],
+            0.0,
+        );
+        for (id, slot) in [(7u64, 0usize), (9, 1)] {
+            for v in 0..4 {
+                let l = snap.lookup(id, v).expect("placed");
+                let (want, dist) = metric.nearest_in(v, placement.copies(slot)).unwrap();
+                assert_eq!(l.node, want);
+                assert_eq!(l.distance, dist);
+                assert_eq!(l.epoch, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_ids_and_unknown_ids() {
+        let metric = line_metric();
+        let placement = Placement::from_copy_sets(vec![vec![1]]);
+        let snap = PlacementSnapshot::build(
+            3,
+            "approx",
+            &metric,
+            placement,
+            CostBreakdown::default(),
+            vec![5],
+            0.1,
+        );
+        assert_eq!(snap.slot_of(5), Some(0));
+        assert_eq!(snap.slot_of(4), None, "id inside the span but unplaced");
+        assert_eq!(snap.slot_of(99), None, "id beyond the span");
+        assert!(snap.lookup(5, 3).is_some());
+        assert!(snap.lookup(4, 3).is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_answers_nothing() {
+        let metric = line_metric();
+        let snap = PlacementSnapshot::build(
+            2,
+            "approx",
+            &metric,
+            Placement::new(0),
+            CostBreakdown::default(),
+            vec![],
+            0.0,
+        );
+        assert_eq!(snap.num_objects(), 0);
+        assert!(snap.lookup(0, 0).is_none());
+    }
+}

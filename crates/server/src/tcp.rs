@@ -1,0 +1,260 @@
+//! Line-delimited JSON over TCP: the out-of-process frontend.
+//!
+//! One request per line, one response per line, in order — so clients
+//! may pipeline. Requests are JSON objects dispatched on `"op"`:
+//!
+//! | op              | fields                                     | reply            |
+//! |-----------------|--------------------------------------------|------------------|
+//! | `lookup`        | `object`, `node`                           | `node`, `distance`, `epoch` |
+//! | `delta`         | `object`, `node`, `read_delta`, `write_delta` | `drift`       |
+//! | `add-object`    | `reads`, `writes` (`[[node, freq], ...]`)  | `object` (new id) |
+//! | `remove-object` | `object`                                   | `object`         |
+//! | `node-down` / `node-up` | `node`                             | `node`           |
+//! | `status`        | —                                          | full status document |
+//! | `resolve`       | —                                          | `epoch` after the forced re-solve |
+//! | `quit`          | —                                          | ack, then the server stops accepting |
+//!
+//! Every response carries `"ok": true` or `"ok": false` plus `"error"`;
+//! protocol errors (unparseable line, unknown op) answer in-band and keep
+//! the connection open. The listener is plain `std::net` with one thread
+//! per connection — the workloads this daemon fronts are a handful of
+//! replay clients, not the open internet.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dmn_json::Json;
+
+use crate::event::Event;
+use crate::server::{Applied, ServerHandle};
+
+/// One decoded protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `where-do-I-read(object, node)`.
+    Lookup {
+        /// Stable object id.
+        object: u64,
+        /// Requesting node.
+        node: usize,
+    },
+    /// Any churn event.
+    Event(Event),
+    /// The status document.
+    Status,
+    /// Force a synchronous re-solve.
+    Resolve,
+    /// Acknowledge and stop the listener.
+    Quit,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    /// A human-readable message for unparseable JSON, a missing `op`, an
+    /// unknown `op`, or malformed event fields.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = dmn_json::parse(line)?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string 'op' field")?;
+        if let Some(event) = Event::from_json(op, &doc)? {
+            return Ok(Request::Event(event));
+        }
+        match op {
+            "lookup" => Ok(Request::Lookup {
+                object: doc
+                    .get("object")
+                    .and_then(Json::as_usize)
+                    .ok_or("lookup needs an 'object' id")? as u64,
+                node: doc
+                    .get("node")
+                    .and_then(Json::as_usize)
+                    .ok_or("lookup needs a 'node'")?,
+            }),
+            "status" => Ok(Request::Status),
+            "resolve" => Ok(Request::Resolve),
+            "quit" => Ok(Request::Quit),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+
+    /// Wire encoding (what a client writes, newline-terminated).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Lookup { object, node } => Json::obj([
+                ("op", Json::Str("lookup".into())),
+                ("object", Json::Num(*object as f64)),
+                ("node", Json::Num(*node as f64)),
+            ]),
+            Request::Event(event) => event.to_json(),
+            Request::Status => Json::obj([("op", Json::Str("status".into()))]),
+            Request::Resolve => Json::obj([("op", Json::Str("resolve".into()))]),
+            Request::Quit => Json::obj([("op", Json::Str("quit".into()))]),
+        }
+    }
+}
+
+fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut doc = Json::obj(fields);
+    if let Json::Obj(map) = &mut doc {
+        map.insert("ok".into(), Json::Bool(true));
+    }
+    doc
+}
+
+fn fail(error: impl std::fmt::Display) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(error.to_string())),
+    ])
+}
+
+/// Executes one request against the server and builds the response
+/// document ([`Request::Quit`] just acks; the listener handles the stop).
+pub fn respond(handle: &ServerHandle, request: &Request) -> Json {
+    match request {
+        Request::Lookup { object, node } => match handle.lookup(*object, *node) {
+            Ok(l) => ok([
+                ("op", Json::Str("lookup".into())),
+                ("node", Json::Num(l.node as f64)),
+                ("distance", Json::Num(l.distance)),
+                ("epoch", Json::Num(l.epoch as f64)),
+            ]),
+            Err(e) => fail(e),
+        },
+        Request::Event(event) => match handle.apply(event) {
+            Ok(applied) => {
+                let fields: Vec<(&'static str, Json)> = match applied {
+                    Applied::Delta { object, drift } => vec![
+                        ("object", Json::Num(object as f64)),
+                        ("drift", Json::Num(drift)),
+                    ],
+                    Applied::ObjectAdded { object } | Applied::ObjectRemoved { object } => {
+                        vec![("object", Json::Num(object as f64))]
+                    }
+                    Applied::NodeDown { node } | Applied::NodeUp { node } => {
+                        vec![("node", Json::Num(node as f64))]
+                    }
+                };
+                let mut doc = ok(fields);
+                if let Json::Obj(map) = &mut doc {
+                    map.insert("op".into(), Json::Str(event.op().into()));
+                }
+                doc
+            }
+            Err(e) => fail(e),
+        },
+        Request::Status => {
+            let mut doc = handle.status();
+            if let Json::Obj(map) = &mut doc {
+                map.insert("ok".into(), Json::Bool(true));
+                map.insert("op".into(), Json::Str("status".into()));
+            }
+            doc
+        }
+        Request::Resolve => {
+            let epoch = handle.resolve_now();
+            ok([
+                ("op", Json::Str("resolve".into())),
+                ("epoch", Json::Num(epoch as f64)),
+            ])
+        }
+        Request::Quit => ok([("op", Json::Str("quit".into()))]),
+    }
+}
+
+/// Serves the protocol on `listener` until a client sends `quit`.
+/// Blocks the calling thread; each connection gets its own handler
+/// thread. Returns once every handler has drained.
+///
+/// # Errors
+/// Propagates accept-loop I/O errors (per-connection I/O errors just end
+/// that connection).
+pub fn serve(listener: TcpListener, handle: ServerHandle) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handlers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = conn?;
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        handlers.push(std::thread::spawn(move || {
+            let _ = handle_connection(stream, &handle, &stop, local);
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    handle: &ServerHandle,
+    stop: &AtomicBool,
+    local: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = match Request::parse(&line) {
+            Ok(request) => {
+                let quit = request == Request::Quit;
+                (respond(handle, &request), quit)
+            }
+            Err(e) => (fail(e), false),
+        };
+        writeln!(writer, "{}", response.to_string_compact())?;
+        if quit {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so `serve` can return.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_the_wire_form() {
+        let requests = [
+            Request::Lookup { object: 5, node: 2 },
+            Request::Event(Event::NodeDown { node: 1 }),
+            Request::Status,
+            Request::Resolve,
+            Request::Quit,
+        ];
+        for request in requests {
+            let line = request.to_json().to_string_compact();
+            assert!(!line.contains('\n'), "wire form is single-line: {line}");
+            assert_eq!(Request::parse(&line), Ok(request), "roundtrip of {line}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(Request::parse("not json").is_err());
+        let err = Request::parse(r#"{"object":1}"#).unwrap_err();
+        assert!(err.contains("op"), "{err}");
+        let err = Request::parse(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        let err = Request::parse(r#"{"op":"lookup","object":1}"#).unwrap_err();
+        assert!(err.contains("node"), "{err}");
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end exercise of the TCP frontend: a real listener, a real
+//! client socket, every protocol op, and in-band error reporting.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_graph::generators;
+use dmn_json::Json;
+use dmn_server::{tcp, ServerConfig, ServerHandle};
+
+fn ring_server() -> ServerHandle {
+    let graph = generators::ring(10, |_| 1.0);
+    let mut instance = Instance::builder(graph).uniform_storage_cost(2.0).build();
+    instance.push_object(ObjectWorkload::from_sparse(
+        10,
+        [(0, 12.0), (5, 4.0)],
+        [(0, 1.0)],
+    ));
+    instance.push_object(ObjectWorkload::from_sparse(10, [(7, 9.0)], []));
+    ServerHandle::start(
+        &instance,
+        ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("approx runs on a ring")
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        dmn_json::parse(&response).expect("responses are JSON")
+    }
+}
+
+fn is_ok(doc: &Json) -> bool {
+    doc.get("ok") == Some(&Json::Bool(true))
+}
+
+#[test]
+fn full_protocol_over_a_real_socket() {
+    let server = ring_server();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().unwrap();
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || tcp::serve(listener, server))
+    };
+
+    let mut client = Client::connect(addr);
+
+    // Lookup: object 1 lives where its only demand is.
+    let doc = client.roundtrip(r#"{"op":"lookup","object":1,"node":7}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    assert_eq!(doc.get("distance").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(doc.get("epoch").and_then(Json::as_usize), Some(1));
+
+    // Errors come back in-band and keep the connection alive.
+    for (bad, needle) in [
+        (r#"{"op":"lookup","object":99,"node":0}"#, "unknown object"),
+        (r#"{"op":"lookup","object":0,"node":10}"#, "out of range"),
+        (r#"{"op":"frobnicate"}"#, "unknown op"),
+        ("this is not json", ""),
+        (r#"{"op":"delta","node":2}"#, "object"),
+    ] {
+        let doc = client.roundtrip(bad);
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)), "{bad}");
+        let error = doc.get("error").and_then(Json::as_str).unwrap_or("");
+        assert!(error.contains(needle), "{bad} -> {error}");
+    }
+
+    // Churn through the wire: drift demand, add an object, drop a node.
+    let doc = client.roundtrip(r#"{"op":"delta","object":0,"node":5,"read_delta":11.5}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    assert_eq!(doc.get("drift").and_then(Json::as_f64), Some(11.5));
+
+    let doc = client.roundtrip(r#"{"op":"add-object","reads":[[3,6.0]],"writes":[[3,1.0]]}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    assert_eq!(doc.get("object").and_then(Json::as_usize), Some(2));
+
+    let doc = client.roundtrip(r#"{"op":"node-down","node":0}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+
+    // Forced re-solve folds all of it into epoch 2.
+    let doc = client.roundtrip(r#"{"op":"resolve"}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    assert_eq!(doc.get("epoch").and_then(Json::as_usize), Some(2));
+
+    let doc = client.roundtrip(r#"{"op":"lookup","object":2,"node":3}"#);
+    assert!(is_ok(&doc), "the added object is served: {doc:?}");
+    assert_eq!(doc.get("epoch").and_then(Json::as_usize), Some(2));
+
+    // Status reflects the churn and embeds the shared report document.
+    let doc = client.roundtrip(r#"{"op":"status"}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    assert_eq!(doc.get("epoch").and_then(Json::as_usize), Some(2));
+    assert_eq!(doc.get("objects_live").and_then(Json::as_usize), Some(3));
+    assert_eq!(doc.get("resolves").and_then(Json::as_usize), Some(1));
+    assert!(
+        doc.get("report")
+            .and_then(|r| r.get("total_cost"))
+            .and_then(Json::as_f64)
+            .is_some(),
+        "status embeds SolveReport::to_json: {doc:?}"
+    );
+
+    // A second client shares the same server state.
+    let mut second = Client::connect(addr);
+    let doc = second.roundtrip(r#"{"op":"lookup","object":2,"node":3}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+
+    // Quit stops the accept loop; both handler threads drain.
+    let doc = second.roundtrip(r#"{"op":"quit"}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    drop(second);
+    drop(client);
+    acceptor
+        .join()
+        .expect("acceptor joins")
+        .expect("serve returns cleanly");
+    server.shutdown();
+}

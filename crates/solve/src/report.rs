@@ -6,6 +6,7 @@ use dmn_approx::PhaseTrace;
 use dmn_core::cost::{evaluate, CostBreakdown, UpdatePolicy};
 use dmn_core::instance::Instance;
 use dmn_core::placement::Placement;
+use dmn_json::Json;
 
 use crate::SolveRequest;
 
@@ -169,6 +170,91 @@ impl SolveReport {
     pub fn total_copies(&self) -> usize {
         self.placement.total_copies()
     }
+
+    /// Max/min per-shard sub-solve cost — the partition-balance figure the
+    /// perf gate pins (1.0 when the report has fewer than two shards).
+    pub fn shard_cost_skew(&self) -> f64 {
+        let costs: Vec<f64> = self.shard_stats.iter().map(|s| s.cost).collect();
+        let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        if costs.len() < 2 || min <= 0.0 {
+            1.0
+        } else {
+            max / min
+        }
+    }
+
+    /// A meta counter as a number (0 when absent or unparsable).
+    fn meta_count(&self, key: &str) -> f64 {
+        self.meta_value(key)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0)
+    }
+
+    /// The machine-readable rendering of the report: cost breakdown,
+    /// per-phase timings, FL counters, per-shard stats, and the capacity
+    /// section when present. This is the one serialization every consumer
+    /// shares — the `perf-smoke` artifact (`BENCH_ci.json`), the `sweep`
+    /// binary, and the `dmn-server` status endpoint all emit it, so field
+    /// names stay diffable across tools.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("solver", Json::Str(self.solver.to_string())),
+            (
+                "fl_backend",
+                Json::Str(self.meta_value("fl-backend").unwrap_or("-").to_string()),
+            ),
+            ("total_cost", Json::Num(self.cost.total())),
+            ("storage_cost", Json::Num(self.cost.storage)),
+            ("read_cost", Json::Num(self.cost.read)),
+            ("update_cost", Json::Num(self.cost.update())),
+            ("total_copies", Json::Num(self.total_copies() as f64)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("fl_moves", Json::Num(self.meta_count("fl-moves"))),
+            ("fl_candidates", Json::Num(self.meta_count("fl-candidates"))),
+            (
+                "phases",
+                Json::arr(self.phases.iter().map(|p| {
+                    Json::obj([
+                        ("name", Json::Str(p.name.to_string())),
+                        ("seconds", Json::Num(p.seconds)),
+                    ])
+                })),
+            ),
+            (
+                "shards",
+                Json::arr(self.shard_stats.iter().map(|s| {
+                    Json::obj([
+                        ("shard", Json::Num(s.shard as f64)),
+                        ("objects", Json::Num(s.objects as f64)),
+                        ("seconds", Json::Num(s.seconds)),
+                        ("cost", Json::Num(s.cost)),
+                    ])
+                })),
+            ),
+        ];
+        if !self.shard_stats.is_empty() {
+            fields.push(("shard_cost_skew", Json::Num(self.shard_cost_skew())));
+        }
+        if let Some(c) = &self.capacity {
+            fields.push((
+                "capacity",
+                Json::obj([
+                    ("feasible", Json::Bool(c.feasible)),
+                    ("repair_cost", Json::Num(c.repair_cost)),
+                    (
+                        "flow_seed_cost",
+                        c.flow_seed_cost.map_or(Json::Null, Json::Num),
+                    ),
+                    ("final_cost", Json::Num(c.final_cost)),
+                    ("margin_vs_repair", Json::Num(c.margin_vs_repair)),
+                    ("moves", Json::Num(c.moves as f64)),
+                    ("rounds", Json::Num(c.rounds as f64)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
 }
 
 /// Stable kebab-case name of an update policy.
@@ -314,6 +400,72 @@ mod tests {
         ));
         assert_eq!(report.phases.len(), 1);
         assert_eq!(report.phases[0].name, "capacity-repair");
+    }
+
+    #[test]
+    fn to_json_covers_every_section_and_roundtrips() {
+        let inst = tiny_instance();
+        let mut report = SolveReport::build(
+            "test",
+            &inst,
+            &SolveRequest::new(),
+            Placement::from_copy_sets(vec![vec![1]]),
+            vec![PhaseStat::new("alpha", 0.5, "detail")],
+            None,
+            vec![("fl-moves", "7".into()), ("fl-backend", "beta".into())],
+            std::time::Instant::now(),
+        );
+        report.shard_stats = vec![
+            ShardStat {
+                shard: 0,
+                objects: 1,
+                seconds: 0.1,
+                cost: 6.0,
+            },
+            ShardStat {
+                shard: 1,
+                objects: 1,
+                seconds: 0.1,
+                cost: 4.0,
+            },
+        ];
+        report.capacity = Some(CapacityStats {
+            feasible: true,
+            repair_cost: 12.0,
+            final_cost: 10.0,
+            margin_vs_repair: 1.0 / 6.0,
+            ..Default::default()
+        });
+        let json = report.to_json();
+        assert_eq!(json.get("solver").unwrap().as_str(), Some("test"));
+        assert_eq!(json.get("total_cost").unwrap().as_f64(), Some(10.0));
+        assert_eq!(json.get("fl_moves").unwrap().as_f64(), Some(7.0));
+        assert_eq!(json.get("fl_backend").unwrap().as_str(), Some("beta"));
+        assert_eq!(json.get("shards").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(json.get("shard_cost_skew").unwrap().as_f64(), Some(1.5));
+        assert_eq!(
+            json.get("capacity").unwrap().get("repair_cost").unwrap(),
+            &Json::Num(12.0)
+        );
+        let text = json.to_string_pretty();
+        assert_eq!(dmn_json::parse(&text).unwrap(), json, "round-trips");
+    }
+
+    #[test]
+    fn shard_cost_skew_degenerate_cases() {
+        let inst = tiny_instance();
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &SolveRequest::new(),
+            Placement::from_copy_sets(vec![vec![1]]),
+            vec![],
+            None,
+            vec![],
+            std::time::Instant::now(),
+        );
+        assert_eq!(report.shard_cost_skew(), 1.0, "no shards");
+        assert!(report.to_json().get("shard_cost_skew").is_none());
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn scenario(topology: TopologyKind, nodes: usize, objects: usize, seed: u64) -> 
         seed,
         capacities: None,
         stream: None,
+        drift: None,
     }
 }
 

@@ -29,6 +29,7 @@ fn scenario(nodes: usize, objects: usize, seed: u64) -> Scenario {
         seed,
         capacities: None,
         stream: None,
+        drift: None,
     }
 }
 

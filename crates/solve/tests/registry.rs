@@ -34,6 +34,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64) -> Scenario {
         seed,
         capacities: None,
         stream: None,
+        drift: None,
     }
 }
 

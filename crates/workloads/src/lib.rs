@@ -7,7 +7,9 @@
 //! and cache lines with mixed sharing.
 
 pub mod scenario;
+pub mod trace;
 pub mod workload;
 
-pub use scenario::{CapacitySpec, Scenario, StreamSpec, TopologyKind};
+pub use scenario::{CapacitySpec, DriftSpec, Scenario, StreamSpec, TopologyKind};
+pub use trace::{sample_trace, TraceConfig, TraceOp};
 pub use workload::{WorkloadGen, WorkloadParams};

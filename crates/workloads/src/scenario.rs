@@ -70,6 +70,34 @@ impl Default for StreamSpec {
     }
 }
 
+/// Server-trace parameters of a drift-annotated scenario: how the
+/// `dmn-server` replay benchmarks sample a lookup trace and how eagerly
+/// the daemon re-optimizes. Scenarios without a spec use
+/// [`DriftSpec::default`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSpec {
+    /// Lookup operations in the replayed trace.
+    pub lookups: usize,
+    /// Demand-drift events spread through the trace.
+    pub drift_events: usize,
+    /// Request mass moved per drift event.
+    pub drift_mass: f64,
+    /// Drift fraction (accumulated |delta| mass / baseline request mass)
+    /// at which the server re-solves in the background.
+    pub resolve_threshold: f64,
+}
+
+impl Default for DriftSpec {
+    fn default() -> Self {
+        DriftSpec {
+            lookups: 1_200_000,
+            drift_events: 60,
+            drift_mass: 4.0,
+            resolve_threshold: 0.02,
+        }
+    }
+}
+
 /// A reproducible experiment scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -92,6 +120,9 @@ pub struct Scenario {
     /// Optional request-stream spec for dynamic (online) runs; `None`
     /// means the harness default.
     pub stream: Option<StreamSpec>,
+    /// Optional server-trace spec for `dmn-server` replay runs; `None`
+    /// means the replay default.
+    pub drift: Option<DriftSpec>,
 }
 
 impl Scenario {
@@ -196,6 +227,17 @@ impl Scenario {
                 ]),
             ));
         }
+        if let Some(drift) = &self.drift {
+            fields.push((
+                "drift",
+                Json::obj([
+                    ("lookups", Json::Num(drift.lookups as f64)),
+                    ("drift_events", Json::Num(drift.drift_events as f64)),
+                    ("drift_mass", Json::Num(drift.drift_mass)),
+                    ("resolve_threshold", Json::Num(drift.resolve_threshold)),
+                ]),
+            ));
+        }
         Json::obj(fields)
     }
 
@@ -267,6 +309,15 @@ impl Scenario {
                 phase_shift: num_field(s, "phase_shift")? as usize,
             }),
         };
+        let drift = match json.get("drift") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(DriftSpec {
+                lookups: num_field(d, "lookups")? as usize,
+                drift_events: num_field(d, "drift_events")? as usize,
+                drift_mass: num_field(d, "drift_mass")?,
+                resolve_threshold: num_field(d, "resolve_threshold")?,
+            }),
+        };
         Ok(Scenario {
             name: str_field("name")?.to_string(),
             topology,
@@ -285,12 +336,18 @@ impl Scenario {
                 .map_err(|e| format!("bad seed: {e}"))?,
             capacities,
             stream,
+            drift,
         })
     }
 
     /// The stream spec of the scenario, or the harness default.
     pub fn stream_spec(&self) -> StreamSpec {
         self.stream.clone().unwrap_or_default()
+    }
+
+    /// The server-trace spec of the scenario, or the replay default.
+    pub fn drift_spec(&self) -> DriftSpec {
+        self.drift.clone().unwrap_or_default()
     }
 
     /// Loads every `*.json` scenario of a corpus directory, sorted by file
@@ -383,6 +440,7 @@ mod tests {
             seed: 42,
             capacities: None,
             stream: None,
+            drift: None,
         }
     }
 
@@ -482,6 +540,26 @@ mod tests {
             .unwrap();
         assert_eq!(back.stream, s.stream);
         assert_eq!(back.stream_spec().phases, 4);
+    }
+
+    #[test]
+    fn drift_spec_roundtrips_and_defaults() {
+        let mut s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
+        assert_eq!(s.drift, None);
+        assert_eq!(s.drift_spec(), DriftSpec::default());
+        let json = s.to_json().to_string_pretty();
+        assert!(!json.contains("drift"), "{json}");
+
+        s.drift = Some(DriftSpec {
+            lookups: 50_000,
+            drift_events: 12,
+            drift_mass: 2.5,
+            resolve_threshold: 0.01,
+        });
+        let back = Scenario::from_json(&dmn_json::parse(&s.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back.drift, s.drift);
+        assert_eq!(back.drift_spec().drift_events, 12);
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Synthetic request traces for the placement server: zipf-over-objects
+//! lookup streams interleaved with demand-drift events.
+//!
+//! A *trace* is the server-side analogue of the dynamic crate's request
+//! streams: instead of single read/write requests consumed by an online
+//! strategy, it is a sequence of *server operations* — memory-speed
+//! `where-do-I-read` lookups plus occasional demand deltas that shift
+//! request mass between nodes. The drift deltas are what pushes a
+//! long-running `dmn-server` daemon over its re-solve threshold, so a
+//! replayed trace exercises the full hot-lookup / background-re-solve /
+//! epoch-swap loop.
+//!
+//! Object popularity is zipf (exponent [`TraceConfig::zipf_exponent`]),
+//! matching the scenario workload generator; lookup origins are sampled
+//! proportionally to each object's per-node request mass, so the trace
+//! "looks like" the demand the placement was optimized for until drift
+//! moves it.
+
+use dmn_core::instance::ObjectWorkload;
+use rand::Rng;
+
+/// One operation of a server trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// A `where-do-I-read(object, node)` lookup.
+    Lookup {
+        /// Object id (initial objects are numbered `0..k` by the server).
+        object: usize,
+        /// Requesting node.
+        node: usize,
+    },
+    /// A demand delta: add `read_delta`/`write_delta` request mass for
+    /// `object` at `node` (negative values drain mass; the server clamps
+    /// frequencies at zero).
+    Delta {
+        /// Object id.
+        object: usize,
+        /// Affected node.
+        node: usize,
+        /// Read-frequency change.
+        read_delta: f64,
+        /// Write-frequency change.
+        write_delta: f64,
+    },
+}
+
+/// Parameters of the synthetic server trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of lookup operations.
+    pub lookups: usize,
+    /// Number of drift events spread evenly through the lookups (each
+    /// event emits two [`TraceOp::Delta`]s: mass drained at the object's
+    /// hottest node, mass injected at a rotated target node).
+    pub drift_events: usize,
+    /// Zipf exponent over object ids for both lookups and drift targets
+    /// (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Request mass moved per drift event.
+    pub drift_mass: f64,
+    /// Node-id rotation of the drift target: mass drained at the hottest
+    /// node re-appears at `(hottest + hotspot_shift) mod n`.
+    pub hotspot_shift: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            lookups: 100_000,
+            drift_events: 50,
+            zipf_exponent: 0.9,
+            drift_mass: 4.0,
+            hotspot_shift: 7,
+        }
+    }
+}
+
+/// Weighted index sampling over a cumulative-sum table.
+fn sample_cumulative(cum: &[f64], rng: &mut impl Rng) -> usize {
+    let total = *cum.last().expect("non-empty distribution");
+    let t = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+    cum.partition_point(|&c| c <= t).min(cum.len() - 1)
+}
+
+/// Samples a reproducible server trace over the given initial workloads.
+///
+/// Lookup objects follow a zipf distribution over `0..objects.len()`;
+/// lookup nodes follow each object's per-node request-mass distribution
+/// (uniform for objects with no mass, which cannot occur for validated
+/// workloads). Drift events are interleaved evenly: after every
+/// `lookups / (drift_events + 1)` lookups, one event drains
+/// [`TraceConfig::drift_mass`] reads at the chosen object's hottest node
+/// and injects the same mass at the rotated target — cumulatively, demand
+/// migrates around the network, which is exactly what forces the server's
+/// background re-optimization.
+///
+/// # Panics
+/// Panics when `objects` is empty.
+pub fn sample_trace(
+    objects: &[ObjectWorkload],
+    cfg: &TraceConfig,
+    rng: &mut impl Rng,
+) -> Vec<TraceOp> {
+    assert!(!objects.is_empty(), "a trace needs at least one object");
+    let k = objects.len();
+    let n = objects[0].num_nodes();
+
+    // Zipf cumulative over objects.
+    let mut obj_cum = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for x in 0..k {
+        acc += 1.0 / ((x + 1) as f64).powf(cfg.zipf_exponent);
+        obj_cum.push(acc);
+    }
+    // Per-object node distributions (cumulative request mass).
+    let node_cum: Vec<Vec<f64>> = objects
+        .iter()
+        .map(|w| {
+            let mut cum = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for v in 0..n {
+                acc += w.request_mass(v);
+                cum.push(acc);
+            }
+            if acc == 0.0 {
+                // Degenerate object: fall back to uniform.
+                for (v, c) in cum.iter_mut().enumerate() {
+                    *c = (v + 1) as f64;
+                }
+            }
+            cum
+        })
+        .collect();
+    // Hottest node per object (first argmax; drift drains reads here).
+    let hottest: Vec<usize> = objects
+        .iter()
+        .map(|w| {
+            (0..n)
+                .max_by(|&a, &b| {
+                    w.request_mass(a)
+                        .partial_cmp(&w.request_mass(b))
+                        .expect("finite masses")
+                        .then(b.cmp(&a))
+                })
+                .expect("at least one node")
+        })
+        .collect();
+
+    let stride = cfg.lookups / (cfg.drift_events + 1);
+    let mut ops = Vec::with_capacity(cfg.lookups + 2 * cfg.drift_events);
+    let mut drifted = 0usize;
+    for i in 0..cfg.lookups {
+        if stride > 0 && i > 0 && i % stride == 0 && drifted < cfg.drift_events {
+            let object = sample_cumulative(&obj_cum, rng);
+            // The target rotates further with every event, so repeated
+            // drift keeps migrating demand instead of ping-ponging.
+            let source = hottest[object];
+            let target = (source + cfg.hotspot_shift * (drifted + 1)) % n;
+            ops.push(TraceOp::Delta {
+                object,
+                node: source,
+                read_delta: -cfg.drift_mass,
+                write_delta: 0.0,
+            });
+            ops.push(TraceOp::Delta {
+                object,
+                node: target,
+                read_delta: cfg.drift_mass,
+                write_delta: 0.0,
+            });
+            drifted += 1;
+        }
+        let object = sample_cumulative(&obj_cum, rng);
+        let node = sample_cumulative(&node_cum[object], rng);
+        ops.push(TraceOp::Lookup { object, node });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn objects(k: usize, n: usize) -> Vec<ObjectWorkload> {
+        (0..k)
+            .map(|x| {
+                ObjectWorkload::from_sparse(n, [(x % n, 10.0), ((x + 1) % n, 2.0)], [(x % n, 1.0)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let objs = objects(4, 9);
+        let cfg = TraceConfig {
+            lookups: 1_000,
+            drift_events: 10,
+            ..Default::default()
+        };
+        let ops = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(1));
+        let lookups = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Lookup { .. }))
+            .count();
+        let deltas = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Delta { .. }))
+            .count();
+        assert_eq!(lookups, 1_000);
+        assert_eq!(deltas, 20, "two deltas per drift event");
+        for op in &ops {
+            match *op {
+                TraceOp::Lookup { object, node } => {
+                    assert!(object < 4 && node < 9);
+                }
+                TraceOp::Delta { object, node, .. } => {
+                    assert!(object < 4 && node < 9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_events_are_mass_neutral_pairs() {
+        let objs = objects(3, 7);
+        let cfg = TraceConfig {
+            lookups: 500,
+            drift_events: 5,
+            drift_mass: 2.5,
+            ..Default::default()
+        };
+        let ops = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(2));
+        let deltas: Vec<&TraceOp> = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Delta { .. }))
+            .collect();
+        for pair in deltas.chunks(2) {
+            let (
+                TraceOp::Delta {
+                    object: o1,
+                    read_delta: d1,
+                    ..
+                },
+                TraceOp::Delta {
+                    object: o2,
+                    read_delta: d2,
+                    ..
+                },
+            ) = (pair[0], pair[1])
+            else {
+                panic!("deltas come in pairs");
+            };
+            assert_eq!(o1, o2, "a drift event moves mass within one object");
+            assert_eq!(*d1, -2.5);
+            assert_eq!(*d2, 2.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let objs = objects(5, 11);
+        let cfg = TraceConfig::default();
+        let a = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_skews_lookups_toward_object_zero() {
+        let objs = objects(8, 9);
+        let cfg = TraceConfig {
+            lookups: 20_000,
+            drift_events: 0,
+            zipf_exponent: 1.0,
+            ..Default::default()
+        };
+        let ops = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(3));
+        let mut counts = [0usize; 8];
+        for op in &ops {
+            if let TraceOp::Lookup { object, .. } = op {
+                counts[*object] += 1;
+            }
+        }
+        assert!(
+            counts[0] > 2 * counts[3],
+            "object 0 should dominate: {counts:?}"
+        );
+    }
+}

@@ -24,6 +24,7 @@ fn main() {
         seed: 7,
         capacities: None,
         stream: None,
+        drift: None,
     };
     let instance = scenario.build_instance();
 

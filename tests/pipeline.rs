@@ -20,6 +20,7 @@ fn scenario(topology: TopologyKind, nodes: usize, write_fraction: f64, seed: u64
         seed,
         capacities: None,
         stream: None,
+        drift: None,
     }
 }
 
