@@ -23,6 +23,7 @@
 //! the swap (the worker only subtracts the drift it captured), so a
 //! demand shift can never be silently absorbed by an older solve.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
@@ -149,7 +150,6 @@ struct ObjectState {
     id: u64,
     reads: Vec<f64>,
     writes: Vec<f64>,
-    alive: bool,
 }
 
 impl ObjectState {
@@ -167,7 +167,11 @@ impl ObjectState {
 struct LiveState {
     base_storage: Vec<f64>,
     node_down: Vec<bool>,
+    /// Live objects only; removal swap-compacts the vec, so memory tracks
+    /// the live population rather than every id ever created.
     objects: Vec<ObjectState>,
+    /// Stable id -> current slot in `objects` (O(1) event application).
+    slots: HashMap<u64, usize>,
     next_id: u64,
     /// Absolute request mass shifted since the last accepted solve.
     drift_mass: f64,
@@ -181,13 +185,12 @@ impl LiveState {
     fn live_mass(&self) -> f64 {
         self.objects
             .iter()
-            .filter(|o| o.alive)
             .map(|o| o.effective_mass(&self.node_down))
             .sum()
     }
 
     /// Materializes the live instance: down nodes get infinite storage
-    /// cost and muted demand; dead and zero-mass ("parked") objects are
+    /// cost and muted demand; zero-mass ("parked") objects are
     /// excluded. Returns the instance plus the stable id of each dense
     /// object slot. Deterministic: two calls on the same state produce
     /// identical instances, which is what makes the snapshot cost
@@ -206,9 +209,6 @@ impl LiveState {
             .with_metric(metric.clone());
         let mut ids = Vec::new();
         for obj in &self.objects {
-            if !obj.alive {
-                continue;
-            }
             let mut w = ObjectWorkload::new(n);
             for v in 0..n {
                 if !self.node_down[v] {
@@ -295,9 +295,9 @@ impl ServerHandle {
                     id: x as u64,
                     reads: w.reads.clone(),
                     writes: w.writes.clone(),
-                    alive: true,
                 })
                 .collect(),
+            slots: (0..instance.num_objects()).map(|x| (x as u64, x)).collect(),
             next_id: instance.num_objects() as u64,
             drift_mass: 0.0,
             baseline_mass: 0.0,
@@ -400,10 +400,9 @@ impl ServerHandle {
                 if !read_delta.is_finite() || !write_delta.is_finite() {
                     return Err(ServerError::BadEvent("non-finite delta".into()));
                 }
-                let slot = st
-                    .objects
-                    .iter()
-                    .position(|o| o.id == *object && o.alive)
+                let slot = *st
+                    .slots
+                    .get(object)
                     .ok_or(ServerError::UnknownObject(*object))?;
                 let obj = &mut st.objects[slot];
                 let new_reads = (obj.reads[*node] + read_delta).max(0.0);
@@ -423,7 +422,6 @@ impl ServerHandle {
                     id: st.next_id,
                     reads: vec![0.0; n],
                     writes: vec![0.0; n],
-                    alive: true,
                 };
                 for &(v, f) in reads.iter().chain(writes) {
                     if v >= n {
@@ -448,7 +446,9 @@ impl ServerHandle {
                     ));
                 }
                 let id = object.id;
+                let slot = st.objects.len();
                 st.objects.push(object);
+                st.slots.insert(id, slot);
                 st.next_id += 1;
                 st.drift_mass += mass;
                 st.structural += 1;
@@ -456,12 +456,14 @@ impl ServerHandle {
             }
             Event::ObjectRemove { object } => {
                 let slot = st
-                    .objects
-                    .iter()
-                    .position(|o| o.id == *object && o.alive)
+                    .slots
+                    .remove(object)
                     .ok_or(ServerError::UnknownObject(*object))?;
-                st.objects[slot].alive = false;
-                let mass = st.objects[slot].effective_mass(&st.node_down);
+                let removed = st.objects.swap_remove(slot);
+                if let Some(moved_id) = st.objects.get(slot).map(|o| o.id) {
+                    st.slots.insert(moved_id, slot);
+                }
+                let mass = removed.effective_mass(&st.node_down);
                 st.drift_mass += mass;
                 st.structural += 1;
                 Applied::ObjectRemoved { object: *object }
@@ -480,7 +482,6 @@ impl ServerHandle {
                     let muted: f64 = st
                         .objects
                         .iter()
-                        .filter(|o| o.alive)
                         .map(|o| o.reads[*node] + o.writes[*node])
                         .sum();
                     st.drift_mass += muted;
@@ -497,7 +498,6 @@ impl ServerHandle {
                     let restored: f64 = st
                         .objects
                         .iter()
-                        .filter(|o| o.alive)
                         .map(|o| o.reads[*node] + o.writes[*node])
                         .sum();
                     st.drift_mass += restored;
@@ -580,11 +580,7 @@ impl ServerHandle {
         let stats = self.stats();
         let (drift_mass, baseline_mass, live_objects) = {
             let st = self.inner.state.lock().unwrap();
-            (
-                st.drift_mass,
-                st.baseline_mass,
-                st.objects.iter().filter(|o| o.alive).count(),
-            )
+            (st.drift_mass, st.baseline_mass, st.objects.len())
         };
         Json::obj([
             ("epoch", Json::Num(snap.epoch as f64)),
@@ -643,7 +639,10 @@ impl Inner {
         loop {
             {
                 let mut sync = inner.sync.lock().unwrap();
-                while !sync.pending && !sync.shutdown {
+                // `in_flight` may be held by a `resolve_now` caller; waking
+                // past it would run two concurrent solves (duplicate epochs,
+                // double-settled drift).
+                while (!sync.pending || sync.in_flight) && !sync.shutdown {
                     sync = inner.cv.wait(sync).unwrap();
                 }
                 if sync.shutdown {
@@ -713,7 +712,7 @@ impl Inner {
             // Only the churn this solve actually saw is settled; anything
             // that arrived mid-solve stays charged.
             st.drift_mass = (st.drift_mass - drift_captured).max(0.0);
-            st.structural -= structural_captured;
+            st.structural = st.structural.saturating_sub(structural_captured);
             st.baseline_mass = st.live_mass();
             st.structural > 0
                 || st.drift_mass
@@ -983,6 +982,45 @@ mod tests {
             ServerHandle::start(&grid_inst, tree_only),
             Err(ServerError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn foreground_and_background_resolves_never_collide() {
+        let graph = generators::path(8, |_| 1.0);
+        let mut instance = Instance::builder(graph).uniform_storage_cost(1.5).build();
+        instance.push_object(ObjectWorkload::from_sparse(8, [(0, 12.0)], []));
+        let cfg = ServerConfig {
+            resolve_threshold: 0.01,
+            ..ServerConfig::default()
+        };
+        let server = ServerHandle::start(&instance, cfg).unwrap();
+        // Structural churn kicks the worker on every iteration while the
+        // foreground forces its own solve: the worker must never wake
+        // into a solve that resolve_now() already owns. A collision
+        // publishes a duplicate epoch and double-settles the churn,
+        // breaking both invariants checked below.
+        for x in 0..20u64 {
+            server
+                .apply(&Event::ObjectAdd {
+                    reads: vec![((x as usize) % 8, 2.0)],
+                    writes: vec![],
+                })
+                .unwrap();
+            server.resolve_now();
+        }
+        server.wait_idle();
+        assert_eq!(
+            server.epoch(),
+            1 + server.stats().resolves,
+            "every completed solve published a unique epoch"
+        );
+        let status = server.status();
+        assert_eq!(
+            status.get("drift_mass").and_then(Json::as_f64),
+            Some(0.0),
+            "all churn settled exactly once"
+        );
+        server.shutdown();
     }
 
     #[test]

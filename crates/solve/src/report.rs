@@ -172,13 +172,19 @@ impl SolveReport {
     }
 
     /// Max/min per-shard sub-solve cost — the partition-balance figure the
-    /// perf gate pins (1.0 when the report has fewer than two shards).
+    /// perf gate pins. 1.0 when the report has fewer than two shards (or
+    /// every shard costs zero); `f64::MAX` when some shard has zero cost
+    /// while another does not, so an empty-shard degenerate partition
+    /// reads as maximally skewed instead of perfectly balanced
+    /// (`f64::MAX` rather than infinity keeps the figure JSON-encodable).
     pub fn shard_cost_skew(&self) -> f64 {
         let costs: Vec<f64> = self.shard_stats.iter().map(|s| s.cost).collect();
         let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
-        if costs.len() < 2 || min <= 0.0 {
+        if costs.len() < 2 || max <= 0.0 {
             1.0
+        } else if min <= 0.0 {
+            f64::MAX
         } else {
             max / min
         }
@@ -454,7 +460,7 @@ mod tests {
     #[test]
     fn shard_cost_skew_degenerate_cases() {
         let inst = tiny_instance();
-        let report = SolveReport::build(
+        let mut report = SolveReport::build(
             "test",
             &inst,
             &SolveRequest::new(),
@@ -466,6 +472,24 @@ mod tests {
         );
         assert_eq!(report.shard_cost_skew(), 1.0, "no shards");
         assert!(report.to_json().get("shard_cost_skew").is_none());
+
+        let stat = |shard, cost| ShardStat {
+            shard,
+            objects: 1,
+            seconds: 0.1,
+            cost,
+        };
+        report.shard_stats = vec![stat(0, 0.0), stat(1, 5.0)];
+        assert_eq!(
+            report.shard_cost_skew(),
+            f64::MAX,
+            "an empty shard is maximal skew, not balance"
+        );
+        let json = report.to_json().to_string_pretty();
+        dmn_json::parse(&json).expect("f64::MAX skew still serializes");
+
+        report.shard_stats = vec![stat(0, 0.0), stat(1, 0.0)];
+        assert_eq!(report.shard_cost_skew(), 1.0, "all-zero shards are equal");
     }
 
     #[test]
