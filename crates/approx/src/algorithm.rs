@@ -21,6 +21,11 @@ pub enum FlSolverKind {
     /// same results as [`FlSolverKind::LocalSearch`], kept for equivalence
     /// pinning and perf baselines.
     LocalSearchRef,
+    /// Aggregated-gain local search (Whitaker): one pass per candidate add
+    /// prices every swap against it — `O(|open|)` cheaper per iteration
+    /// than [`FlSolverKind::LocalSearch`], same move set, trajectory not
+    /// bit-pinned to the reference. The sparse solve path's default.
+    LocalSearchAgg,
     /// Mettu–Plaxton radius greedy (3; fastest at scale).
     MettuPlaxton,
     /// Jain–Vazirani primal–dual (3).
@@ -33,10 +38,11 @@ pub enum FlSolverKind {
 
 impl FlSolverKind {
     /// Every kind, in presentation order.
-    pub const ALL: [FlSolverKind; 7] = [
+    pub const ALL: [FlSolverKind; 8] = [
         FlSolverKind::LocalSearch,
         FlSolverKind::LocalSearchWarm,
         FlSolverKind::LocalSearchRef,
+        FlSolverKind::LocalSearchAgg,
         FlSolverKind::MettuPlaxton,
         FlSolverKind::JainVazirani,
         FlSolverKind::Greedy,
@@ -49,6 +55,7 @@ impl FlSolverKind {
             FlSolverKind::LocalSearch => "local-search",
             FlSolverKind::LocalSearchWarm => "local-search-warm",
             FlSolverKind::LocalSearchRef => "local-search-ref",
+            FlSolverKind::LocalSearchAgg => "local-search-agg",
             FlSolverKind::MettuPlaxton => "mettu-plaxton",
             FlSolverKind::JainVazirani => "jain-vazirani",
             FlSolverKind::Greedy => "greedy",
@@ -61,11 +68,12 @@ impl FlSolverKind {
         FlSolverKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    fn as_solver(self) -> Solver {
+    pub(crate) fn as_solver(self) -> Solver {
         match self {
             FlSolverKind::LocalSearch => Solver::LocalSearch,
             FlSolverKind::LocalSearchWarm => Solver::LocalSearchWarm,
             FlSolverKind::LocalSearchRef => Solver::LocalSearchRef,
+            FlSolverKind::LocalSearchAgg => Solver::LocalSearchAgg,
             FlSolverKind::MettuPlaxton => Solver::MettuPlaxton,
             FlSolverKind::JainVazirani => Solver::JainVazirani,
             FlSolverKind::Greedy => Solver::Greedy,
@@ -217,6 +225,10 @@ pub fn place_object_in(
         }
         FlSolverKind::LocalSearchWarm => {
             let s = dmn_facility::local_search_warm_in(ws, &fl, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        FlSolverKind::LocalSearchAgg => {
+            let s = ws.local_search_aggregated(&fl, &ls_cfg);
             (s, ws.last_stats())
         }
         other => (other.as_solver().solve(&fl), SearchStats::default()),

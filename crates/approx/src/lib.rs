@@ -20,6 +20,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod capacity;
 pub mod proper;
+pub mod sparse_path;
 
 pub use algorithm::{
     place_all, place_object, place_object_in, place_object_instrumented, place_object_traced,
@@ -27,3 +28,4 @@ pub use algorithm::{
 };
 pub use capacity::{enforce_capacities, respects_capacities, CapacityError};
 pub use proper::{check_proper, ProperReport};
+pub use sparse_path::{place_object_sparse, place_object_sparse_in, SparseOpts, SparseOutcome};

@@ -1,0 +1,370 @@
+//! The sparse per-object solve path: the three-phase algorithm on a
+//! truncated metric closure instead of the dense n×n matrix.
+//!
+//! Per object, the only nodes that matter are its clients (positive request
+//! mass) and the candidate facility sites near them. The sparse path
+//!
+//! 1. collects the clients and grows a candidate ball around them
+//!    ([`dmn_graph::ball_candidates`], sized by [`SparseOpts::expansion`]),
+//! 2. builds the **exact** metric closure restricted to that set
+//!    ([`dmn_graph::truncated_closure`] — one early-stopped Dijkstra per
+//!    candidate, cached for the whole object), and
+//! 3. runs the unchanged three-phase pipeline on the restricted instance,
+//!    with phase 2's radius scan answered by an incremental
+//!    [`NearestCopyOracle`] instead of per-query copy-set scans,
+//!
+//! then maps the copy set back to global node ids. When the candidate set
+//! covers every node (e.g. every node is a client, or `expansion` is
+//! large), the restricted closure is bit-identical to the dense `apsp`
+//! rows and the whole trajectory — facility location, radii, both radius
+//! phases — reproduces the dense path exactly; with a truncated set the
+//! result may differ because facilities outside the ball are not
+//! considered, which the E16 experiment and the perf-smoke `scale_ok`
+//! gate bound in cost.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_core::radii::RadiusTable;
+use dmn_facility::{FlInstance, FlWorkspace, LocalSearchConfig, NearestCopyOracle, SearchStats};
+use dmn_graph::{ball_candidates, truncated_closure, Graph, NodeId};
+
+use crate::algorithm::{ApproxConfig, FlSolverKind, PhaseTimings, PhaseTrace};
+
+/// Knobs of the sparse solve path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseOpts {
+    /// Candidate-ball size as a multiple of the client count: the per-object
+    /// facility candidate set has `max(min_candidates, ceil(expansion *
+    /// |clients|))` nodes (clamped to the graph). Larger = closer to the
+    /// dense path, slower.
+    pub expansion: f64,
+    /// Floor on the candidate-set size (keeps tiny objects from degenerate
+    /// one-node balls).
+    pub min_candidates: usize,
+    /// Bucketing factor of the phase-2 nearest-copy oracle
+    /// (`0` = exact distances; see [`NearestCopyOracle`]).
+    pub oracle_eps: f64,
+}
+
+impl Default for SparseOpts {
+    fn default() -> Self {
+        SparseOpts {
+            expansion: 3.0,
+            min_candidates: 16,
+            oracle_eps: 0.0,
+        }
+    }
+}
+
+/// Result of one sparse per-object placement.
+#[derive(Debug, Clone)]
+pub struct SparseOutcome {
+    /// Per-phase copy sets in **global** node ids.
+    pub trace: PhaseTrace,
+    /// Per-phase timings (facility / radius-add / radius-prune).
+    pub timings: PhaseTimings,
+    /// Seconds spent building the truncated metric closure.
+    pub metric_seconds: f64,
+    /// Size of the candidate set the object was solved over.
+    pub candidates: usize,
+}
+
+/// Places one object through the sparse path (fresh workspace).
+pub fn place_object_sparse(
+    graph: &Graph,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+    opts: &SparseOpts,
+) -> SparseOutcome {
+    place_object_sparse_in(
+        &mut FlWorkspace::new(),
+        graph,
+        storage_cost,
+        workload,
+        cfg,
+        opts,
+    )
+}
+
+/// [`place_object_sparse`] on a caller-provided facility-location
+/// workspace (one per worker thread on the hot path).
+///
+/// # Panics
+/// Panics when the workload has no requests or every node has infinite
+/// storage cost.
+pub fn place_object_sparse_in(
+    ws: &mut FlWorkspace,
+    graph: &Graph,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+    opts: &SparseOpts,
+) -> SparseOutcome {
+    let clock = std::time::Instant::now();
+    workload.validate().expect("invalid workload");
+    let n = graph.num_nodes();
+    assert_eq!(storage_cost.len(), n);
+
+    // Candidate set: clients plus the ball around them.
+    let clients: Vec<NodeId> = (0..n).filter(|&v| workload.request_mass(v) > 0.0).collect();
+    assert!(!clients.is_empty(), "workload has no requests");
+    let target = ((clients.len() as f64 * opts.expansion).ceil() as usize)
+        .max(opts.min_candidates)
+        .min(n);
+    let mut cand = ball_candidates(graph, &clients, target);
+    if !cand.iter().any(|&v| storage_cost[v].is_finite()) {
+        // Correctness fallback for pathological cost maps: every allowed
+        // site sits outside the ball, so pull them all in.
+        cand.extend((0..n).filter(|&v| storage_cost[v].is_finite()));
+        cand.sort_unstable();
+        cand.dedup();
+    }
+    let metric = truncated_closure(graph, &cand);
+    let metric_seconds = clock.elapsed().as_secs_f64();
+    let k = cand.len();
+
+    // Restricted instance: local index i ↔ global node cand[i]; every
+    // client is inside the ball, so no request mass is lost.
+    let cs: Vec<f64> = cand.iter().map(|&v| storage_cost[v]).collect();
+    let masses: Vec<f64> = cand.iter().map(|&v| workload.request_mass(v)).collect();
+    let w_total = workload.total_writes();
+
+    let mut timings = PhaseTimings::default();
+    let clock = std::time::Instant::now();
+
+    // Phase 1: facility location on the restricted related instance.
+    let fl = FlInstance::new(&metric, &cs[..], &masses[..]);
+    let ls_cfg = LocalSearchConfig::default();
+    let (sol, fl_stats) = match cfg.fl_solver {
+        FlSolverKind::LocalSearch => {
+            let s = ws.local_search(&fl, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        FlSolverKind::LocalSearchWarm => {
+            let s = dmn_facility::local_search_warm_in(ws, &fl, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        FlSolverKind::LocalSearchAgg => {
+            let s = ws.local_search_aggregated(&fl, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        other => (other.as_solver().solve(&fl), SearchStats::default()),
+    };
+    drop(fl);
+    let after_phase1 = sol.open.clone();
+    let mut copies = sol.open;
+    debug_assert!(!copies.is_empty());
+    timings.facility = clock.elapsed().as_secs_f64();
+    timings.fl_moves = fl_stats.moves;
+    timings.fl_candidates = fl_stats.candidates;
+    let clock = std::time::Instant::now();
+
+    // Radii over the restricted metric: every positive-mass node is in the
+    // candidate set, so the distance profiles are exact.
+    let radii = RadiusTable::compute(&metric, &masses, w_total, &cs);
+
+    // Phase 2 with the incremental nearest-copy oracle (O(1) per query,
+    // O(k) per accepted add). With `oracle_eps = 0` the compared distance
+    // equals the dense path's `nearest_in` value exactly.
+    if !cfg.skip_phase2 {
+        let mut oracle = NearestCopyOracle::new(k, opts.oracle_eps);
+        oracle.reset(&metric, &copies);
+        loop {
+            let mut added = false;
+            for v in 0..k {
+                let pos = match copies.binary_search(&v) {
+                    Ok(_) => continue,
+                    Err(pos) => pos,
+                };
+                let rs = radii.storage_radius[v];
+                if !rs.is_finite() {
+                    continue;
+                }
+                if oracle.nearest_dist(v) > cfg.storage_add_factor * rs {
+                    copies.insert(pos, v);
+                    oracle.add_copy(&metric, v);
+                    added = true;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+    }
+    let after_phase2 = copies.clone();
+    timings.radius_add = clock.elapsed().as_secs_f64();
+    let clock = std::time::Instant::now();
+
+    // Phase 3: identical to the dense path, on the restricted metric.
+    if !cfg.skip_phase3 && w_total > 0.0 {
+        let mut order: Vec<NodeId> = copies.clone();
+        order.sort_by(|&a, &b| {
+            radii.write_radius[a]
+                .partial_cmp(&radii.write_radius[b])
+                .expect("radii are not NaN")
+                .then(a.cmp(&b))
+        });
+        let mut alive: Vec<bool> = vec![true; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for (j, &u) in order.iter().enumerate() {
+                if j != i && alive[j] {
+                    let ru = radii.write_radius[u];
+                    if metric.dist(u, v) <= cfg.write_prune_factor * ru {
+                        alive[j] = false;
+                    }
+                }
+            }
+        }
+        copies = order
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| alive[j])
+            .map(|(_, &v)| v)
+            .collect();
+        copies.sort_unstable();
+    }
+    assert!(
+        !copies.is_empty(),
+        "pruning never deletes the scanned survivor"
+    );
+    timings.radius_prune = clock.elapsed().as_secs_f64();
+
+    // Back to global ids; `cand` is ascending, so sorted stays sorted.
+    let lift = |local: Vec<NodeId>| -> Vec<NodeId> { local.into_iter().map(|i| cand[i]).collect() };
+    SparseOutcome {
+        trace: PhaseTrace {
+            after_phase1: lift(after_phase1),
+            after_phase2: lift(after_phase2),
+            after_phase3: lift(copies),
+        },
+        timings,
+        metric_seconds,
+        candidates: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::place_object_traced;
+    use dmn_graph::{apsp, generators};
+
+    fn uniform_reads(n: usize) -> ObjectWorkload {
+        let mut w = ObjectWorkload::new(n);
+        for v in 0..n {
+            w.reads[v] = 1.0 + (v % 3) as f64;
+        }
+        w
+    }
+
+    #[test]
+    fn full_coverage_reproduces_dense_path_exactly() {
+        // Every node is a client → the candidate set is the whole graph →
+        // the truncated closure equals apsp bit for bit → identical phases.
+        let g = generators::kary_tree(14, 2, |e| 1.0 + (e % 4) as f64 * 0.5);
+        let m = apsp(&g);
+        let mut w = uniform_reads(14);
+        w.writes[3] = 2.0;
+        let cs = vec![4.0; 14];
+        let cfg = ApproxConfig::default();
+        let dense = place_object_traced(&m, &cs, &w, &cfg);
+        let sparse = place_object_sparse(&g, &cs, &w, &cfg, &SparseOpts::default());
+        assert_eq!(sparse.candidates, 14);
+        assert_eq!(sparse.trace.after_phase1, dense.after_phase1);
+        assert_eq!(sparse.trace.after_phase2, dense.after_phase2);
+        assert_eq!(sparse.trace.after_phase3, dense.after_phase3);
+    }
+
+    #[test]
+    fn large_expansion_reproduces_dense_on_partial_clients() {
+        let g = generators::grid(5, 6, |u, v| 1.0 + ((u * v) % 3) as f64);
+        let m = apsp(&g);
+        let mut w = ObjectWorkload::new(30);
+        w.reads[2] = 3.0;
+        w.reads[17] = 1.0;
+        w.writes[25] = 0.5;
+        let cs = vec![3.0; 30];
+        let cfg = ApproxConfig::default();
+        let opts = SparseOpts {
+            expansion: 1e9,
+            ..SparseOpts::default()
+        };
+        let dense = place_object_traced(&m, &cs, &w, &cfg);
+        let sparse = place_object_sparse(&g, &cs, &w, &cfg, &opts);
+        assert_eq!(sparse.candidates, 30, "expansion covers the graph");
+        assert_eq!(sparse.trace.after_phase3, dense.after_phase3);
+    }
+
+    #[test]
+    fn truncated_ball_stays_valid_and_local() {
+        let g = generators::grid(8, 8, |_, _| 1.0);
+        let mut w = ObjectWorkload::new(64);
+        w.reads[0] = 5.0;
+        w.reads[9] = 2.0; // clients in one corner
+        let cs = vec![2.0; 64];
+        let out = place_object_sparse(
+            &g,
+            &cs,
+            &w,
+            &ApproxConfig::default(),
+            &SparseOpts::default(),
+        );
+        assert!(out.candidates < 64, "ball must truncate");
+        assert!(!out.trace.after_phase3.is_empty());
+        assert!(out.trace.after_phase3.iter().all(|&v| v < 64));
+        assert!(
+            out.trace.after_phase3.windows(2).all(|p| p[0] < p[1]),
+            "sorted global ids"
+        );
+    }
+
+    #[test]
+    fn pulls_in_allowed_sites_when_ball_has_none() {
+        // Storage is only allowed far from the clients: the fallback must
+        // extend the candidate set instead of panicking.
+        let g = generators::path(20, |_| 1.0);
+        let mut w = ObjectWorkload::new(20);
+        w.reads[0] = 1.0;
+        w.reads[1] = 1.0;
+        let mut cs = vec![f64::INFINITY; 20];
+        cs[19] = 1.0;
+        let opts = SparseOpts {
+            expansion: 1.0,
+            min_candidates: 2,
+            oracle_eps: 0.0,
+        };
+        let out = place_object_sparse(&g, &cs, &w, &ApproxConfig::default(), &opts);
+        assert_eq!(out.trace.after_phase3, vec![19]);
+    }
+
+    #[test]
+    fn bucketed_oracle_keeps_costs_sane() {
+        let g = generators::grid(6, 6, |u, v| 1.0 + ((u + v) % 2) as f64);
+        let w = uniform_reads(36);
+        let cs = vec![5.0; 36];
+        let exact = place_object_sparse(
+            &g,
+            &cs,
+            &w,
+            &ApproxConfig::default(),
+            &SparseOpts::default(),
+        );
+        let bucketed = place_object_sparse(
+            &g,
+            &cs,
+            &w,
+            &ApproxConfig::default(),
+            &SparseOpts {
+                oracle_eps: 0.1,
+                ..SparseOpts::default()
+            },
+        );
+        // Bucketing rounds distances up → thresholds trip no later than
+        // exact mode; copy sets stay non-empty and valid either way.
+        assert!(!bucketed.trace.after_phase3.is_empty());
+        assert!(bucketed.trace.after_phase2.len() >= exact.trace.after_phase2.len());
+    }
+}

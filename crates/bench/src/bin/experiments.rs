@@ -31,18 +31,20 @@
 //! below the pinned floor).
 
 use dmn_approx::FlSolverKind;
-use dmn_solve::{solvers, PartitionStrategy, SolveRequest};
+use dmn_solve::{solvers, MetricBackend, PartitionStrategy, SolveRequest};
 use dmn_workloads::{Scenario, TopologyKind, WorkloadParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <e1..e15 | all>...\n       experiments --solver <name | list> \
+        "usage: experiments <e1..e16 | all>...\n       experiments --solver <name | list> \
          [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY] [--fl KIND] \
-         [--capacities uniform:<k>] [--cap-engine INNER]\n       \
+         [--metric dense|sparse] [--capacities uniform:<k>] [--cap-engine INNER]\n       \
          experiments perf-smoke [--out PATH]\n\n\
          --capacities uniform:<k> caps every node at k copies (any solver; non-native\n\
          engines go through the greedy repair); --cap-engine INNER runs the native\n\
-         capacitated engine over INNER (shorthand for --solver cap:INNER)."
+         capacitated engine over INNER (shorthand for --solver cap:INNER);\n\
+         --metric sparse solves over per-object truncated closures instead of the\n\
+         dense O(n^2) APSP table (the 10k-node path)."
     );
     std::process::exit(2);
 }
@@ -69,10 +71,11 @@ fn main() {
 
 /// The CI perf gate: writes `BENCH_ci.json` and fails on a placement
 /// mismatch (sharded vs sequential, or incremental vs seed local search),
-/// a skewed shard partition, or a server replay whose post-swap costs
-/// deviate from from-scratch solves — and, in release builds, on a
-/// phase-1 speedup, server lookup throughput, or re-solve latency
-/// outside the pinned envelope.
+/// a skewed shard partition, a server replay whose post-swap costs
+/// deviate from from-scratch solves, or a sparse-backend cost ratio above
+/// the control ceiling — and, in release builds, on a phase-1 speedup,
+/// server lookup throughput, re-solve latency, or 10k-node sparse solve
+/// wall clock outside the pinned envelope.
 fn run_perf_smoke(args: &[String]) {
     let mut out = "BENCH_ci.json".to_string();
     let mut it = args.iter();
@@ -138,6 +141,15 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
+    if !outcome.sparse_within_eps {
+        eprintln!(
+            "perf-smoke: sparse metric backend costs {:.4}x the dense solve on the \
+             control scenario, above the {:.2} ceiling (see {out})",
+            outcome.sparse_cost_ratio,
+            dmn_bench::perf_smoke::MAX_SPARSE_COST_RATIO
+        );
+        std::process::exit(1);
+    }
     // Timing gates only where timings mean something (release, as in CI) —
     // checked before the success line so a failing job never logs one.
     if !cfg!(debug_assertions) && outcome.phase1_speedup < dmn_bench::perf_smoke::MIN_PHASE1_SPEEDUP
@@ -169,13 +181,45 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
+    // The 10k-node sparse scale run is attached in release builds only
+    // (debug timings are meaningless and the solve takes minutes there).
+    if !cfg!(debug_assertions) {
+        match &outcome.scale {
+            None => {
+                eprintln!("perf-smoke: release build attached no 10k scale run (see {out})");
+                std::process::exit(1);
+            }
+            Some(scale) if !scale.within_budget => {
+                eprintln!(
+                    "perf-smoke: the {}-node sparse solve took {:.1}s, above the {:.0}s \
+                     ceiling (see {out})",
+                    scale.nodes,
+                    scale.wall_seconds,
+                    dmn_bench::perf_smoke::MAX_SCALE_WALL_SECONDS
+                );
+                std::process::exit(1);
+            }
+            Some(scale) => println!(
+                "perf-smoke: {}-node sparse solve in {:.1}s ({:.0} closure rows, \
+                 metric build {:.2}s); control cost ratio {:.4}",
+                scale.nodes,
+                scale.wall_seconds,
+                scale.candidate_rows,
+                scale.metric_build_seconds,
+                outcome.sparse_cost_ratio
+            ),
+        }
+    }
     println!(
         "perf-smoke: placements match (sharded == sequential, incremental == seed); \
          capacitated feasible and <= greedy repair; every online strategy >= the \
          static oracle on the stationary stream; shard cost skew {:.2}x; server \
          sustained {:.0} lookups/s with post-swap costs equal to from-scratch; \
-         phase-1 speedup {:.1}x; artifact at {out}",
-        outcome.shard_cost_skew, outcome.server.lookups_per_sec, outcome.phase1_speedup
+         sparse/dense control cost ratio {:.4}; phase-1 speedup {:.1}x; artifact at {out}",
+        outcome.shard_cost_skew,
+        outcome.server.lookups_per_sec,
+        outcome.sparse_cost_ratio,
+        outcome.phase1_speedup
     );
 }
 
@@ -188,6 +232,7 @@ fn run_solver_bench(args: &[String]) {
     let mut shards = 0usize;
     let mut partition = PartitionStrategy::default();
     let mut fl = FlSolverKind::default();
+    let mut metric = MetricBackend::default();
     let mut cap_per_node: Option<usize> = None;
     let mut cap_engine: Option<String> = None;
     let mut it = args.iter();
@@ -225,6 +270,13 @@ fn run_solver_bench(args: &[String]) {
                     usage()
                 });
             }
+            "--metric" => {
+                let v = value("--metric");
+                metric = MetricBackend::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown metric backend '{v}' (use dense, sparse)");
+                    usage()
+                });
+            }
             "--capacities" => {
                 let v = value("--capacities");
                 let Some(k) = v.strip_prefix("uniform:").and_then(|k| k.parse().ok()) else {
@@ -254,12 +306,12 @@ fn run_solver_bench(args: &[String]) {
         }
         return;
     }
-    let Some(solver) = solvers::by_name(&name) else {
-        eprintln!(
-            "unknown solver '{name}' (registered: {})",
-            solvers::names().join(", ")
-        );
-        std::process::exit(2);
+    let solver = match solvers::resolve(&name) {
+        Ok(solver) => solver,
+        Err(why) => {
+            eprintln!("{why} (registered: {})", solvers::names().join(", "));
+            std::process::exit(2);
+        }
     };
 
     // Grid dims chosen so rows * cols >= nodes stays comparable to the
@@ -276,7 +328,8 @@ fn run_solver_bench(args: &[String]) {
         .seed(seed)
         .shards(shards)
         .partition(partition)
-        .fl_solver(fl);
+        .fl_solver(fl)
+        .metric_backend(metric);
     println!("solver: {} — {}\n", solver.name(), solver.description());
     for (label, topology) in suite {
         let scenario = Scenario {

@@ -27,12 +27,20 @@ use dmn_workloads::Scenario;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Node ceiling of the unfiltered sweep. Every row dense-solves through
+/// the full registry (an O(n^2) closure per scenario), so the committed
+/// 10k-node sparse scenario is skipped unless named explicitly — naming
+/// it opts into the multi-hundred-megabyte dense closure on purpose.
+const DENSE_SWEEP_NODE_CAP: usize = 2_000;
+
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--out PATH] [--dir DIR] [scenario names...]\n\n\
          Sweeps every registry solver and every dynamic strategy across the\n\
          scenarios/ corpus (optionally filtered by file stem or scenario\n\
-         name) and writes one JSON report (default SWEEP.json)."
+         name) and writes one JSON report (default SWEEP.json). Scenarios\n\
+         beyond {DENSE_SWEEP_NODE_CAP} nodes are skipped unless named explicitly (the sweep\n\
+         dense-solves every row)."
     );
     std::process::exit(2);
 }
@@ -69,6 +77,14 @@ fn main() {
         .iter()
         .filter(|(stem, scenario)| {
             if filters.is_empty() {
+                if scenario.nodes > DENSE_SWEEP_NODE_CAP {
+                    eprintln!(
+                        "skipping {} ({} nodes > {DENSE_SWEEP_NODE_CAP}; name it explicitly \
+                         to dense-sweep it anyway)",
+                        scenario.name, scenario.nodes
+                    );
+                    return false;
+                }
                 return true;
             }
             let mut hit = false;

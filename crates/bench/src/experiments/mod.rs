@@ -2,7 +2,7 @@
 //!
 //! Each submodule measures one quantitative claim of the paper and returns
 //! a [`crate::Report`]. The `experiments` binary dispatches on experiment
-//! ids (`e1`..`e15`, `all`).
+//! ids (`e1`..`e16`, `all`).
 
 pub mod e10_approx_runtime;
 pub mod e11_dynamic;
@@ -10,6 +10,7 @@ pub mod e12_extensions;
 pub mod e13_shard_scaling;
 pub mod e14_phase1_scaling;
 pub mod e15_capacitated;
+pub mod e16_sparse_metric;
 pub mod e1_lemma1;
 pub mod e2_approx_ratio;
 pub mod e3_properness;
@@ -46,6 +47,7 @@ pub fn run(id: &str) -> Vec<Report> {
         "e13" => vec![e13_shard_scaling::run()],
         "e14" => vec![e14_phase1_scaling::run()],
         "e15" => vec![e15_capacitated::run()],
+        "e16" => vec![e16_sparse_metric::run()],
         "all" => vec![
             e1_lemma1::run(),
             e2_approx_ratio::run(),
@@ -62,8 +64,9 @@ pub fn run(id: &str) -> Vec<Report> {
             e13_shard_scaling::run(),
             e14_phase1_scaling::run(),
             e15_capacitated::run(),
+            e16_sparse_metric::run(),
         ],
-        other => panic!("unknown experiment id: {other} (use e1..e15 or all)"),
+        other => panic!("unknown experiment id: {other} (use e1..e16 or all)"),
     }
 }
 

@@ -26,6 +26,14 @@
 //!   from-scratch solve of the drifted instance within 1e-9, with at
 //!   least [`server_bench::REPLAY_SEGMENTS`] completed re-solves.
 //!
+//! * `scale_ok` — the sparse metric backend must stay within
+//!   [`MAX_SPARSE_COST_RATIO`] of the dense solve on the truncating
+//!   control scenario (a hotspot variant of the smoke grid where the
+//!   candidate balls genuinely truncate), and — release builds only — the
+//!   committed 10,000-node `scenarios/grid_10k.json` must solve through
+//!   `solvers::by_name("approx")` with the sparse backend in at most
+//!   [`MAX_SCALE_WALL_SECONDS`] (the artifact's `scale` section).
+//!
 //! The measured `phase1_speedup` (seed phase-1 seconds / incremental
 //! phase-1 seconds, both single-threaded) is recorded in the artifact; the
 //! release binary additionally fails below [`MIN_PHASE1_SPEEDUP`], below
@@ -37,7 +45,7 @@ use dmn_dynamic::bridge::{compete_standard, StaticOracle};
 use dmn_dynamic::report::CompetitiveReport;
 use dmn_dynamic::stream::{sample_stream, StreamConfig};
 use dmn_json::Json;
-use dmn_solve::{solvers, PartitionStrategy, SolveReport, SolveRequest};
+use dmn_solve::{solvers, MetricBackend, PartitionStrategy, SolveReport, SolveRequest};
 use dmn_workloads::{DriftSpec, Scenario, TopologyKind, WorkloadParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -83,6 +91,18 @@ pub const MIN_SERVER_LOOKUPS_PER_SEC: f64 = 1_000_000.0;
 /// under a second on CI runners).
 pub const MAX_SERVER_RESOLVE_SECONDS: f64 = 5.0;
 
+/// Ceiling on the sparse/dense total-cost ratio on the truncating control
+/// scenario (the `scale_ok` quality half): truncated candidate balls may
+/// miss facilities the dense path would open, so the gate bounds the
+/// resulting cost slack instead of demanding bit-equality.
+pub const MAX_SPARSE_COST_RATIO: f64 = 1.05;
+
+/// Release-mode ceiling on the wall clock of the committed 10k-node
+/// scenario solved with the sparse metric backend (the `scale_ok` speed
+/// half; the dense path cannot even allocate its 800 MB closure in that
+/// budget).
+pub const MAX_SCALE_WALL_SECONDS: f64 = 30.0;
+
 /// The pinned scenario: a 15x15 grid (225 nodes), 32 objects, fixed seed —
 /// big enough that phase 1 dominates and the incremental-vs-seed speedup
 /// is meaningful. Changing it invalidates cross-run timing comparisons,
@@ -106,6 +126,116 @@ pub fn smoke_scenario() -> Scenario {
         // The server replay: ~1.2M lookups with 60 drift events — the
         // "million-user" trace of the acceptance gate.
         drift: Some(DriftSpec::default()),
+    }
+}
+
+/// The truncating control variant of a scenario: same topology, storage
+/// costs, and seed, but a hotspot workload (15% active nodes, locality
+/// decay) so the sparse path's candidate balls genuinely truncate and the
+/// sparse-vs-dense cost ratio measures something (with the smoke
+/// scenario's full-coverage workload the two paths are bit-identical).
+fn control_of(scenario: &Scenario) -> Scenario {
+    Scenario {
+        name: format!("{}-control", scenario.name),
+        workload: WorkloadParams {
+            active_fraction: 0.15,
+            locality: 0.7,
+            ..scenario.workload.clone()
+        },
+        stream: None,
+        drift: None,
+        ..scenario.clone()
+    }
+}
+
+/// The pinned 10,000-node scale scenario. The committed
+/// `scenarios/grid_10k.json` mirrors this construction exactly (a unit
+/// test pins the two together): a 100x100 unit grid with 32 objects whose
+/// hotspot workloads (0.4% active nodes, locality decay) keep the
+/// per-object candidate balls small enough for the sparse path to solve
+/// the instance in seconds.
+pub fn scale_scenario() -> Scenario {
+    Scenario {
+        name: "grid-10k-sparse".into(),
+        topology: TopologyKind::Grid {
+            rows: 100,
+            cols: 100,
+        },
+        nodes: 10_000,
+        storage_cost: 4.0,
+        workload: WorkloadParams {
+            num_objects: 32,
+            base_mass: 400.0,
+            write_fraction: 0.2,
+            active_fraction: 0.004,
+            locality: 0.6,
+            ..Default::default()
+        },
+        seed: 10_000,
+        capacities: None,
+        stream: None,
+        drift: None,
+    }
+}
+
+/// Outcome of the 10k-node sparse scale run (`BENCH_ci.json`'s
+/// `scale.run` section).
+#[derive(Debug, Clone)]
+pub struct ScaleOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Node count of the built network.
+    pub nodes: usize,
+    /// Object count.
+    pub objects: usize,
+    /// Wall clock of the full sparse solve.
+    pub wall_seconds: f64,
+    /// Seconds spent building the truncated per-object closures.
+    pub metric_build_seconds: f64,
+    /// Total cost of the sparse placement (exact, via per-copy
+    /// Dijkstra evaluation — the dense closure is never built).
+    pub total_cost: f64,
+    /// Truncated closure rows built across all objects.
+    pub candidate_rows: f64,
+    /// True when the wall clock is under [`MAX_SCALE_WALL_SECONDS`]
+    /// (always true in debug builds, where timings mean nothing).
+    pub within_budget: bool,
+}
+
+impl ScaleOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("objects", Json::Num(self.objects as f64)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("metric_build_seconds", Json::Num(self.metric_build_seconds)),
+            ("total_cost", Json::Num(self.total_cost)),
+            ("candidate_rows", Json::Num(self.candidate_rows)),
+            ("max_wall_seconds", Json::Num(MAX_SCALE_WALL_SECONDS)),
+            ("within_budget", Json::Bool(self.within_budget)),
+        ])
+    }
+}
+
+/// Solves a scenario through the registry with the sparse metric backend
+/// and measures the wall clock against [`MAX_SCALE_WALL_SECONDS`] (release
+/// builds; debug timings are meaningless so the budget check is skipped).
+pub fn run_scale(scenario: &Scenario) -> ScaleOutcome {
+    let instance = scenario.build_instance();
+    let req = SolveRequest::new().metric_backend(MetricBackend::Sparse);
+    let report = solvers::by_name("approx")
+        .expect("approx registered")
+        .solve(&instance, &req);
+    ScaleOutcome {
+        name: scenario.name.clone(),
+        nodes: instance.num_nodes(),
+        objects: instance.num_objects(),
+        wall_seconds: report.wall_seconds,
+        metric_build_seconds: report.metric_build_seconds(),
+        total_cost: report.cost.total(),
+        candidate_rows: meta_count(&report, "sparse-candidate-rows"),
+        within_budget: cfg!(debug_assertions) || report.wall_seconds <= MAX_SCALE_WALL_SECONDS,
     }
 }
 
@@ -143,6 +273,19 @@ pub struct SmokeOutcome {
     /// Seed phase-1 seconds / incremental phase-1 seconds (single-threaded
     /// both sides, best of two runs per side).
     pub phase1_speedup: f64,
+    /// Sparse-backend / dense-backend total-cost ratio on the truncating
+    /// control scenario.
+    pub sparse_cost_ratio: f64,
+    /// True when `sparse_cost_ratio` stays under
+    /// [`MAX_SPARSE_COST_RATIO`] (the quality half of `scale_ok`).
+    pub sparse_within_eps: bool,
+    /// The 10k-node sparse run, when one was attached ([`run`] attaches it
+    /// in release builds; debug runs and the scaled-down unit tests skip
+    /// the multi-second solve).
+    pub scale: Option<ScaleOutcome>,
+    /// `sparse_within_eps` and, when a scale run is attached, its wall
+    /// clock staying under [`MAX_SCALE_WALL_SECONDS`].
+    pub scale_ok: bool,
 }
 
 impl SmokeOutcome {
@@ -154,6 +297,20 @@ impl SmokeOutcome {
             && self.dynamic_ok
             && self.shards_balanced
             && self.server_ok
+            && self.sparse_within_eps
+    }
+
+    /// Attaches a 10k-node scale run: records it under the artifact's
+    /// `scale.run` key and folds its wall-clock verdict into `scale_ok`.
+    pub fn attach_scale(&mut self, scale: ScaleOutcome) {
+        self.scale_ok = self.sparse_within_eps && scale.within_budget;
+        if let Json::Obj(top) = &mut self.json {
+            if let Some(Json::Obj(section)) = top.get_mut("scale") {
+                section.insert("run".into(), scale.to_json());
+            }
+            top.insert("scale_ok".into(), Json::Bool(self.scale_ok));
+        }
+        self.scale = Some(scale);
     }
 }
 
@@ -191,9 +348,15 @@ fn meta_count(report: &SolveReport, key: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
-/// Runs the smoke comparison on the pinned scenario.
+/// Runs the smoke comparison on the pinned scenario, plus — in release
+/// builds, where a multi-second solve is affordable and its timing
+/// meaningful — the committed 10k-node sparse scale run.
 pub fn run() -> SmokeOutcome {
-    run_with(&smoke_scenario(), SMOKE_SHARDS)
+    let mut outcome = run_with(&smoke_scenario(), SMOKE_SHARDS);
+    if !cfg!(debug_assertions) {
+        outcome.attach_scale(run_scale(&scale_scenario()));
+    }
+    outcome
 }
 
 /// Runs the smoke comparison on an arbitrary scenario (the unit tests use
@@ -240,6 +403,20 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         && dmn_approx::respects_capacities(&repaired.placement, &cap);
     let capacitated_ok = cap_feasible
         && capacitated.cost.total() <= repaired.cost.total() + 1e-6 * repaired.cost.total();
+
+    // The sparse-metric quality gate: on the truncating control variant
+    // (hotspot workload, so the candidate balls really truncate) the
+    // sparse backend's total cost must stay within MAX_SPARSE_COST_RATIO
+    // of the dense solve.
+    let control = control_of(scenario);
+    let control_instance = control.build_instance();
+    let control_dense = approx.solve(&control_instance, &one_thread);
+    let control_sparse = approx.solve(
+        &control_instance,
+        &one_thread.clone().metric_backend(MetricBackend::Sparse),
+    );
+    let sparse_cost_ratio = control_sparse.cost.total() / control_dense.cost.total();
+    let sparse_within_eps = sparse_cost_ratio <= MAX_SPARSE_COST_RATIO;
 
     // The dynamic gate: on a stationary stream the informed static oracle
     // must win against every online strategy.
@@ -333,6 +510,27 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         ),
         ("dynamic", dynamic.to_json()),
         ("server", server.to_json()),
+        (
+            "scale",
+            Json::obj([
+                ("control_scenario", Json::Str(control.name.clone())),
+                ("dense_cost", Json::Num(control_dense.cost.total())),
+                ("sparse_cost", Json::Num(control_sparse.cost.total())),
+                ("sparse_cost_ratio", Json::Num(sparse_cost_ratio)),
+                ("max_cost_ratio", Json::Num(MAX_SPARSE_COST_RATIO)),
+                ("sparse_within_eps", Json::Bool(sparse_within_eps)),
+                (
+                    "sparse_metric_build_seconds",
+                    Json::Num(control_sparse.metric_build_seconds()),
+                ),
+                (
+                    "dense_metric_build_seconds",
+                    Json::Num(control_dense.metric_build_seconds()),
+                ),
+                // `run` is filled by `attach_scale` (release builds).
+                ("run", Json::Null),
+            ]),
+        ),
         ("costs_match", Json::Bool(costs_match)),
         ("fast_matches_seed", Json::Bool(fast_matches_seed)),
         ("capacitated_ok", Json::Bool(capacitated_ok)),
@@ -341,6 +539,7 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         ("shard_cost_skew", Json::Num(shard_cost_skew)),
         ("server_ok", Json::Bool(server_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
+        ("scale_ok", Json::Bool(sparse_within_eps)),
     ]);
     SmokeOutcome {
         json,
@@ -354,6 +553,10 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         server_ok,
         server,
         phase1_speedup,
+        sparse_cost_ratio,
+        sparse_within_eps,
+        scale: None,
+        scale_ok: sparse_within_eps,
     }
 }
 
@@ -425,6 +628,13 @@ mod tests {
             "swap costs deviated from from-scratch solves: {:?}",
             outcome.server.swap_checks
         );
+        assert!(
+            outcome.sparse_within_eps,
+            "sparse backend cost ratio {:.4} breaches the {:.2} ceiling",
+            outcome.sparse_cost_ratio, MAX_SPARSE_COST_RATIO
+        );
+        assert!(outcome.scale_ok, "no scale run attached: ratio gate only");
+        assert!(outcome.scale.is_none(), "run_with never runs the 10k solve");
         assert!(outcome.gate());
         let rendered = outcome.json.to_string_pretty();
         for needle in [
@@ -459,6 +669,12 @@ mod tests {
             "\"max_resolve_seconds\"",
             "\"shards_balanced\"",
             "\"shard_cost_skew\"",
+            "\"scale\"",
+            "\"scale_ok\"",
+            "\"sparse_cost_ratio\"",
+            "\"sparse_within_eps\"",
+            "\"metric_build_seconds\"",
+            "\"metric_backend\"",
         ] {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");
         }
@@ -508,6 +724,49 @@ mod tests {
         assert!(
             s.workload.num_objects >= 32,
             "smoke must stay >= 32 objects"
+        );
+    }
+
+    /// The committed `scenarios/grid_10k.json` and the in-code
+    /// [`scale_scenario`] must stay the same scenario (the gate solves the
+    /// code-pinned one; the committed file is the user-facing artifact).
+    #[test]
+    fn committed_scale_scenario_matches_the_pinned_one() {
+        let pinned = scale_scenario();
+        assert!(pinned.nodes >= 10_000, "scale must stay >= 10k nodes");
+        assert_eq!(pinned.build_graph().num_nodes(), 10_000);
+
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/grid_10k.json");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let committed = Scenario::from_json(&dmn_json::parse(&text).expect("valid JSON"))
+            .expect("parses as a scenario");
+        assert_eq!(
+            committed.to_json().to_string_pretty(),
+            pinned.to_json().to_string_pretty(),
+            "scenarios/grid_10k.json drifted from perf_smoke::scale_scenario()"
+        );
+    }
+
+    /// The truncating control really truncates: the sparse run must build
+    /// candidate sets smaller than the network (otherwise the ratio gate
+    /// compares bit-identical runs and certifies nothing).
+    #[test]
+    fn control_scenario_truncates_the_candidate_balls() {
+        let control = control_of(&tiny_scenario());
+        let instance = control.build_instance();
+        let report = solvers::by_name("approx")
+            .expect("approx registered")
+            .solve(
+                &instance,
+                &SolveRequest::new().metric_backend(MetricBackend::Sparse),
+            );
+        let rows = meta_count(&report, "sparse-candidate-rows");
+        assert!(rows > 0.0, "sparse run reports its closure rows");
+        assert!(
+            rows < (instance.num_nodes() * instance.num_objects()) as f64,
+            "candidate balls cover the whole graph — the control is not truncating"
         );
     }
 }

@@ -20,6 +20,10 @@ fn corpus() -> Vec<Scenario> {
         .unwrap_or_else(|e| panic!("{e}"))
         .into_iter()
         .map(|(_, scenario)| scenario)
+        // The bridge dense-solves whichever scenario an engine lands on;
+        // the committed 10k-node scenario exists for the sparse backend
+        // and would build an O(n^2) closure here.
+        .filter(|scenario| scenario.nodes <= 2_000)
         .collect()
 }
 

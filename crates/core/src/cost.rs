@@ -24,7 +24,7 @@
 
 use dmn_graph::mst::metric_mst_weight;
 use dmn_graph::steiner::dreyfus_wagner;
-use dmn_graph::{Metric, NodeId};
+use dmn_graph::{Graph, Metric, NodeId};
 
 use crate::instance::{Instance, ObjectWorkload};
 use crate::placement::Placement;
@@ -168,6 +168,105 @@ pub fn evaluate(instance: &Instance, placement: &Placement, policy: UpdatePolicy
         .fold(CostBreakdown::default(), |acc, c| acc.add(&c))
 }
 
+/// Evaluates one object **without any dense closure**: one Dijkstra per
+/// copy (`O(|copies| (n + m) log n)`) gives exact distances from every
+/// copy, which covers nearest-copy service, the unicast star, and the
+/// pairwise copy distances of the MST multicast. This is how the sparse
+/// solve path prices 10^4-node placements that a dense `apsp` could not
+/// hold in memory.
+///
+/// Distances are read from the copy's Dijkstra run (`d(c, v)`), so totals
+/// can differ from [`evaluate_object`] by floating-point ulps (metric
+/// closures are only symmetric up to rounding).
+///
+/// # Panics
+/// Panics when `copies` is empty or `policy` is
+/// [`UpdatePolicy::ExactSteiner`] (exact Steiner needs the dense metric).
+pub fn evaluate_object_on_graph(
+    graph: &Graph,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    copies: &[NodeId],
+    policy: UpdatePolicy,
+) -> CostBreakdown {
+    assert!(!copies.is_empty(), "an object needs at least one copy");
+    assert!(
+        policy != UpdatePolicy::ExactSteiner,
+        "ExactSteiner evaluation requires the dense metric path"
+    );
+    let rows: Vec<Vec<f64>> = copies
+        .iter()
+        .map(|&c| dmn_graph::shortest_paths(graph, c).dist)
+        .collect();
+    let mut out = CostBreakdown::default();
+    for &c in copies {
+        out.storage += storage_cost[c];
+    }
+    for v in 0..workload.num_nodes() {
+        let fr = workload.reads[v];
+        let fw = workload.writes[v];
+        if fr == 0.0 && fw == 0.0 {
+            continue;
+        }
+        let d = rows
+            .iter()
+            .map(|r| r[v])
+            .min_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"))
+            .expect("copies is non-empty");
+        out.read += fr * d;
+        match policy {
+            UpdatePolicy::MstMulticast => out.write_serve += fw * d,
+            UpdatePolicy::UnicastStar => {
+                if fw > 0.0 {
+                    let star: f64 = rows.iter().map(|r| r[v]).sum();
+                    out.multicast += fw * star;
+                }
+            }
+            UpdatePolicy::ExactSteiner => unreachable!("rejected above"),
+        }
+    }
+    let w_total = workload.total_writes();
+    if policy == UpdatePolicy::MstMulticast && w_total > 0.0 {
+        // Pairwise copy distances from the per-copy rows → a k×k metric.
+        let k = copies.len();
+        let mut d = vec![0.0; k * k];
+        for i in 0..k {
+            for (j, &cj) in copies.iter().enumerate() {
+                d[i * k + j] = rows[i][cj];
+            }
+        }
+        let local = Metric::from_matrix(k, d);
+        let all: Vec<NodeId> = (0..k).collect();
+        out.multicast += w_total * metric_mst_weight(&local, &all);
+    }
+    out
+}
+
+/// Evaluates a whole placement graph-side (see
+/// [`evaluate_object_on_graph`]): never touches `instance.metric()`, so a
+/// sparse solve stays sub-quadratic end to end.
+pub fn evaluate_sparse(
+    instance: &Instance,
+    placement: &Placement,
+    policy: UpdatePolicy,
+) -> CostBreakdown {
+    assert_eq!(placement.num_objects(), instance.num_objects());
+    placement
+        .validate(instance.num_nodes())
+        .expect("placement must be servable");
+    (0..instance.num_objects())
+        .map(|x| {
+            evaluate_object_on_graph(
+                &instance.graph,
+                &instance.storage_cost,
+                &instance.objects[x],
+                placement.copies(x),
+                policy,
+            )
+        })
+        .fold(CostBreakdown::default(), |acc, c| acc.add(&c))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +380,54 @@ mod tests {
     fn empty_copy_set_panics() {
         let (m, cs, w) = setup();
         evaluate_object(&m, &cs, &w, &[], UpdatePolicy::MstMulticast);
+    }
+
+    #[test]
+    fn graph_side_evaluation_matches_dense() {
+        let g = generators::grid(4, 4, |u, v| 1.0 + ((u + v) % 3) as f64 * 0.5);
+        let m = apsp(&g);
+        let cs: Vec<f64> = (0..16).map(|v| 2.0 + (v % 4) as f64).collect();
+        let mut w = ObjectWorkload::new(16);
+        w.reads[1] = 2.0;
+        w.reads[14] = 1.5;
+        w.writes[7] = 0.75;
+        for copies in [vec![0], vec![3, 12], vec![2, 8, 15]] {
+            for policy in [UpdatePolicy::MstMulticast, UpdatePolicy::UnicastStar] {
+                let dense = evaluate_object(&m, &cs, &w, &copies, policy);
+                let sparse = evaluate_object_on_graph(&g, &cs, &w, &copies, policy);
+                assert!(
+                    (dense.total() - sparse.total()).abs() < 1e-9,
+                    "{copies:?} {policy:?}: {} vs {}",
+                    dense.total(),
+                    sparse.total()
+                );
+                assert!((dense.storage - sparse.storage).abs() < 1e-12);
+                assert!((dense.read - sparse.read).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_sparse_sums_whole_instance() {
+        let g = generators::path(3, |_| 1.0);
+        let mut inst = Instance::builder(g).uniform_storage_cost(5.0).build();
+        let mut w1 = ObjectWorkload::new(3);
+        w1.reads[0] = 2.0;
+        w1.writes[2] = 3.0;
+        inst.push_object(w1);
+        inst.push_object(ObjectWorkload::from_sparse(3, [(1, 4.0)], []));
+        let p = Placement::from_copy_sets(vec![vec![1], vec![1]]);
+        let c = evaluate_sparse(&inst, &p, UpdatePolicy::MstMulticast);
+        assert_eq!(c.total(), 15.0);
+        assert_eq!(inst.metric_build_seconds(), 0.0, "dense closure untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "dense metric path")]
+    fn graph_side_evaluation_rejects_exact_steiner() {
+        let g = generators::path(3, |_| 1.0);
+        let mut w = ObjectWorkload::new(3);
+        w.reads[0] = 1.0;
+        evaluate_object_on_graph(&g, &[1.0; 3], &w, &[0], UpdatePolicy::ExactSteiner);
     }
 }

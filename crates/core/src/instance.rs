@@ -111,6 +111,10 @@ pub struct Instance {
     /// The shared objects with their request frequencies.
     pub objects: Vec<ObjectWorkload>,
     metric: OnceLock<Arc<Metric>>,
+    /// Wall-clock seconds this instance spent building its dense closure
+    /// (0 when the metric was injected, inherited from a parent view, or
+    /// never forced).
+    metric_seconds: OnceLock<f64>,
 }
 
 impl Instance {
@@ -147,8 +151,20 @@ impl Instance {
     /// and cached (behind an `Arc`, so sub-views share it for free).
     pub fn metric(&self) -> &Metric {
         self.metric
-            .get_or_init(|| Arc::new(apsp(&self.graph)))
+            .get_or_init(|| {
+                let clock = std::time::Instant::now();
+                let m = Arc::new(apsp(&self.graph));
+                let _ = self.metric_seconds.set(clock.elapsed().as_secs_f64());
+                m
+            })
             .as_ref()
+    }
+
+    /// Seconds spent building the dense metric closure of *this* instance
+    /// (0.0 when it was never built here — injected, shared, or still
+    /// lazy). Reports surface this as the `metric-build` phase.
+    pub fn metric_build_seconds(&self) -> f64 {
+        self.metric_seconds.get().copied().unwrap_or(0.0)
     }
 
     /// Overrides the cached metric (used when a cheaper construction is
@@ -184,6 +200,7 @@ impl Instance {
             storage_cost: self.storage_cost.clone(),
             objects,
             metric,
+            metric_seconds: OnceLock::new(),
         }
     }
 }
@@ -231,6 +248,7 @@ impl InstanceBuilder {
             storage_cost: cs,
             objects: Vec::new(),
             metric: OnceLock::new(),
+            metric_seconds: OnceLock::new(),
         }
     }
 }

@@ -28,7 +28,10 @@ pub mod radii;
 pub mod restricted;
 pub mod shapes;
 
-pub use cost::{evaluate, evaluate_object, CostBreakdown, UpdatePolicy};
+pub use cost::{
+    evaluate, evaluate_object, evaluate_object_on_graph, evaluate_sparse, CostBreakdown,
+    UpdatePolicy,
+};
 pub use instance::{Instance, InstanceBuilder, ObjectWorkload};
 pub use placement::Placement;
 pub use radii::RadiusTable;

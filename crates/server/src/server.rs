@@ -69,7 +69,9 @@ impl Default for ServerConfig {
 /// Why the server rejected a call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServerError {
-    /// The configured solver name is not in the registry.
+    /// The configured solver name is not in the registry. Carries the
+    /// spec parser's explanation, which names the exact bad segment
+    /// (`sharded:aprox` → `unknown solver "aprox" ...`).
     UnknownSolver(String),
     /// The configured solver cannot run on the instance.
     Unsupported(String),
@@ -85,7 +87,7 @@ pub enum ServerError {
 impl std::fmt::Display for ServerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServerError::UnknownSolver(name) => write!(f, "unknown solver '{name}'"),
+            ServerError::UnknownSolver(reason) => write!(f, "unknown solver: {reason}"),
             ServerError::Unsupported(why) => write!(f, "solver unsupported: {why}"),
             ServerError::UnknownObject(id) => write!(f, "unknown object {id}"),
             ServerError::NodeOutOfRange(v) => write!(f, "node {v} out of range"),
@@ -277,8 +279,8 @@ impl ServerHandle {
     /// [`ServerError::UnknownSolver`] / [`ServerError::Unsupported`] when
     /// the configured engine cannot run on the instance.
     pub fn start(instance: &Instance, cfg: ServerConfig) -> Result<ServerHandle, ServerError> {
-        let solver = solvers::by_name(&cfg.solver)
-            .ok_or_else(|| ServerError::UnknownSolver(cfg.solver.clone()))?;
+        let solver =
+            solvers::resolve(&cfg.solver).map_err(|u| ServerError::UnknownSolver(u.reason))?;
         solver
             .supports(instance)
             .map_err(|u| ServerError::Unsupported(u.reason))?;

@@ -68,31 +68,41 @@ impl CapacitatedSolver {
     }
 
     /// A capacitated wrapper over any *base* (non-meta) registry engine.
-    /// Returns `None` for unknown inner names and for nested meta engines.
+    /// Returns `None` for unknown inner names and for nested meta engines;
+    /// [`SolverSpec::parse`](crate::SolverSpec::parse) on the full
+    /// `cap:<inner>` spelling reports the reason.
     pub fn over(inner: &str) -> Option<CapacitatedSolver> {
-        if inner == "approx" || inner == "krw" {
-            return Some(CapacitatedSolver::approx());
+        match crate::spec::SolverSpec::parse(inner).ok()? {
+            crate::spec::SolverSpec::Base(base) => Some(CapacitatedSolver::for_base(base)),
+            _ => None,
         }
-        if !crate::registry::solvers::base_names().contains(&inner) {
-            return None;
-        }
-        Some(CapacitatedSolver {
-            inner: intern(inner.to_string()),
-            name: intern(format!("cap:{inner}")),
-            description: intern(format!(
-                "native capacitated engine over {inner}: flow seed + capacity-aware local \
-                 search; cost <= greedy repair of {inner}"
-            )),
-        })
     }
 
     /// Parses any spelling of a capacitated engine name (`capacitated`,
     /// `cap:<inner>`); `None` when `name` is not capacitated-family.
     pub fn parse(name: &str) -> Option<CapacitatedSolver> {
-        if name == "capacitated" {
-            return Some(CapacitatedSolver::approx());
+        match crate::spec::SolverSpec::parse(name).ok()? {
+            crate::spec::SolverSpec::Capacitated(inner) => match *inner {
+                crate::spec::SolverSpec::Base(base) => Some(CapacitatedSolver::for_base(base)),
+                _ => None,
+            },
+            _ => None,
         }
-        name.strip_prefix("cap:").and_then(CapacitatedSolver::over)
+    }
+
+    /// The engine over a known-canonical base name.
+    fn for_base(base: &'static str) -> CapacitatedSolver {
+        if base == "approx" {
+            return CapacitatedSolver::approx();
+        }
+        CapacitatedSolver {
+            inner: base,
+            name: intern(format!("cap:{base}")),
+            description: intern(format!(
+                "native capacitated engine over {base}: flow seed + capacity-aware local \
+                 search; cost <= greedy repair of {base}"
+            )),
+        }
     }
 
     /// The inner engine's registry name.
@@ -125,10 +135,10 @@ impl Solver for CapacitatedSolver {
         // the capacities here keeps the uniform repair in
         // `SolveReport::build` from pre-empting the native pipeline.
         let mut inner_req = req.clone();
-        inner_req.capacities = None;
+        inner_req.cap.capacities = None;
         let inner_report = inner.solve(instance, &inner_req);
 
-        if req.capacities.is_none() {
+        if req.cap.capacities.is_none() {
             // No copy capacities to constrain: pass through — but a
             // service-load-only request still gets its assignment repriced
             // (the documented `load_capacities` contract does not depend
@@ -191,7 +201,7 @@ pub(crate) fn load_only_stats(
     req: &SolveRequest,
     report: &SolveReport,
 ) -> Option<CapacityStats> {
-    let budgets = req.load_capacities.as_ref()?;
+    let budgets = req.cap.load_capacities.as_ref()?;
     let (assignment_cost, load_feasible) = match assign_global(instance, &report.placement, budgets)
     {
         Some(a) => (Some(a.cost), Some(true)),
@@ -230,6 +240,7 @@ pub(crate) struct CapFinish {
 /// the uniform repair's contract in [`SolveReport::build`]).
 pub(crate) fn finish(instance: &Instance, req: &SolveRequest, raw: Placement) -> CapFinish {
     let cap = req
+        .cap
         .capacities
         .as_ref()
         .expect("capacitated finish requires capacities");
@@ -242,7 +253,7 @@ pub(crate) fn finish(instance: &Instance, req: &SolveRequest, raw: Placement) ->
     let repair_secs = clock.elapsed().as_secs_f64();
 
     let clock = Instant::now();
-    let candidates = seed_candidates(instance, &raw, req.cap_candidates);
+    let candidates = seed_candidates(instance, &raw, req.cap.candidates);
     let flow_seed = single_copy_flow_placement(instance, cap, &candidates);
     let flow_seed_cost = flow_seed.as_ref().map(cost_of);
     let flow_secs = clock.elapsed().as_secs_f64();
@@ -265,7 +276,7 @@ pub(crate) fn finish(instance: &Instance, req: &SolveRequest, raw: Placement) ->
     }
     let search_secs = clock.elapsed().as_secs_f64();
 
-    let (assignment_cost, load_feasible) = match &req.load_capacities {
+    let (assignment_cost, load_feasible) = match &req.cap.load_capacities {
         None => (None, None),
         Some(budgets) => match assign_global(instance, &placement, budgets) {
             Some(a) => (Some(a.cost), Some(true)),

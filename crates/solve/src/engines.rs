@@ -11,7 +11,9 @@
 use std::time::Instant;
 
 use dmn_approx::baselines;
-use dmn_approx::{place_object_in, PhaseTimings, PhaseTrace};
+use dmn_approx::{
+    place_object_in, place_object_sparse_in, PhaseTimings, PhaseTrace, SparseOutcome,
+};
 use dmn_core::instance::Instance;
 use dmn_core::parallel::{par_map_threads, par_map_threads_with};
 use dmn_core::placement::Placement;
@@ -41,6 +43,9 @@ impl Solver for ApproxSolver {
     }
 
     fn solve(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+        if req.wants_sparse_metric() {
+            return self.solve_sparse(instance, req);
+        }
         let started = Instant::now();
         let cfg = req.approx_config();
         let metric = instance.metric();
@@ -48,7 +53,7 @@ impl Solver for ApproxSolver {
         // every object that worker processes.
         let results: Vec<(PhaseTrace, PhaseTimings)> = par_map_threads_with(
             &instance.objects,
-            req.max_threads,
+            req.shard.max_threads,
             FlWorkspace::new,
             |ws, w| place_object_in(ws, metric, &instance.storage_cost, w, &cfg),
         );
@@ -91,6 +96,91 @@ impl Solver for ApproxSolver {
             ("fl-backend", cfg.fl_solver.name().to_string()),
             ("fl-moves", timings.fl_moves.to_string()),
             ("fl-candidates", timings.fl_candidates.to_string()),
+            ("metric-backend", req.metric.backend.name().to_string()),
+        ];
+        SolveReport::build(
+            self.name(),
+            instance,
+            req,
+            Placement::from_copy_sets(sets),
+            phases,
+            traces,
+            meta,
+            started,
+        )
+    }
+}
+
+impl ApproxSolver {
+    /// The sub-quadratic sparse-metric path
+    /// ([`MetricBackend::Sparse`](crate::request::MetricBackend)): each
+    /// object gets a truncated closure over a candidate ball around its
+    /// clients, so the dense `O(n^2)` APSP table is never built.
+    /// Trajectory-identical to the dense path whenever an object's ball
+    /// covers every node (the equivalence tests pin this).
+    fn solve_sparse(&self, instance: &Instance, req: &SolveRequest) -> SolveReport {
+        let started = Instant::now();
+        let cfg = req.approx_config();
+        let opts = req.metric.sparse_opts();
+        let results: Vec<SparseOutcome> = par_map_threads_with(
+            &instance.objects,
+            req.shard.max_threads,
+            FlWorkspace::new,
+            |ws, w| {
+                place_object_sparse_in(ws, &instance.graph, &instance.storage_cost, w, &cfg, &opts)
+            },
+        );
+        let timings = results
+            .iter()
+            .fold(PhaseTimings::default(), |acc, r| acc.add(&r.timings));
+        let metric_seconds: f64 = results.iter().map(|r| r.metric_seconds).sum();
+        let candidate_rows: usize = results.iter().map(|r| r.candidates).sum();
+        let sets: Vec<Vec<usize>> = results
+            .iter()
+            .map(|r| r.trace.after_phase3.clone())
+            .collect();
+        let (p1, p2, p3) = results.iter().fold((0, 0, 0), |(a, b, c), r| {
+            (
+                a + r.trace.after_phase1.len(),
+                b + r.trace.after_phase2.len(),
+                c + r.trace.after_phase3.len(),
+            )
+        });
+        let phases = vec![
+            PhaseStat::new(
+                "metric-build",
+                metric_seconds,
+                format!(
+                    "{candidate_rows} truncated closure rows over {} objects (sparse)",
+                    instance.num_objects()
+                ),
+            ),
+            PhaseStat::new(
+                "facility-location",
+                timings.facility,
+                format!(
+                    "{p1} copies opened ({}), {} moves / {} candidates",
+                    cfg.fl_solver.name(),
+                    timings.fl_moves,
+                    timings.fl_candidates
+                ),
+            ),
+            PhaseStat::new("radius-add", timings.radius_add, format!("-> {p2} copies")),
+            PhaseStat::new(
+                "radius-prune",
+                timings.radius_prune,
+                format!("-> {p3} copies"),
+            ),
+        ];
+        let traces = req
+            .collect_traces
+            .then(|| results.into_iter().map(|r| r.trace).collect());
+        let meta = vec![
+            ("fl-backend", cfg.fl_solver.name().to_string()),
+            ("fl-moves", timings.fl_moves.to_string()),
+            ("fl-candidates", timings.fl_candidates.to_string()),
+            ("metric-backend", "sparse".to_string()),
+            ("sparse-candidate-rows", candidate_rows.to_string()),
         ];
         SolveReport::build(
             self.name(),
@@ -205,7 +295,7 @@ impl Solver for TreeDpSolver {
         let started = Instant::now();
         self.supports(instance).expect("solver applicability");
         let tree = RootedTree::from_graph(&instance.graph, 0);
-        let solutions = par_map_threads(&instance.objects, req.max_threads, |w| {
+        let solutions = par_map_threads(&instance.objects, req.shard.max_threads, |w| {
             optimal_tree_general(&tree, &instance.storage_cost, w)
         });
         let native: f64 = solutions.iter().map(|s| s.cost).sum();
@@ -259,7 +349,7 @@ macro_rules! exact_solver {
                 let started = Instant::now();
                 self.supports(instance).expect("solver applicability");
                 let metric = instance.metric();
-                let solutions = par_map_threads(&instance.objects, req.max_threads, |w| {
+                let solutions = par_map_threads(&instance.objects, req.shard.max_threads, |w| {
                     $f(metric, &instance.storage_cost, w)
                 });
                 let native: f64 = solutions.iter().map(|s| s.cost).sum();

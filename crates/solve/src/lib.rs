@@ -48,6 +48,7 @@ pub mod registry;
 pub mod report;
 pub mod request;
 pub mod sharded;
+pub mod spec;
 
 pub use capacitated::CapacitatedSolver;
 pub use engines::{
@@ -56,8 +57,9 @@ pub use engines::{
 };
 pub use registry::solvers;
 pub use report::{CapacityStats, PhaseStat, ShardStat, SolveReport};
-pub use request::SolveRequest;
+pub use request::{CapOpts, FlOpts, MetricBackend, MetricOpts, ShardOpts, SolveRequest};
 pub use sharded::{PartitionStrategy, ShardedSolver};
+pub use spec::SolverSpec;
 
 use dmn_core::instance::Instance;
 

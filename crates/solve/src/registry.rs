@@ -5,7 +5,8 @@ pub mod solvers {
     use crate::capacitated::CapacitatedSolver;
     use crate::engines::*;
     use crate::sharded::ShardedSolver;
-    use crate::Solver;
+    use crate::spec::SolverSpec;
+    use crate::{Solver, Unsupported};
 
     /// Every *base* (non-sharded) engine, in presentation order: the
     /// paper's algorithms first, then ground truth, then baselines.
@@ -41,26 +42,34 @@ pub mod solvers {
         engines
     }
 
-    /// Looks a solver up by its registry name (see [`names`]). Three alias
-    /// families are accepted on top of the listed names: `krw` for the
-    /// paper's algorithm, `sharded:<inner>` for the sharded wrapper over
-    /// any base or capacitated engine (`sharded:approx` resolves to the
-    /// canonical `sharded-approx`), and `cap:<inner>` for the native
-    /// capacitated engine over any base engine (`cap:approx` resolves to
-    /// the canonical `capacitated`).
+    /// A base engine by its canonical registry name (no aliases, no meta
+    /// prefixes) — the leaf lookup of [`SolverSpec::instantiate`].
+    pub(crate) fn base_by_name(name: &str) -> Option<Box<dyn Solver>> {
+        base_all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Resolves a solver spec to an engine, or explains why it cannot.
+    ///
+    /// The accepted grammar is [`SolverSpec`]'s: any base registry name
+    /// (plus the `krw` alias for the paper's algorithm), `cap:<base>` /
+    /// `capacitated` for the native capacitated engine, and
+    /// `sharded:<inner>` over any base or capacitated spec
+    /// (`sharded:cap:approx` composes). Canonical spellings collapse
+    /// (`sharded:approx` → `sharded-approx`, `cap:approx` →
+    /// `capacitated`).
+    ///
+    /// # Errors
+    /// [`Unsupported`] naming the exact offending segment (unknown engine
+    /// name, or an illegal nesting such as `sharded:sharded:...`).
+    pub fn resolve(name: &str) -> Result<Box<dyn Solver>, Unsupported> {
+        SolverSpec::parse(name).map(|spec| spec.instantiate())
+    }
+
+    /// Looks a solver up by its registry name (see [`names`] and the
+    /// grammar on [`resolve`]). `None` when the spec does not parse;
+    /// callers that want the reason use [`resolve`].
     pub fn by_name(name: &str) -> Option<Box<dyn Solver>> {
-        if name == "krw" {
-            return by_name("approx");
-        }
-        if let Some(inner) = name.strip_prefix("sharded:") {
-            return ShardedSolver::over(inner).map(|s| Box::new(s) as Box<dyn Solver>);
-        }
-        if name.starts_with("cap") {
-            if let Some(cap) = CapacitatedSolver::parse(name) {
-                return Some(Box::new(cap));
-            }
-        }
-        all().into_iter().find(|s| s.name() == name)
+        resolve(name).ok()
     }
 
     /// All registry names, in [`all`] order.
@@ -128,6 +137,19 @@ mod tests {
         );
         assert!(solvers::by_name("sharded:nope").is_none());
         assert!(solvers::by_name("sharded:sharded:approx").is_none());
+    }
+
+    #[test]
+    fn resolve_reports_the_bad_segment() {
+        let e = solvers::resolve("sharded:no-such").err().expect("rejected");
+        assert!(e.reason.contains("no-such"), "{e}");
+        assert!(e.reason.contains("sharded:no-such"), "{e}");
+        let e = solvers::resolve("cap:cap:approx").err().expect("rejected");
+        assert!(e.reason.contains("base engines only"), "{e}");
+        assert_eq!(
+            solvers::resolve("sharded:cap:approx").unwrap().name(),
+            "sharded:capacitated"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use dmn_approx::PhaseTrace;
-use dmn_core::cost::{evaluate, CostBreakdown, UpdatePolicy};
+use dmn_core::cost::{evaluate, evaluate_sparse, CostBreakdown, UpdatePolicy};
 use dmn_core::instance::Instance;
 use dmn_core::placement::Placement;
 use dmn_json::Json;
@@ -127,7 +127,7 @@ impl SolveReport {
         mut meta: Vec<(&'static str, String)>,
         started: std::time::Instant,
     ) -> SolveReport {
-        let placement = match &req.capacities {
+        let placement = match &req.cap.capacities {
             None => placement,
             Some(cap) => {
                 let clock = std::time::Instant::now();
@@ -142,7 +142,33 @@ impl SolveReport {
                 repaired
             }
         };
-        let cost = evaluate(instance, &placement, req.policy);
+        // A sparse-backend solve must stay sub-quadratic end to end, so its
+        // cost is evaluated per object over copy-rooted Dijkstra rows
+        // instead of the dense closure. The two dense fallbacks: exact
+        // Steiner accounting enumerates over the full metric, and the
+        // capacity repair above already forced the closure.
+        let sparse_eval = req.wants_sparse_metric()
+            && req.cap.capacities.is_none()
+            && req.policy != UpdatePolicy::ExactSteiner;
+        let cost = if sparse_eval {
+            evaluate_sparse(instance, &placement, req.policy)
+        } else {
+            evaluate(instance, &placement, req.policy)
+        };
+        // Every report surfaces the closure-build phase: engines on the
+        // sparse path push their own `metric-build` entry (truncated rows);
+        // everyone else gets the instance's dense APSP build time (0 when
+        // the closure was injected or inherited rather than built here).
+        if !phases.iter().any(|p| p.name == "metric-build") {
+            phases.insert(
+                0,
+                PhaseStat::new(
+                    "metric-build",
+                    instance.metric_build_seconds(),
+                    "dense APSP closure (cached on the instance)",
+                ),
+            );
+        }
         meta.push(("policy", policy_name(req.policy).to_string()));
         SolveReport {
             solver,
@@ -169,6 +195,16 @@ impl SolveReport {
     /// Total copies across all objects.
     pub fn total_copies(&self) -> usize {
         self.placement.total_copies()
+    }
+
+    /// Seconds spent building distance closures for this solve (the
+    /// `metric-build` phase every report carries: dense APSP seconds, or
+    /// the summed truncated-closure time on the sparse path).
+    pub fn metric_build_seconds(&self) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.name == "metric-build")
+            .map_or(0.0, |p| p.seconds)
     }
 
     /// Max/min per-shard sub-solve cost — the partition-balance figure the
@@ -216,6 +252,18 @@ impl SolveReport {
             ("update_cost", Json::Num(self.cost.update())),
             ("total_copies", Json::Num(self.total_copies() as f64)),
             ("wall_seconds", Json::Num(self.wall_seconds)),
+            (
+                "metric_build_seconds",
+                Json::Num(self.metric_build_seconds()),
+            ),
+            (
+                "metric_backend",
+                Json::Str(
+                    self.meta_value("metric-backend")
+                        .unwrap_or("dense")
+                        .to_string(),
+                ),
+            ),
             ("fl_moves", Json::Num(self.meta_count("fl-moves"))),
             ("fl_candidates", Json::Num(self.meta_count("fl-candidates"))),
             (
@@ -404,8 +452,50 @@ mod tests {
             &report.placement,
             &[1, 1, 1]
         ));
+        // The repair phase plus the uniform metric-build entry (inserted
+        // at the front of every report that lacks one).
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].name, "metric-build");
+        assert_eq!(report.phases[1].name, "capacity-repair");
+    }
+
+    #[test]
+    fn every_report_carries_a_metric_build_phase() {
+        let inst = tiny_instance();
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &SolveRequest::new(),
+            Placement::from_copy_sets(vec![vec![1]]),
+            vec![],
+            None,
+            vec![],
+            std::time::Instant::now(),
+        );
+        assert_eq!(report.phases[0].name, "metric-build");
+        // The evaluation above forced the dense closure, so the build time
+        // it reports is the instance's.
+        assert_eq!(
+            report.metric_build_seconds(),
+            inst.metric_build_seconds(),
+            "dense metric-build phase mirrors the instance's APSP timing"
+        );
+        let json = report.to_json();
+        assert!(json.get("metric_build_seconds").is_some());
+        assert_eq!(json.get("metric_backend").unwrap().as_str(), Some("dense"));
+        // An engine that already supplied its own entry is left alone.
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &SolveRequest::new(),
+            Placement::from_copy_sets(vec![vec![1]]),
+            vec![PhaseStat::new("metric-build", 0.25, "sparse rows")],
+            None,
+            vec![],
+            std::time::Instant::now(),
+        );
         assert_eq!(report.phases.len(), 1);
-        assert_eq!(report.phases[0].name, "capacity-repair");
+        assert_eq!(report.metric_build_seconds(), 0.25);
     }
 
     #[test]

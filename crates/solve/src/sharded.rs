@@ -197,35 +197,36 @@ impl ShardedSolver {
     /// `sharded:cap:<inner>`: shards solve the capacitated engine's inner
     /// uncapacitated, the flow seed + capacitated local search run
     /// globally post-merge). Returns `None` for unknown inner names and
-    /// for nested sharding.
+    /// for nested sharding; [`SolverSpec::parse`](crate::SolverSpec::parse)
+    /// on the full `sharded:<inner>` spelling reports the reason.
     pub fn over(inner: &str) -> Option<ShardedSolver> {
-        if inner == "approx" || inner == "krw" {
-            return Some(ShardedSolver::approx());
-        }
-        if let Some(cap) = crate::capacitated::CapacitatedSolver::parse(inner) {
-            let canonical = cap.name();
-            return Some(ShardedSolver {
-                inner: canonical,
-                name: intern(format!("sharded:{canonical}")),
+        match crate::spec::SolverSpec::parse(inner).ok()? {
+            crate::spec::SolverSpec::Sharded(_) => None,
+            crate::spec::SolverSpec::Base("approx") => Some(ShardedSolver::approx()),
+            crate::spec::SolverSpec::Base(base) => Some(ShardedSolver {
+                inner: base,
+                name: intern(format!("sharded:{base}")),
                 description: intern(format!(
-                    "{} sharded: shards solve {} uncapacitated, the capacitated \
-                     flow seed + local search run globally post-merge",
-                    canonical,
-                    cap.inner_name()
+                    "{base} partitioned across worker shards; per-object engines merge \
+                     losslessly (random-k reseeds per shard)"
                 )),
-            });
+            }),
+            spec @ crate::spec::SolverSpec::Capacitated(_) => {
+                let canonical = spec.name();
+                let cap = crate::capacitated::CapacitatedSolver::parse(canonical)
+                    .expect("capacitated spec round-trips");
+                Some(ShardedSolver {
+                    inner: canonical,
+                    name: intern(format!("sharded:{canonical}")),
+                    description: intern(format!(
+                        "{} sharded: shards solve {} uncapacitated, the capacitated \
+                         flow seed + local search run globally post-merge",
+                        canonical,
+                        cap.inner_name()
+                    )),
+                })
+            }
         }
-        if !crate::registry::solvers::base_names().contains(&inner) {
-            return None;
-        }
-        Some(ShardedSolver {
-            inner: intern(inner.to_string()),
-            name: intern(format!("sharded:{inner}")),
-            description: intern(format!(
-                "{inner} partitioned across worker shards; per-object engines merge \
-                 losslessly (random-k reseeds per shard)"
-            )),
-        })
     }
 
     /// The inner engine's registry name.
@@ -237,12 +238,12 @@ impl ShardedSolver {
     /// objects: the requested count, or one shard per CPU when `0`, always
     /// clamped to the object count.
     pub fn effective_shards(req: &SolveRequest, num_objects: usize) -> usize {
-        let requested = if req.shards == 0 {
+        let requested = if req.shard.count == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1)
         } else {
-            req.shards
+            req.shard.count
         };
         requested.clamp(1, num_objects.max(1))
     }
@@ -279,19 +280,23 @@ impl Solver for ShardedSolver {
         inner.supports(instance).expect("solver applicability");
 
         // Force the metric closure once; object_subset shares the cached
-        // table, so shard workers never redo the APSP.
-        instance.metric();
+        // table, so shard workers never redo the APSP. A sparse-backend
+        // request never touches the dense closure — each shard builds its
+        // own per-object truncated closures — so skip the O(n^2) force.
+        if !req.wants_sparse_metric() {
+            instance.metric();
+        }
         let k = instance.num_objects();
         let shard_count = ShardedSolver::effective_shards(req, k);
-        let parts = partition_objects(instance, shard_count, req.partition);
+        let parts = partition_objects(instance, shard_count, req.shard.partition);
 
         // Capacity repair is a cross-object constraint: strip it from the
         // inner solves and let SolveReport::build apply it to the merged
         // placement, exactly as the sequential engines do. Each shard runs
         // single-threaded — the shard fan-out below is the parallelism.
         let mut inner_req = req.clone();
-        inner_req.capacities = None;
-        inner_req.max_threads = Some(1);
+        inner_req.cap.capacities = None;
+        inner_req.shard.max_threads = Some(1);
 
         let subs: Vec<(Vec<usize>, Instance)> = parts
             .into_iter()
@@ -300,10 +305,11 @@ impl Solver for ShardedSolver {
                 (idx, sub)
             })
             .collect();
-        let shard_reports: Vec<SolveReport> =
-            par_map_threads(&subs, req.max_threads.or(Some(shard_count)), |(_, sub)| {
-                inner.solve(sub, &inner_req)
-            });
+        let shard_reports: Vec<SolveReport> = par_map_threads(
+            &subs,
+            req.shard.max_threads.or(Some(shard_count)),
+            |(_, sub)| inner.solve(sub, &inner_req),
+        );
 
         // Scatter sub-placements (and traces, when every shard produced
         // them) back to the original object indices.
@@ -350,13 +356,13 @@ impl Solver for ShardedSolver {
         let mut meta = vec![
             ("inner", self.inner.to_string()),
             ("shards", shard_stats.len().to_string()),
-            ("partition", req.partition.to_string()),
+            ("partition", req.shard.partition.to_string()),
         ];
         let merged = Placement::from_copy_sets(sets);
         // The capacitated global pass post-merge (when requested);
         // feasibility then makes `build`'s uniform repair a no-op check.
         let mut capacity = None;
-        let merged = match (&cap_family, &req.capacities) {
+        let merged = match (&cap_family, &req.cap.capacities) {
             (Some(_), Some(_)) => {
                 let fin = crate::capacitated::finish(instance, req, merged);
                 phases.extend(fin.phases);
@@ -380,7 +386,7 @@ impl Solver for ShardedSolver {
         // A service-load-only capacitated request (no copy caps) still
         // gets its assignment flow verdict, mirroring the sequential
         // engine's pass-through branch.
-        if capacity.is_none() && cap_family.is_some() && req.capacities.is_none() {
+        if capacity.is_none() && cap_family.is_some() && req.cap.capacities.is_none() {
             if let Some(stats) = crate::capacitated::load_only_stats(instance, req, &report) {
                 if let Some(lf) = stats.load_feasible {
                     report.meta.push(("load-feasible", lf.to_string()));

@@ -1,0 +1,228 @@
+//! One recursive grammar for solver names.
+//!
+//! Solver lookups used to be parsed three times over — `solvers::by_name`
+//! peeled `sharded:`, [`ShardedSolver::over`] re-parsed the remainder,
+//! [`CapacitatedSolver::parse`] re-parsed again — and every layer answered
+//! "no" with a bare `Option`, so a typo in `sharded:cap:aprox` surfaced as
+//! an anonymous `None` three frames up. [`SolverSpec`] replaces all of
+//! that with a single grammar:
+//!
+//! ```text
+//! spec ::= "sharded:" inner        inner ::= cap-spec | base
+//!        | cap-spec
+//!        | base
+//! cap-spec ::= "capacitated" | "cap:" base
+//! base ::= "krw" | any base registry name
+//! ```
+//!
+//! Parsing returns `Result<SolverSpec, Unsupported>` whose error names the
+//! *exact* bad segment (unknown name, or an illegal nesting like
+//! `cap:cap:...`), so the daemon and the CLI can echo a useful message.
+//! Canonical spellings collapse during the parse (`krw` → `approx`,
+//! `sharded:approx` → `sharded-approx`, `cap:approx` → `capacitated`), so
+//! a spec's [`name`](SolverSpec::name) is always the registry-canonical
+//! name of the engine [`instantiate`](SolverSpec::instantiate) builds.
+
+use crate::capacitated::CapacitatedSolver;
+use crate::sharded::{intern, ShardedSolver};
+use crate::{unsupported, Solver, Unsupported};
+
+/// A parsed solver name: a base engine, optionally wrapped by the
+/// capacitated meta-engine, optionally wrapped by the sharded meta-engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverSpec {
+    /// A base (non-meta) registry engine, held by canonical name.
+    Base(&'static str),
+    /// The sharded fan-out over an inner base or capacitated spec.
+    Sharded(Box<SolverSpec>),
+    /// The native capacitated engine over an inner base spec.
+    Capacitated(Box<SolverSpec>),
+}
+
+impl SolverSpec {
+    /// Parses any accepted solver spelling into its composition tree.
+    ///
+    /// # Errors
+    /// [`Unsupported`] naming the offending segment: an unknown engine
+    /// name, or an illegal nesting (`sharded:` inside `sharded:`, a meta
+    /// engine inside `cap:`).
+    pub fn parse(name: &str) -> Result<SolverSpec, Unsupported> {
+        SolverSpec::parse_segment(name, name)
+    }
+
+    fn parse_segment(seg: &str, full: &str) -> Result<SolverSpec, Unsupported> {
+        let in_context = |what: &str| {
+            if seg == full {
+                format!("{what} in solver spec \"{full}\"")
+            } else {
+                format!("{what} in segment \"{seg}\" of solver spec \"{full}\"")
+            }
+        };
+        if let Some(inner) = seg.strip_prefix("sharded:") {
+            return match SolverSpec::parse_segment(inner, full)? {
+                SolverSpec::Sharded(_) => Err(unsupported(in_context(
+                    "`sharded:` cannot nest inside `sharded:`",
+                ))),
+                spec => Ok(SolverSpec::Sharded(Box::new(spec))),
+            };
+        }
+        if seg == "sharded-approx" {
+            return Ok(SolverSpec::Sharded(Box::new(SolverSpec::Base("approx"))));
+        }
+        if seg == "capacitated" {
+            return Ok(SolverSpec::Capacitated(Box::new(SolverSpec::Base(
+                "approx",
+            ))));
+        }
+        if let Some(inner) = seg.strip_prefix("cap:") {
+            return match SolverSpec::parse_segment(inner, full)? {
+                base @ SolverSpec::Base(_) => Ok(SolverSpec::Capacitated(Box::new(base))),
+                _ => Err(unsupported(in_context(
+                    "`cap:` wraps base engines only (no meta engine inside)",
+                ))),
+            };
+        }
+        let seg = if seg == "krw" { "approx" } else { seg };
+        match crate::registry::solvers::base_names()
+            .into_iter()
+            .find(|&b| b == seg)
+        {
+            Some(canonical) => Ok(SolverSpec::Base(canonical)),
+            None => Err(unsupported(in_context(&format!(
+                "unknown solver \"{seg}\""
+            )))),
+        }
+    }
+
+    /// The registry-canonical name of the engine this spec builds
+    /// (`sharded:approx` parses to the spec named `sharded-approx`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverSpec::Base(b) => b,
+            SolverSpec::Capacitated(inner) => match inner.name() {
+                "approx" => "capacitated",
+                b => intern(format!("cap:{b}")),
+            },
+            SolverSpec::Sharded(inner) => match inner.name() {
+                "approx" => "sharded-approx",
+                n => intern(format!("sharded:{n}")),
+            },
+        }
+    }
+
+    /// Builds the engine the spec describes.
+    ///
+    /// # Panics
+    /// Never for specs produced by [`parse`](SolverSpec::parse) — every
+    /// parseable composition is constructible.
+    pub fn instantiate(&self) -> Box<dyn Solver> {
+        match self {
+            SolverSpec::Base(b) => crate::registry::solvers::base_by_name(b)
+                .unwrap_or_else(|| panic!("base engine {b} registered")),
+            SolverSpec::Capacitated(inner) => Box::new(
+                CapacitatedSolver::over(inner.name()).expect("parsed cap inner is a base engine"),
+            ),
+            SolverSpec::Sharded(inner) => Box::new(
+                ShardedSolver::over(inner.name()).expect("parsed sharded inner is composable"),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_base_names_and_alias() {
+        assert_eq!(
+            SolverSpec::parse("approx").unwrap(),
+            SolverSpec::Base("approx")
+        );
+        assert_eq!(
+            SolverSpec::parse("krw").unwrap(),
+            SolverSpec::Base("approx")
+        );
+        assert_eq!(
+            SolverSpec::parse("tree-dp").unwrap(),
+            SolverSpec::Base("tree-dp")
+        );
+    }
+
+    #[test]
+    fn parses_meta_compositions() {
+        let s = SolverSpec::parse("sharded:cap:approx").unwrap();
+        assert_eq!(
+            s,
+            SolverSpec::Sharded(Box::new(SolverSpec::Capacitated(Box::new(
+                SolverSpec::Base("approx")
+            ))))
+        );
+        assert_eq!(s.name(), "sharded:capacitated");
+        assert_eq!(
+            SolverSpec::parse("sharded:approx").unwrap().name(),
+            "sharded-approx"
+        );
+        assert_eq!(
+            SolverSpec::parse("cap:krw").unwrap().name(),
+            "capacitated",
+            "alias collapses inside meta wrappers too"
+        );
+        assert_eq!(
+            SolverSpec::parse("sharded:capacitated").unwrap().name(),
+            "sharded:capacitated"
+        );
+    }
+
+    #[test]
+    fn errors_name_the_bad_segment() {
+        let e = SolverSpec::parse("sharded:aprox").unwrap_err();
+        assert!(e.reason.contains("unknown solver \"aprox\""), "{e}");
+        assert!(e.reason.contains("sharded:aprox"), "{e}");
+
+        let e = SolverSpec::parse("sharded:sharded:approx").unwrap_err();
+        assert!(e.reason.contains("cannot nest"), "{e}");
+
+        let e = SolverSpec::parse("sharded:sharded-approx").unwrap_err();
+        assert!(e.reason.contains("cannot nest"), "{e}");
+
+        let e = SolverSpec::parse("cap:cap:approx").unwrap_err();
+        assert!(e.reason.contains("base engines only"), "{e}");
+
+        let e = SolverSpec::parse("cap:sharded:approx").unwrap_err();
+        assert!(e.reason.contains("base engines only"), "{e}");
+
+        let e = SolverSpec::parse("cap:capacitated").unwrap_err();
+        assert!(e.reason.contains("base engines only"), "{e}");
+    }
+
+    #[test]
+    fn instantiates_every_composition() {
+        for spec in [
+            "approx",
+            "sharded:tree-dp",
+            "cap:greedy-local",
+            "sharded:cap:approx",
+            "capacitated",
+            "sharded-approx",
+        ] {
+            let parsed = SolverSpec::parse(spec).unwrap();
+            let engine = parsed.instantiate();
+            assert_eq!(engine.name(), parsed.name(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        assert_eq!(
+            SolverSpec::parse("sharded:krw").unwrap().to_string(),
+            "sharded-approx"
+        );
+    }
+}

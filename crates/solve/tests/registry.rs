@@ -263,7 +263,12 @@ fn report_carries_phases_and_traces() {
     let names: Vec<&str> = report.phases.iter().map(|p| p.name).collect();
     assert_eq!(
         names,
-        vec!["facility-location", "radius-add", "radius-prune"]
+        vec![
+            "metric-build",
+            "facility-location",
+            "radius-add",
+            "radius-prune"
+        ]
     );
     let traces = report.traces.as_ref().expect("traces requested");
     assert_eq!(traces.len(), instance.num_objects());

@@ -31,6 +31,16 @@ fn main() {
     }
     println!(" {:>16}", "capacitated");
     for (_, scenario) in &corpus {
+        // The example dense-solves every column; the committed 10k-node
+        // scenario is the sparse backend's territory (see README
+        // "Scaling" and the perf-smoke `scale` section).
+        if scenario.nodes > 2_000 {
+            println!(
+                "{:<28} {:>5}    - skipped (dense sweep; solve it with --metric sparse)",
+                scenario.name, scenario.nodes
+            );
+            continue;
+        }
         let instance = scenario.build_instance();
         let n = instance.num_nodes();
         let cap = scenario.capacity_vector(n);
