@@ -39,7 +39,8 @@ fn usage() -> ! {
         "usage: experiments <e1..e16 | all>...\n       experiments --solver <name | list> \
          [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY] [--fl KIND] \
          [--metric dense|sparse] [--capacities uniform:<k>] [--cap-engine INNER]\n       \
-         experiments perf-smoke [--out PATH]\n\n\
+         experiments perf-smoke [--out PATH]\n       \
+         experiments chaos [--out PATH]\n\n\
          --capacities uniform:<k> caps every node at k copies (any solver; non-native\n\
          engines go through the greedy repair); --cap-engine INNER runs the native\n\
          capacitated engine over INNER (shorthand for --solver cap:INNER);\n\
@@ -62,6 +63,10 @@ fn main() {
         run_perf_smoke(&args[1..]);
         return;
     }
+    if args[0] == "chaos" {
+        run_chaos(&args[1..]);
+        return;
+    }
     for id in &args {
         for report in dmn_bench::experiments::run(id) {
             report.emit();
@@ -72,10 +77,11 @@ fn main() {
 /// The CI perf gate: writes `BENCH_ci.json` and fails on a placement
 /// mismatch (sharded vs sequential, or incremental vs seed local search),
 /// a skewed shard partition, a server replay whose post-swap costs
-/// deviate from from-scratch solves, or a sparse-backend cost ratio above
-/// the control ceiling — and, in release builds, on a phase-1 speedup,
-/// server lookup throughput, re-solve latency, or 10k-node sparse solve
-/// wall clock outside the pinned envelope.
+/// deviate from from-scratch solves, a failed chaos replay, or a
+/// sparse-backend cost ratio above the control ceiling — and, in release
+/// builds, on a phase-1 speedup, server lookup throughput, re-solve
+/// latency, or 10k-node sparse solve wall clock outside the pinned
+/// envelope.
 fn run_perf_smoke(args: &[String]) {
     let mut out = "BENCH_ci.json".to_string();
     let mut it = args.iter();
@@ -138,6 +144,13 @@ fn run_perf_smoke(args: &[String]) {
         eprintln!(
             "perf-smoke: server replay FAILED — post-swap cost deviated from the \
              from-scratch solve or too few re-solves completed (see {out})"
+        );
+        std::process::exit(1);
+    }
+    if !outcome.chaos_ok {
+        eprintln!(
+            "perf-smoke: chaos replay FAILED — an injected fault class never fired, was \
+             not absorbed, or left the server degraded or inconsistent (see {out})"
         );
         std::process::exit(1);
     }
@@ -220,6 +233,73 @@ fn run_perf_smoke(args: &[String]) {
         outcome.server.lookups_per_sec,
         outcome.sparse_cost_ratio,
         outcome.phase1_speedup
+    );
+}
+
+/// The standalone chaos gate: runs the seeded fault schedule against the
+/// pinned smoke scenario, writes the `chaos` artifact, and exits non-zero
+/// unless every injected fault class fired, was absorbed, and the healed
+/// server's placements match from-scratch solves.
+fn run_chaos(args: &[String]) {
+    let mut out = "CHAOS_ci.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        usage()
+                    })
+                    .clone();
+            }
+            _ => usage(),
+        }
+    }
+    let lookups = cfg!(debug_assertions).then_some(20_000);
+    let outcome =
+        dmn_bench::chaos_replay::chaos_replay(&dmn_bench::perf_smoke::smoke_scenario(), lookups);
+    if let Err(e) = std::fs::write(&out, outcome.to_json().to_string_pretty()) {
+        eprintln!("chaos: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    if !outcome.gate() {
+        eprintln!(
+            "chaos: replay FAILED — panics {}, stalls {}, floods {}, wire faults {}, \
+             failures {} ({} timeouts), shed {}, malformed {}/{} rejected, wire \
+             recovered {}, recovered {} in {:.2}s, inconsistent lookups {}, cost \
+             matches scratch {} (see {out})",
+            outcome.solver_panics,
+            outcome.stalled_resolves,
+            outcome.event_floods,
+            outcome.wire_faults,
+            outcome.resolve_failures,
+            outcome.watchdog_timeouts,
+            outcome.shed_deltas,
+            outcome.malformed_rejected,
+            outcome.malformed_lines,
+            outcome.wire_recovered,
+            outcome.recovered,
+            outcome.recovery_seconds,
+            outcome.inconsistent_lookups,
+            outcome.cost_matches_scratch
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "chaos: absorbed {} solver panic(s), {} stalled re-solve(s) ({} watchdog \
+         timeout(s)), {} event flood(s) shedding {} deltas, and {} malformed wire \
+         line(s); recovered in {:.2}s; {} lookups served with 0 inconsistencies; \
+         post-recovery costs equal from-scratch; artifact at {out}",
+        outcome.solver_panics,
+        outcome.stalled_resolves,
+        outcome.watchdog_timeouts,
+        outcome.event_floods,
+        outcome.shed_deltas,
+        outcome.malformed_lines,
+        outcome.recovery_seconds,
+        outcome.lookups
     );
 }
 
@@ -348,6 +428,7 @@ fn run_solver_bench(args: &[String]) {
                 .map(|per_node| dmn_workloads::CapacitySpec::Uniform { per_node }),
             stream: None,
             drift: None,
+            faults: None,
         };
         let instance = scenario.build_instance();
         let req = match scenario.capacity_vector(instance.num_nodes()) {

@@ -85,6 +85,7 @@ pub fn run() -> Report {
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     };
     let instance = scenario.build_instance();
     let unconstrained = place_all(&instance, &ApproxConfig::default());

@@ -42,6 +42,7 @@ pub fn run() -> Report {
             capacities: None,
             stream: None,
             drift: None,
+            faults: None,
         };
         let instance = scenario.build_instance();
         instance.metric(); // pay the APSP once, outside the timed region

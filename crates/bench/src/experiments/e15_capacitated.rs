@@ -44,6 +44,7 @@ fn scenarios() -> Vec<Scenario> {
         capacities: Some(CapacitySpec::Uniform { per_node }),
         stream: None,
         drift: None,
+        faults: None,
     };
     vec![
         build(

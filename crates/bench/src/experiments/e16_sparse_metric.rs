@@ -57,6 +57,7 @@ fn scenario(name: &str, topology: TopologyKind, nodes: usize, truncating: bool) 
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 

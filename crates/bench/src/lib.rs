@@ -14,6 +14,7 @@
 //!
 //! or a single one, e.g. `... -- e2`.
 
+pub mod chaos_replay;
 pub mod experiments;
 pub mod perf_smoke;
 pub mod report;

@@ -50,7 +50,7 @@ use dmn_workloads::{DriftSpec, Scenario, TopologyKind, WorkloadParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::server_bench;
+use crate::{chaos_replay, server_bench};
 
 /// Shard count pinned for the smoke run (small enough for 2-core CI
 /// runners, big enough to exercise a real fan-out and merge).
@@ -126,6 +126,7 @@ pub fn smoke_scenario() -> Scenario {
         // The server replay: ~1.2M lookups with 60 drift events — the
         // "million-user" trace of the acceptance gate.
         drift: Some(DriftSpec::default()),
+        faults: None,
     }
 }
 
@@ -175,6 +176,7 @@ pub fn scale_scenario() -> Scenario {
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 
@@ -286,6 +288,13 @@ pub struct SmokeOutcome {
     /// `sparse_within_eps` and, when a scale run is attached, its wall
     /// clock staying under [`MAX_SCALE_WALL_SECONDS`].
     pub scale_ok: bool,
+    /// The chaos replay, when one was attached ([`run`] always attaches
+    /// one; the scaled-down unit tests attach their own or skip it).
+    pub chaos: Option<chaos_replay::ChaosOutcome>,
+    /// True when the attached chaos replay passed its gate — every fault
+    /// class fired and was absorbed ([`chaos_replay::ChaosOutcome::gate`]).
+    /// Vacuously true when no chaos run is attached.
+    pub chaos_ok: bool,
 }
 
 impl SmokeOutcome {
@@ -298,6 +307,7 @@ impl SmokeOutcome {
             && self.shards_balanced
             && self.server_ok
             && self.sparse_within_eps
+            && self.chaos_ok
     }
 
     /// Attaches a 10k-node scale run: records it under the artifact's
@@ -311,6 +321,17 @@ impl SmokeOutcome {
             top.insert("scale_ok".into(), Json::Bool(self.scale_ok));
         }
         self.scale = Some(scale);
+    }
+
+    /// Attaches a chaos replay: records it under the artifact's `chaos`
+    /// key and folds its verdict into `chaos_ok`.
+    pub fn attach_chaos(&mut self, chaos: chaos_replay::ChaosOutcome) {
+        self.chaos_ok = chaos.gate();
+        if let Json::Obj(top) = &mut self.json {
+            top.insert("chaos".into(), chaos.to_json());
+            top.insert("chaos_ok".into(), Json::Bool(self.chaos_ok));
+        }
+        self.chaos = Some(chaos);
     }
 }
 
@@ -353,6 +374,11 @@ fn meta_count(report: &SolveReport, key: &str) -> f64 {
 /// meaningful — the committed 10k-node sparse scale run.
 pub fn run() -> SmokeOutcome {
     let mut outcome = run_with(&smoke_scenario(), SMOKE_SHARDS);
+    // The chaos replay runs in every build (its faults are wall-clock
+    // bounded, not throughput bound); debug builds shrink the
+    // post-recovery trace so the gate stays fast.
+    let chaos_lookups = cfg!(debug_assertions).then_some(20_000);
+    outcome.attach_chaos(chaos_replay::chaos_replay(&smoke_scenario(), chaos_lookups));
     if !cfg!(debug_assertions) {
         outcome.attach_scale(run_scale(&scale_scenario()));
     }
@@ -540,6 +566,9 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         ("server_ok", Json::Bool(server_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
         ("scale_ok", Json::Bool(sparse_within_eps)),
+        // Both are filled by `attach_chaos` (`run` always attaches).
+        ("chaos", Json::Null),
+        ("chaos_ok", Json::Bool(true)),
     ]);
     SmokeOutcome {
         json,
@@ -557,6 +586,8 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         sparse_within_eps,
         scale: None,
         scale_ok: sparse_within_eps,
+        chaos: None,
+        chaos_ok: true,
     }
 }
 
@@ -595,9 +626,37 @@ mod tests {
         }
     }
 
+    /// The chaos-mini scenario for the attach test (the chaos replay's
+    /// own unit tests drive the fault schedule in depth; this one checks
+    /// the artifact fold-in).
+    fn chaos_scenario() -> Scenario {
+        Scenario {
+            name: "chaos-attach".into(),
+            topology: TopologyKind::Ring,
+            nodes: 16,
+            workload: WorkloadParams {
+                num_objects: 4,
+                base_mass: 60.0,
+                ..Default::default()
+            },
+            drift: Some(DriftSpec {
+                lookups: 4_000,
+                drift_events: 8,
+                drift_mass: 3.0,
+                resolve_threshold: 0.02,
+            }),
+            ..smoke_scenario()
+        }
+    }
+
     #[test]
     fn smoke_gates_hold_and_artifact_is_complete() {
-        let outcome = run_with(&tiny_scenario(), 3);
+        // Hold the fault gate through the solves: a concurrently armed
+        // chaos plan must not inject into this run. Released before the
+        // chaos attach below (which takes the gate itself).
+        let gate = dmn_core::faults::exclusive();
+        let mut outcome = run_with(&tiny_scenario(), 3);
+        drop(gate);
         assert!(outcome.costs_match, "sharded deviated from sequential");
         assert!(
             outcome.fast_matches_seed,
@@ -635,6 +694,17 @@ mod tests {
         );
         assert!(outcome.scale_ok, "no scale run attached: ratio gate only");
         assert!(outcome.scale.is_none(), "run_with never runs the 10k solve");
+        assert!(
+            outcome.chaos.is_none(),
+            "run_with never runs the chaos replay"
+        );
+        assert!(outcome.chaos_ok, "vacuously true before a chaos attach");
+        assert!(outcome.gate());
+
+        // Fold in a scaled-down chaos replay: the verdict and the full
+        // fault ledger land in the artifact.
+        outcome.attach_chaos(chaos_replay::chaos_replay(&chaos_scenario(), Some(4_000)));
+        assert!(outcome.chaos_ok, "chaos replay failed: {:?}", outcome.chaos);
         assert!(outcome.gate());
         let rendered = outcome.json.to_string_pretty();
         for needle in [
@@ -675,6 +745,14 @@ mod tests {
             "\"sparse_within_eps\"",
             "\"metric_build_seconds\"",
             "\"metric_backend\"",
+            "\"chaos\"",
+            "\"chaos_ok\"",
+            "\"solver_panics\"",
+            "\"watchdog_timeouts\"",
+            "\"shed_deltas\"",
+            "\"malformed_rejected\"",
+            "\"recovery_seconds\"",
+            "\"inconsistent_lookups\"",
         ] {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");
         }

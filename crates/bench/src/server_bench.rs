@@ -262,11 +262,15 @@ mod tests {
                 drift_mass: 3.0,
                 resolve_threshold: 0.02,
             }),
+            faults: None,
         }
     }
 
     #[test]
     fn replay_resolves_and_matches_scratch() {
+        // Serialize against the chaos tests: the fault armory is
+        // process-global and an armed plan would inject into this replay.
+        let _gate = dmn_core::faults::exclusive();
         let outcome = replay_scenario(&mini_scenario(), None);
         assert_eq!(outcome.lookups, 6_000);
         assert_eq!(outcome.forced_resolves as usize, REPLAY_SEGMENTS);

@@ -101,6 +101,64 @@ impl ObjectWorkload {
     }
 }
 
+/// Why an instance (or a piece of one) failed validation.
+///
+/// [`InstanceBuilder::try_build`] and [`Instance::try_push_object`]
+/// return these where the panicking [`InstanceBuilder::build`] /
+/// [`Instance::push_object`] entry points would abort; loaders that
+/// handle untrusted input (scenario files, the server's event stream)
+/// use the `try_` forms and surface the error in-band.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The network has no nodes.
+    EmptyNetwork,
+    /// The network is not connected, so distances are undefined.
+    Disconnected,
+    /// The storage-cost vector is sized for a different network.
+    StorageCostLength { expected: usize, got: usize },
+    /// A storage cost is negative or NaN (`+inf` is allowed: it forbids
+    /// copies on the node).
+    BadStorageCost { node: usize, value: f64 },
+    /// An object workload is sized for a different network.
+    WorkloadSize {
+        object: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// An object workload has a NaN/negative/infinite frequency or no
+    /// requests at all.
+    BadWorkload { object: usize, reason: String },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::EmptyNetwork => write!(f, "instance needs at least one node"),
+            ValidationError::Disconnected => write!(f, "the network must be connected"),
+            ValidationError::StorageCostLength { expected, got } => write!(
+                f,
+                "storage cost vector length mismatch: {got} costs for {expected} nodes"
+            ),
+            ValidationError::BadStorageCost { node, value } => {
+                write!(f, "storage cost at node {node} invalid: {value}")
+            }
+            ValidationError::WorkloadSize {
+                object,
+                expected,
+                got,
+            } => write!(
+                f,
+                "object {object} workload sized for {got} nodes on a {expected}-node network"
+            ),
+            ValidationError::BadWorkload { object, reason } => {
+                write!(f, "object {object}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
 /// A static data management instance: network, storage costs, objects.
 #[derive(Debug)]
 pub struct Instance {
@@ -145,6 +203,24 @@ impl Instance {
         assert_eq!(w.num_nodes(), self.num_nodes(), "workload size mismatch");
         w.validate().expect("invalid workload");
         self.objects.push(w);
+    }
+
+    /// Appends an object workload, returning a typed error instead of
+    /// panicking when it is sized for a different network or carries
+    /// invalid frequencies.
+    pub fn try_push_object(&mut self, w: ObjectWorkload) -> Result<(), ValidationError> {
+        let object = self.objects.len();
+        if w.num_nodes() != self.num_nodes() {
+            return Err(ValidationError::WorkloadSize {
+                object,
+                expected: self.num_nodes(),
+                got: w.num_nodes(),
+            });
+        }
+        w.validate()
+            .map_err(|reason| ValidationError::BadWorkload { object, reason })?;
+        self.objects.push(w);
+        Ok(())
     }
 
     /// The metric closure `ct(u, v)` of the network, computed on first use
@@ -232,24 +308,40 @@ impl InstanceBuilder {
     /// the wrong length, or a storage cost is negative/non-finite.
     /// Storage costs may be `f64::INFINITY` to forbid copies on a node.
     pub fn build(self) -> Instance {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`InstanceBuilder::build`], but returns a typed
+    /// [`ValidationError`] instead of panicking — the entry point for
+    /// untrusted input (scenario files, wire protocols).
+    pub fn try_build(self) -> Result<Instance, ValidationError> {
         let n = self.graph.num_nodes();
-        assert!(n > 0, "instance needs at least one node");
-        assert!(self.graph.is_connected(), "the network must be connected");
-        let cs = self.storage_cost.unwrap_or_else(|| vec![0.0; n]);
-        assert_eq!(cs.len(), n, "storage cost vector length mismatch");
-        for (v, &c) in cs.iter().enumerate() {
-            assert!(
-                c >= 0.0 && !c.is_nan(),
-                "storage cost at node {v} invalid: {c}"
-            );
+        if n == 0 {
+            return Err(ValidationError::EmptyNetwork);
         }
-        Instance {
+        if !self.graph.is_connected() {
+            return Err(ValidationError::Disconnected);
+        }
+        let cs = self.storage_cost.unwrap_or_else(|| vec![0.0; n]);
+        if cs.len() != n {
+            return Err(ValidationError::StorageCostLength {
+                expected: n,
+                got: cs.len(),
+            });
+        }
+        for (v, &c) in cs.iter().enumerate() {
+            // +inf is a legal "never store here"; negative and NaN are not.
+            if c < 0.0 || c.is_nan() {
+                return Err(ValidationError::BadStorageCost { node: v, value: c });
+            }
+        }
+        Ok(Instance {
             graph: self.graph,
             storage_cost: cs,
             objects: Vec::new(),
             metric: OnceLock::new(),
             metric_seconds: OnceLock::new(),
-        }
+        })
     }
 }
 
@@ -330,6 +422,64 @@ mod tests {
     fn disconnected_graph_rejected() {
         let g = Graph::new(2);
         Instance::builder(g).build();
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        let err = Instance::builder(Graph::new(0)).try_build().unwrap_err();
+        assert_eq!(err, ValidationError::EmptyNetwork);
+
+        let err = Instance::builder(Graph::new(2)).try_build().unwrap_err();
+        assert_eq!(err, ValidationError::Disconnected);
+
+        let g = generators::path(3, |_| 1.0);
+        let err = Instance::builder(g)
+            .storage_costs(vec![1.0])
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ValidationError::StorageCostLength {
+                expected: 3,
+                got: 1
+            }
+        );
+
+        let g = generators::path(2, |_| 1.0);
+        let err = Instance::builder(g)
+            .storage_costs(vec![0.0, -2.0])
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::BadStorageCost { node: 1, .. }
+        ));
+        assert!(err.to_string().contains("node 1"), "{err}");
+    }
+
+    #[test]
+    fn try_push_object_returns_typed_errors() {
+        let g = generators::path(2, |_| 1.0);
+        let mut inst = Instance::builder(g).build();
+        let err = inst.try_push_object(ObjectWorkload::new(3)).unwrap_err();
+        assert_eq!(
+            err,
+            ValidationError::WorkloadSize {
+                object: 0,
+                expected: 2,
+                got: 3
+            }
+        );
+        let mut bad = ObjectWorkload::new(2);
+        bad.reads[0] = f64::NAN;
+        assert!(matches!(
+            inst.try_push_object(bad),
+            Err(ValidationError::BadWorkload { object: 0, .. })
+        ));
+        assert!(inst
+            .try_push_object(ObjectWorkload::from_sparse(2, [(0, 1.0)], []))
+            .is_ok());
+        assert_eq!(inst.num_objects(), 1);
     }
 
     #[test]

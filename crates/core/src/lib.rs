@@ -20,6 +20,7 @@
 //! *restricted* placements ([`restricted`]).
 
 pub mod cost;
+pub mod faults;
 pub mod instance;
 pub mod load;
 pub mod parallel;
@@ -32,7 +33,8 @@ pub use cost::{
     evaluate, evaluate_object, evaluate_object_on_graph, evaluate_sparse, CostBreakdown,
     UpdatePolicy,
 };
-pub use instance::{Instance, InstanceBuilder, ObjectWorkload};
+pub use faults::{FaultAction, FaultGuard, FaultPlan, FaultSpec, Injected};
+pub use instance::{Instance, InstanceBuilder, ObjectWorkload, ValidationError};
 pub use placement::Placement;
 pub use radii::RadiusTable;
 pub use shapes::{evaluate_object_shaped, ObjectShape};

@@ -183,6 +183,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -193,9 +194,15 @@ pub fn parse(input: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Nesting bound of the recursive-descent parser. Hostile input like
+/// `[[[[...` must come back as an error, not blow the stack — no honest
+/// document in this workspace nests anywhere near this deep.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -232,6 +239,19 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Json, String> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let value = self.value_inner();
+        self.depth -= 1;
+        value
+    }
+
+    fn value_inner(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -407,6 +427,16 @@ mod tests {
         for text in [v.to_string_compact(), v.to_string_pretty()] {
             assert_eq!(parse(&text).unwrap(), v, "{text}");
         }
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Documents at sane depth still parse.
+        let ok = "[".repeat(64) + "1" + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

@@ -47,5 +47,7 @@ pub mod snapshot;
 pub mod tcp;
 
 pub use event::Event;
-pub use server::{Applied, ServerConfig, ServerError, ServerHandle, ServerStats};
+pub use server::{
+    Applied, ResilienceConfig, ResolveHealth, ServerConfig, ServerError, ServerHandle, ServerStats,
+};
 pub use snapshot::{Lookup, PlacementSnapshot};

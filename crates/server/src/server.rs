@@ -23,12 +23,14 @@
 //! the swap (the worker only subtracts the drift it captured), so a
 //! demand shift can never be silently absorbed by an older solve.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use dmn_core::cost::CostBreakdown;
+use dmn_core::faults::{self, Injected};
 use dmn_core::instance::{Instance, ObjectWorkload};
 use dmn_core::placement::Placement;
 use dmn_graph::{Graph, Metric, NodeId};
@@ -37,6 +39,26 @@ use dmn_solve::{solvers, SolveRequest};
 
 use crate::event::Event;
 use crate::snapshot::{Lookup, PlacementSnapshot};
+
+/// Locks a mutex, healing poison: an injected (or real) panic on another
+/// thread must not cascade into every later request — the protected
+/// state is only ever mutated under short, crash-consistent critical
+/// sections, so the value behind a poisoned lock is still valid.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_clean<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_clean<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
 
 /// Configuration of a placement server.
 #[derive(Debug, Clone)]
@@ -53,6 +75,8 @@ pub struct ServerConfig {
     /// Run the background re-solve worker. When `false`, the placement
     /// only changes through explicit [`ServerHandle::resolve_now`] calls.
     pub background: bool,
+    /// Self-healing knobs (watchdog, retries, backpressure).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServerConfig {
@@ -62,7 +86,105 @@ impl Default for ServerConfig {
             request: SolveRequest::new().fl_warm_start(true),
             resolve_threshold: 0.02,
             background: true,
+            resilience: ResilienceConfig::default(),
         }
+    }
+}
+
+/// Knobs of the server's self-healing machinery. A failed or timed-out
+/// re-solve never takes the server down: the last good epoch stays
+/// live, the captured drift stays charged (so the trigger re-arms), and
+/// the worker retries with exponential backoff up to
+/// [`ResilienceConfig::max_retries`] consecutive attempts — after that
+/// it waits for the next event to kick it again.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Watchdog timeout for a single re-solve attempt, in seconds. A
+    /// solve still running past it is abandoned (its result discarded)
+    /// and counted as a failure. `None` disables the watchdog — the
+    /// solve then runs on the worker thread itself instead of a
+    /// supervised one.
+    pub solve_timeout_seconds: Option<f64>,
+    /// Consecutive failed attempts before the worker stops auto-retrying
+    /// (events re-arm it; `resolve_now` always makes a fresh attempt).
+    pub max_retries: u32,
+    /// First retry delay in seconds; doubles per consecutive failure.
+    pub backoff_base_seconds: f64,
+    /// Ceiling on the retry delay in seconds.
+    pub backoff_max_seconds: f64,
+    /// Bound on the pending demand-delta queue. A burst larger than this
+    /// sheds its *oldest* deltas (newest state wins; structural events
+    /// are never shed) and counts them in
+    /// [`ResolveHealth::shed_deltas`].
+    pub event_queue_capacity: usize,
+    /// Per-connection TCP read timeout in seconds; a client that stalls
+    /// mid-line longer than this is disconnected instead of pinning its
+    /// handler thread forever.
+    pub read_timeout_seconds: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            solve_timeout_seconds: Some(30.0),
+            max_retries: 3,
+            backoff_base_seconds: 0.05,
+            backoff_max_seconds: 2.0,
+            event_queue_capacity: 4096,
+            read_timeout_seconds: 30.0,
+        }
+    }
+}
+
+/// Health of the background re-solve pipeline, surfaced in
+/// [`ServerHandle::status`] (the `health` block of the TCP `status`
+/// response).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResolveHealth {
+    /// Failed attempts since the last successful epoch swap.
+    pub consecutive_failures: u32,
+    /// Failed attempts over the server's lifetime.
+    pub total_failures: u64,
+    /// Re-solve attempts abandoned by the watchdog.
+    pub timeouts: u64,
+    /// What the most recent failure said (panic message, timeout, ...).
+    pub last_error: Option<String>,
+    /// Current retry delay in seconds (0 when healthy).
+    pub backoff_seconds: f64,
+    /// Demand deltas shed by the bounded event queue.
+    pub shed_deltas: u64,
+    /// The snapshot being served was produced by a degraded solve
+    /// (deadline fallback placements).
+    pub last_epoch_degraded: bool,
+}
+
+impl ResolveHealth {
+    /// True when the server is knowingly serving stale or sub-optimal
+    /// state: re-solves are failing, or the live epoch is degraded.
+    pub fn degraded(&self) -> bool {
+        self.consecutive_failures > 0 || self.last_epoch_degraded
+    }
+
+    /// The `health` block of the status document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("degraded", Json::Bool(self.degraded())),
+            (
+                "consecutive_failures",
+                Json::Num(self.consecutive_failures as f64),
+            ),
+            ("total_failures", Json::Num(self.total_failures as f64)),
+            ("timeouts", Json::Num(self.timeouts as f64)),
+            (
+                "last_error",
+                self.last_error
+                    .as_ref()
+                    .map_or(Json::Null, |e| Json::Str(e.clone())),
+            ),
+            ("backoff_seconds", Json::Num(self.backoff_seconds)),
+            ("shed_deltas", Json::Num(self.shed_deltas as f64)),
+            ("last_epoch_degraded", Json::Bool(self.last_epoch_degraded)),
+        ])
     }
 }
 
@@ -181,9 +303,59 @@ struct LiveState {
     baseline_mass: f64,
     /// Structural events (add/remove/up/down) since the last solve.
     structural: u64,
+    /// Validated demand deltas awaiting application. Normally drained
+    /// within the same [`ServerHandle::apply`] call that enqueued them;
+    /// the bound only bites under event floods, where the *oldest*
+    /// deltas are shed (structural events never queue here).
+    pending_deltas: VecDeque<PendingDelta>,
+    /// Deltas shed by the bounded queue since the server started.
+    shed_deltas: u64,
+}
+
+/// A validated demand delta in the bounded apply queue.
+#[derive(Debug, Clone, Copy)]
+struct PendingDelta {
+    object: u64,
+    node: NodeId,
+    read_delta: f64,
+    write_delta: f64,
 }
 
 impl LiveState {
+    /// Enqueues a validated delta, shedding the *oldest* queued deltas
+    /// when the bound is hit — the newest demand information wins, and
+    /// the count is surfaced in [`ResolveHealth::shed_deltas`].
+    fn enqueue_delta(&mut self, delta: PendingDelta, capacity: usize) {
+        while self.pending_deltas.len() >= capacity.max(1) {
+            self.pending_deltas.pop_front();
+            self.shed_deltas += 1;
+        }
+        self.pending_deltas.push_back(delta);
+    }
+
+    /// Applies every queued delta in arrival order, charging the drift
+    /// accounting per delta. Returns the drift of the last delta applied
+    /// (the caller's own event, which is always enqueued last and never
+    /// shed). Deltas for objects removed since validation are dropped.
+    fn drain_deltas(&mut self) -> f64 {
+        let mut last = 0.0;
+        while let Some(d) = self.pending_deltas.pop_front() {
+            let Some(&slot) = self.slots.get(&d.object) else {
+                continue;
+            };
+            let obj = &mut self.objects[slot];
+            let new_reads = (obj.reads[d.node] + d.read_delta).max(0.0);
+            let new_writes = (obj.writes[d.node] + d.write_delta).max(0.0);
+            let drift =
+                (new_reads - obj.reads[d.node]).abs() + (new_writes - obj.writes[d.node]).abs();
+            obj.reads[d.node] = new_reads;
+            obj.writes[d.node] = new_writes;
+            self.drift_mass += drift;
+            last = drift;
+        }
+        last
+    }
+
     fn live_mass(&self) -> f64 {
         self.objects
             .iter()
@@ -256,6 +428,7 @@ struct Inner {
     /// the shared report serialization).
     report_json: Mutex<Json>,
     timings: Mutex<ResolveTimings>,
+    health: Mutex<ResolveHealth>,
     lookups: AtomicU64,
     events: AtomicU64,
     resolves: AtomicU64,
@@ -304,6 +477,8 @@ impl ServerHandle {
             drift_mass: 0.0,
             baseline_mass: 0.0,
             structural: 0,
+            pending_deltas: VecDeque::new(),
+            shed_deltas: 0,
         };
         state.baseline_mass = state.live_mass();
 
@@ -335,6 +510,10 @@ impl ServerHandle {
                 last_seconds: seconds,
                 max_seconds: seconds,
             }),
+            health: Mutex::new(ResolveHealth {
+                last_epoch_degraded: report.degraded,
+                ..ResolveHealth::default()
+            }),
             lookups: AtomicU64::new(0),
             events: AtomicU64::new(0),
             resolves: AtomicU64::new(0),
@@ -347,7 +526,7 @@ impl ServerHandle {
                 .name("dmn-server-resolve".into())
                 .spawn(move || Inner::worker_loop(worker_inner))
                 .expect("spawn re-solve worker");
-            *inner.worker.lock().unwrap() = Some(handle);
+            *lock_clean(&inner.worker) = Some(handle);
         }
         Ok(ServerHandle { inner })
     }
@@ -361,7 +540,7 @@ impl ServerHandle {
     #[inline]
     pub fn lookup(&self, object: u64, node: NodeId) -> Result<Lookup, ServerError> {
         self.inner.lookups.fetch_add(1, Ordering::Relaxed);
-        let snap = self.inner.snapshot.read().unwrap();
+        let snap = read_clean(&self.inner.snapshot);
         if node >= snap.num_nodes() {
             return Err(ServerError::NodeOutOfRange(node));
         }
@@ -372,12 +551,12 @@ impl ServerHandle {
     /// The current snapshot (an `Arc` clone; hold it for a consistent
     /// multi-lookup view of one epoch).
     pub fn snapshot(&self) -> Arc<PlacementSnapshot> {
-        Arc::clone(&self.inner.snapshot.read().unwrap())
+        Arc::clone(&read_clean(&self.inner.snapshot))
     }
 
     /// Current epoch (1 = initial solve).
     pub fn epoch(&self) -> u64 {
-        self.inner.snapshot.read().unwrap().epoch
+        read_clean(&self.inner.snapshot).epoch
     }
 
     /// Applies a churn event to the live instance and charges the drift
@@ -388,7 +567,36 @@ impl ServerHandle {
     /// The event-specific [`ServerError`] without mutating any state.
     pub fn apply(&self, event: &Event) -> Result<Applied, ServerError> {
         let n = self.inner.graph.num_nodes();
-        let mut st = self.inner.state.lock().unwrap();
+        // The chaos harness can inject a transient failure or a synthetic
+        // churn burst here; both are no-ops when no plan is armed.
+        let flood = match faults::hit(faults::points::EVENT_APPLY) {
+            Some(Injected::TransientError) => {
+                return Err(ServerError::BadEvent(
+                    "transient fault injected at event.apply".into(),
+                ))
+            }
+            Some(Injected::FloodEvents(count)) => count,
+            None => 0,
+        };
+        let capacity = self.inner.cfg.resilience.event_queue_capacity;
+        let mut st = lock_clean(&self.inner.state);
+        if flood > 0 && !st.objects.is_empty() {
+            // A deterministic flood burst, routed through the bounded
+            // queue exactly like wire deltas: bursts past the capacity
+            // shed their oldest entries.
+            let ids: Vec<u64> = st.objects.iter().map(|o| o.id).collect();
+            for i in 0..flood {
+                st.enqueue_delta(
+                    PendingDelta {
+                        object: ids[i % ids.len()],
+                        node: i % n,
+                        read_delta: if i % 2 == 0 { 1.0 } else { -1.0 },
+                        write_delta: 0.0,
+                    },
+                    capacity,
+                );
+            }
+        }
         let applied = match event {
             Event::DemandDelta {
                 object,
@@ -402,18 +610,19 @@ impl ServerHandle {
                 if !read_delta.is_finite() || !write_delta.is_finite() {
                     return Err(ServerError::BadEvent("non-finite delta".into()));
                 }
-                let slot = *st
-                    .slots
-                    .get(object)
-                    .ok_or(ServerError::UnknownObject(*object))?;
-                let obj = &mut st.objects[slot];
-                let new_reads = (obj.reads[*node] + read_delta).max(0.0);
-                let new_writes = (obj.writes[*node] + write_delta).max(0.0);
-                let drift =
-                    (new_reads - obj.reads[*node]).abs() + (new_writes - obj.writes[*node]).abs();
-                obj.reads[*node] = new_reads;
-                obj.writes[*node] = new_writes;
-                st.drift_mass += drift;
+                if !st.slots.contains_key(object) {
+                    return Err(ServerError::UnknownObject(*object));
+                }
+                st.enqueue_delta(
+                    PendingDelta {
+                        object: *object,
+                        node: *node,
+                        read_delta: *read_delta,
+                        write_delta: *write_delta,
+                    },
+                    capacity,
+                );
+                let drift = st.drain_deltas();
                 Applied::Delta {
                     object: *object,
                     drift,
@@ -475,9 +684,17 @@ impl ServerHandle {
                     return Err(ServerError::NodeOutOfRange(*node));
                 }
                 if !st.node_down[*node] {
-                    if st.node_down.iter().filter(|&&d| !d).count() == 1 {
+                    // Refuse rather than panic later: after this node goes
+                    // down the next solve needs at least one live node that
+                    // can actually hold a copy (finite storage cost).
+                    let placeable_left = (0..n)
+                        .filter(|&v| {
+                            v != *node && !st.node_down[v] && st.base_storage[v].is_finite()
+                        })
+                        .count();
+                    if placeable_left == 0 {
                         return Err(ServerError::BadEvent(
-                            "cannot take the last live node down".into(),
+                            "cannot take the last live finite-storage node down".into(),
                         ));
                     }
                     st.node_down[*node] = true;
@@ -525,15 +742,15 @@ impl ServerHandle {
     /// runs with [`ServerConfig::background`] off.
     pub fn resolve_now(&self) -> u64 {
         {
-            let mut sync = self.inner.sync.lock().unwrap();
+            let mut sync = lock_clean(&self.inner.sync);
             while sync.in_flight {
-                sync = self.inner.cv.wait(sync).unwrap();
+                sync = wait_clean(&self.inner.cv, sync);
             }
             sync.pending = false;
             sync.in_flight = true;
         }
         Inner::resolve_and_swap(&self.inner);
-        let mut sync = self.inner.sync.lock().unwrap();
+        let mut sync = lock_clean(&self.inner.sync);
         sync.in_flight = false;
         self.inner.cv.notify_all();
         drop(sync);
@@ -542,9 +759,9 @@ impl ServerHandle {
 
     /// Blocks until no re-solve is pending or in flight.
     pub fn wait_idle(&self) {
-        let mut sync = self.inner.sync.lock().unwrap();
+        let mut sync = lock_clean(&self.inner.sync);
         while sync.pending || sync.in_flight {
-            sync = self.inner.cv.wait(sync).unwrap();
+            sync = wait_clean(&self.inner.cv, sync);
         }
     }
 
@@ -553,13 +770,13 @@ impl ServerHandle {
     /// instance with [`ServerConfig::request`] must cost exactly what the
     /// server's own re-solve reports — the equality the benchmark gates on.
     pub fn export_instance(&self) -> (Instance, Vec<u64>) {
-        let st = self.inner.state.lock().unwrap();
+        let st = lock_clean(&self.inner.state);
         st.build_instance(&self.inner.graph, &self.inner.metric)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
-        let timings = *self.inner.timings.lock().unwrap();
+        let timings = *lock_clean(&self.inner.timings);
         ServerStats {
             lookups: self.inner.lookups.load(Ordering::Relaxed),
             events: self.inner.events.load(Ordering::Relaxed),
@@ -580,9 +797,19 @@ impl ServerHandle {
     pub fn status(&self) -> Json {
         let snap = self.snapshot();
         let stats = self.stats();
-        let (drift_mass, baseline_mass, live_objects) = {
-            let st = self.inner.state.lock().unwrap();
-            (st.drift_mass, st.baseline_mass, st.objects.len())
+        let (drift_mass, baseline_mass, live_objects, shed_deltas) = {
+            let st = lock_clean(&self.inner.state);
+            (
+                st.drift_mass,
+                st.baseline_mass,
+                st.objects.len(),
+                st.shed_deltas,
+            )
+        };
+        let health = {
+            let mut health = lock_clean(&self.inner.health).clone();
+            health.shed_deltas = shed_deltas;
+            health
         };
         Json::obj([
             ("epoch", Json::Num(snap.epoch as f64)),
@@ -605,8 +832,18 @@ impl ServerHandle {
                 Json::Num(stats.last_resolve_seconds),
             ),
             ("max_resolve_seconds", Json::Num(stats.max_resolve_seconds)),
-            ("report", self.inner.report_json.lock().unwrap().clone()),
+            ("health", health.to_json()),
+            ("report", lock_clean(&self.inner.report_json).clone()),
         ])
+    }
+
+    /// Current health of the re-solve pipeline (also embedded in
+    /// [`ServerHandle::status`] as the `health` block).
+    pub fn health(&self) -> ResolveHealth {
+        let shed_deltas = lock_clean(&self.inner.state).shed_deltas;
+        let mut health = lock_clean(&self.inner.health).clone();
+        health.shed_deltas = shed_deltas;
+        health
     }
 
     /// Stops the background worker (waiting out any in-flight solve).
@@ -614,11 +851,11 @@ impl ServerHandle {
     /// placement is frozen.
     pub fn shutdown(&self) {
         {
-            let mut sync = self.inner.sync.lock().unwrap();
+            let mut sync = lock_clean(&self.inner.sync);
             sync.shutdown = true;
             self.inner.cv.notify_all();
         }
-        if let Some(worker) = self.inner.worker.lock().unwrap().take() {
+        if let Some(worker) = lock_clean(&self.inner.worker).take() {
             let _ = worker.join();
         }
     }
@@ -630,7 +867,7 @@ impl Inner {
         if !inner.cfg.background {
             return;
         }
-        let mut sync = inner.sync.lock().unwrap();
+        let mut sync = lock_clean(&inner.sync);
         if !sync.shutdown {
             sync.pending = true;
             inner.cv.notify_all();
@@ -640,12 +877,12 @@ impl Inner {
     fn worker_loop(inner: Arc<Inner>) {
         loop {
             {
-                let mut sync = inner.sync.lock().unwrap();
+                let mut sync = lock_clean(&inner.sync);
                 // `in_flight` may be held by a `resolve_now` caller; waking
                 // past it would run two concurrent solves (duplicate epochs,
                 // double-settled drift).
                 while (!sync.pending || sync.in_flight) && !sync.shutdown {
-                    sync = inner.cv.wait(sync).unwrap();
+                    sync = wait_clean(&inner.cv, sync);
                 }
                 if sync.shutdown {
                     return;
@@ -653,27 +890,54 @@ impl Inner {
                 sync.pending = false;
                 sync.in_flight = true;
             }
-            Inner::resolve_and_swap(&inner);
-            let mut sync = inner.sync.lock().unwrap();
+            let published = Inner::resolve_and_swap(&inner);
+            // A failed attempt self-retries (with backoff) only while under
+            // the cap; past it the worker goes quiet until the next event
+            // re-arms the trigger.
+            let retry_backoff = if published {
+                None
+            } else {
+                let health = lock_clean(&inner.health);
+                (health.consecutive_failures <= inner.cfg.resilience.max_retries)
+                    .then_some(health.backoff_seconds)
+            };
+            let mut sync = lock_clean(&inner.sync);
             sync.in_flight = false;
             inner.cv.notify_all();
+            if let Some(backoff) = retry_backoff {
+                if !sync.shutdown {
+                    sync.pending = true;
+                    if backoff > 0.0 {
+                        // Sleep on the condvar so shutdown (or fresh churn)
+                        // can cut the backoff short.
+                        let (guard, _) = inner
+                            .cv
+                            .wait_timeout(sync, Duration::from_secs_f64(backoff))
+                            .unwrap_or_else(|e| e.into_inner());
+                        drop(guard);
+                    }
+                }
+            }
         }
     }
 
-    /// One re-solve: materialize the live instance, solve, publish the
-    /// next epoch, settle the drift accounting. Callers own the
-    /// `in_flight` flag.
-    fn resolve_and_swap(inner: &Arc<Inner>) {
+    /// One re-solve: materialize the live instance, solve (supervised),
+    /// publish the next epoch, settle the drift accounting. Callers own
+    /// the `in_flight` flag. Returns `true` when a new epoch was
+    /// published; on failure the last good epoch stays live, the captured
+    /// churn stays charged (so the trigger re-arms), and the failure is
+    /// recorded in [`ResolveHealth`].
+    fn resolve_and_swap(inner: &Arc<Inner>) -> bool {
         let (instance, ids, drift_captured, structural_captured) = {
-            let st = inner.state.lock().unwrap();
+            let st = lock_clean(&inner.state);
             let (instance, ids) = st.build_instance(&inner.graph, &inner.metric);
             (instance, ids, st.drift_mass, st.structural)
         };
 
         let t0 = Instant::now();
-        let (placement, cost, report_json) = if instance.num_objects() == 0 {
+        let attempt = if instance.num_objects() == 0 {
             // Everything parked or removed: serve the empty placement.
-            (
+            Ok((
                 Placement::new(0),
                 CostBreakdown::default(),
                 Json::obj([
@@ -681,15 +945,33 @@ impl Inner {
                     ("total_cost", Json::Num(0.0)),
                     ("total_copies", Json::Num(0.0)),
                 ]),
-            )
+                false,
+            ))
         } else {
-            let solver = solvers::by_name(&inner.cfg.solver).expect("validated at start");
-            let report = solver.solve(&instance, &inner.cfg.request);
-            (report.placement.clone(), report.cost, report.to_json())
+            Inner::attempt_solve(inner, instance)
         };
         let seconds = t0.elapsed().as_secs_f64();
 
-        let next_epoch = inner.snapshot.read().unwrap().epoch + 1;
+        let (placement, cost, report_json, degraded) = match attempt {
+            Ok(out) => out,
+            Err(failure) => {
+                let resilience = &inner.cfg.resilience;
+                let mut health = lock_clean(&inner.health);
+                health.consecutive_failures += 1;
+                health.total_failures += 1;
+                if failure.timed_out {
+                    health.timeouts += 1;
+                }
+                health.last_error = Some(failure.message);
+                let doublings = health.consecutive_failures.saturating_sub(1).min(30);
+                health.backoff_seconds = (resilience.backoff_base_seconds
+                    * 2f64.powi(doublings as i32))
+                .min(resilience.backoff_max_seconds);
+                return false;
+            }
+        };
+
+        let next_epoch = read_clean(&inner.snapshot).epoch + 1;
         let snapshot = Arc::new(PlacementSnapshot::build(
             next_epoch,
             &inner.cfg.solver,
@@ -700,17 +982,24 @@ impl Inner {
             seconds,
         ));
         // The swap: the write lock is held for one pointer assignment.
-        *inner.snapshot.write().unwrap() = snapshot;
-        *inner.report_json.lock().unwrap() = report_json;
+        *write_clean(&inner.snapshot) = snapshot;
+        *lock_clean(&inner.report_json) = report_json;
         {
-            let mut timings = inner.timings.lock().unwrap();
+            let mut timings = lock_clean(&inner.timings);
             timings.last_seconds = seconds;
             timings.max_seconds = timings.max_seconds.max(seconds);
         }
         inner.resolves.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut health = lock_clean(&inner.health);
+            health.consecutive_failures = 0;
+            health.backoff_seconds = 0.0;
+            health.last_error = None;
+            health.last_epoch_degraded = degraded;
+        }
 
         let rearm = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = lock_clean(&inner.state);
             // Only the churn this solve actually saw is settled; anything
             // that arrived mid-solve stays charged.
             st.drift_mass = (st.drift_mass - drift_captured).max(0.0);
@@ -723,17 +1012,115 @@ impl Inner {
         if rearm {
             Inner::trigger(inner);
         }
+        true
+    }
+
+    /// Runs one solve attempt behind the crash boundary: panics are
+    /// caught, injected transients surface as errors, and (with a
+    /// configured watchdog) a stuck solve is abandoned on a supervised
+    /// thread instead of wedging the worker.
+    fn attempt_solve(inner: &Arc<Inner>, instance: Instance) -> Result<SolveOutput, SolveFailure> {
+        let solver_name = inner.cfg.solver.clone();
+        let request = inner.cfg.request.clone();
+        let run = move |instance: &Instance| -> Result<SolveOutput, SolveFailure> {
+            if let Some(Injected::TransientError) = faults::hit(faults::points::SERVER_RESOLVE) {
+                return Err(SolveFailure::error(
+                    "transient fault injected at server.resolve",
+                ));
+            }
+            let solver = solvers::by_name(&solver_name).expect("validated at start");
+            let report = solver.solve(instance, &request);
+            Ok((
+                report.placement.clone(),
+                report.cost,
+                report.to_json(),
+                report.degraded,
+            ))
+        };
+        match inner.cfg.resilience.solve_timeout_seconds {
+            Some(limit) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                std::thread::Builder::new()
+                    .name("dmn-server-solve".into())
+                    .spawn(move || {
+                        // Catch inside the supervised thread so a panicking
+                        // solve still reports back instead of being
+                        // indistinguishable from a hang.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| run(&instance)));
+                        let _ = tx.send(outcome);
+                    })
+                    .expect("spawn supervised solve");
+                match rx.recv_timeout(Duration::from_secs_f64(limit.max(0.0))) {
+                    Ok(Ok(result)) => result,
+                    Ok(Err(payload)) => Err(SolveFailure::panic(payload)),
+                    // The abandoned thread's eventual send lands in a
+                    // dropped channel and is discarded.
+                    Err(_) => Err(SolveFailure::timeout(limit)),
+                }
+            }
+            None => match catch_unwind(AssertUnwindSafe(|| run(&instance))) {
+                Ok(result) => result,
+                Err(payload) => Err(SolveFailure::panic(payload)),
+            },
+        }
+    }
+}
+
+/// What a published epoch carries out of one solve attempt.
+type SolveOutput = (Placement, CostBreakdown, Json, bool);
+
+/// Why a solve attempt published nothing.
+struct SolveFailure {
+    message: String,
+    timed_out: bool,
+}
+
+impl SolveFailure {
+    fn error(message: &str) -> SolveFailure {
+        SolveFailure {
+            message: message.into(),
+            timed_out: false,
+        }
+    }
+
+    fn timeout(limit: f64) -> SolveFailure {
+        SolveFailure {
+            message: format!("re-solve watchdog expired after {limit}s; attempt abandoned"),
+            timed_out: true,
+        }
+    }
+
+    fn panic(payload: Box<dyn std::any::Any + Send>) -> SolveFailure {
+        let what = if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("re-solve panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("re-solve panicked: {s}")
+        } else {
+            "re-solve panicked".into()
+        };
+        SolveFailure {
+            message: what,
+            timed_out: false,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmn_core::faults::{FaultAction, FaultPlan, FaultSpec};
     use dmn_graph::generators;
 
     /// A 6-node path with two objects; background worker off so tests
     /// control every re-solve.
     fn test_server() -> ServerHandle {
+        test_server_with(ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn test_server_with(cfg: ServerConfig) -> ServerHandle {
         let graph = generators::path(6, |_| 1.0);
         let mut instance = Instance::builder(graph).uniform_storage_cost(2.0).build();
         instance.push_object(ObjectWorkload::from_sparse(
@@ -742,10 +1129,6 @@ mod tests {
             [(0, 1.0)],
         ));
         instance.push_object(ObjectWorkload::from_sparse(6, [(5, 6.0)], [(4, 1.0)]));
-        let cfg = ServerConfig {
-            background: false,
-            ..ServerConfig::default()
-        };
         ServerHandle::start(&instance, cfg).expect("approx runs anywhere")
     }
 
@@ -1067,5 +1450,201 @@ mod tests {
         let epoch = server.epoch();
         assert!(server.lookup(0, 0).is_ok(), "lookups survive shutdown");
         assert_eq!(server.epoch(), epoch, "placement frozen after shutdown");
+    }
+
+    #[test]
+    fn injected_solver_panic_keeps_last_epoch_live() {
+        let _serial = faults::exclusive();
+        let server = test_server();
+        server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 2,
+                read_delta: 3.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultSpec::once(
+                faults::points::SOLVE_PHASE1,
+                FaultAction::Panic,
+            )],
+        );
+        let guard = faults::arm(&plan);
+        server.resolve_now();
+        assert_eq!(server.epoch(), 1, "a crashed solve publishes nothing");
+        let health = server.health();
+        assert!(health.degraded());
+        assert_eq!(health.consecutive_failures, 1);
+        assert_eq!(health.total_failures, 1);
+        assert!(
+            health.last_error.as_deref().unwrap().contains("panicked"),
+            "{:?}",
+            health.last_error
+        );
+        assert!(health.backoff_seconds > 0.0);
+        let status = server.status();
+        assert!(
+            status.get("drift_mass").and_then(Json::as_f64).unwrap() > 0.0,
+            "captured drift stays charged after a failed solve"
+        );
+        assert_eq!(
+            status.get("health").and_then(|h| h.get("degraded")),
+            Some(&Json::Bool(true))
+        );
+
+        drop(guard);
+        server.resolve_now();
+        assert_eq!(server.epoch(), 2, "next attempt recovers");
+        let health = server.health();
+        assert!(!health.degraded());
+        assert_eq!(health.consecutive_failures, 0);
+        assert_eq!(health.total_failures, 1, "history survives recovery");
+        assert_eq!(health.last_error, None);
+        assert_eq!(
+            server.status().get("drift_mass").and_then(Json::as_f64),
+            Some(0.0),
+            "recovery settles the drift exactly once"
+        );
+    }
+
+    #[test]
+    fn watchdog_abandons_stuck_solve() {
+        let _serial = faults::exclusive();
+        let mut cfg = ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        };
+        cfg.resilience.solve_timeout_seconds = Some(0.05);
+        let server = test_server_with(cfg);
+        server
+            .apply(&Event::DemandDelta {
+                object: 1,
+                node: 3,
+                read_delta: 5.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        let plan = FaultPlan::new(
+            2,
+            vec![FaultSpec::once(
+                faults::points::SOLVE_PHASE1,
+                FaultAction::DelayMillis(500),
+            )],
+        );
+        let guard = faults::arm(&plan);
+        server.resolve_now();
+        assert_eq!(server.epoch(), 1, "a timed-out solve publishes nothing");
+        let health = server.health();
+        assert_eq!(health.timeouts, 1);
+        assert!(
+            health.last_error.as_deref().unwrap().contains("watchdog"),
+            "{:?}",
+            health.last_error
+        );
+
+        drop(guard);
+        server.resolve_now();
+        assert_eq!(server.epoch(), 2, "recovery after the stall");
+        assert_eq!(server.health().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn event_flood_sheds_oldest_and_stays_bounded() {
+        let _serial = faults::exclusive();
+        let mut cfg = ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        };
+        cfg.resilience.event_queue_capacity = 8;
+        let server = test_server_with(cfg);
+        let plan = FaultPlan::new(
+            3,
+            vec![FaultSpec::once(
+                faults::points::EVENT_APPLY,
+                FaultAction::FloodEvents(100),
+            )],
+        );
+        let _guard = faults::arm(&plan);
+        let applied = server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 1,
+                read_delta: 2.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        assert_eq!(
+            applied,
+            Applied::Delta {
+                object: 0,
+                drift: 2.0
+            },
+            "the caller's delta is enqueued last and never shed"
+        );
+        // 100 synthetic deltas plus the real one through a queue of 8.
+        assert_eq!(server.health().shed_deltas, 93);
+        let status = server.status();
+        assert_eq!(
+            status
+                .get("health")
+                .and_then(|h| h.get("shed_deltas"))
+                .and_then(Json::as_usize),
+            Some(93)
+        );
+        let (instance, _) = server.export_instance();
+        assert_eq!(
+            instance.objects[0].reads[1], 4.0,
+            "flood deltas do not clobber the caller's target cell"
+        );
+    }
+
+    #[test]
+    fn node_down_refused_when_only_infinite_storage_remains() {
+        let graph = generators::path(3, |_| 1.0);
+        let mut instance = Instance::builder(graph)
+            .storage_costs(vec![1.0, f64::INFINITY, 1.0])
+            .build();
+        instance.push_object(ObjectWorkload::from_sparse(3, [(0, 3.0), (2, 2.0)], []));
+        let cfg = ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        };
+        let server = ServerHandle::start(&instance, cfg).unwrap();
+        server.apply(&Event::NodeDown { node: 0 }).unwrap();
+        // Node 1 is still up but can never hold a copy; downing node 2
+        // would leave the next solve nowhere to place anything.
+        match server.apply(&Event::NodeDown { node: 2 }) {
+            Err(ServerError::BadEvent(msg)) => {
+                assert!(msg.contains("finite-storage"), "{msg}")
+            }
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+        server.apply(&Event::NodeUp { node: 0 }).unwrap();
+        server.apply(&Event::NodeDown { node: 2 }).unwrap();
+        server.resolve_now();
+        assert!(server.lookup(0, 0).is_ok(), "placements survive the churn");
+    }
+
+    #[test]
+    fn degraded_epoch_surfaces_in_health() {
+        let cfg = ServerConfig {
+            background: false,
+            request: SolveRequest::new().fl_warm_start(true).deadline(0.0),
+            ..ServerConfig::default()
+        };
+        let server = test_server_with(cfg);
+        let health = server.health();
+        assert!(health.last_epoch_degraded, "deadline fallback epoch");
+        assert!(health.degraded());
+        assert_eq!(
+            health.consecutive_failures, 0,
+            "degraded is not the same as failed"
+        );
+        assert!(
+            server.lookup(0, 0).is_ok(),
+            "a degraded epoch still serves every object"
+        );
     }
 }

@@ -20,11 +20,13 @@
 //! per connection — the workloads this daemon fronts are a handful of
 //! replay clients, not the open internet.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use dmn_core::faults::{self, Injected};
 use dmn_json::Json;
 
 use crate::event::Event;
@@ -202,19 +204,36 @@ fn handle_connection(
     stop: &AtomicBool,
     local: SocketAddr,
 ) -> std::io::Result<()> {
+    let read_timeout = handle.config().resilience.read_timeout_seconds;
+    if read_timeout > 0.0 {
+        stream.set_read_timeout(Some(Duration::from_secs_f64(read_timeout)))?;
+    }
+    // One-line responses to one-line requests: Nagle only adds latency.
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            // A client stalled past the read timeout: drop the connection
+            // instead of pinning this handler thread forever.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, quit) = match Request::parse(&line) {
-            Ok(request) => {
-                let quit = request == Request::Quit;
-                (respond(handle, &request), quit)
-            }
-            Err(e) => (fail(e), false),
+        let (response, quit) = match faults::hit(faults::points::TCP_READ) {
+            // An injected wire-level transient: answered in-band like any
+            // other protocol error, the connection stays up.
+            Some(Injected::TransientError) => (fail("transient fault injected at tcp.read"), false),
+            _ => match Request::parse(&line) {
+                Ok(request) => {
+                    let quit = request == Request::Quit;
+                    (respond(handle, &request), quit)
+                }
+                Err(e) => (fail(e), false),
+            },
         };
         writeln!(writer, "{}", response.to_string_compact())?;
         if quit {

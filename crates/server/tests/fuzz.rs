@@ -1,0 +1,163 @@
+//! Seeded fuzz of the wire frontend: whatever bytes arrive, the server
+//! answers in-band (or drops the one connection) and keeps serving.
+//!
+//! Not a coverage-guided fuzzer — a deterministic corpus of hostile
+//! lines (random bytes, truncated JSON, huge lines, deep nesting,
+//! valid-JSON-wrong-shape) generated from a pinned seed, thrown at both
+//! `Request::parse` and a live TCP loop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use dmn_core::instance::{Instance, ObjectWorkload};
+use dmn_graph::generators;
+use dmn_json::Json;
+use dmn_server::tcp::{self, Request};
+use dmn_server::{ServerConfig, ServerHandle};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const FUZZ_SEED: u64 = 0xF022_D1CE;
+
+/// One deterministic hostile line per call, cycling through attack
+/// classes so every class appears many times in a corpus.
+fn hostile_line(rng: &mut ChaCha8Rng, case: usize) -> String {
+    let valid = [
+        r#"{"op":"lookup","object":0,"node":1}"#,
+        r#"{"op":"delta","object":0,"node":2,"read_delta":1.5}"#,
+        r#"{"op":"add-object","reads":[[1,2.0]],"writes":[]}"#,
+        r#"{"op":"status"}"#,
+    ];
+    match case % 6 {
+        // Random printable garbage (newline-free so it stays one line).
+        0 => {
+            let len = rng.random_range(1..200);
+            (0..len)
+                .map(|_| (rng.random_range(0x20..0x7Fu32)) as u8 as char)
+                .collect()
+        }
+        // A valid request truncated mid-token.
+        1 => {
+            let base = valid[rng.random_range(0..valid.len())];
+            let cut = rng.random_range(1..base.len());
+            base[..cut].to_string()
+        }
+        // A huge line: the reader must neither block nor blow up.
+        2 => {
+            let filler: String = "x".repeat(rng.random_range(4_000..16_000));
+            format!("{{\"op\":\"{filler}\"}}")
+        }
+        // Hostile nesting: bounded-depth parsing, not a stack overflow.
+        3 => {
+            let depth = rng.random_range(500..4000);
+            "[".repeat(depth)
+        }
+        // Valid JSON, wrong shape for the protocol.
+        4 => {
+            let shapes = [
+                r#"[1,2,3]"#,
+                r#""just a string""#,
+                r#"{"op":42}"#,
+                r#"{"op":"lookup","object":"zero","node":[]}"#,
+                r#"{"op":"delta","object":0,"node":1,"read_delta":"NaN"}"#,
+                r#"{"op":"add-object","reads":[[0]],"writes":3}"#,
+                r#"{"op":"node-down","node":-1}"#,
+                r#"{"noop":"lookup"}"#,
+                r#"null"#,
+                r#"{"op":"lookup","object":1e300,"node":1e300}"#,
+            ];
+            shapes[rng.random_range(0..shapes.len())].to_string()
+        }
+        // A valid request corrupted by byte swaps.
+        _ => {
+            let mut bytes = valid[rng.random_range(0..valid.len())].as_bytes().to_vec();
+            for _ in 0..rng.random_range(1..6) {
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] = rng.random_range(0x20..0x7Fu32) as u8;
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+    }
+}
+
+#[test]
+fn request_parse_never_panics_on_hostile_input() {
+    let mut rng = ChaCha8Rng::seed_from_u64(FUZZ_SEED);
+    for case in 0..600 {
+        let line = hostile_line(&mut rng, case);
+        // Ok or Err are both fine; a panic (or stack overflow) is the
+        // only way this test fails.
+        let _ = Request::parse(&line);
+    }
+}
+
+#[test]
+fn tcp_loop_survives_a_hostile_client() {
+    let graph = generators::ring(8, |_| 1.0);
+    let mut instance = Instance::builder(graph).uniform_storage_cost(2.0).build();
+    instance.push_object(ObjectWorkload::from_sparse(8, [(0, 9.0)], [(1, 1.0)]));
+    let server = ServerHandle::start(
+        &instance,
+        ServerConfig {
+            background: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("approx runs on a ring");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().unwrap();
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || tcp::serve(listener, server))
+    };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(FUZZ_SEED ^ 0xBAD);
+    for round in 0..5 {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for case in 0..30 {
+            let line = hostile_line(&mut rng, round * 30 + case);
+            if writeln!(writer, "{line}").is_err() {
+                break; // server dropped this connection; that's allowed
+            }
+            let mut response = String::new();
+            match reader.read_line(&mut response) {
+                Ok(0) | Err(_) => break, // disconnected, not dead
+                Ok(_) => {
+                    let doc = dmn_json::parse(&response).expect("responses are JSON");
+                    assert!(
+                        doc.get("ok").is_some(),
+                        "every answered line carries ok: {response}"
+                    );
+                }
+            }
+        }
+        // Interleave raw non-UTF-8 bytes; the handler may close the
+        // connection but must not take the server with it.
+        let stream = TcpStream::connect(addr).expect("reconnect");
+        let mut w = stream.try_clone().expect("clone");
+        let _ = w.write_all(&[0xFF, 0xFE, 0x80, b'\n']);
+    }
+
+    // After every abuse round the server still answers a clean client.
+    let stream = TcpStream::connect(addr).expect("final connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"op":"lookup","object":0,"node":3}}"#).expect("send");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("receive");
+    let doc = dmn_json::parse(&response).expect("valid JSON");
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{response}");
+
+    writeln!(writer, r#"{{"op":"quit"}}"#).expect("send quit");
+    response.clear();
+    reader.read_line(&mut response).expect("quit ack");
+    acceptor
+        .join()
+        .expect("acceptor joins")
+        .expect("serve returns cleanly");
+    server.shutdown();
+}

@@ -172,6 +172,8 @@ impl Solver for CapacitatedSolver {
                 inner_report.cost.total()
             ),
         )];
+        let inner_degraded = inner_report.degraded;
+        let inner_deadline = inner_report.deadline_exceeded;
         let fin = finish(instance, req, inner_report.placement);
         phases.extend(fin.phases);
         let mut meta = vec![("inner", self.inner.to_string())];
@@ -187,6 +189,9 @@ impl Solver for CapacitatedSolver {
             started,
         );
         report.capacity = Some(fin.stats);
+        if inner_degraded {
+            report = report.mark_degraded(inner_deadline);
+        }
         report
     }
 }

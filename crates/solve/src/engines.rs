@@ -8,13 +8,15 @@
 //! to the direct calls (the golden-value tests in `tests/registry.rs` pin
 //! that down).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use dmn_approx::baselines;
 use dmn_approx::{
     place_object_in, place_object_sparse_in, PhaseTimings, PhaseTrace, SparseOutcome,
 };
-use dmn_core::instance::Instance;
+use dmn_core::faults;
+use dmn_core::instance::{Instance, ObjectWorkload};
 use dmn_core::parallel::{par_map_threads, par_map_threads_with};
 use dmn_core::placement::Placement;
 use dmn_exact::solver::MAX_EXACT_NODES;
@@ -27,6 +29,35 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::report::{PhaseStat, SolveReport};
 use crate::{unsupported, SolveRequest, Solver, Unsupported};
+
+/// The always-feasible single-copy fallback used when a solve deadline
+/// expires mid-run: the finite-storage node carrying the most of the
+/// object's request mass (cheapest storage breaks ties). `O(n)` per
+/// object — cheap enough that an expired deadline still terminates
+/// promptly with a valid placement.
+fn fallback_copy_set(storage_cost: &[f64], w: &ObjectWorkload) -> Vec<usize> {
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (v, &cs) in storage_cost.iter().enumerate() {
+        if !cs.is_finite() {
+            continue;
+        }
+        let mass = w.request_mass(v);
+        if best.is_none_or(|(_, bm, bcs)| mass > bm || (mass == bm && cs < bcs)) {
+            best = Some((v, mass, cs));
+        }
+    }
+    let (v, _, _) = best.expect("an object needs at least one finite-storage node");
+    vec![v]
+}
+
+/// A degenerate three-phase trace for a fallback placement.
+fn fallback_trace(set: Vec<usize>) -> PhaseTrace {
+    PhaseTrace {
+        after_phase1: set.clone(),
+        after_phase2: set.clone(),
+        after_phase3: set,
+    }
+}
 
 /// The paper's three-phase constant-factor approximation (Section 2).
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,11 +82,22 @@ impl Solver for ApproxSolver {
         let metric = instance.metric();
         // One facility-location workspace per worker thread, reused across
         // every object that worker processes.
+        let expired_objects = AtomicUsize::new(0);
         let results: Vec<(PhaseTrace, PhaseTimings)> = par_map_threads_with(
             &instance.objects,
             req.shard.max_threads,
             FlWorkspace::new,
-            |ws, w| place_object_in(ws, metric, &instance.storage_cost, w, &cfg),
+            |ws, w| {
+                let _ = faults::hit(faults::points::SOLVE_PHASE1);
+                if req.robust.expired(started) {
+                    // Deadline checkpoint: objects already placed keep their
+                    // optimized copy sets; this one gets the cheap fallback.
+                    expired_objects.fetch_add(1, Ordering::Relaxed);
+                    let set = fallback_copy_set(&instance.storage_cost, w);
+                    return (fallback_trace(set), PhaseTimings::default());
+                }
+                place_object_in(ws, metric, &instance.storage_cost, w, &cfg)
+            },
         );
         let timings = results
             .iter()
@@ -92,13 +134,17 @@ impl Solver for ApproxSolver {
         let traces = req
             .collect_traces
             .then(|| results.into_iter().map(|(tr, _)| tr).collect());
-        let meta = vec![
+        let mut meta = vec![
             ("fl-backend", cfg.fl_solver.name().to_string()),
             ("fl-moves", timings.fl_moves.to_string()),
             ("fl-candidates", timings.fl_candidates.to_string()),
             ("metric-backend", req.metric.backend.name().to_string()),
         ];
-        SolveReport::build(
+        let expired = expired_objects.load(Ordering::Relaxed);
+        if expired > 0 {
+            meta.push(("deadline-fallback-objects", expired.to_string()));
+        }
+        let report = SolveReport::build(
             self.name(),
             instance,
             req,
@@ -107,7 +153,12 @@ impl Solver for ApproxSolver {
             traces,
             meta,
             started,
-        )
+        );
+        if expired > 0 {
+            report.mark_degraded(true)
+        } else {
+            report
+        }
     }
 }
 
@@ -122,11 +173,22 @@ impl ApproxSolver {
         let started = Instant::now();
         let cfg = req.approx_config();
         let opts = req.metric.sparse_opts();
+        let expired_objects = AtomicUsize::new(0);
         let results: Vec<SparseOutcome> = par_map_threads_with(
             &instance.objects,
             req.shard.max_threads,
             FlWorkspace::new,
             |ws, w| {
+                let _ = faults::hit(faults::points::SOLVE_PHASE1);
+                if req.robust.expired(started) {
+                    expired_objects.fetch_add(1, Ordering::Relaxed);
+                    return SparseOutcome {
+                        trace: fallback_trace(fallback_copy_set(&instance.storage_cost, w)),
+                        timings: PhaseTimings::default(),
+                        metric_seconds: 0.0,
+                        candidates: 0,
+                    };
+                }
                 place_object_sparse_in(ws, &instance.graph, &instance.storage_cost, w, &cfg, &opts)
             },
         );
@@ -175,14 +237,18 @@ impl ApproxSolver {
         let traces = req
             .collect_traces
             .then(|| results.into_iter().map(|r| r.trace).collect());
-        let meta = vec![
+        let mut meta = vec![
             ("fl-backend", cfg.fl_solver.name().to_string()),
             ("fl-moves", timings.fl_moves.to_string()),
             ("fl-candidates", timings.fl_candidates.to_string()),
             ("metric-backend", "sparse".to_string()),
             ("sparse-candidate-rows", candidate_rows.to_string()),
         ];
-        SolveReport::build(
+        let expired = expired_objects.load(Ordering::Relaxed);
+        if expired > 0 {
+            meta.push(("deadline-fallback-objects", expired.to_string()));
+        }
+        let report = SolveReport::build(
             self.name(),
             instance,
             req,
@@ -191,7 +257,12 @@ impl ApproxSolver {
             traces,
             meta,
             started,
-        )
+        );
+        if expired > 0 {
+            report.mark_degraded(true)
+        } else {
+            report
+        }
     }
 }
 

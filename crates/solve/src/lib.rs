@@ -57,7 +57,9 @@ pub use engines::{
 };
 pub use registry::solvers;
 pub use report::{CapacityStats, PhaseStat, ShardStat, SolveReport};
-pub use request::{CapOpts, FlOpts, MetricBackend, MetricOpts, ShardOpts, SolveRequest};
+pub use request::{
+    CapOpts, FlOpts, MetricBackend, MetricOpts, RobustOpts, ShardOpts, SolveRequest,
+};
 pub use sharded::{PartitionStrategy, ShardedSolver};
 pub use spec::SolverSpec;
 

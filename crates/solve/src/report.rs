@@ -104,6 +104,15 @@ pub struct SolveReport {
     pub shard_stats: Vec<ShardStat>,
     /// Capacity-model breakdown; `None` for non-capacitated solves.
     pub capacity: Option<CapacityStats>,
+    /// The engine returned a valid but knowingly sub-optimal placement
+    /// (e.g. a fallback after the solve budget expired). The placement is
+    /// always feasible; only optimization quality was sacrificed.
+    pub degraded: bool,
+    /// The solve's wall-clock budget ([`RobustOpts::deadline_seconds`])
+    /// expired before the engine finished refining. Implies `degraded`.
+    ///
+    /// [`RobustOpts::deadline_seconds`]: crate::RobustOpts
+    pub deadline_exceeded: bool,
 }
 
 impl SolveReport {
@@ -181,7 +190,18 @@ impl SolveReport {
             wall_seconds: started.elapsed().as_secs_f64(),
             shard_stats: Vec::new(),
             capacity: None,
+            degraded: false,
+            deadline_exceeded: false,
         }
+    }
+
+    /// Marks the report degraded (and optionally deadline-exceeded),
+    /// returning it for chaining. Wrapper engines use this to propagate
+    /// inner degradation through their own re-built reports.
+    pub fn mark_degraded(mut self, deadline_exceeded: bool) -> SolveReport {
+        self.degraded = true;
+        self.deadline_exceeded |= deadline_exceeded;
+        self
     }
 
     /// The metadata value under `key`, when present.
@@ -266,6 +286,8 @@ impl SolveReport {
             ),
             ("fl_moves", Json::Num(self.meta_count("fl-moves"))),
             ("fl_candidates", Json::Num(self.meta_count("fl-candidates"))),
+            ("degraded", Json::Bool(self.degraded)),
+            ("deadline_exceeded", Json::Bool(self.deadline_exceeded)),
             (
                 "phases",
                 Json::arr(self.phases.iter().map(|p| {
@@ -334,11 +356,18 @@ impl fmt::Display for SolveReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "solver {} | {} objects, {} copies | wall {}",
+            "solver {} | {} objects, {} copies | wall {}{}",
             self.solver,
             self.placement.num_objects(),
             self.total_copies(),
-            fmt_seconds(self.wall_seconds)
+            fmt_seconds(self.wall_seconds),
+            if self.deadline_exceeded {
+                " | DEGRADED (deadline exceeded)"
+            } else if self.degraded {
+                " | DEGRADED"
+            } else {
+                ""
+            }
         )?;
         writeln!(
             f,
@@ -580,6 +609,31 @@ mod tests {
 
         report.shard_stats = vec![stat(0, 0.0), stat(1, 0.0)];
         assert_eq!(report.shard_cost_skew(), 1.0, "all-zero shards are equal");
+    }
+
+    #[test]
+    fn degraded_flags_default_false_and_serialize() {
+        let inst = tiny_instance();
+        let report = SolveReport::build(
+            "test",
+            &inst,
+            &SolveRequest::new(),
+            Placement::from_copy_sets(vec![vec![1]]),
+            vec![],
+            None,
+            vec![],
+            std::time::Instant::now(),
+        );
+        assert!(!report.degraded && !report.deadline_exceeded);
+        let json = report.to_json();
+        assert_eq!(json.get("degraded"), Some(&Json::Bool(false)));
+        assert_eq!(json.get("deadline_exceeded"), Some(&Json::Bool(false)));
+        assert!(!report.to_string().contains("DEGRADED"));
+
+        let report = report.mark_degraded(true);
+        assert!(report.degraded && report.deadline_exceeded);
+        assert_eq!(report.to_json().get("degraded"), Some(&Json::Bool(true)));
+        assert!(report.to_string().contains("DEGRADED (deadline exceeded)"));
     }
 
     #[test]

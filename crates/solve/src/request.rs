@@ -167,6 +167,28 @@ impl MetricOpts {
     }
 }
 
+/// Robustness knobs: solve deadline/budget and degraded-mode behavior.
+/// Grouped under [`SolveRequest::robust`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RobustOpts {
+    /// Wall-clock budget in seconds for the whole solve. When the budget
+    /// expires mid-run, engines stop refining: objects placed so far keep
+    /// their optimized copy sets and every remaining object receives a
+    /// cheap always-feasible fallback placement, so the caller still gets
+    /// a valid [`Placement`](dmn_core::Placement) — flagged with
+    /// `degraded: true` / `deadline_exceeded: true` in the report rather
+    /// than silently. `None` (the default) runs unbounded.
+    pub deadline_seconds: Option<f64>,
+}
+
+impl RobustOpts {
+    /// True when a deadline is set and `started` is past it.
+    pub fn expired(&self, started: std::time::Instant) -> bool {
+        self.deadline_seconds
+            .is_some_and(|d| started.elapsed().as_secs_f64() >= d)
+    }
+}
+
 /// Options consumed by [`Solver::solve`](crate::Solver::solve).
 ///
 /// One request type serves every engine; each engine reads the fields it
@@ -211,6 +233,8 @@ pub struct SolveRequest {
     pub shard: ShardOpts,
     /// Distance-closure knobs (dense vs sparse, ball parameters).
     pub metric: MetricOpts,
+    /// Robustness knobs (solve deadline, degraded-mode fallback).
+    pub robust: RobustOpts,
 }
 
 impl Default for SolveRequest {
@@ -224,6 +248,7 @@ impl Default for SolveRequest {
             cap: CapOpts::default(),
             shard: ShardOpts::default(),
             metric: MetricOpts::default(),
+            robust: RobustOpts::default(),
         }
     }
 }
@@ -258,6 +283,12 @@ impl SolveRequest {
     /// Replaces the distance-closure option group wholesale.
     pub fn metric_opts(mut self, metric: MetricOpts) -> Self {
         self.metric = metric;
+        self
+    }
+
+    /// Replaces the robustness option group wholesale.
+    pub fn robust_opts(mut self, robust: RobustOpts) -> Self {
+        self.robust = robust;
         self
     }
 
@@ -365,6 +396,17 @@ impl SolveRequest {
         self
     }
 
+    /// Sets a wall-clock solve budget in seconds (see
+    /// [`RobustOpts::deadline_seconds`]).
+    pub fn deadline(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "deadline must be a non-negative number of seconds"
+        );
+        self.robust.deadline_seconds = Some(seconds);
+        self
+    }
+
     // ---- derived views ---------------------------------------------------
 
     /// The [`ApproxConfig`] view of this request (the approximation
@@ -428,6 +470,30 @@ mod tests {
         assert!(req.cap.load_capacities.is_none());
         assert_eq!(req.metric.backend, MetricBackend::Dense);
         assert!(!req.wants_sparse_metric());
+        assert_eq!(
+            req.robust.deadline_seconds, None,
+            "unbounded solves by default"
+        );
+    }
+
+    #[test]
+    fn deadline_knob_chains_and_expires() {
+        let req = SolveRequest::new().deadline(0.25);
+        assert_eq!(req.robust.deadline_seconds, Some(0.25));
+        let started = std::time::Instant::now();
+        assert!(!req.robust.expired(started), "fresh clock is in budget");
+        let zero = SolveRequest::new().deadline(0.0);
+        assert!(zero.robust.expired(started), "zero budget expires at once");
+        assert!(
+            !SolveRequest::new().robust.expired(started),
+            "no deadline never expires"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_deadline_rejected() {
+        let _ = SolveRequest::new().deadline(-1.0);
     }
 
     #[test]

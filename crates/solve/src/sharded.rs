@@ -358,6 +358,9 @@ impl Solver for ShardedSolver {
             ("shards", shard_stats.len().to_string()),
             ("partition", req.shard.partition.to_string()),
         ];
+        // Any degraded shard degrades the merged result.
+        let degraded = shard_reports.iter().any(|r| r.degraded);
+        let deadline_exceeded = shard_reports.iter().any(|r| r.deadline_exceeded);
         let merged = Placement::from_copy_sets(sets);
         // The capacitated global pass post-merge (when requested);
         // feasibility then makes `build`'s uniform repair a no-op check.
@@ -395,6 +398,9 @@ impl Solver for ShardedSolver {
             }
         }
         report.capacity = capacity;
+        if degraded {
+            report = report.mark_degraded(deadline_exceeded);
+        }
         report
     }
 }

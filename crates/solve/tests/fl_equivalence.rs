@@ -30,6 +30,7 @@ fn scenario(nodes: usize, objects: usize, seed: u64) -> Scenario {
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 

@@ -35,6 +35,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64) -> Scenario {
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 

@@ -25,6 +25,7 @@ fn scenario(topology: TopologyKind, nodes: usize, objects: usize, seed: u64) -> 
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 

@@ -45,6 +45,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64, truncating: bool) -
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 

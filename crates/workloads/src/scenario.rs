@@ -2,6 +2,7 @@
 //! workload parameters, buildable into a full [`Instance`] from a seed.
 
 use dmn_core::instance::Instance;
+use dmn_core::FaultPlan;
 use dmn_graph::generators::{self, TransitStubParams};
 use dmn_graph::Graph;
 use dmn_json::Json;
@@ -123,6 +124,10 @@ pub struct Scenario {
     /// Optional server-trace spec for `dmn-server` replay runs; `None`
     /// means the replay default.
     pub drift: Option<DriftSpec>,
+    /// Optional deterministic fault schedule (a chaos scenario); `None`
+    /// runs fault-free. Armed by the chaos replay harness, never by
+    /// `build_instance` itself.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -238,6 +243,9 @@ impl Scenario {
                 ]),
             ));
         }
+        if let Some(faults) = &self.faults {
+            fields.push(("faults", faults.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -318,6 +326,10 @@ impl Scenario {
                 resolve_threshold: num_field(d, "resolve_threshold")?,
             }),
         };
+        let faults = match json.get("faults") {
+            None | Some(Json::Null) => None,
+            Some(f) => Some(FaultPlan::from_json(f).map_err(|e| format!("faults block: {e}"))?),
+        };
         Ok(Scenario {
             name: str_field("name")?.to_string(),
             topology,
@@ -337,6 +349,7 @@ impl Scenario {
             capacities,
             stream,
             drift,
+            faults,
         })
     }
 
@@ -348,6 +361,11 @@ impl Scenario {
     /// The server-trace spec of the scenario, or the replay default.
     pub fn drift_spec(&self) -> DriftSpec {
         self.drift.clone().unwrap_or_default()
+    }
+
+    /// The fault schedule of a chaos scenario, when one is declared.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Loads every `*.json` scenario of a corpus directory, sorted by file
@@ -441,6 +459,7 @@ mod tests {
             capacities: None,
             stream: None,
             drift: None,
+            faults: None,
         }
     }
 
@@ -560,6 +579,30 @@ mod tests {
             .unwrap();
         assert_eq!(back.drift, s.drift);
         assert_eq!(back.drift_spec().drift_events, 12);
+    }
+
+    #[test]
+    fn fault_plan_roundtrips_and_defaults_off() {
+        use dmn_core::{FaultAction, FaultSpec};
+        let mut s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
+        assert!(s.fault_plan().is_none());
+        let json = s.to_json().to_string_pretty();
+        assert!(!json.contains("faults"), "{json}");
+
+        s.faults = Some(FaultPlan::new(
+            77,
+            vec![
+                FaultSpec::once("solve.phase1", FaultAction::Panic),
+                FaultSpec::after("event.apply", FaultAction::FloodEvents(500), 3),
+            ],
+        ));
+        let back = Scenario::from_json(&dmn_json::parse(&s.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        let plan = back.fault_plan().expect("faults survive the roundtrip");
+        assert_eq!(plan.seed, 77);
+        assert_eq!(plan.inject.len(), 2);
+        assert_eq!(plan.inject[0].point, "solve.phase1");
+        assert_eq!(plan.inject[1].after, 3);
     }
 
     #[test]

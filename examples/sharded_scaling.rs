@@ -25,6 +25,7 @@ fn main() {
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     };
     let instance = scenario.build_instance();
 

@@ -21,6 +21,7 @@ fn scenario(topology: TopologyKind, nodes: usize, write_fraction: f64, seed: u64
         capacities: None,
         stream: None,
         drift: None,
+        faults: None,
     }
 }
 
