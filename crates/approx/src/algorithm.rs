@@ -4,6 +4,7 @@ use dmn_core::instance::{Instance, ObjectWorkload};
 use dmn_core::parallel::par_map_threads_with;
 use dmn_core::placement::Placement;
 use dmn_core::radii::RadiusTable;
+use dmn_core::telemetry;
 use dmn_facility::{FlInstance, FlWorkspace, LocalSearchConfig, SearchStats, Solver};
 use dmn_graph::{Metric, NodeId};
 
@@ -130,6 +131,13 @@ pub struct PhaseTrace {
 ///
 /// The radius-table construction is attributed to phase 2 (it exists for
 /// the radius phases).
+///
+/// Since the telemetry layer landed, these fields are shims over the one
+/// span source: each phase is timed by a [`dmn_core::telemetry`] span
+/// (`solve.facility`, `solve.radius-add`, `solve.radius-prune`), whose
+/// returned elapsed seconds fill the fields below. `SolveReport` phase
+/// stats sum the same values, so the report and the span ring can never
+/// disagree about where solve time went.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
     /// Phase 1: facility location on the related instance.
@@ -208,7 +216,7 @@ pub fn place_object_in(
     cfg: &ApproxConfig,
 ) -> (PhaseTrace, PhaseTimings) {
     let mut timings = PhaseTimings::default();
-    let clock = std::time::Instant::now();
+    let span = telemetry::span(telemetry::spans::SOLVE_FACILITY);
     workload.validate().expect("invalid workload");
     let n = metric.len();
     let masses = workload.request_masses();
@@ -237,10 +245,10 @@ pub fn place_object_in(
     let after_phase1 = sol.open.clone();
     let mut copies = sol.open;
     debug_assert!(!copies.is_empty());
-    timings.facility = clock.elapsed().as_secs_f64();
+    timings.facility = span.finish();
     timings.fl_moves = fl_stats.moves;
     timings.fl_candidates = fl_stats.candidates;
-    let clock = std::time::Instant::now();
+    let span = telemetry::span(telemetry::spans::SOLVE_RADIUS_ADD);
 
     // Radii (Section 2.1) — fixed for phases 2 and 3.
     let radii = RadiusTable::compute(metric, &masses, w_total, storage_cost);
@@ -274,8 +282,8 @@ pub fn place_object_in(
         }
     }
     let after_phase2 = copies.clone();
-    timings.radius_add = clock.elapsed().as_secs_f64();
-    let clock = std::time::Instant::now();
+    timings.radius_add = span.finish();
+    let span = telemetry::span(telemetry::spans::SOLVE_RADIUS_PRUNE);
 
     // Phase 3: scan copy holders in ascending write radius; the current
     // node keeps its copy and deletes every other copy u with
@@ -314,7 +322,7 @@ pub fn place_object_in(
         !copies.is_empty(),
         "pruning never deletes the scanned survivor"
     );
-    timings.radius_prune = clock.elapsed().as_secs_f64();
+    timings.radius_prune = span.finish();
 
     (
         PhaseTrace {

@@ -24,6 +24,7 @@
 
 use dmn_core::instance::ObjectWorkload;
 use dmn_core::radii::RadiusTable;
+use dmn_core::telemetry;
 use dmn_facility::{FlInstance, FlWorkspace, LocalSearchConfig, NearestCopyOracle, SearchStats};
 use dmn_graph::{ball_candidates, truncated_closure, Graph, NodeId};
 
@@ -100,7 +101,7 @@ pub fn place_object_sparse_in(
     cfg: &ApproxConfig,
     opts: &SparseOpts,
 ) -> SparseOutcome {
-    let clock = std::time::Instant::now();
+    let span = telemetry::span(telemetry::spans::SOLVE_METRIC_BUILD);
     workload.validate().expect("invalid workload");
     let n = graph.num_nodes();
     assert_eq!(storage_cost.len(), n);
@@ -120,7 +121,7 @@ pub fn place_object_sparse_in(
         cand.dedup();
     }
     let metric = truncated_closure(graph, &cand);
-    let metric_seconds = clock.elapsed().as_secs_f64();
+    let metric_seconds = span.finish();
     let k = cand.len();
 
     // Restricted instance: local index i ↔ global node cand[i]; every
@@ -130,7 +131,7 @@ pub fn place_object_sparse_in(
     let w_total = workload.total_writes();
 
     let mut timings = PhaseTimings::default();
-    let clock = std::time::Instant::now();
+    let span = telemetry::span(telemetry::spans::SOLVE_FACILITY);
 
     // Phase 1: facility location on the restricted related instance.
     let fl = FlInstance::new(&metric, &cs[..], &masses[..]);
@@ -154,10 +155,10 @@ pub fn place_object_sparse_in(
     let after_phase1 = sol.open.clone();
     let mut copies = sol.open;
     debug_assert!(!copies.is_empty());
-    timings.facility = clock.elapsed().as_secs_f64();
+    timings.facility = span.finish();
     timings.fl_moves = fl_stats.moves;
     timings.fl_candidates = fl_stats.candidates;
-    let clock = std::time::Instant::now();
+    let span = telemetry::span(telemetry::spans::SOLVE_RADIUS_ADD);
 
     // Radii over the restricted metric: every positive-mass node is in the
     // candidate set, so the distance profiles are exact.
@@ -192,8 +193,8 @@ pub fn place_object_sparse_in(
         }
     }
     let after_phase2 = copies.clone();
-    timings.radius_add = clock.elapsed().as_secs_f64();
-    let clock = std::time::Instant::now();
+    timings.radius_add = span.finish();
+    let span = telemetry::span(telemetry::spans::SOLVE_RADIUS_PRUNE);
 
     // Phase 3: identical to the dense path, on the restricted metric.
     if !cfg.skip_phase3 && w_total > 0.0 {
@@ -230,7 +231,7 @@ pub fn place_object_sparse_in(
         !copies.is_empty(),
         "pruning never deletes the scanned survivor"
     );
-    timings.radius_prune = clock.elapsed().as_secs_f64();
+    timings.radius_prune = span.finish();
 
     // Back to global ids; `cand` is ascending, so sorted stays sorted.
     let lift = |local: Vec<NodeId>| -> Vec<NodeId> { local.into_iter().map(|i| cand[i]).collect() };

@@ -40,7 +40,8 @@ fn usage() -> ! {
          [--nodes N] [--objects K] [--seed S] [--shards N] [--partition STRATEGY] [--fl KIND] \
          [--metric dense|sparse] [--capacities uniform:<k>] [--cap-engine INNER]\n       \
          experiments perf-smoke [--out PATH]\n       \
-         experiments chaos [--out PATH]\n\n\
+         experiments chaos [--out PATH]\n       \
+         experiments metrics [--out PATH]\n\n\
          --capacities uniform:<k> caps every node at k copies (any solver; non-native\n\
          engines go through the greedy repair); --cap-engine INNER runs the native\n\
          capacitated engine over INNER (shorthand for --solver cap:INNER);\n\
@@ -65,6 +66,10 @@ fn main() {
     }
     if args[0] == "chaos" {
         run_chaos(&args[1..]);
+        return;
+    }
+    if args[0] == "metrics" {
+        run_metrics(&args[1..]);
         return;
     }
     for id in &args {
@@ -144,6 +149,17 @@ fn run_perf_smoke(args: &[String]) {
         eprintln!(
             "perf-smoke: server replay FAILED — post-swap cost deviated from the \
              from-scratch solve or too few re-solves completed (see {out})"
+        );
+        std::process::exit(1);
+    }
+    if !outcome.obs_ok {
+        eprintln!(
+            "perf-smoke: telemetry gate FAILED — armed/disarmed throughput ratio {:.3} \
+             (floor {:.2} in release), {} latency samples, lookup p99 {:.3e}s (see {out})",
+            outcome.telemetry.overhead_ratio,
+            dmn_bench::perf_smoke::MIN_OBS_THROUGHPUT_RATIO,
+            outcome.server.latency_samples,
+            outcome.server.lookup_p99
         );
         std::process::exit(1);
     }
@@ -228,9 +244,13 @@ fn run_perf_smoke(args: &[String]) {
          capacitated feasible and <= greedy repair; every online strategy >= the \
          static oracle on the stationary stream; shard cost skew {:.2}x; server \
          sustained {:.0} lookups/s with post-swap costs equal to from-scratch; \
+         telemetry overhead ratio {:.3} (lookup p50 {:.2e}s, p99 {:.2e}s); \
          sparse/dense control cost ratio {:.4}; phase-1 speedup {:.1}x; artifact at {out}",
         outcome.shard_cost_skew,
         outcome.server.lookups_per_sec,
+        outcome.telemetry.overhead_ratio,
+        outcome.server.lookup_p50,
+        outcome.server.lookup_p99,
         outcome.sparse_cost_ratio,
         outcome.phase1_speedup
     );
@@ -300,6 +320,56 @@ fn run_chaos(args: &[String]) {
         outcome.malformed_lines,
         outcome.recovery_seconds,
         outcome.lookups
+    );
+}
+
+/// The metrics exporter: replays the pinned scenario with telemetry
+/// armed and writes the registry's full state — Prometheus text
+/// exposition, the JSON snapshot, the span ring as JSONL — plus the
+/// replay's own outcome (with lookup p50/p99) to `METRICS_ci.json`.
+fn run_metrics(args: &[String]) {
+    let mut out = "METRICS_ci.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        usage()
+                    })
+                    .clone();
+            }
+            _ => usage(),
+        }
+    }
+    use dmn_core::telemetry;
+    telemetry::set_enabled(true);
+    let lookups = cfg!(debug_assertions).then_some(30_000);
+    let replay =
+        dmn_bench::server_bench::replay_scenario(&dmn_bench::perf_smoke::smoke_scenario(), lookups);
+    let doc = dmn_json::Json::obj([
+        (
+            "prometheus",
+            dmn_json::Json::Str(telemetry::prometheus_text()),
+        ),
+        ("snapshot", telemetry::snapshot_json()),
+        ("spans_jsonl", dmn_json::Json::Str(telemetry::spans_jsonl())),
+        ("replay", replay.to_json()),
+    ]);
+    if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
+        eprintln!("metrics: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    if replay.latency_samples == 0 {
+        eprintln!("metrics: replay recorded no lookup latency samples (see {out})");
+        std::process::exit(1);
+    }
+    println!(
+        "metrics: {} lookups replayed, {} latency samples (p50 {:.2e}s, p99 {:.2e}s); \
+         registry exported to {out}",
+        replay.lookups, replay.latency_samples, replay.lookup_p50, replay.lookup_p99
     );
 }
 

@@ -28,6 +28,7 @@ use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
 
 use dmn_core::faults::{self, FaultAction, FaultPlan, FaultSpec};
+use dmn_core::telemetry;
 use dmn_json::Json;
 use dmn_server::{tcp, Event, ResilienceConfig, ServerConfig, ServerError, ServerHandle};
 use dmn_solve::solvers;
@@ -286,6 +287,20 @@ pub fn chaos_replay(scenario: &Scenario, lookups_override: Option<usize>) -> Cha
         .cloned()
         .unwrap_or_else(|| default_chaos_plan(scenario.seed, stall_millis));
     let chaos_started = Instant::now();
+    // Fault fires are asserted through the telemetry mirror (the
+    // `dmn_faults_fired_total{point=...}` counters the metrics endpoint
+    // exports), not the armory's private ledger — so the chaos gate and
+    // a production dashboard count from the same cells. The counters are
+    // process-cumulative; deltas against these baselines scope them to
+    // this run.
+    let fired_counter = |point: &str| telemetry::fault_fired_total(point);
+    let fired0 = [
+        faults::points::SOLVE_PHASE1,
+        faults::points::SERVER_RESOLVE,
+        faults::points::EVENT_APPLY,
+        faults::points::TCP_READ,
+    ]
+    .map(|p| fired_counter(p).get());
     let guard = faults::arm(&plan);
     let epoch0 = server.epoch();
 
@@ -348,12 +363,13 @@ pub fn chaos_replay(scenario: &Scenario, lookups_override: Option<usize>) -> Cha
     let (malformed_lines, malformed_rejected, wire_recovered) =
         malformed_burst(&server).expect("burst harness I/O");
 
-    // Read the fired counters while the plan is still armed, then stand
-    // down: the post-recovery replay must run fault-free.
-    let solver_panics = faults::fired(faults::points::SOLVE_PHASE1);
-    let stalled_resolves = faults::fired(faults::points::SERVER_RESOLVE);
-    let event_floods = faults::fired(faults::points::EVENT_APPLY);
-    let wire_faults = faults::fired(faults::points::TCP_READ);
+    // Read the fired counters (telemetry mirror deltas) while the plan
+    // is still armed, then stand down: the post-recovery replay must run
+    // fault-free.
+    let solver_panics = fired_counter(faults::points::SOLVE_PHASE1).get() - fired0[0];
+    let stalled_resolves = fired_counter(faults::points::SERVER_RESOLVE).get() - fired0[1];
+    let event_floods = fired_counter(faults::points::EVENT_APPLY).get() - fired0[2];
+    let wire_faults = fired_counter(faults::points::TCP_READ).get() - fired0[3];
     drop(guard);
 
     // Phase 3 — post-recovery replay: the scenario's drift trace with

@@ -26,6 +26,13 @@
 //!   from-scratch solve of the drifted instance within 1e-9, with at
 //!   least [`server_bench::REPLAY_SEGMENTS`] completed re-solves.
 //!
+//! * `obs_ok` — the telemetry A/B replay (`telemetry` section) must
+//!   actually sample lookup latencies into the registry histogram, and —
+//!   release builds only — the telemetry-enabled replay must sustain at
+//!   least [`MIN_OBS_THROUGHPUT_RATIO`] of the disarmed replay's lookup
+//!   throughput and the [`MIN_SERVER_LOOKUPS_PER_SEC`] floor (the
+//!   "observability is near-free" acceptance bar);
+//!
 //! * `scale_ok` — the sparse metric backend must stay within
 //!   [`MAX_SPARSE_COST_RATIO`] of the dense solve on the truncating
 //!   control scenario (a hotspot variant of the smoke grid where the
@@ -90,6 +97,12 @@ pub const MIN_SERVER_LOOKUPS_PER_SEC: f64 = 1_000_000.0;
 /// replay (a warm-started approx solve of the pinned scenario is well
 /// under a second on CI runners).
 pub const MAX_SERVER_RESOLVE_SECONDS: f64 = 5.0;
+
+/// Release-mode floor on telemetry-enabled / telemetry-disabled lookup
+/// throughput in the A/B replay: arming the registry may cost at most
+/// 10% (the sampled-latency design keeps the measured ratio near 1.0;
+/// the margin absorbs runner noise).
+pub const MIN_OBS_THROUGHPUT_RATIO: f64 = 0.9;
 
 /// Ceiling on the sparse/dense total-cost ratio on the truncating control
 /// scenario (the `scale_ok` quality half): truncated candidate balls may
@@ -270,8 +283,16 @@ pub struct SmokeOutcome {
     /// from-scratch solves (1e-9) and the run completed at least
     /// [`server_bench::REPLAY_SEGMENTS`] re-solves.
     pub server_ok: bool,
-    /// The server drift-trace replay backing `server_ok`.
+    /// The server drift-trace replay backing `server_ok` (the
+    /// telemetry-enabled leg of the A/B comparison).
     pub server: server_bench::ReplayOutcome,
+    /// True when the telemetry A/B replay sampled lookup latencies and —
+    /// release builds only — the armed leg held
+    /// [`MIN_OBS_THROUGHPUT_RATIO`] of the disarmed throughput and the
+    /// [`MIN_SERVER_LOOKUPS_PER_SEC`] floor.
+    pub obs_ok: bool,
+    /// The telemetry overhead A/B comparison backing `obs_ok`.
+    pub telemetry: server_bench::ObsComparison,
     /// Seed phase-1 seconds / incremental phase-1 seconds (single-threaded
     /// both sides, best of two runs per side).
     pub phase1_speedup: f64,
@@ -306,6 +327,7 @@ impl SmokeOutcome {
             && self.dynamic_ok
             && self.shards_balanced
             && self.server_ok
+            && self.obs_ok
             && self.sparse_within_eps
             && self.chaos_ok
     }
@@ -451,10 +473,18 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
 
     // The server gate: replay the scenario's drift trace against the
     // placement daemon; every post-swap snapshot must cost exactly what
-    // a from-scratch solve of the drifted instance costs.
-    let server = server_bench::replay_scenario(scenario, None);
+    // a from-scratch solve of the drifted instance costs. The replay
+    // runs A/B (telemetry disarmed, then armed); the armed leg doubles
+    // as the `server` outcome so its gates run under real observability.
+    let telemetry_ab = server_bench::replay_ab(scenario, None);
+    let server = telemetry_ab.enabled.clone();
     let server_ok =
         server.cost_matches_scratch && server.resolves >= server_bench::REPLAY_SEGMENTS as u64;
+    let obs_ok = server.latency_samples > 0
+        && server.lookup_p99 > 0.0
+        && (cfg!(debug_assertions)
+            || (telemetry_ab.overhead_ratio >= MIN_OBS_THROUGHPUT_RATIO
+                && server.lookups_per_sec >= MIN_SERVER_LOOKUPS_PER_SEC));
 
     let costs_match = sharded.placement == sequential.placement
         && (sharded.cost.total() - sequential.cost.total()).abs() < 1e-9;
@@ -536,6 +566,7 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         ),
         ("dynamic", dynamic.to_json()),
         ("server", server.to_json()),
+        ("telemetry", telemetry_ab.to_json()),
         (
             "scale",
             Json::obj([
@@ -564,6 +595,7 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         ("shards_balanced", Json::Bool(shards_balanced)),
         ("shard_cost_skew", Json::Num(shard_cost_skew)),
         ("server_ok", Json::Bool(server_ok)),
+        ("obs_ok", Json::Bool(obs_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
         ("scale_ok", Json::Bool(sparse_within_eps)),
         // Both are filled by `attach_chaos` (`run` always attaches).
@@ -581,6 +613,8 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         shard_cost_skew,
         server_ok,
         server,
+        obs_ok,
+        telemetry: telemetry_ab,
         phase1_speedup,
         sparse_cost_ratio,
         sparse_within_eps,
@@ -688,6 +722,20 @@ mod tests {
             outcome.server.swap_checks
         );
         assert!(
+            outcome.obs_ok,
+            "telemetry A/B failed: {:?}",
+            outcome.telemetry
+        );
+        assert!(
+            outcome.server.latency_samples > 0 && outcome.server.lookup_p99 > 0.0,
+            "the armed replay leg records latency quantiles: {:?}",
+            outcome.server
+        );
+        assert_eq!(
+            outcome.telemetry.disabled.latency_samples, 0,
+            "the disarmed leg must not record"
+        );
+        assert!(
             outcome.sparse_within_eps,
             "sparse backend cost ratio {:.4} breaches the {:.2} ceiling",
             outcome.sparse_cost_ratio, MAX_SPARSE_COST_RATIO
@@ -737,6 +785,15 @@ mod tests {
             "\"lookups_per_sec\"",
             "\"cost_matches_scratch\"",
             "\"max_resolve_seconds\"",
+            "\"telemetry\"",
+            "\"obs_ok\"",
+            "\"overhead_ratio\"",
+            "\"enabled_lookups_per_sec\"",
+            "\"disabled_lookups_per_sec\"",
+            "\"lookup_p50\"",
+            "\"lookup_p99\"",
+            "\"latency_samples\"",
+            "\"sampling_interval\"",
             "\"shards_balanced\"",
             "\"shard_cost_skew\"",
             "\"scale\"",

@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use dmn_core::telemetry;
 use dmn_json::Json;
 use dmn_server::{Event, ServerConfig, ServerError, ServerHandle};
 use dmn_solve::solvers;
@@ -72,6 +73,13 @@ pub struct ReplayOutcome {
     /// True when every swap's cost equals the from-scratch solve of the
     /// drifted instance within 1e-9 (relative).
     pub cost_matches_scratch: bool,
+    /// Sampled lookup latencies recorded into the telemetry histogram
+    /// (zero when telemetry was disabled for the run).
+    pub latency_samples: u64,
+    /// Median sampled lookup latency, seconds (zero without samples).
+    pub lookup_p50: f64,
+    /// 99th-percentile sampled lookup latency, seconds.
+    pub lookup_p99: f64,
 }
 
 impl ReplayOutcome {
@@ -95,6 +103,9 @@ impl ReplayOutcome {
                 "cost_matches_scratch",
                 Json::Bool(self.cost_matches_scratch),
             ),
+            ("latency_samples", Json::Num(self.latency_samples as f64)),
+            ("lookup_p50", Json::Num(self.lookup_p50)),
+            ("lookup_p99", Json::Num(self.lookup_p99)),
             (
                 "swaps",
                 Json::arr(self.swap_checks.iter().map(|c| {
@@ -126,12 +137,30 @@ impl ReplayOutcome {
 /// object (all of its demand drained just before a background swap) is
 /// tolerated and counted in [`ReplayOutcome::parked_lookups`].
 pub fn replay_scenario(scenario: &Scenario, lookups_override: Option<usize>) -> ReplayOutcome {
+    replay_scenario_with(scenario, lookups_override, true)
+}
+
+/// [`replay_scenario`] with explicit control over telemetry. The lookup
+/// histogram is reset before the run so the reported p50/p99 cover
+/// exactly this replay; serialize concurrent benchmark runs with
+/// [`telemetry::exclusive`] if they share the process.
+pub fn replay_scenario_with(
+    scenario: &Scenario,
+    lookups_override: Option<usize>,
+    with_telemetry: bool,
+) -> ReplayOutcome {
+    // `ServerHandle::start` only ever arms telemetry, so the disabled
+    // leg of an A/B run must disarm the registry explicitly.
+    telemetry::set_enabled(with_telemetry);
+    let lookup_hist = telemetry::histogram(telemetry::names::SERVER_LOOKUP_SECONDS);
+    lookup_hist.reset();
     let instance = scenario.build_instance();
     let drift = scenario.drift_spec();
     let server = ServerHandle::start(
         &instance,
         ServerConfig {
             resolve_threshold: drift.resolve_threshold,
+            telemetry: with_telemetry,
             ..ServerConfig::default()
         },
     )
@@ -218,6 +247,7 @@ pub fn replay_scenario(scenario: &Scenario, lookups_override: Option<usize>) -> 
     let stats = server.stats();
     let final_epoch = server.epoch();
     server.shutdown();
+    let latency = lookup_hist.snapshot();
     let cost_matches_scratch = swap_checks
         .iter()
         .all(|c| (c.server_cost - c.scratch_cost).abs() <= 1e-9 * c.scratch_cost.abs().max(1.0));
@@ -234,6 +264,90 @@ pub fn replay_scenario(scenario: &Scenario, lookups_override: Option<usize>) -> 
         final_epoch,
         swap_checks,
         cost_matches_scratch,
+        latency_samples: latency.count,
+        lookup_p50: latency.quantile(0.5),
+        lookup_p99: latency.quantile(0.99),
+    }
+}
+
+/// The telemetry-overhead comparison recorded under `telemetry` in
+/// `BENCH_ci.json` and gated by `obs_ok`.
+#[derive(Debug, Clone)]
+pub struct ObsComparison {
+    /// Best-of-2 replay with telemetry armed (histograms, spans,
+    /// sampled lookup timing all live).
+    pub enabled: ReplayOutcome,
+    /// Best-of-2 replay with the registry disarmed — every telemetry
+    /// decision costs one relaxed load.
+    pub disabled: ReplayOutcome,
+    /// `enabled.lookups_per_sec / disabled.lookups_per_sec`; the
+    /// `obs_ok` gate requires ≥ 0.9 in release builds.
+    pub overhead_ratio: f64,
+}
+
+impl ObsComparison {
+    /// The artifact section recorded under `telemetry` in `BENCH_ci.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "enabled_lookups_per_sec",
+                Json::Num(self.enabled.lookups_per_sec),
+            ),
+            (
+                "disabled_lookups_per_sec",
+                Json::Num(self.disabled.lookups_per_sec),
+            ),
+            ("overhead_ratio", Json::Num(self.overhead_ratio)),
+            ("lookup_p50", Json::Num(self.enabled.lookup_p50)),
+            ("lookup_p99", Json::Num(self.enabled.lookup_p99)),
+            (
+                "latency_samples",
+                Json::Num(self.enabled.latency_samples as f64),
+            ),
+            (
+                "sampling_interval",
+                Json::Num(dmn_server::LOOKUP_SAMPLE_INTERVAL as f64),
+            ),
+        ])
+    }
+}
+
+/// A/B rounds per mode: the replay's timed lookup window is well under
+/// a second, so a sequential disabled-then-enabled schedule would fold
+/// any machine drift straight into the ratio. The rounds interleave
+/// (disabled, enabled) pairs and the ratio compares per-mode bests —
+/// drift hits both modes alike and the minimum-statistics damp noise.
+pub const AB_ROUNDS: usize = 3;
+
+/// Replays the scenario [`AB_ROUNDS`] times per mode in interleaved
+/// (disarmed, armed) pairs and reports the best-of-rounds throughput
+/// ratio. Holds [`telemetry::exclusive`] for the duration and leaves
+/// the registry armed (the process default) on return.
+pub fn replay_ab(scenario: &Scenario, lookups_override: Option<usize>) -> ObsComparison {
+    let _gate = telemetry::exclusive();
+    let mut disabled: Option<ReplayOutcome> = None;
+    let mut enabled: Option<ReplayOutcome> = None;
+    let keep_best = |slot: &mut Option<ReplayOutcome>, run: ReplayOutcome| {
+        if slot
+            .as_ref()
+            .is_none_or(|best| run.lookups_per_sec > best.lookups_per_sec)
+        {
+            *slot = Some(run);
+        }
+    };
+    for _ in 0..AB_ROUNDS {
+        let run = replay_scenario_with(scenario, lookups_override, false);
+        keep_best(&mut disabled, run);
+        let run = replay_scenario_with(scenario, lookups_override, true);
+        keep_best(&mut enabled, run);
+    }
+    telemetry::set_enabled(true);
+    let disabled = disabled.expect("AB_ROUNDS >= 1");
+    let enabled = enabled.expect("AB_ROUNDS >= 1");
+    ObsComparison {
+        overhead_ratio: enabled.lookups_per_sec / disabled.lookups_per_sec.max(1e-12),
+        enabled,
+        disabled,
     }
 }
 
@@ -289,6 +403,41 @@ mod tests {
             "\"max_resolve_seconds\"",
             "\"swaps\"",
             "\"scratch_cost\"",
+            "\"lookup_p50\"",
+            "\"lookup_p99\"",
+            "\"latency_samples\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+        dmn_json::parse(&json).expect("valid artifact section");
+    }
+
+    #[test]
+    fn ab_compare_isolates_telemetry_and_reports_quantiles() {
+        // Lock order: faults gate first (replay runs under the armory's
+        // hit points), telemetry gate second (taken inside replay_ab).
+        let _gate = dmn_core::faults::exclusive();
+        let ab = replay_ab(&mini_scenario(), Some(2_000));
+        assert!(
+            ab.enabled.latency_samples > 0,
+            "the armed leg samples lookups: {ab:?}"
+        );
+        assert_eq!(
+            ab.disabled.latency_samples, 0,
+            "the disarmed leg records nothing"
+        );
+        assert!(ab.enabled.lookup_p50 > 0.0);
+        assert!(ab.enabled.lookup_p99 >= ab.enabled.lookup_p50);
+        assert!(ab.overhead_ratio > 0.0);
+        assert!(telemetry::enabled(), "replay_ab re-arms the registry");
+        let json = ab.to_json().to_string_pretty();
+        for needle in [
+            "\"enabled_lookups_per_sec\"",
+            "\"disabled_lookups_per_sec\"",
+            "\"overhead_ratio\"",
+            "\"lookup_p50\"",
+            "\"lookup_p99\"",
+            "\"sampling_interval\"",
         ] {
             assert!(json.contains(needle), "missing {needle}");
         }

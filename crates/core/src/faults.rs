@@ -319,6 +319,7 @@ fn hit_slow(point: &str) -> Option<Injected> {
     let mut delay = 0u64;
     let mut do_panic = false;
     let mut injected = None;
+    let mut fired_now = 0u64;
     {
         let mut plan = heal(armory().plan.lock());
         for fault in plan.iter_mut().filter(|f| f.spec.point == point) {
@@ -330,6 +331,7 @@ fn hit_slow(point: &str) -> Option<Injected> {
                 continue;
             }
             fault.fired += 1;
+            fired_now += 1;
             match fault.spec.action {
                 FaultAction::Panic => do_panic = true,
                 FaultAction::DelayMillis(ms) => delay = delay.max(ms),
@@ -337,6 +339,12 @@ fn hit_slow(point: &str) -> Option<Injected> {
                 FaultAction::FloodEvents(n) => injected = Some(Injected::FloodEvents(n)),
             }
         }
+    }
+    // Mirror every fire into the telemetry registry (before the panic or
+    // sleep takes effect) so chaos assertions and the metrics endpoint
+    // share one counting path with the plan's own `fired` counters.
+    if fired_now > 0 {
+        crate::telemetry::fault_fired_total(point).add(fired_now);
     }
     if delay > 0 {
         std::thread::sleep(Duration::from_millis(delay));

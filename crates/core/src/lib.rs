@@ -28,6 +28,7 @@ pub mod placement;
 pub mod radii;
 pub mod restricted;
 pub mod shapes;
+pub mod telemetry;
 
 pub use cost::{
     evaluate, evaluate_object, evaluate_object_on_graph, evaluate_sparse, CostBreakdown,
@@ -38,3 +39,4 @@ pub use instance::{Instance, InstanceBuilder, ObjectWorkload, ValidationError};
 pub use placement::Placement;
 pub use radii::RadiusTable;
 pub use shapes::{evaluate_object_shaped, ObjectShape};
+pub use telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Span, SpanRecord};

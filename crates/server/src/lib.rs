@@ -49,5 +49,6 @@ pub mod tcp;
 pub use event::Event;
 pub use server::{
     Applied, ResilienceConfig, ResolveHealth, ServerConfig, ServerError, ServerHandle, ServerStats,
+    LOOKUP_SAMPLE_INTERVAL,
 };
 pub use snapshot::{Lookup, PlacementSnapshot};

@@ -25,7 +25,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,7 @@ use dmn_core::cost::CostBreakdown;
 use dmn_core::faults::{self, Injected};
 use dmn_core::instance::{Instance, ObjectWorkload};
 use dmn_core::placement::Placement;
+use dmn_core::telemetry::{self, Counter, Gauge, Histogram};
 use dmn_graph::{Graph, Metric, NodeId};
 use dmn_json::Json;
 use dmn_solve::{solvers, SolveRequest};
@@ -75,6 +76,14 @@ pub struct ServerConfig {
     /// Run the background re-solve worker. When `false`, the placement
     /// only changes through explicit [`ServerHandle::resolve_now`] calls.
     pub background: bool,
+    /// Enable the process-wide [`dmn_core::telemetry`] registry when the
+    /// server starts (the default), so a live daemon always answers the
+    /// `metrics` wire request with real data. `false` leaves the
+    /// registry's enabled flag untouched — it never disables telemetry
+    /// another component turned on. Lookup latency is *sampled* (every
+    /// [`LOOKUP_SAMPLE_INTERVAL`]th lookup), keeping the enabled
+    /// overhead within the perf-smoke `obs_ok` gate's 10 % budget.
+    pub telemetry: bool,
     /// Self-healing knobs (watchdog, retries, backpressure).
     pub resilience: ResilienceConfig,
 }
@@ -86,10 +95,18 @@ impl Default for ServerConfig {
             request: SolveRequest::new().fl_warm_start(true),
             resolve_threshold: 0.02,
             background: true,
+            telemetry: true,
             resilience: ResilienceConfig::default(),
         }
     }
 }
+
+/// One lookup in this many is latency-sampled into the telemetry
+/// histogram (power of two; the hot path masks the lookup counter with
+/// `interval - 1`). 256 keeps the amortized clock cost well under the
+/// `obs_ok` gate's 10 % budget even where `Instant::now` is a real
+/// syscall, while a million-lookup replay still lands ~4k samples.
+pub const LOOKUP_SAMPLE_INTERVAL: u64 = 256;
 
 /// Knobs of the server's self-healing machinery. A failed or timed-out
 /// re-solve never takes the server down: the last good epoch stays
@@ -185,6 +202,40 @@ impl ResolveHealth {
             ("shed_deltas", Json::Num(self.shed_deltas as f64)),
             ("last_epoch_degraded", Json::Bool(self.last_epoch_degraded)),
         ])
+    }
+}
+
+/// The cells behind [`ResolveHealth`]. Every hot counter is an atomic,
+/// so [`ServerHandle::status`] and [`ServerHandle::health`] assemble
+/// their snapshot lock-free — a stalled or long-running re-solve can
+/// never block the read path. Only the failure *message* sits behind a
+/// mutex, held for single assignments and never across a solve.
+#[derive(Debug, Default)]
+struct HealthCells {
+    consecutive_failures: AtomicU32,
+    total_failures: AtomicU64,
+    timeouts: AtomicU64,
+    /// Deltas shed by the bounded event queue (moved here from the
+    /// state mutex so shedding and reading never contend).
+    shed_deltas: AtomicU64,
+    /// Current retry backoff, stored as `f64::to_bits`.
+    backoff_bits: AtomicU64,
+    last_epoch_degraded: AtomicBool,
+    last_error: Mutex<Option<String>>,
+}
+
+impl HealthCells {
+    /// The public snapshot; all counter reads are relaxed loads.
+    fn snapshot(&self) -> ResolveHealth {
+        ResolveHealth {
+            consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+            total_failures: self.total_failures.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            last_error: lock_clean(&self.last_error).clone(),
+            backoff_seconds: f64::from_bits(self.backoff_bits.load(Ordering::Relaxed)),
+            shed_deltas: self.shed_deltas.load(Ordering::Relaxed),
+            last_epoch_degraded: self.last_epoch_degraded.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -308,8 +359,6 @@ struct LiveState {
     /// the bound only bites under event floods, where the *oldest*
     /// deltas are shed (structural events never queue here).
     pending_deltas: VecDeque<PendingDelta>,
-    /// Deltas shed by the bounded queue since the server started.
-    shed_deltas: u64,
 }
 
 /// A validated demand delta in the bounded apply queue.
@@ -323,14 +372,17 @@ struct PendingDelta {
 
 impl LiveState {
     /// Enqueues a validated delta, shedding the *oldest* queued deltas
-    /// when the bound is hit — the newest demand information wins, and
-    /// the count is surfaced in [`ResolveHealth::shed_deltas`].
-    fn enqueue_delta(&mut self, delta: PendingDelta, capacity: usize) {
+    /// when the bound is hit — the newest demand information wins.
+    /// Returns how many deltas were shed; the caller charges them to
+    /// the health counter behind [`ResolveHealth::shed_deltas`].
+    fn enqueue_delta(&mut self, delta: PendingDelta, capacity: usize) -> u64 {
+        let mut shed = 0;
         while self.pending_deltas.len() >= capacity.max(1) {
             self.pending_deltas.pop_front();
-            self.shed_deltas += 1;
+            shed += 1;
         }
         self.pending_deltas.push_back(delta);
+        shed
     }
 
     /// Applies every queued delta in arrival order, charging the drift
@@ -428,11 +480,19 @@ struct Inner {
     /// the shared report serialization).
     report_json: Mutex<Json>,
     timings: Mutex<ResolveTimings>,
-    health: Mutex<ResolveHealth>,
+    health: HealthCells,
     lookups: AtomicU64,
     events: AtomicU64,
     resolves: AtomicU64,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Interned telemetry handles, resolved once at start so hot paths
+    /// never touch the registry lock.
+    lookup_latency: &'static Histogram,
+    queue_depth: &'static Gauge,
+    shed_total: &'static Counter,
+    resolve_attempts: &'static Counter,
+    resolve_failures: &'static Counter,
+    epoch_swaps: &'static Counter,
 }
 
 /// A handle on a running placement server (clone freely; all clones
@@ -452,6 +512,11 @@ impl ServerHandle {
     /// [`ServerError::UnknownSolver`] / [`ServerError::Unsupported`] when
     /// the configured engine cannot run on the instance.
     pub fn start(instance: &Instance, cfg: ServerConfig) -> Result<ServerHandle, ServerError> {
+        if cfg.telemetry {
+            // Enable-only: a server never turns off telemetry some other
+            // component (or an operator) switched on.
+            telemetry::set_enabled(true);
+        }
         let solver =
             solvers::resolve(&cfg.solver).map_err(|u| ServerError::UnknownSolver(u.reason))?;
         solver
@@ -478,7 +543,6 @@ impl ServerHandle {
             baseline_mass: 0.0,
             structural: 0,
             pending_deltas: VecDeque::new(),
-            shed_deltas: 0,
         };
         state.baseline_mass = state.live_mass();
 
@@ -497,6 +561,10 @@ impl ServerHandle {
         );
 
         let background = cfg.background;
+        let health = HealthCells::default();
+        health
+            .last_epoch_degraded
+            .store(report.degraded, Ordering::Relaxed);
         let inner = Arc::new(Inner {
             graph: instance.graph.clone(),
             metric,
@@ -510,14 +578,17 @@ impl ServerHandle {
                 last_seconds: seconds,
                 max_seconds: seconds,
             }),
-            health: Mutex::new(ResolveHealth {
-                last_epoch_degraded: report.degraded,
-                ..ResolveHealth::default()
-            }),
+            health,
             lookups: AtomicU64::new(0),
             events: AtomicU64::new(0),
             resolves: AtomicU64::new(0),
             worker: Mutex::new(None),
+            lookup_latency: telemetry::histogram(telemetry::names::SERVER_LOOKUP_SECONDS),
+            queue_depth: telemetry::gauge(telemetry::names::SERVER_QUEUE_DEPTH),
+            shed_total: telemetry::counter(telemetry::names::SERVER_SHED_DELTAS_TOTAL),
+            resolve_attempts: telemetry::counter(telemetry::names::SERVER_RESOLVE_ATTEMPTS_TOTAL),
+            resolve_failures: telemetry::counter(telemetry::names::SERVER_RESOLVE_FAILURES_TOTAL),
+            epoch_swaps: telemetry::counter(telemetry::names::SERVER_EPOCH_SWAPS_TOTAL),
         });
 
         if background {
@@ -539,13 +610,30 @@ impl ServerHandle {
     /// [`ServerError::NodeOutOfRange`] / [`ServerError::UnknownObject`].
     #[inline]
     pub fn lookup(&self, object: u64, node: NodeId) -> Result<Lookup, ServerError> {
-        self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        let prev = self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        // Sampled latency: every LOOKUP_SAMPLE_INTERVAL-th lookup is
+        // clocked into the `dmn_server_lookup_seconds` histogram. Two
+        // `Instant::now()` calls can cost several times the lookup
+        // itself (containers without a vDSO clock pay a real syscall),
+        // so sampling keeps the amortized cost inside the obs_ok gate's
+        // 10 % budget while the quantiles stay statistically sound.
+        // Mask test first: all but one-in-interval lookups branch-predict
+        // straight past both the registry load and the clock.
+        let start =
+            (prev & (LOOKUP_SAMPLE_INTERVAL - 1) == 0 && telemetry::enabled()).then(Instant::now);
         let snap = read_clean(&self.inner.snapshot);
-        if node >= snap.num_nodes() {
-            return Err(ServerError::NodeOutOfRange(node));
+        let served = if node >= snap.num_nodes() {
+            Err(ServerError::NodeOutOfRange(node))
+        } else {
+            snap.lookup(object, node)
+                .ok_or(ServerError::UnknownObject(object))
+        };
+        if let Some(start) = start {
+            self.inner
+                .lookup_latency
+                .record(start.elapsed().as_secs_f64());
         }
-        snap.lookup(object, node)
-            .ok_or(ServerError::UnknownObject(object))
+        served
     }
 
     /// The current snapshot (an `Arc` clone; hold it for a consistent
@@ -585,8 +673,9 @@ impl ServerHandle {
             // queue exactly like wire deltas: bursts past the capacity
             // shed their oldest entries.
             let ids: Vec<u64> = st.objects.iter().map(|o| o.id).collect();
+            let mut shed = 0u64;
             for i in 0..flood {
-                st.enqueue_delta(
+                shed += st.enqueue_delta(
                     PendingDelta {
                         object: ids[i % ids.len()],
                         node: i % n,
@@ -595,6 +684,13 @@ impl ServerHandle {
                     },
                     capacity,
                 );
+            }
+            if shed > 0 {
+                self.inner
+                    .health
+                    .shed_deltas
+                    .fetch_add(shed, Ordering::Relaxed);
+                self.inner.shed_total.add(shed);
             }
         }
         let applied = match event {
@@ -613,7 +709,7 @@ impl ServerHandle {
                 if !st.slots.contains_key(object) {
                     return Err(ServerError::UnknownObject(*object));
                 }
-                st.enqueue_delta(
+                let shed = st.enqueue_delta(
                     PendingDelta {
                         object: *object,
                         node: *node,
@@ -622,6 +718,13 @@ impl ServerHandle {
                     },
                     capacity,
                 );
+                if shed > 0 {
+                    self.inner
+                        .health
+                        .shed_deltas
+                        .fetch_add(shed, Ordering::Relaxed);
+                    self.inner.shed_total.add(shed);
+                }
                 let drift = st.drain_deltas();
                 Applied::Delta {
                     object: *object,
@@ -726,6 +829,9 @@ impl ServerHandle {
             }
         };
         self.inner.events.fetch_add(1, Ordering::Relaxed);
+        if telemetry::enabled() {
+            self.inner.queue_depth.set(st.pending_deltas.len() as i64);
+        }
         let trigger = st.structural > 0
             || st.drift_mass
                 > self.inner.cfg.resolve_threshold * st.baseline_mass.max(f64::MIN_POSITIVE);
@@ -797,20 +903,11 @@ impl ServerHandle {
     pub fn status(&self) -> Json {
         let snap = self.snapshot();
         let stats = self.stats();
-        let (drift_mass, baseline_mass, live_objects, shed_deltas) = {
+        let (drift_mass, baseline_mass, live_objects) = {
             let st = lock_clean(&self.inner.state);
-            (
-                st.drift_mass,
-                st.baseline_mass,
-                st.objects.len(),
-                st.shed_deltas,
-            )
+            (st.drift_mass, st.baseline_mass, st.objects.len())
         };
-        let health = {
-            let mut health = lock_clean(&self.inner.health).clone();
-            health.shed_deltas = shed_deltas;
-            health
-        };
+        let health = self.inner.health.snapshot();
         Json::obj([
             ("epoch", Json::Num(snap.epoch as f64)),
             ("solver", Json::Str(self.inner.cfg.solver.clone())),
@@ -838,12 +935,11 @@ impl ServerHandle {
     }
 
     /// Current health of the re-solve pipeline (also embedded in
-    /// [`ServerHandle::status`] as the `health` block).
+    /// [`ServerHandle::status`] as the `health` block). Lock-free: every
+    /// hot field is an atomic cell, so this succeeds promptly even while
+    /// a re-solve is stalled mid-flight.
     pub fn health(&self) -> ResolveHealth {
-        let shed_deltas = lock_clean(&self.inner.state).shed_deltas;
-        let mut health = lock_clean(&self.inner.health).clone();
-        health.shed_deltas = shed_deltas;
-        health
+        self.inner.health.snapshot()
     }
 
     /// Stops the background worker (waiting out any in-flight solve).
@@ -897,9 +993,9 @@ impl Inner {
             let retry_backoff = if published {
                 None
             } else {
-                let health = lock_clean(&inner.health);
-                (health.consecutive_failures <= inner.cfg.resilience.max_retries)
-                    .then_some(health.backoff_seconds)
+                let consecutive = inner.health.consecutive_failures.load(Ordering::Relaxed);
+                (consecutive <= inner.cfg.resilience.max_retries)
+                    .then(|| f64::from_bits(inner.health.backoff_bits.load(Ordering::Relaxed)))
             };
             let mut sync = lock_clean(&inner.sync);
             sync.in_flight = false;
@@ -928,6 +1024,8 @@ impl Inner {
     /// churn stays charged (so the trigger re-arms), and the failure is
     /// recorded in [`ResolveHealth`].
     fn resolve_and_swap(inner: &Arc<Inner>) -> bool {
+        inner.resolve_attempts.inc();
+        let attempt_span = telemetry::span(telemetry::spans::SERVER_RESOLVE_ATTEMPT);
         let (instance, ids, drift_captured, structural_captured) = {
             let st = lock_clean(&inner.state);
             let (instance, ids) = st.build_instance(&inner.graph, &inner.metric);
@@ -951,26 +1049,29 @@ impl Inner {
             Inner::attempt_solve(inner, instance)
         };
         let seconds = t0.elapsed().as_secs_f64();
+        attempt_span.finish();
 
         let (placement, cost, report_json, degraded) = match attempt {
             Ok(out) => out,
             Err(failure) => {
                 let resilience = &inner.cfg.resilience;
-                let mut health = lock_clean(&inner.health);
-                health.consecutive_failures += 1;
-                health.total_failures += 1;
+                let h = &inner.health;
+                let consecutive = h.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                h.total_failures.fetch_add(1, Ordering::Relaxed);
                 if failure.timed_out {
-                    health.timeouts += 1;
+                    h.timeouts.fetch_add(1, Ordering::Relaxed);
                 }
-                health.last_error = Some(failure.message);
-                let doublings = health.consecutive_failures.saturating_sub(1).min(30);
-                health.backoff_seconds = (resilience.backoff_base_seconds
-                    * 2f64.powi(doublings as i32))
-                .min(resilience.backoff_max_seconds);
+                *lock_clean(&h.last_error) = Some(failure.message);
+                let doublings = consecutive.saturating_sub(1).min(30);
+                let backoff = (resilience.backoff_base_seconds * 2f64.powi(doublings as i32))
+                    .min(resilience.backoff_max_seconds);
+                h.backoff_bits.store(backoff.to_bits(), Ordering::Relaxed);
+                inner.resolve_failures.inc();
                 return false;
             }
         };
 
+        let swap_span = telemetry::span(telemetry::spans::SERVER_EPOCH_SWAP);
         let next_epoch = read_clean(&inner.snapshot).epoch + 1;
         let snapshot = Arc::new(PlacementSnapshot::build(
             next_epoch,
@@ -990,12 +1091,13 @@ impl Inner {
             timings.max_seconds = timings.max_seconds.max(seconds);
         }
         inner.resolves.fetch_add(1, Ordering::Relaxed);
+        inner.epoch_swaps.inc();
         {
-            let mut health = lock_clean(&inner.health);
-            health.consecutive_failures = 0;
-            health.backoff_seconds = 0.0;
-            health.last_error = None;
-            health.last_epoch_degraded = degraded;
+            let h = &inner.health;
+            h.consecutive_failures.store(0, Ordering::Relaxed);
+            h.backoff_bits.store(0f64.to_bits(), Ordering::Relaxed);
+            *lock_clean(&h.last_error) = None;
+            h.last_epoch_degraded.store(degraded, Ordering::Relaxed);
         }
 
         let rearm = {
@@ -1009,6 +1111,7 @@ impl Inner {
                 || st.drift_mass
                     > inner.cfg.resolve_threshold * st.baseline_mass.max(f64::MIN_POSITIVE)
         };
+        swap_span.finish();
         if rearm {
             Inner::trigger(inner);
         }
@@ -1548,6 +1651,48 @@ mod tests {
         server.resolve_now();
         assert_eq!(server.epoch(), 2, "recovery after the stall");
         assert_eq!(server.health().consecutive_failures, 0);
+    }
+
+    /// The health read path must be lock-free: `status()` and `health()`
+    /// answer promptly even while a re-solve is stalled mid-flight (the
+    /// old Mutex-backed health could wedge readers behind a stuck writer).
+    #[test]
+    fn status_stays_prompt_while_a_resolve_is_stalled() {
+        let _serial = faults::exclusive();
+        let server = test_server();
+        server
+            .apply(&Event::DemandDelta {
+                object: 0,
+                node: 2,
+                read_delta: 4.0,
+                write_delta: 0.0,
+            })
+            .unwrap();
+        let plan = FaultPlan::new(
+            7,
+            vec![FaultSpec::once(
+                faults::points::SOLVE_PHASE1,
+                FaultAction::DelayMillis(400),
+            )],
+        );
+        let _guard = faults::arm(&plan);
+        let worker = {
+            let server = server.clone();
+            std::thread::spawn(move || server.resolve_now())
+        };
+        // Let the stalled solve get into its injected delay.
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        let health = server.health();
+        let status = server.status();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "status/health blocked for {elapsed:?} behind a stalled re-solve"
+        );
+        assert_eq!(health.consecutive_failures, 0);
+        assert!(status.get("health").is_some());
+        worker.join().unwrap();
     }
 
     #[test]

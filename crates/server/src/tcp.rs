@@ -11,6 +11,7 @@
 //! | `remove-object` | `object`                                   | `object`         |
 //! | `node-down` / `node-up` | `node`                             | `node`           |
 //! | `status`        | —                                          | full status document |
+//! | `metrics`       | —                                          | `prometheus` (text exposition) + `snapshot` (JSON) |
 //! | `resolve`       | —                                          | `epoch` after the forced re-solve |
 //! | `quit`          | —                                          | ack, then the server stops accepting |
 //!
@@ -27,6 +28,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dmn_core::faults::{self, Injected};
+use dmn_core::telemetry;
 use dmn_json::Json;
 
 use crate::event::Event;
@@ -46,6 +48,8 @@ pub enum Request {
     Event(Event),
     /// The status document.
     Status,
+    /// The telemetry registry: Prometheus text plus a JSON snapshot.
+    Metrics,
     /// Force a synchronous re-solve.
     Resolve,
     /// Acknowledge and stop the listener.
@@ -79,6 +83,7 @@ impl Request {
                     .ok_or("lookup needs a 'node'")?,
             }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "resolve" => Ok(Request::Resolve),
             "quit" => Ok(Request::Quit),
             other => Err(format!("unknown op '{other}'")),
@@ -95,6 +100,7 @@ impl Request {
             ]),
             Request::Event(event) => event.to_json(),
             Request::Status => Json::obj([("op", Json::Str("status".into()))]),
+            Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
             Request::Resolve => Json::obj([("op", Json::Str("resolve".into()))]),
             Request::Quit => Json::obj([("op", Json::Str("quit".into()))]),
         }
@@ -159,6 +165,11 @@ pub fn respond(handle: &ServerHandle, request: &Request) -> Json {
             }
             doc
         }
+        Request::Metrics => ok([
+            ("op", Json::Str("metrics".into())),
+            ("prometheus", Json::Str(telemetry::prometheus_text())),
+            ("snapshot", telemetry::snapshot_json()),
+        ]),
         Request::Resolve => {
             let epoch = handle.resolve_now();
             ok([
@@ -256,6 +267,7 @@ mod tests {
             Request::Lookup { object: 5, node: 2 },
             Request::Event(Event::NodeDown { node: 1 }),
             Request::Status,
+            Request::Metrics,
             Request::Resolve,
             Request::Quit,
         ];

@@ -121,6 +121,29 @@ fn full_protocol_over_a_real_socket() {
         "status embeds SolveReport::to_json: {doc:?}"
     );
 
+    // Metrics returns both exposition formats from the live registry.
+    let doc = client.roundtrip(r#"{"op":"metrics"}"#);
+    assert!(is_ok(&doc), "{doc:?}");
+    let prometheus = doc
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("metrics carries a prometheus text body");
+    assert!(
+        prometheus.contains("dmn_server_lookup_seconds"),
+        "exposition names the lookup histogram: {prometheus}"
+    );
+    assert!(
+        prometheus.contains("# TYPE"),
+        "exposition carries TYPE lines: {prometheus}"
+    );
+    let snapshot = doc
+        .get("snapshot")
+        .expect("metrics carries a JSON snapshot");
+    assert!(
+        snapshot.get("counters").is_some() && snapshot.get("histograms").is_some(),
+        "snapshot groups metric kinds: {snapshot:?}"
+    );
+
     // A second client shares the same server state.
     let mut second = Client::connect(addr);
     let doc = second.roundtrip(r#"{"op":"lookup","object":2,"node":3}"#);

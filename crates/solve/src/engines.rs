@@ -19,6 +19,7 @@ use dmn_core::faults;
 use dmn_core::instance::{Instance, ObjectWorkload};
 use dmn_core::parallel::{par_map_threads, par_map_threads_with};
 use dmn_core::placement::Placement;
+use dmn_core::telemetry;
 use dmn_exact::solver::MAX_EXACT_NODES;
 use dmn_exact::{optimal_placement, optimal_restricted};
 use dmn_facility::FlWorkspace;
@@ -96,7 +97,12 @@ impl Solver for ApproxSolver {
                     let set = fallback_copy_set(&instance.storage_cost, w);
                     return (fallback_trace(set), PhaseTimings::default());
                 }
-                place_object_in(ws, metric, &instance.storage_cost, w, &cfg)
+                // One span per object wrapping the three per-phase spans
+                // the algorithm itself emits.
+                let span = telemetry::span(telemetry::spans::SOLVE_OBJECT);
+                let placed = place_object_in(ws, metric, &instance.storage_cost, w, &cfg);
+                span.finish();
+                placed
             },
         );
         let timings = results
@@ -189,7 +195,17 @@ impl ApproxSolver {
                         candidates: 0,
                     };
                 }
-                place_object_sparse_in(ws, &instance.graph, &instance.storage_cost, w, &cfg, &opts)
+                let span = telemetry::span(telemetry::spans::SOLVE_OBJECT);
+                let placed = place_object_sparse_in(
+                    ws,
+                    &instance.graph,
+                    &instance.storage_cost,
+                    w,
+                    &cfg,
+                    &opts,
+                );
+                span.finish();
+                placed
             },
         );
         let timings = results

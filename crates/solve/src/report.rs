@@ -11,6 +11,11 @@ use dmn_json::Json;
 use crate::SolveRequest;
 
 /// One timed stage of a solve run.
+///
+/// Engines derive these seconds from [`dmn_core::telemetry`] spans (via
+/// the `PhaseTimings` shim in `dmn-approx`), so the report's phase
+/// breakdown and the telemetry span ring always agree on where solve
+/// time went.
 #[derive(Debug, Clone)]
 pub struct PhaseStat {
     /// Phase name (e.g. `facility-location`, `radius-add`).

@@ -91,5 +91,18 @@ fn main() {
         "  read object 1 from node 34 -> copy at {} (distance {:.1})",
         hit.node, hit.distance
     );
+
+    // The server armed the process-wide telemetry registry at start
+    // (ServerConfig::telemetry): every epoch swap and re-solve attempt
+    // is counted, and lookup latency is sampled into a histogram. The
+    // same data answers `{"op": "metrics"}` on the TCP frontend.
+    use dmn_core::telemetry;
+    let swaps = telemetry::counter(telemetry::names::SERVER_EPOCH_SWAPS_TOTAL).get();
+    let latency = telemetry::histogram(telemetry::names::SERVER_LOOKUP_SECONDS).snapshot();
+    println!(
+        "telemetry: {swaps} epoch swap(s); {} sampled lookup(s), p99 {:.1e}s",
+        latency.count,
+        latency.quantile(0.99)
+    );
     server.shutdown();
 }
