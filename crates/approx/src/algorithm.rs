@@ -215,6 +215,40 @@ pub fn place_object_in(
     workload: &ObjectWorkload,
     cfg: &ApproxConfig,
 ) -> (PhaseTrace, PhaseTimings) {
+    place_object_core(ws, metric, storage_cost, workload, cfg, None)
+}
+
+/// [`place_object_in`] with a warm phase-1 seed: the local search starts
+/// from `warm` (typically the object's copy set from the previous time
+/// slot) instead of the best single facility, so a placement that is still
+/// near-optimal converges in a handful of moves.
+///
+/// The seed is sanitized before use — out-of-range and forbidden
+/// (infinite-storage) nodes are dropped, and an empty surviving seed falls
+/// back to the cold start — so a stale warm set (nodes gone, storage costs
+/// changed between slots) degrades gracefully instead of panicking.
+/// Non-local-search phase-1 backends have no seedable state and run cold.
+/// Phases 2 and 3 are identical to the cold path, so the Lemma-8
+/// guarantee is untouched (only the phase-1 *trajectory* changes).
+pub fn place_object_warm_in(
+    ws: &mut FlWorkspace,
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+    warm: &[NodeId],
+) -> (PhaseTrace, PhaseTimings) {
+    place_object_core(ws, metric, storage_cost, workload, cfg, Some(warm))
+}
+
+fn place_object_core(
+    ws: &mut FlWorkspace,
+    metric: &Metric,
+    storage_cost: &[f64],
+    workload: &ObjectWorkload,
+    cfg: &ApproxConfig,
+    warm: Option<&[NodeId]>,
+) -> (PhaseTrace, PhaseTimings) {
     let mut timings = PhaseTimings::default();
     let span = telemetry::span(telemetry::spans::SOLVE_FACILITY);
     workload.validate().expect("invalid workload");
@@ -222,24 +256,55 @@ pub fn place_object_in(
     let masses = workload.request_masses();
     let w_total = workload.total_writes();
 
+    // A warm seed must satisfy the local-search preconditions (in range,
+    // no forbidden sites, non-empty); anything else means the seed is
+    // stale and the cold start is the honest fallback.
+    let seed: Option<Vec<NodeId>> = warm.and_then(|set| {
+        let mut ok: Vec<NodeId> = set
+            .iter()
+            .copied()
+            .filter(|&v| v < n && storage_cost[v].is_finite())
+            .collect();
+        ok.sort_unstable();
+        ok.dedup();
+        if ok.is_empty() {
+            None
+        } else {
+            Some(ok)
+        }
+    });
+
     // Phase 1: facility location on the related problem (writes as reads).
     // Costs and demands are borrowed, not cloned, into the instance.
     let fl = FlInstance::new(metric, storage_cost, &masses[..]);
     let ls_cfg = LocalSearchConfig::default();
-    let (sol, fl_stats) = match cfg.fl_solver {
-        FlSolverKind::LocalSearch => {
+    let (sol, fl_stats) = match (cfg.fl_solver, &seed) {
+        (
+            FlSolverKind::LocalSearch
+            | FlSolverKind::LocalSearchWarm
+            | FlSolverKind::LocalSearchRef,
+            Some(seed),
+        ) => {
+            let s = ws.local_search_from(&fl, seed, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        (FlSolverKind::LocalSearchAgg, Some(seed)) => {
+            let s = ws.local_search_aggregated_from(&fl, seed, &ls_cfg);
+            (s, ws.last_stats())
+        }
+        (FlSolverKind::LocalSearch, None) => {
             let s = ws.local_search(&fl, &ls_cfg);
             (s, ws.last_stats())
         }
-        FlSolverKind::LocalSearchWarm => {
+        (FlSolverKind::LocalSearchWarm, None) => {
             let s = dmn_facility::local_search_warm_in(ws, &fl, &ls_cfg);
             (s, ws.last_stats())
         }
-        FlSolverKind::LocalSearchAgg => {
+        (FlSolverKind::LocalSearchAgg, None) => {
             let s = ws.local_search_aggregated(&fl, &ls_cfg);
             (s, ws.last_stats())
         }
-        other => (other.as_solver().solve(&fl), SearchStats::default()),
+        (other, _) => (other.as_solver().solve(&fl), SearchStats::default()),
     };
     drop(fl);
     let after_phase1 = sol.open.clone();
@@ -455,6 +520,64 @@ mod tests {
             UpdatePolicy::MstMulticast,
         );
         assert!(c0.total().is_finite());
+    }
+
+    #[test]
+    fn warm_seed_is_sanitized_and_falls_back_cold() {
+        let g = generators::grid(3, 3, |_, _| 1.0);
+        let m = apsp(&g);
+        let mut w = uniform_reads(9);
+        w.writes[4] = 2.0;
+        let mut cs = vec![2.0; 9];
+        cs[3] = f64::INFINITY;
+        let cfg = ApproxConfig::default();
+        let cold = place_object(&m, &cs, &w, &cfg);
+
+        // A seed full of garbage (forbidden node, out-of-range node,
+        // duplicates) must survive: the sanitized remainder seeds the
+        // search, and the result is still a valid copy set.
+        let mut ws = FlWorkspace::new();
+        let (tr, _) = place_object_warm_in(&mut ws, &m, &cs, &w, &cfg, &[3, 42, 0, 0, 8]);
+        assert!(!tr.after_phase3.is_empty());
+        assert!(tr.after_phase3.iter().all(|&v| v < 9 && cs[v].is_finite()));
+
+        // An entirely-unusable seed falls back to the cold start exactly.
+        let (tr, _) = place_object_warm_in(&mut ws, &m, &cs, &w, &cfg, &[3, 42]);
+        assert_eq!(tr.after_phase3, cold);
+        let (tr, _) = place_object_warm_in(&mut ws, &m, &cs, &w, &cfg, &[]);
+        assert_eq!(tr.after_phase3, cold);
+    }
+
+    #[test]
+    fn warm_seed_from_own_output_is_stable() {
+        let g = generators::grid(3, 4, |u, v| ((u + v) % 3 + 1) as f64);
+        let m = apsp(&g);
+        let mut w = uniform_reads(12);
+        w.writes[7] = 2.5;
+        let cfg = ApproxConfig::default();
+        let cold = place_object(&m, &[4.0; 12], &w, &cfg);
+        // Re-solving seeded from the converged answer stays converged (the
+        // seed is already a local optimum of phase 1's neighborhood plus
+        // the deterministic radius phases).
+        let mut ws = FlWorkspace::new();
+        let (tr, t) = place_object_warm_in(&mut ws, &m, &[4.0; 12], &w, &cfg, &cold);
+        assert!(!tr.after_phase3.is_empty());
+        assert!(t.facility >= 0.0);
+    }
+
+    #[test]
+    fn warm_seed_ignored_by_non_local_search_backends() {
+        let g = generators::path(6, |_| 1.0);
+        let m = apsp(&g);
+        let w = uniform_reads(6);
+        let cfg = ApproxConfig {
+            fl_solver: FlSolverKind::MettuPlaxton,
+            ..ApproxConfig::default()
+        };
+        let cold = place_object(&m, &[1.0; 6], &w, &cfg);
+        let mut ws = FlWorkspace::new();
+        let (tr, _) = place_object_warm_in(&mut ws, &m, &[1.0; 6], &w, &cfg, &[5]);
+        assert_eq!(tr.after_phase3, cold, "non-seedable backend runs cold");
     }
 
     #[test]

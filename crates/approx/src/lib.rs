@@ -24,7 +24,7 @@ pub mod sparse_path;
 
 pub use algorithm::{
     place_all, place_object, place_object_in, place_object_instrumented, place_object_traced,
-    ApproxConfig, FlSolverKind, PhaseTimings, PhaseTrace,
+    place_object_warm_in, ApproxConfig, FlSolverKind, PhaseTimings, PhaseTrace,
 };
 pub use capacity::{enforce_capacities, respects_capacities, CapacityError};
 pub use proper::{check_proper, ProperReport};

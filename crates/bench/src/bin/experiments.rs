@@ -41,7 +41,9 @@ fn usage() -> ! {
          [--metric dense|sparse] [--capacities uniform:<k>] [--cap-engine INNER]\n       \
          experiments perf-smoke [--out PATH]\n       \
          experiments chaos [--out PATH]\n       \
-         experiments metrics [--out PATH]\n\n\
+         experiments metrics [--out PATH]\n       \
+         experiments timeline [--scenario PATH] [--engine NAME] [--out PATH]\n       \
+         experiments fuzz [--cases N] [--seed S] [--regress DIR] [--out PATH]\n\n\
          --capacities uniform:<k> caps every node at k copies (any solver; non-native\n\
          engines go through the greedy repair); --cap-engine INNER runs the native\n\
          capacitated engine over INNER (shorthand for --solver cap:INNER);\n\
@@ -70,6 +72,14 @@ fn main() {
     }
     if args[0] == "metrics" {
         run_metrics(&args[1..]);
+        return;
+    }
+    if args[0] == "timeline" {
+        run_timeline(&args[1..]);
+        return;
+    }
+    if args[0] == "fuzz" {
+        run_fuzz(&args[1..]);
         return;
     }
     for id in &args {
@@ -170,6 +180,13 @@ fn run_perf_smoke(args: &[String]) {
         );
         std::process::exit(1);
     }
+    if !outcome.timeline_ok {
+        eprintln!(
+            "perf-smoke: timeline gate FAILED — the warm-start chain cost more than the \
+             cold per-slot re-solve on a slot of the pinned time-sliced scenario (see {out})"
+        );
+        std::process::exit(1);
+    }
     if !outcome.sparse_within_eps {
         eprintln!(
             "perf-smoke: sparse metric backend costs {:.4}x the dense solve on the \
@@ -245,14 +262,149 @@ fn run_perf_smoke(args: &[String]) {
          static oracle on the stationary stream; shard cost skew {:.2}x; server \
          sustained {:.0} lookups/s with post-swap costs equal to from-scratch; \
          telemetry overhead ratio {:.3} (lookup p50 {:.2e}s, p99 {:.2e}s); \
-         sparse/dense control cost ratio {:.4}; phase-1 speedup {:.1}x; artifact at {out}",
+         sparse/dense control cost ratio {:.4}; warm timeline chain <= cold on all {} \
+         slots ({} fallbacks); phase-1 speedup {:.1}x; artifact at {out}",
         outcome.shard_cost_skew,
         outcome.server.lookups_per_sec,
         outcome.telemetry.overhead_ratio,
         outcome.server.lookup_p50,
         outcome.server.lookup_p99,
         outcome.sparse_cost_ratio,
+        outcome.timeline.slots.len(),
+        outcome.timeline.warm_fallbacks,
         outcome.phase1_speedup
+    );
+}
+
+/// The timeline runner: per-slot re-solves (cold and warm-chained) plus
+/// the dynamic zoo over a time-sliced scenario. Defaults to the pinned
+/// `scenarios/grid_timeline.json` scenario and the `approx` engine;
+/// `--scenario PATH` loads any scenario JSON with a `timeline` block.
+/// Exits non-zero when the warm chain loses to cold on any slot.
+fn run_timeline(args: &[String]) {
+    let mut out = "TIMELINE_ci.json".to_string();
+    let mut engine = "approx".to_string();
+    let mut scenario_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {what}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--engine" => engine = value("--engine"),
+            "--scenario" => scenario_path = Some(value("--scenario")),
+            _ => usage(),
+        }
+    }
+    let scenario = match scenario_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("timeline: could not read {path}: {e}");
+                std::process::exit(1);
+            });
+            let json = dmn_json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("timeline: {path} is not valid JSON: {e}");
+                std::process::exit(1);
+            });
+            Scenario::from_json(&json).unwrap_or_else(|e| {
+                eprintln!("timeline: {path} is not a scenario: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => dmn_bench::timeline::pinned_scenario(),
+    };
+    let report = match dmn_bench::timeline::run_timeline(&scenario, &engine, &SolveRequest::new()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("timeline: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, report.to_json().to_string_pretty()) {
+        eprintln!("timeline: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    let churn: usize = report.slots.iter().map(|s| s.warm_moved).sum();
+    if !report.timeline_ok() {
+        eprintln!(
+            "timeline: warm chain LOST to cold on a slot (cold total {:.3}, warm total \
+             {:.3}, see {out})",
+            report.cold_total(),
+            report.warm_total()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "timeline: {} slots of '{}' through {engine}; cold total {:.3}, warm total {:.3} \
+         ({} cold fallbacks), {} copies moved by the warm chain; {} dynamic strategies \
+         replayed; artifact at {out}",
+        report.slots.len(),
+        report.scenario,
+        report.cold_total(),
+        report.warm_total(),
+        report.warm_fallbacks,
+        churn,
+        report.dynamic.len()
+    );
+}
+
+/// The differential scenario fuzzer: seeded random timeline scenarios
+/// through the registry engines (dense/sparse approx, sharded, native
+/// capacitated, tree-dp) with invariant checks; violations are minimized
+/// and — with `--regress DIR` — written as replayable scenario JSON.
+/// Exits non-zero when any case violates an invariant.
+fn run_fuzz(args: &[String]) {
+    let mut cfg = dmn_bench::fuzz::FuzzConfig::default();
+    let mut out = "FUZZ_ci.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {what}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--cases" => cfg.cases = value("--cases").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--regress" => cfg.regress_dir = Some(value("--regress").into()),
+            "--out" => out = value("--out"),
+            _ => usage(),
+        }
+    }
+    let outcome = dmn_bench::fuzz::run_fuzz(&cfg);
+    if let Err(e) = std::fs::write(&out, outcome.to_json().to_string_pretty()) {
+        eprintln!("fuzz: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    if !outcome.clean() {
+        eprintln!(
+            "fuzz: {} of {} cases VIOLATED an invariant (see {out}):",
+            outcome.violations.len(),
+            outcome.cases
+        );
+        for v in &outcome.violations {
+            eprintln!("  case {} [{}] {}", v.case, v.kind, v.detail);
+        }
+        if let Some(dir) = &cfg.regress_dir {
+            eprintln!("  minimized scenarios written to {}", dir.display());
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz: {} seeded timeline scenarios through {} engines ({}), zero panics, zero \
+         invariant violations; artifact at {out}",
+        outcome.cases,
+        outcome.engines.len(),
+        outcome.engines.join(", ")
     );
 }
 
@@ -499,6 +651,7 @@ fn run_solver_bench(args: &[String]) {
             stream: None,
             drift: None,
             faults: None,
+            timeline: None,
         };
         let instance = scenario.build_instance();
         let req = match scenario.capacity_vector(instance.num_nodes()) {

@@ -86,6 +86,7 @@ pub fn run() -> Report {
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     };
     let instance = scenario.build_instance();
     let unconstrained = place_all(&instance, &ApproxConfig::default());

@@ -43,6 +43,7 @@ pub fn run() -> Report {
             stream: None,
             drift: None,
             faults: None,
+            timeline: None,
         };
         let instance = scenario.build_instance();
         instance.metric(); // pay the APSP once, outside the timed region

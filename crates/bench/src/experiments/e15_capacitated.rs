@@ -45,6 +45,7 @@ fn scenarios() -> Vec<Scenario> {
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     };
     vec![
         build(

@@ -58,6 +58,7 @@ fn scenario(name: &str, topology: TopologyKind, nodes: usize, truncating: bool) 
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 

@@ -33,6 +33,13 @@
 //!   throughput and the [`MIN_SERVER_LOOKUPS_PER_SEC`] floor (the
 //!   "observability is near-free" acceptance bar);
 //!
+//! * `timeline_ok` — the warm-start chain over the pinned time-sliced
+//!   scenario ([`crate::timeline::pinned_scenario`]) must never cost more
+//!   than the cold per-slot re-solve on any slot (beyond
+//!   [`crate::timeline::WARM_TOLERANCE`]); the artifact's `timeline`
+//!   section carries the cost-over-time and copies-moved-per-slot series
+//!   for both chains and the dynamic zoo;
+//!
 //! * `scale_ok` — the sparse metric backend must stay within
 //!   [`MAX_SPARSE_COST_RATIO`] of the dense solve on the truncating
 //!   control scenario (a hotspot variant of the smoke grid where the
@@ -57,7 +64,7 @@ use dmn_workloads::{DriftSpec, Scenario, TopologyKind, WorkloadParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{chaos_replay, server_bench};
+use crate::{chaos_replay, server_bench, timeline};
 
 /// Shard count pinned for the smoke run (small enough for 2-core CI
 /// runners, big enough to exercise a real fan-out and merge).
@@ -140,6 +147,7 @@ pub fn smoke_scenario() -> Scenario {
         // "million-user" trace of the acceptance gate.
         drift: Some(DriftSpec::default()),
         faults: None,
+        timeline: None,
     }
 }
 
@@ -190,6 +198,7 @@ pub fn scale_scenario() -> Scenario {
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 
@@ -302,6 +311,13 @@ pub struct SmokeOutcome {
     /// True when `sparse_cost_ratio` stays under
     /// [`MAX_SPARSE_COST_RATIO`] (the quality half of `scale_ok`).
     pub sparse_within_eps: bool,
+    /// The timeline run backing `timeline_ok` (the pinned time-sliced
+    /// scenario through the warm/cold chains and the dynamic zoo).
+    pub timeline: timeline::TimelineReport,
+    /// True when the warm-start chain never cost more than the cold
+    /// per-slot re-solve on any slot of the pinned timeline scenario
+    /// (beyond [`timeline::WARM_TOLERANCE`]).
+    pub timeline_ok: bool,
     /// The 10k-node sparse run, when one was attached ([`run`] attaches it
     /// in release builds; debug runs and the scaled-down unit tests skip
     /// the multi-second solve).
@@ -329,6 +345,7 @@ impl SmokeOutcome {
             && self.server_ok
             && self.obs_ok
             && self.sparse_within_eps
+            && self.timeline_ok
             && self.chaos_ok
     }
 
@@ -466,6 +483,15 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
     let sparse_cost_ratio = control_sparse.cost.total() / control_dense.cost.total();
     let sparse_within_eps = sparse_cost_ratio <= MAX_SPARSE_COST_RATIO;
 
+    // The timeline gate: over the pinned time-sliced scenario the
+    // warm-start chain must never lose to the cold per-slot re-solve on
+    // any slot (the best-of fold makes that hold by construction; the
+    // recorded `warm_fallbacks` counter keeps the claim honest).
+    let timeline_report =
+        timeline::run_timeline(&timeline::pinned_scenario(), "approx", &SolveRequest::new())
+            .expect("pinned timeline scenario runs");
+    let timeline_ok = timeline_report.timeline_ok();
+
     // The dynamic gate: on a stationary stream the informed static oracle
     // must win against every online strategy.
     let dynamic = run_dynamic(&instance, scenario.seed);
@@ -565,6 +591,7 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
             ]),
         ),
         ("dynamic", dynamic.to_json()),
+        ("timeline", timeline_report.to_json()),
         ("server", server.to_json()),
         ("telemetry", telemetry_ab.to_json()),
         (
@@ -596,6 +623,7 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         ("shard_cost_skew", Json::Num(shard_cost_skew)),
         ("server_ok", Json::Bool(server_ok)),
         ("obs_ok", Json::Bool(obs_ok)),
+        ("timeline_ok", Json::Bool(timeline_ok)),
         ("phase1_speedup", Json::Num(phase1_speedup)),
         ("scale_ok", Json::Bool(sparse_within_eps)),
         // Both are filled by `attach_chaos` (`run` always attaches).
@@ -618,6 +646,8 @@ pub fn run_with(scenario: &Scenario, shards: usize) -> SmokeOutcome {
         phase1_speedup,
         sparse_cost_ratio,
         sparse_within_eps,
+        timeline: timeline_report,
+        timeline_ok,
         scale: None,
         scale_ok: sparse_within_eps,
         chaos: None,
@@ -740,6 +770,20 @@ mod tests {
             "sparse backend cost ratio {:.4} breaches the {:.2} ceiling",
             outcome.sparse_cost_ratio, MAX_SPARSE_COST_RATIO
         );
+        assert!(
+            outcome.timeline_ok,
+            "warm chain lost to cold on a slot: {:?}",
+            outcome
+                .timeline
+                .slots
+                .iter()
+                .map(|s| (s.slot, s.cold_cost, s.warm_cost))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            !outcome.timeline.slots.is_empty(),
+            "timeline gate solved at least one slot"
+        );
         assert!(outcome.scale_ok, "no scale run attached: ratio gate only");
         assert!(outcome.scale.is_none(), "run_with never runs the 10k solve");
         assert!(
@@ -796,6 +840,17 @@ mod tests {
             "\"sampling_interval\"",
             "\"shards_balanced\"",
             "\"shard_cost_skew\"",
+            "\"timeline\"",
+            "\"timeline_ok\"",
+            "\"cold_costs\"",
+            "\"warm_costs\"",
+            "\"warm_raw_costs\"",
+            "\"cold_moved\"",
+            "\"warm_moved\"",
+            "\"warm_fallbacks\"",
+            "\"cost_multipliers\"",
+            "\"demand_multipliers\"",
+            "\"copies_moved\"",
             "\"scale\"",
             "\"scale_ok\"",
             "\"sparse_cost_ratio\"",

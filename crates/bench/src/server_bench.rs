@@ -377,6 +377,7 @@ mod tests {
                 resolve_threshold: 0.02,
             }),
             faults: None,
+            timeline: None,
         }
     }
 

@@ -1,0 +1,40 @@
+//! Replays the committed fuzzer-minimized regression corpus.
+//!
+//! Every scenario under `scenarios/regress/` is a minimized reproduction
+//! of a bug the differential fuzzer once caught (an engine panic, a
+//! cross-engine divergence, a warm-chain regression). After the fix the
+//! scenario stays committed: this test drives each one through the exact
+//! fuzz oracle (`dmn_bench::fuzz::check_scenario`) and fails if any of
+//! them violates an invariant again.
+
+use std::path::PathBuf;
+
+#[test]
+fn committed_regressions_stay_fixed() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/regress");
+    let failing = dmn_bench::fuzz::replay_regressions(&dir).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        failing.is_empty(),
+        "regression scenarios violate invariants again:\n{}",
+        failing
+            .iter()
+            .map(|(file, kind, detail)| format!("  {file} [{kind}] {detail}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The corpus is non-empty and every file parses — an empty or unreadable
+/// corpus would make the replay test pass vacuously.
+#[test]
+fn regress_corpus_is_present_and_parseable() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/regress");
+    let corpus = dmn_workloads::Scenario::load_corpus(&dir).unwrap_or_else(|e| panic!("{e}"));
+    assert!(!corpus.is_empty(), "scenarios/regress/ must not be empty");
+    for (file, scenario) in &corpus {
+        assert!(
+            scenario.timeline.is_some(),
+            "{file} is a timeline regression and must carry a timeline block"
+        );
+    }
+}

@@ -84,10 +84,9 @@ impl StaticOracle {
     /// rest go through the wrapped engine as one instance.
     ///
     /// # Errors
-    /// [`Unsupported`] when the wrapped engine cannot run on the network.
-    ///
-    /// # Panics
-    /// Panics when no node has finite storage cost.
+    /// [`Unsupported`] when the wrapped engine cannot run on the network,
+    /// or when no node has finite storage cost (nothing can be placed
+    /// anywhere).
     pub fn place_on(
         &self,
         base: &Instance,
@@ -105,18 +104,15 @@ impl StaticOracle {
                 inst.push_object(w.clone());
             }
         }
-        let mut out: Vec<Vec<NodeId>> = workloads
-            .iter()
-            .map(|_| {
-                // Never-requested objects: park one copy on the cheapest
-                // allowed node (replaced below for solved objects).
-                let v = (0..cs.len())
-                    .filter(|&v| cs[v].is_finite())
-                    .min_by(|&a, &b| cs[a].partial_cmp(&cs[b]).expect("no NaN"))
-                    .expect("an allowed node exists");
-                vec![v]
-            })
-            .collect();
+        // Never-requested objects: park one copy on the cheapest allowed
+        // node (replaced below for solved objects).
+        let park = (0..cs.len())
+            .filter(|&v| cs[v].is_finite())
+            .min_by(|&a, &b| cs[a].total_cmp(&cs[b]))
+            .ok_or_else(|| Unsupported {
+                reason: "no node has finite storage cost".to_string(),
+            })?;
+        let mut out: Vec<Vec<NodeId>> = workloads.iter().map(|_| vec![park]).collect();
         if !solved_indices.is_empty() {
             self.engine.supports(&inst)?;
             let report = self.engine.solve(&inst, &self.request);
@@ -165,11 +161,7 @@ impl StaticOracle {
                 if w.total_requests() == 0.0 {
                     let v = (0..storage_cost.len())
                         .filter(|&v| storage_cost[v].is_finite())
-                        .min_by(|&a, &b| {
-                            storage_cost[a]
-                                .partial_cmp(&storage_cost[b])
-                                .expect("no NaN")
-                        })
+                        .min_by(|&a, &b| storage_cost[a].total_cmp(&storage_cost[b]))
                         .expect("an allowed node exists");
                     vec![v]
                 } else {

@@ -33,18 +33,25 @@
 //! placement computed with full knowledge of the stream's frequencies.
 
 pub mod bridge;
+pub mod error;
 pub mod migration;
+pub mod replay;
 pub mod report;
 pub mod sim;
 pub mod strategy;
 pub mod stream;
 
 pub use bridge::{compete, StaticOracle};
+pub use error::DynamicError;
 pub use migration::MigrationStrategy;
+pub use replay::{try_replay_slots, ReplaySlot, SlotOutcome};
 pub use report::{CompetitiveReport, StrategyRun};
-pub use sim::{simulate, simulate_segmented, DynamicCost};
+pub use sim::{simulate, simulate_segmented, try_simulate, try_simulate_segmented, DynamicCost};
 pub use strategy::{
     standard_zoo, CountingStrategy, DynamicStrategy, FixedStrategy, MigratoryCountingStrategy,
     RentToBuyStrategy,
 };
-pub use stream::{adversarial_stream, AdversarialConfig, Request, RequestKind, StreamConfig};
+pub use stream::{
+    adversarial_stream, sample_stream, try_adversarial_stream, try_sample_stream,
+    AdversarialConfig, Request, RequestKind, StreamConfig,
+};

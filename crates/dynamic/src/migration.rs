@@ -45,10 +45,11 @@ impl DynamicStrategy for MigrationStrategy {
         let mut out = Reconfiguration::default();
         // Started from a single copy the set stays single (replicate +
         // invalidate are atomic); from a multi-copy start the copy
-        // *nearest the requester* is the one that migrates.
-        let (home, _) = metric
-            .nearest_in(req.node, copies)
-            .expect("object has copies");
+        // *nearest the requester* is the one that migrates. An empty copy
+        // set (degenerate input) is a no-op.
+        let Some((home, _)) = metric.nearest_in(req.node, copies) else {
+            return out;
+        };
         if req.node == home {
             return out;
         }

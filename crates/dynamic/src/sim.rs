@@ -20,6 +20,7 @@ use dmn_core::instance::ObjectWorkload;
 use dmn_graph::mst::metric_mst_weight;
 use dmn_graph::{Metric, NodeId};
 
+use crate::error::DynamicError;
 use crate::strategy::DynamicStrategy;
 use crate::stream::{Request, RequestKind};
 
@@ -57,6 +58,72 @@ impl std::ops::AddAssign for DynamicCost {
     }
 }
 
+/// What one request did to the model: the costs charged and the number of
+/// replications that actually landed (the simulator may veto some).
+pub(crate) struct StepOutcome {
+    /// Transfer cost of the accepted replications.
+    pub transfer: f64,
+    /// Serve distance (read or write leg, before the multicast).
+    pub serve: f64,
+    /// Copies created this step — the placement-churn unit.
+    pub copies_added: usize,
+}
+
+/// Applies one request to `set` under the model-authority rules shared by
+/// every simulator entry point: the strategy reconfigures first, forbidden
+/// replications are rejected (cancelling paired invalidations when *all*
+/// replications were rejected), last-copy invalidations are ignored, then
+/// the request is served from the resulting set.
+pub(crate) fn apply_request(
+    metric: &Metric,
+    storage_cost: &[f64],
+    set: &mut Vec<NodeId>,
+    req: &Request,
+    strategy: &mut dyn DynamicStrategy,
+) -> Result<(StepOutcome, f64), DynamicError> {
+    let rec = strategy.on_request(req, set, metric);
+    let mut out = StepOutcome {
+        transfer: 0.0,
+        serve: 0.0,
+        copies_added: 0,
+    };
+    let mut applied = 0usize;
+    for &v in &rec.replicate_to {
+        if v >= metric.len() || !storage_cost[v].is_finite() {
+            continue;
+        }
+        if set.binary_search(&v).is_err() {
+            let (_, d) = metric
+                .nearest_in(v, set)
+                .ok_or(DynamicError::EmptyCopySet { object: req.object })?;
+            out.transfer += d;
+            let pos = set.binary_search(&v).unwrap_err();
+            set.insert(pos, v);
+            out.copies_added += 1;
+        }
+        applied += 1;
+    }
+    if rec.replicate_to.is_empty() || applied > 0 {
+        for &v in &rec.invalidate {
+            if set.len() > 1 {
+                if let Ok(pos) = set.binary_search(&v) {
+                    set.remove(pos);
+                }
+            }
+        }
+    }
+
+    let (_, d) = metric
+        .nearest_in(req.node, set)
+        .ok_or(DynamicError::EmptyCopySet { object: req.object })?;
+    out.serve = d;
+    let multicast = match req.kind {
+        RequestKind::Read => 0.0,
+        RequestKind::Write => metric_mst_weight(metric, set),
+    };
+    Ok((out, multicast))
+}
+
 /// Simulates `strategy` over `stream`, starting from `initial` copy sets.
 ///
 /// # Panics
@@ -72,19 +139,35 @@ pub fn simulate(
     stream: &[Request],
     strategy: &mut dyn DynamicStrategy,
 ) -> DynamicCost {
-    let segments = simulate_segmented(
+    try_simulate(metric, storage_cost, initial, stream, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`simulate`], but returns a typed error instead of panicking on
+/// degenerate inputs — the entry point for fuzzer-generated runs.
+///
+/// # Errors
+/// Returns [`DynamicError`] on an empty initial copy set or an
+/// out-of-range object/node reference.
+pub fn try_simulate(
+    metric: &Metric,
+    storage_cost: &[f64],
+    initial: &[Vec<NodeId>],
+    stream: &[Request],
+    strategy: &mut dyn DynamicStrategy,
+) -> Result<DynamicCost, DynamicError> {
+    let segments = try_simulate_segmented(
         metric,
         storage_cost,
         initial,
         stream,
         strategy,
         stream.len().max(1),
-    );
+    )?;
     let mut total = DynamicCost::default();
     for seg in segments {
         total += seg;
     }
-    total
+    Ok(total)
 }
 
 /// Simulates `strategy` over `stream` like [`simulate`], but returns the
@@ -108,15 +191,53 @@ pub fn simulate_segmented(
     strategy: &mut dyn DynamicStrategy,
     segment_len: usize,
 ) -> Vec<DynamicCost> {
-    assert!(segment_len > 0, "segment length must be positive");
-    let n = metric.len();
-    let steps = stream.len().max(1) as f64;
+    try_simulate_segmented(metric, storage_cost, initial, stream, strategy, segment_len)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Normalizes and checks the initial copy sets: sorted, deduped,
+/// non-empty, every node in range.
+pub(crate) fn check_initial(
+    initial: &[Vec<NodeId>],
+    n: usize,
+) -> Result<Vec<Vec<NodeId>>, DynamicError> {
     let mut copies: Vec<Vec<NodeId>> = initial.to_vec();
     for (x, set) in copies.iter_mut().enumerate() {
         set.sort_unstable();
         set.dedup();
-        assert!(!set.is_empty(), "object {x} starts with no copies");
+        if set.is_empty() {
+            return Err(DynamicError::EmptyInitialPlacement { object: x });
+        }
+        if let Some(&v) = set.last() {
+            if v >= n {
+                return Err(DynamicError::NodeOutOfRange { node: v, nodes: n });
+            }
+        }
     }
+    Ok(copies)
+}
+
+/// Like [`simulate_segmented`], but returns a typed error instead of
+/// panicking on degenerate inputs.
+///
+/// # Errors
+/// Returns [`DynamicError`] when `segment_len` is zero, an object starts
+/// with no copies, or a request (or initial copy) references an
+/// out-of-range object/node.
+pub fn try_simulate_segmented(
+    metric: &Metric,
+    storage_cost: &[f64],
+    initial: &[Vec<NodeId>],
+    stream: &[Request],
+    strategy: &mut dyn DynamicStrategy,
+    segment_len: usize,
+) -> Result<Vec<DynamicCost>, DynamicError> {
+    if segment_len == 0 {
+        return Err(DynamicError::ZeroSegment);
+    }
+    let n = metric.len();
+    let steps = stream.len().max(1) as f64;
+    let mut copies = check_initial(initial, n)?;
     let mut segments = vec![DynamicCost::default(); stream.len().div_ceil(segment_len).max(1)];
     // Steps held per (object, node), flushed into rent at segment ends so
     // a copy held for the whole stream costs exactly `cs(v) * (T/T)`.
@@ -139,49 +260,29 @@ pub fn simulate_segmented(
             flush_rent(prev, &mut held);
         }
         let cost = &mut segments[seg];
-        assert!(req.node < n);
+        if req.node >= n {
+            return Err(DynamicError::NodeOutOfRange {
+                node: req.node,
+                nodes: n,
+            });
+        }
+        if req.object >= copies.len() {
+            return Err(DynamicError::ObjectOutOfRange {
+                object: req.object,
+                objects: copies.len(),
+            });
+        }
         let set = &mut copies[req.object];
 
-        // Strategy reconfigures first. The simulator is the model
-        // authority: replication onto a storage-forbidden node
-        // (`cs(v) = inf`, exactly the nodes the static engines never
-        // open) is rejected — and when a step's replications are rejected
-        // *entirely*, its invalidations are cancelled too, so a
-        // replicate + invalidate pair (a migration) cannot degrade into a
-        // pure deletion. An invalidation that would drop the last copy is
-        // ignored, mirroring the static model's "every object keeps at
-        // least one copy" invariant.
-        let rec = strategy.on_request(req, set, metric);
-        let mut applied = 0usize;
-        for &v in &rec.replicate_to {
-            if !storage_cost[v].is_finite() {
-                continue;
-            }
-            if set.binary_search(&v).is_err() {
-                let (_, d) = metric.nearest_in(v, set).expect("non-empty");
-                cost.transfer += d;
-                let pos = set.binary_search(&v).unwrap_err();
-                set.insert(pos, v);
-            }
-            applied += 1;
-        }
-        if rec.replicate_to.is_empty() || applied > 0 {
-            for &v in &rec.invalidate {
-                if set.len() > 1 {
-                    if let Ok(pos) = set.binary_search(&v) {
-                        set.remove(pos);
-                    }
-                }
-            }
-        }
-
-        // Serve.
-        let (_, d) = metric.nearest_in(req.node, set).expect("non-empty");
+        // Strategy reconfigures first; `apply_request` is the model
+        // authority (forbidden replications rejected, paired
+        // invalidations cancelled with them, last-copy invalidations
+        // ignored), then serves.
+        let (step, multicast) = apply_request(metric, storage_cost, set, req, strategy)?;
+        cost.transfer += step.transfer;
         match req.kind {
-            RequestKind::Read => cost.read += d,
-            RequestKind::Write => {
-                cost.write += d + metric_mst_weight(metric, set);
-            }
+            RequestKind::Read => cost.read += step.serve,
+            RequestKind::Write => cost.write += step.serve + multicast,
         }
 
         // Rent for this step: every object's held copies accrue, not just
@@ -195,7 +296,7 @@ pub fn simulate_segmented(
     if let Some(last) = segments.last_mut() {
         flush_rent(last, &mut held);
     }
-    segments
+    Ok(segments)
 }
 
 /// Convenience: the cost a static placement incurs on a stream (a

@@ -94,10 +94,12 @@ impl DynamicStrategy for CountingStrategy {
                     *c = 0.0;
                 }
                 if copies.len() > 1 {
-                    let (keep, _) = metric
-                        .nearest_in(req.node, copies)
-                        .expect("object has copies");
-                    out.invalidate = copies.iter().copied().filter(|&v| v != keep).collect();
+                    // copies.len() > 1 guarantees nearest_in succeeds; a
+                    // defensive None (degenerate input) is a no-op, not a
+                    // panic.
+                    if let Some((keep, _)) = metric.nearest_in(req.node, copies) {
+                        out.invalidate = copies.iter().copied().filter(|&v| v != keep).collect();
+                    }
                 }
             }
         }
@@ -168,8 +170,11 @@ impl DynamicStrategy for RentToBuyStrategy {
         } else if req.kind == RequestKind::Read {
             // Only reads accumulate toward a buy: a new copy serves reads
             // locally but makes every write *more* expensive (one more
-            // multicast leaf), so remote writes never justify one.
-            let (_, d) = metric.nearest_in(req.node, copies).expect("non-empty");
+            // multicast leaf), so remote writes never justify one. An
+            // empty copy set (degenerate input) is a no-op.
+            let Some((_, d)) = metric.nearest_in(req.node, copies) else {
+                return out;
+            };
             let paid = &mut self.paid[x][req.node];
             *paid += d;
             // Buy price: ship the object + rent owed for the rest of the
@@ -249,18 +254,16 @@ impl DynamicStrategy for MigratoryCountingStrategy {
                     *c = 0.0;
                     out.replicate_to.push(req.node);
                     if copies.len() >= self.max_copies {
-                        // Budget exhausted: the farthest copy migrates.
-                        let far = copies
-                            .iter()
-                            .copied()
-                            .max_by(|&a, &b| {
-                                metric
-                                    .dist(req.node, a)
-                                    .partial_cmp(&metric.dist(req.node, b))
-                                    .expect("no NaN")
-                            })
-                            .expect("object has copies");
-                        out.invalidate.push(far);
+                        // Budget exhausted: the farthest copy migrates
+                        // (total_cmp tolerates NaN distances; an empty
+                        // set is a plain replication).
+                        if let Some(far) = copies.iter().copied().max_by(|&a, &b| {
+                            metric
+                                .dist(req.node, a)
+                                .total_cmp(&metric.dist(req.node, b))
+                        }) {
+                            out.invalidate.push(far);
+                        }
                     }
                 }
             }
@@ -269,10 +272,9 @@ impl DynamicStrategy for MigratoryCountingStrategy {
                     *c = 0.0;
                 }
                 if copies.len() > 1 {
-                    let (keep, _) = metric
-                        .nearest_in(req.node, copies)
-                        .expect("object has copies");
-                    out.invalidate = copies.iter().copied().filter(|&v| v != keep).collect();
+                    if let Some((keep, _)) = metric.nearest_in(req.node, copies) {
+                        out.invalidate = copies.iter().copied().filter(|&v| v != keep).collect();
+                    }
                 }
             }
         }

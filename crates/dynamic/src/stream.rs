@@ -3,6 +3,8 @@
 use dmn_core::instance::ObjectWorkload;
 use rand::Rng;
 
+use crate::error::DynamicError;
+
 /// Read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestKind {
@@ -49,12 +51,33 @@ impl Default for StreamConfig {
 /// Samples a request stream whose empirical frequencies follow the given
 /// per-object workloads (weighted by request mass), with optional phase
 /// shifts rotating node identities between phases.
+///
+/// # Panics
+/// Panics when `workloads` is empty or carries no request mass at all;
+/// untrusted input goes through [`try_sample_stream`].
 pub fn sample_stream(
     workloads: &[ObjectWorkload],
     cfg: &StreamConfig,
     rng: &mut impl Rng,
 ) -> Vec<Request> {
-    assert!(!workloads.is_empty());
+    try_sample_stream(workloads, cfg, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`sample_stream`], but returns a typed error instead of panicking
+/// on degenerate workloads — the entry point for fuzzer-generated slots
+/// (a fully-parked slot has no request mass anywhere).
+///
+/// # Errors
+/// Returns [`DynamicError::EmptyWorkloads`] for an empty workload list
+/// and [`DynamicError::NoRequests`] when no workload carries any mass.
+pub fn try_sample_stream(
+    workloads: &[ObjectWorkload],
+    cfg: &StreamConfig,
+    rng: &mut impl Rng,
+) -> Result<Vec<Request>, DynamicError> {
+    if workloads.is_empty() {
+        return Err(DynamicError::EmptyWorkloads);
+    }
     let n = workloads[0].num_nodes();
     // Flatten (object, node, kind) atoms with weights for sampling.
     let mut atoms: Vec<(usize, usize, RequestKind, f64)> = Vec::new();
@@ -69,7 +92,9 @@ pub fn sample_stream(
         }
     }
     let total: f64 = atoms.iter().map(|a| a.3).sum();
-    assert!(total > 0.0, "workloads have no requests");
+    if total <= 0.0 || total.is_nan() {
+        return Err(DynamicError::NoRequests);
+    }
     let mut prefix = Vec::with_capacity(atoms.len());
     let mut acc = 0.0;
     for a in &atoms {
@@ -90,7 +115,7 @@ pub fn sample_stream(
             kind,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Configuration of a deterministic adversarial stream.
@@ -122,11 +147,27 @@ impl Default for AdversarialConfig {
 /// made, and no fixed placement is good for long either.
 ///
 /// # Panics
-/// Panics when `n == 0`, `burst == 0`, or `num_objects == 0`.
+/// Panics when `n == 0`, `burst == 0`, or `num_objects == 0`; untrusted
+/// input goes through [`try_adversarial_stream`].
 pub fn adversarial_stream(n: usize, cfg: &AdversarialConfig) -> Vec<Request> {
-    assert!(n > 0 && cfg.burst > 0 && cfg.num_objects > 0);
+    try_adversarial_stream(n, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`adversarial_stream`], but returns a typed error instead of
+/// panicking on out-of-range parameters.
+///
+/// # Errors
+/// Returns [`DynamicError::BadAdversary`] when `n`, `burst`, or
+/// `num_objects` is zero.
+pub fn try_adversarial_stream(
+    n: usize,
+    cfg: &AdversarialConfig,
+) -> Result<Vec<Request>, DynamicError> {
+    if n == 0 || cfg.burst == 0 || cfg.num_objects == 0 {
+        return Err(DynamicError::BadAdversary);
+    }
     let cycle = cfg.burst + 1;
-    (0..cfg.length)
+    Ok((0..cfg.length)
         .map(|i| {
             let object = (i / cycle) % cfg.num_objects;
             let round = i / (cycle * cfg.num_objects);
@@ -145,7 +186,7 @@ pub fn adversarial_stream(n: usize, cfg: &AdversarialConfig) -> Vec<Request> {
                 }
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Empirical per-object workloads of a stream (unit mass per request) —

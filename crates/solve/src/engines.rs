@@ -13,7 +13,8 @@ use std::time::Instant;
 
 use dmn_approx::baselines;
 use dmn_approx::{
-    place_object_in, place_object_sparse_in, PhaseTimings, PhaseTrace, SparseOutcome,
+    place_object_in, place_object_sparse_in, place_object_warm_in, PhaseTimings, PhaseTrace,
+    SparseOutcome,
 };
 use dmn_core::faults;
 use dmn_core::instance::{Instance, ObjectWorkload};
@@ -82,13 +83,17 @@ impl Solver for ApproxSolver {
         let cfg = req.approx_config();
         let metric = instance.metric();
         // One facility-location workspace per worker thread, reused across
-        // every object that worker processes.
+        // every object that worker processes. Objects are fanned out by
+        // index so each can be paired with its warm phase-1 seed.
+        let warm = req.fl.warm_placement.as_deref();
+        let indices: Vec<usize> = (0..instance.objects.len()).collect();
         let expired_objects = AtomicUsize::new(0);
         let results: Vec<(PhaseTrace, PhaseTimings)> = par_map_threads_with(
-            &instance.objects,
+            &indices,
             req.shard.max_threads,
             FlWorkspace::new,
-            |ws, w| {
+            |ws, &x| {
+                let w = &instance.objects[x];
                 let _ = faults::hit(faults::points::SOLVE_PHASE1);
                 if req.robust.expired(started) {
                     // Deadline checkpoint: objects already placed keep their
@@ -100,7 +105,13 @@ impl Solver for ApproxSolver {
                 // One span per object wrapping the three per-phase spans
                 // the algorithm itself emits.
                 let span = telemetry::span(telemetry::spans::SOLVE_OBJECT);
-                let placed = place_object_in(ws, metric, &instance.storage_cost, w, &cfg);
+                let seed = warm.and_then(|sets| sets.get(x)).filter(|s| !s.is_empty());
+                let placed = match seed {
+                    Some(seed) => {
+                        place_object_warm_in(ws, metric, &instance.storage_cost, w, &cfg, seed)
+                    }
+                    None => place_object_in(ws, metric, &instance.storage_cost, w, &cfg),
+                };
                 span.finish();
                 placed
             },
@@ -146,6 +157,10 @@ impl Solver for ApproxSolver {
             ("fl-candidates", timings.fl_candidates.to_string()),
             ("metric-backend", req.metric.backend.name().to_string()),
         ];
+        if let Some(sets) = warm {
+            let seeded = sets.iter().take(indices.len()).filter(|s| !s.is_empty());
+            meta.push(("warm-seeded-objects", seeded.count().to_string()));
+        }
         let expired = expired_objects.load(Ordering::Relaxed);
         if expired > 0 {
             meta.push(("deadline-fallback-objects", expired.to_string()));

@@ -24,6 +24,15 @@ pub struct FlOpts {
     pub skip_phase2: bool,
     /// Skip the radius-prune phase (ablation).
     pub skip_phase3: bool,
+    /// Per-object warm phase-1 seeds, aligned with the instance's object
+    /// list (typically each object's copy set from the previous time
+    /// slot). An empty inner vec means "no seed for this object"; objects
+    /// past the end of the outer vec run cold. Seeds are sanitized by the
+    /// algorithm (out-of-range / forbidden nodes dropped, empty survivors
+    /// fall back cold), so stale sets are safe. Consumed by the dense
+    /// `approx` path only; non-local-search phase-1 backends and the
+    /// sparse path ignore it.
+    pub warm_placement: Option<Vec<Vec<usize>>>,
 }
 
 impl Default for FlOpts {
@@ -35,6 +44,7 @@ impl Default for FlOpts {
             write_prune_factor: 4.0,
             skip_phase2: false,
             skip_phase3: false,
+            warm_placement: None,
         }
     }
 }
@@ -316,6 +326,14 @@ impl SolveRequest {
     /// Toggles the Mettu–Plaxton warm start for the phase-1 local search.
     pub fn fl_warm_start(mut self, warm: bool) -> Self {
         self.fl.warm_start = warm;
+        self
+    }
+
+    /// Seeds the phase-1 search per object from a previous placement's
+    /// copy sets (see [`FlOpts::warm_placement`]) — the warm-start chain
+    /// of the timeline runner.
+    pub fn warm_placement(mut self, sets: Vec<Vec<usize>>) -> Self {
+        self.fl.warm_placement = Some(sets);
         self
     }
 

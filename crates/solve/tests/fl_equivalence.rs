@@ -31,6 +31,7 @@ fn scenario(nodes: usize, objects: usize, seed: u64) -> Scenario {
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 

@@ -36,6 +36,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64) -> Scenario {
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 

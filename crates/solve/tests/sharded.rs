@@ -26,6 +26,7 @@ fn scenario(topology: TopologyKind, nodes: usize, objects: usize, seed: u64) -> 
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 

@@ -46,6 +46,7 @@ fn scenario(topology: TopologyKind, nodes: usize, seed: u64, truncating: bool) -
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 

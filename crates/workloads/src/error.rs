@@ -1,0 +1,55 @@
+//! Typed errors for workload, trace, and timeline generation.
+//!
+//! The generators historically `assert!`ed their preconditions, which is
+//! fine for hand-written experiments but fatal for fuzzer-generated
+//! scenarios: a degenerate spec must come back as an error the harness can
+//! record, not a panic that kills the differential run. Every generator
+//! now has a `try_*` entry point returning [`WorkloadError`]; the original
+//! panicking forms remain as thin shims.
+
+/// Why a workload, trace, or timeline could not be generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A trace or timeline was requested over zero objects.
+    EmptyObjects,
+    /// An object carries a NaN or infinite request mass.
+    NonFiniteMass {
+        /// Offending object index.
+        object: usize,
+    },
+    /// Generator parameters are out of range (fraction outside `[0, 1]`,
+    /// zero nodes, ...).
+    BadParams {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// A timeline spec is malformed (zero slots, negative amplitude, ...).
+    BadTimeline {
+        /// Human-readable description of the offending field.
+        what: String,
+    },
+    /// A scenario field disagrees with the built network (capacity list
+    /// length, workload validation, ...).
+    BadScenario {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::EmptyObjects => {
+                write!(f, "a trace needs at least one object")
+            }
+            WorkloadError::NonFiniteMass { object } => {
+                write!(f, "object {object} has a non-finite request mass")
+            }
+            WorkloadError::BadParams { what } => write!(f, "bad workload parameters: {what}"),
+            WorkloadError::BadTimeline { what } => write!(f, "bad timeline spec: {what}"),
+            WorkloadError::BadScenario { what } => write!(f, "bad scenario: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

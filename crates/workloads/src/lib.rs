@@ -6,10 +6,14 @@
 //! skewed popularity, distributed-file-system files with hotspot writers,
 //! and cache lines with mixed sharing.
 
+pub mod error;
 pub mod scenario;
+pub mod timeline;
 pub mod trace;
 pub mod workload;
 
+pub use error::WorkloadError;
 pub use scenario::{CapacitySpec, DriftSpec, Scenario, StreamSpec, TopologyKind};
-pub use trace::{sample_trace, TraceConfig, TraceOp};
+pub use timeline::{Timeline, TimelineObject, TimelinePattern, TimelineSlot, TimelineSpec};
+pub use trace::{sample_trace, try_sample_trace, TraceConfig, TraceMeta, TraceOp, TraceSample};
 pub use workload::{WorkloadGen, WorkloadParams};

@@ -9,6 +9,8 @@ use dmn_json::Json;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::error::WorkloadError;
+use crate::timeline::{Timeline, TimelineSpec};
 use crate::workload::{WorkloadGen, WorkloadParams};
 
 /// Topology families the experiments run on.
@@ -128,6 +130,9 @@ pub struct Scenario {
     /// runs fault-free. Armed by the chaos replay harness, never by
     /// `build_instance` itself.
     pub faults: Option<FaultPlan>,
+    /// Optional time-sliced workload (per-slot demand/cost multipliers
+    /// with churn); `None` is the classic single-snapshot scenario.
+    pub timeline: Option<TimelineSpec>,
 }
 
 impl Scenario {
@@ -246,6 +251,9 @@ impl Scenario {
         if let Some(faults) = &self.faults {
             fields.push(("faults", faults.to_json()));
         }
+        if let Some(timeline) = &self.timeline {
+            fields.push(("timeline", timeline.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -330,6 +338,12 @@ impl Scenario {
             None | Some(Json::Null) => None,
             Some(f) => Some(FaultPlan::from_json(f).map_err(|e| format!("faults block: {e}"))?),
         };
+        let timeline = match json.get("timeline") {
+            None | Some(Json::Null) => None,
+            Some(t) => {
+                Some(TimelineSpec::from_json(t).map_err(|e| format!("timeline block: {e}"))?)
+            }
+        };
         Ok(Scenario {
             name: str_field("name")?.to_string(),
             topology,
@@ -350,6 +364,7 @@ impl Scenario {
             stream,
             drift,
             faults,
+            timeline,
         })
     }
 
@@ -366,6 +381,24 @@ impl Scenario {
     /// The fault schedule of a chaos scenario, when one is declared.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The timeline spec of the scenario, or the harness default.
+    pub fn timeline_spec(&self) -> TimelineSpec {
+        self.timeline.clone().unwrap_or_default()
+    }
+
+    /// Materializes the scenario's time-sliced workload (its declared
+    /// timeline spec, or [`TimelineSpec::default`] when the scenario has
+    /// no `timeline` block) over the built network's node count.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError`] when the timeline spec or workload
+    /// parameters are invalid.
+    pub fn build_timeline(&self) -> Result<Timeline, WorkloadError> {
+        let n = self.build_graph().num_nodes();
+        let gen = WorkloadGen::try_new(n, self.workload.clone())?;
+        self.timeline_spec().materialize(&gen, self.seed)
     }
 
     /// Loads every `*.json` scenario of a corpus directory, sorted by file
@@ -409,35 +442,69 @@ impl Scenario {
     /// Panics when an explicit capacity list does not match `n` (the
     /// scenario file disagrees with its own topology).
     pub fn capacity_vector(&self, n: usize) -> Option<Vec<usize>> {
+        self.try_capacity_vector(n)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Scenario::capacity_vector`], but returns a typed error when
+    /// an explicit capacity list disagrees with the built network — the
+    /// entry point for fuzzer-generated scenarios.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError::BadScenario`] on a length mismatch.
+    pub fn try_capacity_vector(&self, n: usize) -> Result<Option<Vec<usize>>, WorkloadError> {
         match &self.capacities {
-            None => None,
-            Some(CapacitySpec::Uniform { per_node }) => Some(vec![*per_node; n]),
+            None => Ok(None),
+            Some(CapacitySpec::Uniform { per_node }) => Ok(Some(vec![*per_node; n])),
             Some(CapacitySpec::Explicit(caps)) => {
-                assert_eq!(
-                    caps.len(),
-                    n,
-                    "scenario \"{}\": explicit capacities sized for {} nodes, network has {n}",
-                    self.name,
-                    caps.len()
-                );
-                Some(caps.clone())
+                if caps.len() != n {
+                    return Err(WorkloadError::BadScenario {
+                        what: format!(
+                            "scenario \"{}\": explicit capacities sized for {} nodes, \
+                             network has {n}",
+                            self.name,
+                            caps.len()
+                        ),
+                    });
+                }
+                Ok(Some(caps.clone()))
             }
         }
     }
 
     /// Builds the full instance: graph, storage costs, generated objects.
+    ///
+    /// # Panics
+    /// Panics when the workload parameters are invalid; untrusted input
+    /// goes through [`Scenario::try_build_instance`].
     pub fn build_instance(&self) -> Instance {
+        self.try_build_instance().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Scenario::build_instance`], but returns a typed error
+    /// instead of panicking on invalid workload parameters or degenerate
+    /// generated objects.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError`] naming the offending parameter or object.
+    pub fn try_build_instance(&self) -> Result<Instance, WorkloadError> {
         let graph = self.build_graph();
         let n = graph.num_nodes();
         let mut inst = Instance::builder(graph)
             .uniform_storage_cost(self.storage_cost)
-            .build();
-        let gen = WorkloadGen::new(n, self.workload.clone());
+            .try_build()
+            .map_err(|e| WorkloadError::BadScenario {
+                what: e.to_string(),
+            })?;
+        let gen = WorkloadGen::try_new(n, self.workload.clone())?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
         for w in gen.generate(&mut rng) {
-            inst.push_object(w);
+            inst.try_push_object(w)
+                .map_err(|e| WorkloadError::BadScenario {
+                    what: e.to_string(),
+                })?;
         }
-        inst
+        Ok(inst)
     }
 }
 
@@ -460,6 +527,7 @@ mod tests {
             stream: None,
             drift: None,
             faults: None,
+            timeline: None,
         }
     }
 
@@ -603,6 +671,53 @@ mod tests {
         assert_eq!(plan.inject.len(), 2);
         assert_eq!(plan.inject[0].point, "solve.phase1");
         assert_eq!(plan.inject[1].after, 3);
+    }
+
+    #[test]
+    fn timeline_spec_roundtrips_and_defaults() {
+        use crate::timeline::{TimelinePattern, TimelineSpec};
+        let mut s = scenario(TopologyKind::Grid { rows: 3, cols: 3 }, 9);
+        assert_eq!(s.timeline, None);
+        assert_eq!(s.timeline_spec(), TimelineSpec::default());
+        let json = s.to_json().to_string_pretty();
+        assert!(!json.contains("timeline"), "{json}");
+
+        s.timeline = Some(TimelineSpec {
+            slots: 5,
+            pattern: TimelinePattern::FlashCrowd {
+                peak_slot: 2,
+                magnitude: 1.5,
+                width: 1,
+            },
+            cost_amplitude: 0.2,
+            cost_period: 5,
+            churn_per_slot: 1,
+            park_fraction: 0.1,
+            requests_per_slot: 64,
+        });
+        let back = Scenario::from_json(&dmn_json::parse(&s.to_json().to_string_pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back.timeline, s.timeline);
+        assert_eq!(back.timeline_spec().slots, 5);
+
+        // The materialized timeline is reproducible through the roundtrip.
+        let a = s.build_timeline().unwrap();
+        let b = back.build_timeline().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.slots.len(), 5);
+    }
+
+    #[test]
+    fn try_paths_surface_typed_errors() {
+        let mut s = scenario(TopologyKind::Path, 5);
+        s.capacities = Some(CapacitySpec::Explicit(vec![1, 1]));
+        let err = s.try_capacity_vector(5).unwrap_err();
+        assert!(err.to_string().contains("sized for"), "{err}");
+
+        let mut s = scenario(TopologyKind::Path, 5);
+        s.workload.write_fraction = 1.5;
+        assert!(s.try_build_instance().is_err());
+        assert!(s.build_timeline().is_err());
     }
 
     #[test]

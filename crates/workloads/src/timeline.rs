@@ -1,0 +1,599 @@
+//! Time-sliced workloads: per-slot demand and cost multipliers over a
+//! scenario's object population, with churn.
+//!
+//! A [`TimelineSpec`] turns a static scenario into a sequence of *slots*
+//! (think hours of a day): each slot scales the base demand by a pattern
+//! multiplier (diurnal sinusoid, flash-crowd spike, or flat), scales the
+//! uniform storage cost by a cosine cycle (cheap-at-night economics), and
+//! optionally churns the object population — objects retire, new objects
+//! spawn, and some objects are *parked* for a slot (zero request mass,
+//! still alive). Every object carries a stable `u64` id across slots, so
+//! a warm-start chain can lift the previous slot's placement onto the
+//! current population by id instead of by index.
+//!
+//! Materialization is fully seeded: the base population reuses the
+//! scenario's workload RNG stream (slot 0 with multiplier 1 equals
+//! `Scenario::build_instance`'s objects), and churn/parking draw from a
+//! separate stream so adding churn does not perturb the base demand.
+
+use dmn_core::instance::ObjectWorkload;
+use dmn_json::Json;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::WorkloadError;
+use crate::workload::WorkloadGen;
+
+/// Seed offset of the churn/parking RNG stream (distinct from the
+/// scenario's workload stream so churn composes with reproducibility).
+const CHURN_SEED_MIX: u64 = 0x7153_11CE_D00D_5EED;
+
+/// How per-slot demand multipliers evolve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelinePattern {
+    /// Constant demand (multiplier 1 every slot) — churn and cost cycles
+    /// still apply.
+    Flat,
+    /// Diurnal sinusoid: slot `t` scales demand by
+    /// `1 + amplitude * sin(2π t / period)`.
+    Diurnal {
+        /// Slots per full cycle.
+        period: usize,
+        /// Swing around 1 (`0..=1`; 1 lets the trough reach zero demand,
+        /// which the materializer clamps to a small positive floor).
+        amplitude: f64,
+    },
+    /// Flash crowd: a Gaussian demand bump of height `magnitude` centred
+    /// on `peak_slot` with standard deviation `width` slots.
+    FlashCrowd {
+        /// Slot of peak demand.
+        peak_slot: usize,
+        /// Extra demand at the peak (multiplier is `1 + magnitude` there).
+        magnitude: f64,
+        /// Spread of the bump in slots (≥ 1).
+        width: usize,
+    },
+}
+
+/// Declarative time-sliced workload attached to a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSpec {
+    /// Number of time slots.
+    pub slots: usize,
+    /// Demand-multiplier pattern.
+    pub pattern: TimelinePattern,
+    /// Storage-cost cosine swing around 1 (`0..=1`; 0 = constant cost).
+    pub cost_amplitude: f64,
+    /// Slots per storage-cost cycle (≥ 1).
+    pub cost_period: usize,
+    /// Objects retired *and* spawned at every slot boundary (stable ids:
+    /// retired ids never return, spawned objects get fresh ids).
+    pub churn_per_slot: usize,
+    /// Per-slot probability that a surviving object is parked for the
+    /// slot — alive but with zero request mass (`0..1`).
+    pub park_fraction: f64,
+    /// Requests sampled per slot when the dynamic zoo replays the
+    /// timeline.
+    pub requests_per_slot: usize,
+}
+
+impl Default for TimelineSpec {
+    fn default() -> Self {
+        TimelineSpec {
+            slots: 6,
+            pattern: TimelinePattern::Diurnal {
+                period: 6,
+                amplitude: 0.5,
+            },
+            cost_amplitude: 0.0,
+            cost_period: 6,
+            churn_per_slot: 0,
+            park_fraction: 0.0,
+            requests_per_slot: 500,
+        }
+    }
+}
+
+/// One object alive in a slot: a stable id plus its (multiplier-scaled)
+/// workload for that slot. Parked objects have zero total request mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineObject {
+    /// Stable identity across slots (never reused after retirement).
+    pub id: u64,
+    /// This slot's read/write frequencies.
+    pub workload: ObjectWorkload,
+}
+
+impl TimelineObject {
+    /// True when the object is parked this slot (alive, zero mass).
+    pub fn is_parked(&self) -> bool {
+        self.workload.total_requests() == 0.0
+    }
+}
+
+/// One materialized time slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSlot {
+    /// Slot index (`0..spec.slots`).
+    pub slot: usize,
+    /// Demand multiplier applied to every live object this slot.
+    pub demand_multiplier: f64,
+    /// Storage-cost multiplier this slot.
+    pub cost_multiplier: f64,
+    /// Live objects (stable id + scaled workload), in id order.
+    pub objects: Vec<TimelineObject>,
+}
+
+impl TimelineSlot {
+    /// Ids of the objects that carry request mass this slot.
+    pub fn active_ids(&self) -> Vec<u64> {
+        self.objects
+            .iter()
+            .filter(|o| !o.is_parked())
+            .map(|o| o.id)
+            .collect()
+    }
+}
+
+/// A fully materialized timeline: the slot sequence a runner replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Slots in time order.
+    pub slots: Vec<TimelineSlot>,
+}
+
+impl Timeline {
+    /// Every id that is ever alive, in first-appearance order — the fixed
+    /// object universe a dynamic replay maps slots onto.
+    pub fn universe(&self) -> Vec<u64> {
+        let mut seen = Vec::new();
+        for slot in &self.slots {
+            for o in &slot.objects {
+                if !seen.contains(&o.id) {
+                    seen.push(o.id);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl TimelinePattern {
+    fn multiplier(&self, slot: usize) -> f64 {
+        match *self {
+            TimelinePattern::Flat => 1.0,
+            TimelinePattern::Diurnal { period, amplitude } => {
+                let phase = 2.0 * std::f64::consts::PI * slot as f64 / period.max(1) as f64;
+                1.0 + amplitude * phase.sin()
+            }
+            TimelinePattern::FlashCrowd {
+                peak_slot,
+                magnitude,
+                width,
+            } => {
+                let d = slot as f64 - peak_slot as f64;
+                let w = width.max(1) as f64;
+                1.0 + magnitude * (-d * d / (2.0 * w * w)).exp()
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        let bad = |what: &str| {
+            Err(WorkloadError::BadTimeline {
+                what: what.to_string(),
+            })
+        };
+        match *self {
+            TimelinePattern::Flat => Ok(()),
+            TimelinePattern::Diurnal { period, amplitude } => {
+                if period == 0 {
+                    return bad("diurnal period must be >= 1");
+                }
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return bad("diurnal amplitude must be in [0, 1]");
+                }
+                Ok(())
+            }
+            TimelinePattern::FlashCrowd {
+                magnitude, width, ..
+            } => {
+                if !(magnitude.is_finite() && magnitude >= 0.0) {
+                    return bad("flash-crowd magnitude must be finite and >= 0");
+                }
+                if width == 0 {
+                    return bad("flash-crowd width must be >= 1");
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl TimelineSpec {
+    /// Checks the spec is materializable.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError::BadTimeline`] naming the offending field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let bad = |what: &str| {
+            Err(WorkloadError::BadTimeline {
+                what: what.to_string(),
+            })
+        };
+        if self.slots == 0 {
+            return bad("a timeline needs at least one slot");
+        }
+        self.pattern.validate()?;
+        if !(0.0..=1.0).contains(&self.cost_amplitude) {
+            return bad("cost_amplitude must be in [0, 1]");
+        }
+        if self.cost_period == 0 {
+            return bad("cost_period must be >= 1");
+        }
+        if !(0.0..1.0).contains(&self.park_fraction) {
+            return bad("park_fraction must be in [0, 1)");
+        }
+        if self.requests_per_slot == 0 {
+            return bad("requests_per_slot must be >= 1");
+        }
+        Ok(())
+    }
+
+    /// Materializes the timeline over an `n`-node network.
+    ///
+    /// The base population comes from `gen` seeded exactly like
+    /// `Scenario::build_instance` (same `seed`), so slot 0 of a flat
+    /// timeline reproduces the static instance. Churn retires and spawns
+    /// `churn_per_slot` objects at every boundary (always keeping at
+    /// least one unparked object alive), and parking zeroes a seeded
+    /// subset of survivors per slot.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError`] when the spec or generator parameters
+    /// are invalid.
+    pub fn materialize(&self, gen: &WorkloadGen, seed: u64) -> Result<Timeline, WorkloadError> {
+        self.validate()?;
+        // Same stream as Scenario::build_instance — slot 0 matches it.
+        let mut wrng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(0x9E37_79B9));
+        let base = gen.generate(&mut wrng);
+        if base.is_empty() {
+            return Err(WorkloadError::EmptyObjects);
+        }
+        let mut churn_rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(CHURN_SEED_MIX));
+        let mut alive: Vec<(u64, ObjectWorkload)> = base
+            .into_iter()
+            .enumerate()
+            .map(|(x, w)| (x as u64, w))
+            .collect();
+        let mut next_id = alive.len() as u64;
+        let mut next_rank = alive.len();
+
+        let mut slots = Vec::with_capacity(self.slots);
+        for t in 0..self.slots {
+            if t > 0 {
+                for _ in 0..self.churn_per_slot {
+                    if alive.len() > 1 {
+                        let victim = churn_rng.random_range(0..alive.len());
+                        alive.remove(victim);
+                    }
+                    alive.push((next_id, gen.generate_one(next_rank, &mut churn_rng)));
+                    next_id += 1;
+                    next_rank += 1;
+                }
+                alive.sort_by_key(|(id, _)| *id);
+            }
+            let demand = self.pattern.multiplier(t).max(0.01);
+            let cost = {
+                let phase = 2.0 * std::f64::consts::PI * t as f64 / self.cost_period.max(1) as f64;
+                (1.0 + self.cost_amplitude * phase.cos()).max(0.01)
+            };
+            // Park a seeded subset this slot (never the whole population).
+            let parked: Vec<bool> = alive
+                .iter()
+                .map(|_| t > 0 && churn_rng.random_bool(self.park_fraction.clamp(0.0, 1.0)))
+                .collect();
+            let all_parked = parked.iter().all(|&p| p);
+            let objects = alive
+                .iter()
+                .zip(&parked)
+                .enumerate()
+                .map(|(i, ((id, w), &park))| {
+                    let park = park && !(all_parked && i == 0);
+                    let workload = if park {
+                        ObjectWorkload::new(w.num_nodes())
+                    } else {
+                        scale_workload(w, demand)
+                    };
+                    TimelineObject { id: *id, workload }
+                })
+                .collect();
+            slots.push(TimelineSlot {
+                slot: t,
+                demand_multiplier: demand,
+                cost_multiplier: cost,
+                objects,
+            });
+        }
+        Ok(Timeline { slots })
+    }
+
+    /// Encodes the spec as a JSON object (the scenario `"timeline"` block).
+    pub fn to_json(&self) -> Json {
+        let pattern = match &self.pattern {
+            TimelinePattern::Flat => Json::obj([("kind", Json::Str("flat".into()))]),
+            TimelinePattern::Diurnal { period, amplitude } => Json::obj([
+                ("kind", Json::Str("diurnal".into())),
+                ("period", Json::Num(*period as f64)),
+                ("amplitude", Json::Num(*amplitude)),
+            ]),
+            TimelinePattern::FlashCrowd {
+                peak_slot,
+                magnitude,
+                width,
+            } => Json::obj([
+                ("kind", Json::Str("flash-crowd".into())),
+                ("peak_slot", Json::Num(*peak_slot as f64)),
+                ("magnitude", Json::Num(*magnitude)),
+                ("width", Json::Num(*width as f64)),
+            ]),
+        };
+        Json::obj([
+            ("slots", Json::Num(self.slots as f64)),
+            ("pattern", pattern),
+            ("cost_amplitude", Json::Num(self.cost_amplitude)),
+            ("cost_period", Json::Num(self.cost_period as f64)),
+            ("churn_per_slot", Json::Num(self.churn_per_slot as f64)),
+            ("park_fraction", Json::Num(self.park_fraction)),
+            (
+                "requests_per_slot",
+                Json::Num(self.requests_per_slot as f64),
+            ),
+        ])
+    }
+
+    /// Decodes a spec from [`TimelineSpec::to_json`] output.
+    ///
+    /// # Errors
+    /// Returns a message when the document does not have the expected
+    /// shape (field errors come back as [`WorkloadError::BadTimeline`]
+    /// text via [`TimelineSpec::validate`] at materialization time).
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let num_field = |node: &Json, key: &str| {
+            node.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing number \"{key}\""))
+        };
+        let p = json.get("pattern").ok_or("missing \"pattern\"")?;
+        let kind = p
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing pattern kind")?;
+        let pattern = match kind {
+            "flat" => TimelinePattern::Flat,
+            "diurnal" => TimelinePattern::Diurnal {
+                period: num_field(p, "period")? as usize,
+                amplitude: num_field(p, "amplitude")?,
+            },
+            "flash-crowd" => TimelinePattern::FlashCrowd {
+                peak_slot: num_field(p, "peak_slot")? as usize,
+                magnitude: num_field(p, "magnitude")?,
+                width: num_field(p, "width")? as usize,
+            },
+            other => return Err(format!("unknown pattern kind \"{other}\"")),
+        };
+        Ok(TimelineSpec {
+            slots: num_field(json, "slots")? as usize,
+            pattern,
+            cost_amplitude: num_field(json, "cost_amplitude")?,
+            cost_period: num_field(json, "cost_period")? as usize,
+            churn_per_slot: num_field(json, "churn_per_slot")? as usize,
+            park_fraction: num_field(json, "park_fraction")?,
+            requests_per_slot: num_field(json, "requests_per_slot")? as usize,
+        })
+    }
+}
+
+fn scale_workload(w: &ObjectWorkload, m: f64) -> ObjectWorkload {
+    ObjectWorkload {
+        reads: w.reads.iter().map(|&r| r * m).collect(),
+        writes: w.writes.iter().map(|&x| x * m).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadParams;
+
+    fn gen(n: usize, k: usize) -> WorkloadGen {
+        WorkloadGen::new(
+            n,
+            WorkloadParams {
+                num_objects: k,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn spec() -> TimelineSpec {
+        TimelineSpec {
+            slots: 8,
+            pattern: TimelinePattern::Diurnal {
+                period: 8,
+                amplitude: 0.5,
+            },
+            cost_amplitude: 0.25,
+            cost_period: 8,
+            churn_per_slot: 1,
+            park_fraction: 0.2,
+            requests_per_slot: 100,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        for (s, what) in [
+            (TimelineSpec { slots: 0, ..spec() }, "slot"),
+            (
+                TimelineSpec {
+                    cost_amplitude: 1.5,
+                    ..spec()
+                },
+                "cost_amplitude",
+            ),
+            (
+                TimelineSpec {
+                    park_fraction: 1.0,
+                    ..spec()
+                },
+                "park_fraction",
+            ),
+            (
+                TimelineSpec {
+                    pattern: TimelinePattern::Diurnal {
+                        period: 0,
+                        amplitude: 0.5,
+                    },
+                    ..spec()
+                },
+                "period",
+            ),
+            (
+                TimelineSpec {
+                    pattern: TimelinePattern::FlashCrowd {
+                        peak_slot: 2,
+                        magnitude: f64::NAN,
+                        width: 1,
+                    },
+                    ..spec()
+                },
+                "magnitude",
+            ),
+            (
+                TimelineSpec {
+                    requests_per_slot: 0,
+                    ..spec()
+                },
+                "requests_per_slot",
+            ),
+        ] {
+            let err = s.validate().unwrap_err();
+            assert!(err.to_string().contains(what), "{err} should name {what}");
+        }
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn materialization_is_deterministic_and_slot0_matches_instance_stream() {
+        let g = gen(12, 4);
+        let a = spec().materialize(&g, 9).unwrap();
+        let b = spec().materialize(&g, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.slots.len(), 8);
+        // Slot 0 with a diurnal sin(0) = 1 multiplier reproduces the
+        // scenario workload stream exactly.
+        use rand::SeedableRng;
+        let mut wrng = ChaCha8Rng::seed_from_u64(9u64.wrapping_add(0x9E37_79B9));
+        let base = g.generate(&mut wrng);
+        assert_eq!(a.slots[0].demand_multiplier, 1.0);
+        for (obj, w) in a.slots[0].objects.iter().zip(&base) {
+            assert_eq!(&obj.workload, w);
+        }
+    }
+
+    #[test]
+    fn churn_retires_and_spawns_with_stable_ids() {
+        let g = gen(10, 3);
+        let tl = TimelineSpec {
+            churn_per_slot: 1,
+            park_fraction: 0.0,
+            ..spec()
+        }
+        .materialize(&g, 5)
+        .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for slot in &tl.slots {
+            assert!(!slot.objects.is_empty());
+            assert!(!slot.active_ids().is_empty(), "never fully parked");
+            for o in &slot.objects {
+                seen.insert(o.id);
+            }
+            // Ids are sorted and unique within a slot.
+            let ids: Vec<u64> = slot.objects.iter().map(|o| o.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(ids, sorted);
+        }
+        assert!(
+            seen.len() > 3,
+            "churn must have spawned fresh ids: {seen:?}"
+        );
+        assert_eq!(tl.universe().len(), seen.len());
+    }
+
+    #[test]
+    fn parking_zeroes_some_objects_but_never_all() {
+        let g = gen(10, 4);
+        let tl = TimelineSpec {
+            churn_per_slot: 0,
+            park_fraction: 0.7,
+            slots: 12,
+            ..spec()
+        }
+        .materialize(&g, 11)
+        .unwrap();
+        let mut parked_any = false;
+        for slot in &tl.slots {
+            let active = slot.active_ids().len();
+            assert!(active >= 1, "slot {} fully parked", slot.slot);
+            parked_any |= active < slot.objects.len();
+        }
+        assert!(parked_any, "a 0.7 park fraction should park something");
+    }
+
+    #[test]
+    fn multipliers_follow_the_patterns() {
+        let g = gen(8, 2);
+        let tl = TimelineSpec {
+            pattern: TimelinePattern::FlashCrowd {
+                peak_slot: 3,
+                magnitude: 2.0,
+                width: 1,
+            },
+            churn_per_slot: 0,
+            park_fraction: 0.0,
+            ..spec()
+        }
+        .materialize(&g, 3)
+        .unwrap();
+        let peak = tl.slots[3].demand_multiplier;
+        assert!((peak - 3.0).abs() < 1e-9, "peak multiplier 1 + magnitude");
+        assert!(tl.slots[0].demand_multiplier < peak);
+        // Cost cosine starts at 1 + amplitude and dips below 1 mid-cycle.
+        assert!((tl.slots[0].cost_multiplier - 1.25).abs() < 1e-9);
+        assert!(tl.slots[4].cost_multiplier < 1.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for pattern in [
+            TimelinePattern::Flat,
+            TimelinePattern::Diurnal {
+                period: 4,
+                amplitude: 0.3,
+            },
+            TimelinePattern::FlashCrowd {
+                peak_slot: 2,
+                magnitude: 1.5,
+                width: 2,
+            },
+        ] {
+            let s = TimelineSpec { pattern, ..spec() };
+            let text = s.to_json().to_string_pretty();
+            let back = TimelineSpec::from_json(&dmn_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

@@ -19,6 +19,8 @@
 use dmn_core::instance::ObjectWorkload;
 use rand::Rng;
 
+use crate::error::WorkloadError;
+
 /// One operation of a server trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceOp {
@@ -82,28 +84,60 @@ fn sample_cumulative(cum: &[f64], rng: &mut impl Rng) -> usize {
     cum.partition_point(|&c| c <= t).min(cum.len() - 1)
 }
 
+/// Provenance of a sampled trace — what the generator had to decide
+/// beyond the literal op sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// Objects with zero total request mass whose lookup origins were
+    /// sampled from the deterministic uniform node distribution instead
+    /// of their (empty) demand distribution. Same seed, same objects →
+    /// same fallback set and same sampled ops; the fallback is recorded
+    /// here instead of being silently absorbed.
+    pub uniform_fallback_objects: Vec<usize>,
+}
+
+/// A sampled trace plus its [`TraceMeta`] provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSample {
+    /// The operation sequence.
+    pub ops: Vec<TraceOp>,
+    /// Generation provenance (degenerate-object fallbacks).
+    pub meta: TraceMeta,
+}
+
 /// Samples a reproducible server trace over the given initial workloads.
 ///
 /// Lookup objects follow a zipf distribution over `0..objects.len()`;
-/// lookup nodes follow each object's per-node request-mass distribution
-/// (uniform for objects with no mass, which cannot occur for validated
-/// workloads). Drift events are interleaved evenly: after every
+/// lookup nodes follow each object's per-node request-mass distribution.
+/// An object with no mass at all falls back to the uniform node
+/// distribution — deterministically per seed, and recorded in
+/// [`TraceMeta::uniform_fallback_objects`] rather than silently. Drift
+/// events are interleaved evenly: after every
 /// `lookups / (drift_events + 1)` lookups, one event drains
 /// [`TraceConfig::drift_mass`] reads at the chosen object's hottest node
 /// and injects the same mass at the rotated target — cumulatively, demand
 /// migrates around the network, which is exactly what forces the server's
 /// background re-optimization.
 ///
-/// # Panics
-/// Panics when `objects` is empty.
-pub fn sample_trace(
+/// # Errors
+/// Returns [`WorkloadError::EmptyObjects`] for an empty object list,
+/// [`WorkloadError::BadParams`] for zero-node objects, and
+/// [`WorkloadError::NonFiniteMass`] when a frequency is NaN or infinite.
+pub fn try_sample_trace(
     objects: &[ObjectWorkload],
     cfg: &TraceConfig,
     rng: &mut impl Rng,
-) -> Vec<TraceOp> {
-    assert!(!objects.is_empty(), "a trace needs at least one object");
+) -> Result<TraceSample, WorkloadError> {
+    if objects.is_empty() {
+        return Err(WorkloadError::EmptyObjects);
+    }
     let k = objects.len();
     let n = objects[0].num_nodes();
+    if n == 0 {
+        return Err(WorkloadError::BadParams {
+            what: "trace objects are defined over zero nodes".into(),
+        });
+    }
 
     // Zipf cumulative over objects.
     let mut obj_cum = Vec::with_capacity(k);
@@ -112,34 +146,40 @@ pub fn sample_trace(
         acc += 1.0 / ((x + 1) as f64).powf(cfg.zipf_exponent);
         obj_cum.push(acc);
     }
-    // Per-object node distributions (cumulative request mass).
-    let node_cum: Vec<Vec<f64>> = objects
-        .iter()
-        .map(|w| {
-            let mut cum = Vec::with_capacity(n);
-            let mut acc = 0.0;
-            for v in 0..n {
-                acc += w.request_mass(v);
-                cum.push(acc);
+    // Per-object node distributions (cumulative request mass). Objects
+    // with no mass get the uniform fallback, surfaced in the metadata.
+    let mut meta = TraceMeta::default();
+    let mut node_cum = Vec::with_capacity(k);
+    for (x, w) in objects.iter().enumerate() {
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for v in 0..n {
+            let mass = w.request_mass(v);
+            if !mass.is_finite() {
+                return Err(WorkloadError::NonFiniteMass { object: x });
             }
-            if acc == 0.0 {
-                // Degenerate object: fall back to uniform.
-                for (v, c) in cum.iter_mut().enumerate() {
-                    *c = (v + 1) as f64;
-                }
+            acc += mass;
+            cum.push(acc);
+        }
+        if acc == 0.0 {
+            // Degenerate object: deterministic uniform fallback.
+            for (v, c) in cum.iter_mut().enumerate() {
+                *c = (v + 1) as f64;
             }
-            cum
-        })
-        .collect();
+            meta.uniform_fallback_objects.push(x);
+        }
+        node_cum.push(cum);
+    }
     // Hottest node per object (first argmax; drift drains reads here).
+    // Masses are finite by the check above, so the comparison never sees
+    // a NaN.
     let hottest: Vec<usize> = objects
         .iter()
         .map(|w| {
             (0..n)
                 .max_by(|&a, &b| {
                     w.request_mass(a)
-                        .partial_cmp(&w.request_mass(b))
-                        .expect("finite masses")
+                        .total_cmp(&w.request_mass(b))
                         .then(b.cmp(&a))
                 })
                 .expect("at least one node")
@@ -174,7 +214,23 @@ pub fn sample_trace(
         let node = sample_cumulative(&node_cum[object], rng);
         ops.push(TraceOp::Lookup { object, node });
     }
-    ops
+    Ok(TraceSample { ops, meta })
+}
+
+/// Panicking shim over [`try_sample_trace`] that drops the metadata —
+/// the historical entry point, kept for harnesses that control their
+/// inputs.
+///
+/// # Panics
+/// Panics when `objects` is empty or carries non-finite frequencies.
+pub fn sample_trace(
+    objects: &[ObjectWorkload],
+    cfg: &TraceConfig,
+    rng: &mut impl Rng,
+) -> Vec<TraceOp> {
+    try_sample_trace(objects, cfg, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .ops
 }
 
 #[cfg(test)]
@@ -265,6 +321,63 @@ mod tests {
         let a = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
         let b = sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_objects_fall_back_deterministically_and_are_surfaced() {
+        // Object 1 has no request mass at all: its lookups must come from
+        // the uniform fallback, the fallback must be recorded in the
+        // metadata, and the whole sample must be identical per seed.
+        let mut objs = objects(3, 6);
+        objs[1] = ObjectWorkload::new(6);
+        let cfg = TraceConfig {
+            lookups: 4_000,
+            drift_events: 0,
+            zipf_exponent: 0.0,
+            ..Default::default()
+        };
+        let a = try_sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let b = try_sample_trace(&objs, &cfg, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b, "fallback sampling is deterministic per seed");
+        assert_eq!(a.meta.uniform_fallback_objects, vec![1]);
+
+        // The fallback really is uniform: object 1's lookups spread over
+        // every node instead of collapsing onto one.
+        let mut nodes_hit = std::collections::HashSet::new();
+        for op in &a.ops {
+            if let TraceOp::Lookup { object: 1, node } = op {
+                nodes_hit.insert(*node);
+            }
+        }
+        assert_eq!(nodes_hit.len(), 6, "uniform fallback covers all nodes");
+
+        // Healthy workloads report no fallback.
+        let healthy =
+            try_sample_trace(&objects(3, 6), &cfg, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert!(healthy.meta.uniform_fallback_objects.is_empty());
+    }
+
+    #[test]
+    fn try_sample_trace_returns_typed_errors() {
+        let cfg = TraceConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(
+            try_sample_trace(&[], &cfg, &mut rng).unwrap_err(),
+            WorkloadError::EmptyObjects
+        );
+        let mut bad = objects(2, 5);
+        bad[1].reads[3] = f64::NAN;
+        assert_eq!(
+            try_sample_trace(&bad, &cfg, &mut rng).unwrap_err(),
+            WorkloadError::NonFiniteMass { object: 1 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn sample_trace_shim_still_panics_on_empty_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = sample_trace(&[], &TraceConfig::default(), &mut rng);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use dmn_core::instance::ObjectWorkload;
 use rand::Rng;
 
+use crate::error::WorkloadError;
+
 /// Parameters of the synthetic workload generator.
 #[derive(Debug, Clone)]
 pub struct WorkloadParams {
@@ -45,12 +47,44 @@ pub struct WorkloadGen {
 
 impl WorkloadGen {
     /// Creates a generator for `n` nodes.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters; untrusted input goes through
+    /// [`WorkloadGen::try_new`].
     pub fn new(n: usize, params: WorkloadParams) -> Self {
-        assert!(n > 0);
-        assert!((0.0..=1.0).contains(&params.write_fraction));
-        assert!((0.0..=1.0).contains(&params.active_fraction));
-        assert!(params.locality >= 0.0 && params.locality < 1.0);
-        WorkloadGen { n, params }
+        Self::try_new(n, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`WorkloadGen::new`], but returns a typed error instead of
+    /// panicking on out-of-range parameters.
+    ///
+    /// # Errors
+    /// Returns [`WorkloadError::BadParams`] naming the offending field.
+    pub fn try_new(n: usize, params: WorkloadParams) -> Result<Self, WorkloadError> {
+        let bad = |what: &str| {
+            Err(WorkloadError::BadParams {
+                what: what.to_string(),
+            })
+        };
+        if n == 0 {
+            return bad("a workload needs at least one node");
+        }
+        if !(0.0..=1.0).contains(&params.write_fraction) {
+            return bad("write_fraction must be in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&params.active_fraction) {
+            return bad("active_fraction must be in [0, 1]");
+        }
+        if !(params.locality >= 0.0 && params.locality < 1.0) {
+            return bad("locality must be in [0, 1)");
+        }
+        if !(params.base_mass.is_finite() && params.base_mass >= 0.0) {
+            return bad("base_mass must be finite and >= 0");
+        }
+        if !params.zipf_exponent.is_finite() {
+            return bad("zipf_exponent must be finite");
+        }
+        Ok(WorkloadGen { n, params })
     }
 
     /// Generates all objects. Object `x` receives total mass
@@ -203,6 +237,52 @@ mod tests {
         let a = gen.generate(&mut rng(7));
         let b = gen.generate(&mut rng(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_params() {
+        for (params, what) in [
+            (
+                WorkloadParams {
+                    write_fraction: -0.1,
+                    ..Default::default()
+                },
+                "write_fraction",
+            ),
+            (
+                WorkloadParams {
+                    active_fraction: 2.0,
+                    ..Default::default()
+                },
+                "active_fraction",
+            ),
+            (
+                WorkloadParams {
+                    locality: 1.0,
+                    ..Default::default()
+                },
+                "locality",
+            ),
+            (
+                WorkloadParams {
+                    base_mass: f64::NAN,
+                    ..Default::default()
+                },
+                "base_mass",
+            ),
+            (
+                WorkloadParams {
+                    zipf_exponent: f64::INFINITY,
+                    ..Default::default()
+                },
+                "zipf_exponent",
+            ),
+        ] {
+            let err = WorkloadGen::try_new(5, params).unwrap_err();
+            assert!(err.to_string().contains(what), "{err} should name {what}");
+        }
+        assert!(WorkloadGen::try_new(0, WorkloadParams::default()).is_err());
+        assert!(WorkloadGen::try_new(5, WorkloadParams::default()).is_ok());
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn main() {
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     };
     let instance = scenario.build_instance();
 

@@ -22,6 +22,7 @@ fn scenario(topology: TopologyKind, nodes: usize, write_fraction: f64, seed: u64
         stream: None,
         drift: None,
         faults: None,
+        timeline: None,
     }
 }
 
